@@ -1,0 +1,36 @@
+#ifndef MIDAS_BENCH_BENCH_UTIL_H_
+#define MIDAS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction harnesses. Each harness prints
+// the rows/series of one paper table or figure; absolute numbers differ
+// from the paper (different hardware, synthetic data at laptop scale) but
+// the shapes are the reproduction target (see EXPERIMENTS.md).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "midas/eval/experiment.h"
+#include "midas/util/string_util.h"
+#include "midas/util/table_printer.h"
+
+namespace midas {
+namespace bench {
+
+/// Prints a section banner.
+inline void Banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Formats a ratio as "93%".
+inline std::string Percent(double x) {
+  return StringPrintf("%.0f%%", 100.0 * x);
+}
+
+/// Formats to 3 decimals.
+inline std::string F3(double x) { return FormatDouble(x, 3); }
+
+}  // namespace bench
+}  // namespace midas
+
+#endif  // MIDAS_BENCH_BENCH_UTIL_H_

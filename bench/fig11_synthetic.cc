@@ -1,0 +1,153 @@
+// Reproduces paper Fig. 11: deep comparison of the three profit-driven
+// methods (MIDAS, Greedy, AggCluster) on the §IV-D synthetic single-source
+// workload.
+//   (a,b) F-measure and runtime as the number of facts grows 1k -> 10k
+//         (b = 20 slices, m = 10 optimal);
+//   (c,d) F-measure and runtime as the number of optimal slices grows
+//         1 -> 10 (n = 5000, b = 20).
+//
+// Expected shapes: MIDAS F-measure ~1.0 across the board with runtime
+// growing linearly in n; AggCluster slower-growing accuracy problems and a
+// much steeper runtime curve; Greedy fastest but F-measure collapsing as m
+// grows (it can only ever return one slice: recall <= 1/m).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "midas/baselines/agg_cluster.h"
+#include "midas/baselines/greedy.h"
+#include "midas/core/midas_alg.h"
+#include "midas/eval/metrics.h"
+#include "midas/eval/report.h"
+#include "midas/synth/single_source.h"
+#include "midas/util/flags.h"
+#include "midas/util/timer.h"
+
+using namespace midas;
+
+namespace {
+
+struct MethodResult {
+  double f_measure = 0.0;
+  double seconds = 0.0;
+};
+
+MethodResult RunOne(const core::SliceDetector& detector,
+                    const synth::SingleSourceData& data) {
+  core::SourceInput input;
+  input.url = data.url;
+  input.facts = &data.facts;
+  Stopwatch watch;
+  auto slices = detector.Detect(input, *data.kb);
+  MethodResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.f_measure =
+      eval::ScoreAgainstSilver(slices, data.optimal).f_measure;
+  return result;
+}
+
+void Sweep(const std::string& title,
+           const std::vector<synth::SingleSourceParams>& configs,
+           const std::vector<std::string>& labels,
+           const std::vector<double>& xs,
+           eval::ExperimentReport* report) {
+  core::MidasAlg midas;
+  baselines::GreedyDetector greedy;
+  baselines::AggClusterDetector agg;
+
+  std::vector<std::string> headers = {"method / " + title};
+  for (const auto& l : labels) headers.push_back(l);
+  TablePrinter f_table(headers), t_table(headers);
+
+  std::vector<std::pair<std::string, const core::SliceDetector*>> methods = {
+      {"MIDAS", &midas}, {"Greedy", &greedy}, {"AggCluster", &agg}};
+  for (const auto& [name, detector] : methods) {
+    std::vector<std::string> f_cells = {name}, t_cells = {name};
+    for (size_t i = 0; i < configs.size(); ++i) {
+      auto data = synth::GenerateSingleSource(configs[i]);
+      auto result = RunOne(*detector, data);
+      f_cells.push_back(bench::F3(result.f_measure));
+      t_cells.push_back(bench::F3(result.seconds));
+      if (report != nullptr) {
+        report->AddRow(title + "/" + name, xs[i],
+                       {{"f_measure", result.f_measure},
+                        {"seconds", result.seconds}});
+      }
+    }
+    f_table.AddRow(f_cells);
+    t_table.AddRow(t_cells);
+  }
+  std::cout << "\nF-measure (" << title << "):\n";
+  f_table.Print(std::cout);
+  std::cout << "runtime seconds (" << title << "):\n";
+  t_table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt64("max_facts", 10000, "largest n in the facts sweep");
+  flags.AddInt64("seed", 42, "generator seed");
+  flags.AddString("json_out", "", "write a JSON report here (optional)");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  size_t max_facts = static_cast<size_t>(flags.GetInt64("max_facts"));
+  eval::ExperimentReport report("fig11_synthetic");
+  report.SetContext("seed", std::to_string(seed));
+
+  bench::Banner("Figure 11 (a, b) — accuracy & runtime vs number of facts");
+  {
+    std::vector<synth::SingleSourceParams> configs;
+    std::vector<std::string> labels;
+    std::vector<double> xs;
+    for (size_t n = 1000; n <= max_facts; n += 1500) {
+      synth::SingleSourceParams p;
+      p.num_facts = n;
+      p.num_slices = 20;
+      p.num_optimal = 10;
+      p.seed = seed + n;
+      configs.push_back(p);
+      labels.push_back(std::to_string(n / 1000) + "." +
+                       std::to_string((n % 1000) / 100) + "k");
+      xs.push_back(static_cast<double>(n));
+    }
+    Sweep("n facts", configs, labels, xs, &report);
+  }
+
+  bench::Banner(
+      "Figure 11 (c, d) — accuracy & runtime vs number of optimal slices");
+  {
+    std::vector<synth::SingleSourceParams> configs;
+    std::vector<std::string> labels;
+    std::vector<double> xs;
+    for (size_t m = 1; m <= 10; ++m) {
+      synth::SingleSourceParams p;
+      p.num_facts = 5000;
+      p.num_slices = 20;
+      p.num_optimal = m;
+      p.seed = seed + 100 + m;
+      configs.push_back(p);
+      labels.push_back("m=" + std::to_string(m));
+      xs.push_back(static_cast<double>(m));
+    }
+    Sweep("m optimal", configs, labels, xs, &report);
+  }
+  if (!flags.GetString("json_out").empty()) {
+    Status write = report.WriteTo(flags.GetString("json_out"));
+    if (!write.ok()) {
+      std::cerr << write.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\nJSON report: " << flags.GetString("json_out") << "\n";
+  }
+
+  std::cout << "\n(paper Fig. 11: MIDAS F~1.0 throughout, runtime linear in "
+               "n; Greedy fast but F declines as 1/m; AggCluster slowest "
+               "with accuracy dropping at larger inputs)\n";
+  return 0;
+}

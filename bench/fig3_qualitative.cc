@@ -1,0 +1,91 @@
+// Reproduces the shape of paper Fig. 3: the highest-profit slices MIDAS
+// derives from a KnowledgeVault-style extraction corpus to augment a
+// Freebase-style KB, with the ratio of new facts in the slice vs in the
+// whole web source.
+//
+// Expected shape: the reported slices are coherent verticals with a high
+// in-slice new-fact ratio (paper: 67-83%) that far exceeds their web
+// source's overall new-fact ratio (paper: 10-27%).
+
+#include <iostream>
+#include <unordered_map>
+
+#include "bench_util.h"
+#include "midas/core/midas.h"
+#include "midas/synth/corpus_generator.h"
+#include "midas/util/flags.h"
+#include "midas/web/url.h"
+
+using namespace midas;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("scale", 1.0, "corpus scale factor");
+  flags.AddInt64("top_k", 8, "slices to report");
+  flags.AddInt64("seed", 103, "generator seed");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+
+  auto params = synth::KnowledgeVaultLikeParams(flags.GetDouble("scale"));
+  params.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  // Fig. 3 targets a *partially filled* KB: gaps are the exception, most
+  // web content is already known.
+  auto data = synth::GenerateCorpus(params);
+
+  bench::Banner(
+      "Figure 3 — top slices suggested by MIDAS for KB augmentation");
+  std::cout << "corpus: " << data.corpus->NumFacts() << " facts over "
+            << data.corpus->NumSources() << " sources; KB: "
+            << data.kb->size() << " facts\n";
+
+  core::Midas midas;
+  auto result = midas.DiscoverSlices(*data.corpus, *data.kb);
+
+  // Per-domain new-fact ratios (the "ratio of new facts in the web source"
+  // column refers to the whole domain the slice came from).
+  struct DomainStats {
+    size_t facts = 0, fresh = 0;
+  };
+  std::unordered_map<std::string, DomainStats> domains;
+  for (const auto& src : data.corpus->sources()) {
+    auto url = web::Url::Parse(src.url);
+    std::string domain = url.ok() ? url->Domain().ToString() : src.url;
+    auto& stats = domains[domain];
+    for (const auto& t : src.facts) {
+      stats.facts++;
+      if (!data.kb->Contains(t)) stats.fresh++;
+    }
+  }
+
+  TablePrinter table({"slice description", "web source",
+                      "new facts in slice", "new facts in source",
+                      "profit"});
+  size_t top_k = static_cast<size_t>(flags.GetInt64("top_k"));
+  for (size_t i = 0; i < result.slices.size() && i < top_k; ++i) {
+    const auto& slice = result.slices[i];
+    auto url = web::Url::Parse(slice.source_url);
+    std::string domain =
+        url.ok() ? url->Domain().ToString() : slice.source_url;
+    const auto& ds = domains[domain];
+    double slice_ratio =
+        slice.num_facts == 0
+            ? 0.0
+            : static_cast<double>(slice.num_new_facts) /
+                  static_cast<double>(slice.num_facts);
+    double source_ratio =
+        ds.facts == 0
+            ? 0.0
+            : static_cast<double>(ds.fresh) / static_cast<double>(ds.facts);
+    table.AddRow({slice.Description(*data.dict), slice.source_url,
+                  bench::Percent(slice_ratio), bench::Percent(source_ratio),
+                  bench::F3(slice.profit)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "(paper Fig. 3: slice new-fact ratios 67-83% vs source "
+               "ratios 10-27%)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces paper Fig. 7: the statistics table of the four evaluation
+// datasets. The generated datasets are laptop-scale stand-ins (see
+// DESIGN.md §1); the *relationships* are the target — ReVerb has a much
+// larger predicate vocabulary than NELL, the slim variants are small with
+// an adjustable KB, the full variants run against an empty KB.
+
+#include <iostream>
+
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "midas/synth/corpus_generator.h"
+#include "midas/synth/dataset_stats.h"
+#include "midas/util/flags.h"
+#include "midas/web/url.h"
+
+using namespace midas;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("scale", 1.0, "corpus scale factor");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  double scale = flags.GetDouble("scale");
+
+  bench::Banner("Figure 7 — dataset statistics");
+  TablePrinter table(
+      {"dataset", "# of facts", "# of pred.", "# of URLs", "existing KB"});
+
+  struct Entry {
+    const char* name;
+    synth::CorpusGenParams params;
+    bool kb_adjustable;
+  };
+  std::vector<Entry> entries = {
+      {"ReVerb-like", synth::ReVerbLikeParams(scale), false},
+      {"NELL-like", synth::NellLikeParams(scale), false},
+      {"ReVerb-Slim-like", synth::SlimParams(/*open_ie=*/true, 100, 11),
+       true},
+      {"NELL-Slim-like", synth::SlimParams(/*open_ie=*/false, 100, 12),
+       true},
+  };
+
+  for (auto& entry : entries) {
+    auto data = synth::GenerateCorpus(entry.params);
+    auto stats =
+        synth::ComputeDatasetStats(entry.name, *data.corpus, *data.kb);
+    // The slim datasets are counted at web-source (domain) granularity, as
+    // the paper's "100 selected web sources".
+    size_t urls = stats.num_urls;
+    if (entry.kb_adjustable) {
+      std::unordered_set<std::string> domains;
+      for (const auto& src : data.corpus->sources()) {
+        auto url = web::Url::Parse(src.url);
+        domains.insert(url.ok() ? url->Domain().ToString() : src.url);
+      }
+      urls = domains.size();
+    }
+    // Like the paper's Fig. 7, the full datasets are evaluated against an
+    // EMPTY knowledge base (the generator's internal truth KB is not part
+    // of the dataset); the slim datasets get coverage-adjustable KBs.
+    table.AddRow({stats.name, FormatCount(stats.num_facts),
+                  FormatCount(stats.num_predicates), FormatCount(urls),
+                  entry.kb_adjustable ? "Adjustable" : "Empty"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "(paper Fig. 7: ReVerb 15M facts / 327K preds / 20M URLs;"
+               " NELL 2.9M / 330 / 340K; slim variants 859K and 508K facts"
+               " over 100 URLs with adjustable KBs. Shapes to check: the"
+               " OpenIE predicate vocabulary dwarfs the ClosedIE one; slim"
+               " datasets are two orders smaller.)\n";
+  return 0;
+}

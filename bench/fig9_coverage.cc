@@ -1,0 +1,116 @@
+// Reproduces paper Fig. 9: method comparison on the slim datasets across
+// knowledge bases of varied coverage.
+//   (a,c,e) precision-recall curves at coverage 0 / 0.4 / 0.8;
+//   (b,d,f) recall / precision / F-measure as coverage grows 0 -> 0.8.
+//
+// Expected shapes: MIDAS dominates every other method at every coverage;
+// Greedy stays well under 0.5 on F; Naive is low across the board; all
+// methods decline somewhat as coverage rises (the remaining optimal output
+// shrinks and silver slices increasingly overlap the KB).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "midas/eval/experiment.h"
+#include "midas/eval/report.h"
+#include "midas/synth/corpus_generator.h"
+#include "midas/util/flags.h"
+
+using namespace midas;
+
+namespace {
+
+void RunDataset(const std::string& name, bool open_ie, size_t num_sources,
+                uint64_t seed, const std::vector<double>& coverages,
+                eval::ExperimentReport* report) {
+  auto params = synth::SlimParams(open_ie, num_sources, seed);
+  auto data = synth::GenerateCorpus(params);
+  std::cout << "\n--- dataset: " << name << " (" << data.corpus->NumFacts()
+            << " facts, " << data.silver.size()
+            << " silver slices, 100% coverage KB would hold all of them)\n";
+
+  eval::MethodSuite suite;
+
+  // (b,d,f): P/R/F vs coverage.
+  auto rows = eval::RunCoverageSweep(*data.corpus, data.dict, data.silver,
+                                     suite.specs(), coverages);
+  TablePrinter table({"coverage", "method", "precision", "recall",
+                      "f-measure", "returned", "expected"});
+  for (const auto& row : rows) {
+    table.AddRow({bench::F3(row.coverage), row.method,
+                  bench::F3(row.scores.precision),
+                  bench::F3(row.scores.recall),
+                  bench::F3(row.scores.f_measure),
+                  std::to_string(row.scores.returned),
+                  std::to_string(row.scores.expected)});
+    if (report != nullptr) {
+      report->AddPrfRow(name + "/" + row.method, row.coverage, row.scores);
+    }
+  }
+  table.Print(std::cout);
+
+  // (a,c,e): PR curves at coverage 0, 0.4, 0.8 (sampled ranks).
+  for (double coverage : {0.0, 0.4, 0.8}) {
+    Rng rng(5 + static_cast<uint64_t>(coverage * 1000.0));
+    auto adjusted = synth::BuildCoverageAdjustedKb(data.silver, coverage,
+                                                   data.dict, &rng);
+    std::cout << "\nPR curves at coverage " << coverage << " (rank: P/R):\n";
+    TablePrinter curve_table({"method", "@25%", "@50%", "@75%", "@100%"});
+    for (const auto& spec : suite.specs()) {
+      auto slices = eval::RunMethod(spec, *data.corpus, *adjusted.kb);
+      auto curve = eval::PrecisionRecallCurve(slices, adjusted.remaining);
+      std::vector<std::string> cells = {spec.name};
+      for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+        if (curve.empty()) {
+          cells.push_back("-");
+          continue;
+        }
+        size_t idx = std::min(
+            curve.size() - 1,
+            static_cast<size_t>(frac * static_cast<double>(curve.size())));
+        cells.push_back(bench::F3(curve[idx].precision) + "/" +
+                        bench::F3(curve[idx].recall));
+      }
+      curve_table.AddRow(cells);
+    }
+    curve_table.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt64("num_sources", 100, "sources per slim dataset");
+  flags.AddBool("skip_nell", false, "only run the ReVerb-Slim-like dataset");
+  flags.AddString("json_out", "", "write a JSON report here (optional)");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+
+  bench::Banner("Figure 9 — slice quality vs knowledge-base coverage");
+  eval::ExperimentReport report("fig9_coverage");
+  report.SetContext("num_sources",
+                    std::to_string(flags.GetInt64("num_sources")));
+  std::vector<double> coverages = {0.0, 0.2, 0.4, 0.6, 0.8};
+  size_t n = static_cast<size_t>(flags.GetInt64("num_sources"));
+  RunDataset("ReVerb-Slim-like", /*open_ie=*/true, n, /*seed=*/11,
+             coverages, &report);
+  if (!flags.GetBool("skip_nell")) {
+    RunDataset("NELL-Slim-like", /*open_ie=*/false, n, /*seed=*/12,
+               coverages, &report);
+  }
+  if (!flags.GetString("json_out").empty()) {
+    Status write = report.WriteTo(flags.GetString("json_out"));
+    if (!write.ok()) {
+      std::cerr << write.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\nJSON report: " << flags.GetString("json_out") << "\n";
+  }
+  std::cout << "\n(paper Fig. 9: MIDAS best across all coverages; Greedy "
+               "well under 0.5; Naive low across the board)\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) for the core slice-discovery pipeline:
+// fact-table construction, entity matching, hierarchy construction +
+// pruning, the Algorithm-1 traversal, and the end-to-end single-source
+// MIDASalg — the engineering ablations behind Proposition 15's "linear in
+// practice" claim.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "midas/core/midas_alg.h"
+#include "midas/synth/single_source.h"
+
+namespace midas {
+namespace {
+
+// One shared generated source per size, reused across iterations.
+const synth::SingleSourceData& SharedData(size_t num_facts) {
+  static auto* cache =
+      new std::map<size_t, std::unique_ptr<synth::SingleSourceData>>();
+  auto it = cache->find(num_facts);
+  if (it == cache->end()) {
+    synth::SingleSourceParams params;
+    params.num_facts = num_facts;
+    params.num_slices = 20;
+    params.num_optimal = 10;
+    params.seed = 7 + num_facts;
+    it = cache
+             ->emplace(num_facts,
+                       std::make_unique<synth::SingleSourceData>(
+                           synth::GenerateSingleSource(params)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_FactTableBuild(benchmark::State& state) {
+  const auto& data = SharedData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::FactTable table(data.facts);
+    benchmark::DoNotOptimize(table.num_entities());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.facts.size()));
+}
+BENCHMARK(BM_FactTableBuild)->Arg(1000)->Arg(5000)->Arg(10000);
+
+void BM_MatchEntities(benchmark::State& state) {
+  const auto& data = SharedData(5000);
+  core::FactTable table(data.facts);
+  // Use the first ground-truth rule as the probe property set.
+  std::vector<core::PropertyId> props;
+  for (const auto& [pred, value] : data.optimal.slices[0].rule) {
+    auto id = table.catalog().Lookup(pred, value);
+    if (id) props.push_back(*id);
+  }
+  for (auto _ : state) {
+    auto entities = table.MatchEntities(props);
+    benchmark::DoNotOptimize(entities.size());
+  }
+}
+BENCHMARK(BM_MatchEntities);
+
+void BM_ProfitContextBuild(benchmark::State& state) {
+  const auto& data = SharedData(static_cast<size_t>(state.range(0)));
+  core::FactTable table(data.facts);
+  for (auto _ : state) {
+    core::ProfitContext ctx(table, *data.kb, core::CostModel());
+    benchmark::DoNotOptimize(ctx.entity_new_count(0));
+  }
+}
+BENCHMARK(BM_ProfitContextBuild)->Arg(1000)->Arg(10000);
+
+void BM_HierarchyConstruction(benchmark::State& state) {
+  const auto& data = SharedData(static_cast<size_t>(state.range(0)));
+  core::FactTable table(data.facts);
+  core::ProfitContext ctx(table, *data.kb, core::CostModel());
+  for (auto _ : state) {
+    core::SliceHierarchy hierarchy(table, ctx, core::HierarchyOptions());
+    benchmark::DoNotOptimize(hierarchy.stats().nodes_generated);
+  }
+}
+BENCHMARK(BM_HierarchyConstruction)->Arg(1000)->Arg(5000)->Arg(10000);
+
+void BM_Traversal(benchmark::State& state) {
+  const auto& data = SharedData(5000);
+  core::FactTable table(data.facts);
+  core::ProfitContext ctx(table, *data.kb, core::CostModel());
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SliceHierarchy hierarchy(table, ctx, core::HierarchyOptions());
+    state.ResumeTiming();
+    auto selected = core::MidasAlg::Traverse(&hierarchy);
+    benchmark::DoNotOptimize(selected.size());
+  }
+}
+BENCHMARK(BM_Traversal);
+
+void BM_MidasAlgEndToEnd(benchmark::State& state) {
+  const auto& data = SharedData(static_cast<size_t>(state.range(0)));
+  core::MidasAlg alg;
+  core::SourceInput input;
+  input.url = data.url;
+  input.facts = &data.facts;
+  for (auto _ : state) {
+    auto slices = alg.Detect(input, *data.kb);
+    benchmark::DoNotOptimize(slices.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.facts.size()));
+}
+BENCHMARK(BM_MidasAlgEndToEnd)->Arg(1000)->Arg(5000)->Arg(10000);
+
+void BM_SetAccumulator(benchmark::State& state) {
+  const auto& data = SharedData(5000);
+  core::FactTable table(data.facts);
+  core::ProfitContext ctx(table, *data.kb, core::CostModel());
+  std::vector<core::EntityId> all(table.num_entities());
+  for (core::EntityId e = 0; e < all.size(); ++e) all[e] = e;
+  for (auto _ : state) {
+    core::ProfitContext::SetAccumulator acc(ctx);
+    benchmark::DoNotOptimize(acc.DeltaIfAdd(all));
+    acc.Add(all);
+    benchmark::DoNotOptimize(acc.Profit());
+  }
+}
+BENCHMARK(BM_SetAccumulator);
+
+}  // namespace
+}  // namespace midas
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Microbenchmarks for the multi-source framework: end-to-end discovery
+// over generated corpora of increasing size, single- vs multi-threaded,
+// and the consolidation step in isolation.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "midas/core/consolidate.h"
+#include "midas/core/midas.h"
+#include "midas/synth/corpus_generator.h"
+
+namespace midas {
+namespace {
+
+const synth::GeneratedCorpus& SharedCorpus(size_t num_sources) {
+  static auto* cache =
+      new std::map<size_t, std::unique_ptr<synth::GeneratedCorpus>>();
+  auto it = cache->find(num_sources);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(num_sources,
+                       std::make_unique<synth::GeneratedCorpus>(
+                           synth::GenerateCorpus(synth::SlimParams(
+                               /*open_ie=*/false, num_sources,
+                               /*seed=*/777))))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_FrameworkEndToEnd(benchmark::State& state) {
+  const auto& data = SharedCorpus(static_cast<size_t>(state.range(0)));
+  core::MidasAlg alg;
+  core::FrameworkOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  core::MidasFramework framework(&alg, options);
+  for (auto _ : state) {
+    auto result = framework.Run(*data.corpus, *data.kb);
+    benchmark::DoNotOptimize(result.slices.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.corpus->NumFacts()));
+}
+BENCHMARK(BM_FrameworkEndToEnd)
+    ->Args({20, 1})
+    ->Args({20, 4})
+    ->Args({60, 1})
+    ->Args({60, 4})
+    ->Args({120, 4});
+
+void BM_FrameworkPerSourceMode(benchmark::State& state) {
+  const auto& data = SharedCorpus(60);
+  core::MidasAlg alg;
+  core::FrameworkOptions options;
+  options.use_hierarchy_rounds = false;
+  core::MidasFramework framework(&alg, options);
+  for (auto _ : state) {
+    auto result = framework.Run(*data.corpus, *data.kb);
+    benchmark::DoNotOptimize(result.slices.size());
+  }
+}
+BENCHMARK(BM_FrameworkPerSourceMode);
+
+void BM_Consolidate(benchmark::State& state) {
+  // A parent slice over 1000 entities vs 20 children of 50 entities each.
+  core::DiscoveredSlice parent;
+  parent.source_url = "http://a.com/sec";
+  parent.profit = 100.0;
+  std::vector<core::DiscoveredSlice> children(20);
+  for (uint32_t e = 0; e < 1000; ++e) {
+    parent.entities.push_back(e);
+    parent.facts.emplace_back(e, 1, e);
+    auto& child = children[e / 50];
+    child.entities.push_back(e);
+    child.facts.emplace_back(e, 1, e);
+  }
+  parent.num_facts = parent.facts.size();
+  for (size_t i = 0; i < children.size(); ++i) {
+    children[i].source_url = "http://a.com/sec/p" + std::to_string(i);
+    children[i].num_facts = children[i].facts.size();
+    children[i].profit = 4.0;
+  }
+
+  for (auto _ : state) {
+    auto surviving = core::ConsolidateSlices({parent}, children);
+    benchmark::DoNotOptimize(surviving.size());
+  }
+}
+BENCHMARK(BM_Consolidate);
+
+}  // namespace
+}  // namespace midas
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Iterative knowledge-base augmentation: the operational loop the paper's
+// introduction motivates. Each round, MIDAS proposes slices against the
+// *current* KB, the top suggestions are "extracted" (their facts added),
+// and discovery re-runs — gaps shrink, profits fall, and the loop stops
+// when nothing is worth another wrapper.
+//
+// Run: ./build/examples/iterative_augmentation [--budget 5] [--rounds 8]
+
+#include <iostream>
+
+#include "midas/core/midas.h"
+#include "midas/synth/corpus_generator.h"
+#include "midas/util/flags.h"
+#include "midas/util/table_printer.h"
+#include "midas/util/string_util.h"
+
+using namespace midas;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt64("budget", 5, "slices extracted per round");
+  flags.AddInt64("rounds", 8, "maximum rounds");
+  flags.AddInt64("num_sources", 60, "corpus sources");
+  flags.AddInt64("seed", 55, "generator seed");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+
+  auto data = synth::GenerateCorpus(synth::SlimParams(
+      /*open_ie=*/false,
+      static_cast<size_t>(flags.GetInt64("num_sources")),
+      static_cast<uint64_t>(flags.GetInt64("seed"))));
+  std::cout << "corpus: " << data.corpus->NumFacts() << " facts; KB starts "
+            << (data.kb->empty() ? "empty" : "non-empty") << "\n\n";
+
+  core::Midas midas;
+  size_t budget = static_cast<size_t>(flags.GetInt64("budget"));
+  size_t max_rounds = static_cast<size_t>(flags.GetInt64("rounds"));
+
+  TablePrinter table({"round", "candidate slices", "extracted", "top profit",
+                      "KB size after"});
+  for (size_t round = 1; round <= max_rounds; ++round) {
+    auto result = midas.DiscoverSlices(*data.corpus, *data.kb);
+    if (result.slices.empty()) {
+      table.AddRow({std::to_string(round), "0", "-", "-",
+                    FormatCount(data.kb->size())});
+      break;
+    }
+    size_t take = std::min(budget, result.slices.size());
+    for (size_t i = 0; i < take; ++i) {
+      for (const auto& t : result.slices[i].facts) data.kb->Add(t);
+    }
+    table.AddRow({std::to_string(round),
+                  std::to_string(result.slices.size()),
+                  std::to_string(take),
+                  FormatDouble(result.slices[0].profit, 2),
+                  FormatCount(data.kb->size())});
+    if (result.slices.size() <= take) break;  // everything worthwhile done
+  }
+  table.Print(std::cout);
+
+  // How much of the gap did the loop close?
+  size_t covered = 0, total = 0;
+  for (const auto& gt : data.silver.slices) {
+    for (const auto& t : gt.facts) {
+      ++total;
+      if (data.kb->Contains(t)) ++covered;
+    }
+  }
+  std::cout << "\nsilver-standard facts now in the KB: " << covered << " / "
+            << total << " ("
+            << FormatDouble(total ? 100.0 * static_cast<double>(covered) /
+                                        static_cast<double>(total)
+                                  : 0.0,
+                            1)
+            << "%)\n";
+  return 0;
+}

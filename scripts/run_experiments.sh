@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Reproduces every paper table/figure and captures the outputs.
+#
+#   scripts/run_experiments.sh [build_dir] [out_dir]
+#
+# Builds (if needed), runs the test suite, then every figure harness and
+# the microbenchmarks, teeing results under out_dir/.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-experiment_results}"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+mkdir -p "$OUT_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure |
+  tee "$OUT_DIR/tests.txt" | tail -3
+
+for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation*; do
+  name="$(basename "$bench")"
+  echo "== $name =="
+  "$bench" | tee "$OUT_DIR/$name.txt"
+done
+
+for micro in "$BUILD_DIR"/bench/micro*; do
+  name="$(basename "$micro")"
+  echo "== $name =="
+  "$micro" --benchmark_min_time=0.05 | tee "$OUT_DIR/$name.txt"
+done
+
+echo
+echo "All outputs captured under $OUT_DIR/"

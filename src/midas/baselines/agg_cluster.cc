@@ -1,0 +1,193 @@
+#include "midas/baselines/agg_cluster.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "midas/core/fact_table.h"
+
+namespace midas {
+namespace baselines {
+
+namespace {
+
+using core::EntityId;
+using core::PropertyId;
+
+/// One cluster in the agglomeration. `generation` invalidates stale heap
+/// entries after merges (lazy-deletion pattern).
+struct Cluster {
+  bool alive = true;
+  uint32_t generation = 0;
+  /// Common properties of the members (sorted).
+  std::vector<PropertyId> properties;
+  /// Full entity match of `properties` (what the slice would select).
+  std::vector<EntityId> induced;
+  /// Slice profit of the induced set (f_c·|T_W| included; constant offset
+  /// per source, so it does not affect merge ordering).
+  double profit = 0.0;
+};
+
+struct HeapEntry {
+  double gain;
+  uint32_t a, b;
+  uint32_t gen_a, gen_b;
+  bool operator<(const HeapEntry& other) const { return gain < other.gain; }
+};
+
+std::vector<PropertyId> IntersectSorted(const std::vector<PropertyId>& x,
+                                        const std::vector<PropertyId>& y) {
+  std::vector<PropertyId> out;
+  std::set_intersection(x.begin(), x.end(), y.begin(), y.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<core::DiscoveredSlice> AggClusterDetector::Detect(
+    const core::SourceInput& input, const rdf::KnowledgeBase& kb) const {
+  const std::vector<rdf::Triple>& facts = *input.facts;
+  if (facts.empty()) return {};
+
+  core::FactTable table(facts);
+  core::ProfitContext profit(table, kb, options_.cost_model);
+
+  size_t num_entities = table.num_entities();
+  if (options_.max_entities > 0 && num_entities > options_.max_entities) {
+    num_entities = options_.max_entities;
+  }
+
+  auto evaluate = [&](Cluster* c) {
+    if (c->properties.empty()) {
+      // No common properties: the cluster's slice degenerates to the whole
+      // source; treat as maximally unattractive so such merges never win.
+      c->induced.clear();
+      c->profit = -1e18;
+      return;
+    }
+    c->induced = table.MatchEntities(c->properties);
+    c->profit = profit.SliceProfit(c->induced);
+  };
+
+  // Seed clusters: one per framework seed (members = matched entities),
+  // then one singleton per uncovered entity.
+  std::vector<Cluster> clusters;
+  std::vector<char> seeded(num_entities, 0);
+  for (const auto& seed : input.seeds) {
+    if (seed.empty()) continue;
+    Cluster c;
+    bool complete = true;
+    for (const core::PropertyPair& pair : seed) {
+      auto id = table.catalog().Lookup(pair.predicate, pair.value);
+      if (!id) {
+        complete = false;
+        break;
+      }
+      c.properties.push_back(*id);
+    }
+    if (!complete) continue;
+    std::sort(c.properties.begin(), c.properties.end());
+    c.properties.erase(std::unique(c.properties.begin(), c.properties.end()),
+                       c.properties.end());
+    evaluate(&c);
+    for (EntityId e : c.induced) {
+      if (e < num_entities) seeded[e] = 1;
+    }
+    clusters.push_back(std::move(c));
+  }
+  for (EntityId e = 0; e < num_entities; ++e) {
+    if (seeded[e]) continue;
+    Cluster c;
+    c.properties = table.entity_properties(e);
+    evaluate(&c);
+    clusters.push_back(std::move(c));
+  }
+
+  // Pairwise merge gains. gain(A,B) = f(slice(A ∪ B)) − f(A) − f(B); the
+  // per-slice training cost f_p is saved implicitly (one slice where there
+  // were two).
+  auto merge_gain = [&](const Cluster& a, const Cluster& b,
+                        Cluster* merged) {
+    merged->properties = IntersectSorted(a.properties, b.properties);
+    evaluate(merged);
+    return merged->profit - a.profit - b.profit;
+  };
+
+  std::priority_queue<HeapEntry> heap;
+  for (uint32_t i = 0; i < clusters.size(); ++i) {
+    for (uint32_t j = i + 1; j < clusters.size(); ++j) {
+      Cluster merged;
+      double gain = merge_gain(clusters[i], clusters[j], &merged);
+      if (gain >= 0.0) {
+        heap.push(HeapEntry{gain, i, j, clusters[i].generation,
+                            clusters[j].generation});
+      }
+    }
+  }
+
+  // Agglomerate: repeatedly apply the best non-negative merge.
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    Cluster& a = clusters[top.a];
+    Cluster& b = clusters[top.b];
+    if (!a.alive || !b.alive || a.generation != top.gen_a ||
+        b.generation != top.gen_b) {
+      continue;  // stale
+    }
+    Cluster merged;
+    double gain = merge_gain(a, b, &merged);
+    if (gain < 0.0) continue;
+
+    b.alive = false;
+    a.properties = std::move(merged.properties);
+    a.induced = std::move(merged.induced);
+    a.profit = merged.profit;
+    ++a.generation;
+
+    for (uint32_t k = 0; k < clusters.size(); ++k) {
+      if (k == top.a || !clusters[k].alive) continue;
+      Cluster candidate;
+      double g = merge_gain(a, clusters[k], &candidate);
+      if (g >= 0.0) {
+        uint32_t lo = std::min(top.a, k), hi = std::max(top.a, k);
+        heap.push(HeapEntry{g, lo, hi, clusters[lo].generation,
+                            clusters[hi].generation});
+      }
+    }
+  }
+
+  // Report surviving clusters with positive profit, deduplicated by
+  // property set (distinct members can induce identical slices).
+  std::vector<core::DiscoveredSlice> out;
+  std::unordered_set<std::string> seen;
+  for (const Cluster& c : clusters) {
+    if (!c.alive || c.properties.empty() || c.profit <= 0.0) continue;
+    std::string key;
+    for (PropertyId p : c.properties) {
+      key += std::to_string(p);
+      key.push_back(',');
+    }
+    if (!seen.insert(key).second) continue;
+
+    core::DiscoveredSlice slice;
+    slice.source_url = input.url;
+    slice.properties = table.catalog().ToPairs(c.properties);
+    std::sort(slice.properties.begin(), slice.properties.end());
+    for (EntityId e : c.induced) {
+      slice.entities.push_back(table.subject(e));
+      const auto& efacts = table.entity_facts(e);
+      slice.facts.insert(slice.facts.end(), efacts.begin(), efacts.end());
+      slice.num_new_facts += profit.entity_new_count(e);
+    }
+    slice.num_facts = slice.facts.size();
+    slice.profit = c.profit;
+    out.push_back(std::move(slice));
+  }
+  core::SortByProfitDesc(&out);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace midas

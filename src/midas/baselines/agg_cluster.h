@@ -1,0 +1,49 @@
+#ifndef MIDAS_BASELINES_AGG_CLUSTER_H_
+#define MIDAS_BASELINES_AGG_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/core/profit.h"
+#include "midas/core/slice_detector.h"
+
+namespace midas {
+namespace baselines {
+
+/// Options for the agglomerative-clustering baseline.
+struct AggClusterOptions {
+  core::CostModel cost_model;
+  /// Safety cap on entities per source (0 = unlimited). Above the cap, the
+  /// largest-entity sources are truncated to the first `max_entities`
+  /// entities — AggCluster's O(|E|² log |E|) cost is the paper's own
+  /// finding (Fig. 10d); the cap lets full-corpus benches terminate.
+  size_t max_entities = 0;
+};
+
+/// The paper's AGGCLUSTER baseline: agglomerative clustering of a source's
+/// entities, using the profit function as the merge metric. Each entity
+/// starts as its own cluster; a cluster's slice is defined by the common
+/// properties of its members (and therefore covers every entity matching
+/// those properties, not just the members). At each step the pair of
+/// clusters whose merge yields the highest non-negative profit gain is
+/// merged; clustering stops when every remaining merge loses profit.
+/// O(|E|² log |E|) via a lazy max-heap of pairwise gains.
+class AggClusterDetector : public core::SliceDetector {
+ public:
+  explicit AggClusterDetector(AggClusterOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "AggCluster"; }
+
+  std::vector<core::DiscoveredSlice> Detect(
+      const core::SourceInput& input,
+      const rdf::KnowledgeBase& kb) const override;
+
+ private:
+  AggClusterOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace midas
+
+#endif  // MIDAS_BASELINES_AGG_CLUSTER_H_

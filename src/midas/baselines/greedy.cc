@@ -1,0 +1,79 @@
+#include "midas/baselines/greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "midas/core/fact_table.h"
+
+namespace midas {
+namespace baselines {
+
+std::vector<core::DiscoveredSlice> GreedyDetector::Detect(
+    const core::SourceInput& input, const rdf::KnowledgeBase& kb) const {
+  const std::vector<rdf::Triple>& facts = *input.facts;
+  if (facts.empty()) return {};
+
+  core::FactTable table(facts);
+  core::ProfitContext profit(table, kb, cost_model_);
+
+  // A slice's property set is non-empty (Def. 5), so the first round must
+  // commit to the best single property; later rounds only add properties
+  // that improve the profit.
+  std::vector<core::PropertyId> chosen;
+  std::vector<core::EntityId> entities = table.MatchEntities(chosen);
+  double best_profit = -std::numeric_limits<double>::infinity();
+
+  std::vector<char> used(table.catalog().size(), 0);
+  while (true) {
+    double round_best = best_profit;
+    core::PropertyId round_pick = core::kInvalidIndex;
+    std::vector<core::EntityId> round_entities;
+
+    for (core::PropertyId p = 0; p < table.catalog().size(); ++p) {
+      if (used[p]) continue;
+      // Intersect the current entity set with the property's entities.
+      const auto& list = table.property_entities(p);
+      std::vector<core::EntityId> next;
+      next.reserve(std::min(entities.size(), list.size()));
+      std::set_intersection(entities.begin(), entities.end(), list.begin(),
+                            list.end(), std::back_inserter(next));
+      if (next.empty() || (!chosen.empty() && next.size() == entities.size())) {
+        // Either the slice dies or the property is redundant; a redundant
+        // property cannot change the profit, so skip it.
+        continue;
+      }
+      double candidate = profit.SliceProfit(next);
+      if (candidate > round_best) {
+        round_best = candidate;
+        round_pick = p;
+        round_entities = std::move(next);
+      }
+    }
+
+    if (round_pick == core::kInvalidIndex) break;
+    chosen.push_back(round_pick);
+    used[round_pick] = 1;
+    entities = std::move(round_entities);
+    best_profit = round_best;
+  }
+
+  if (best_profit <= 0.0) return {};
+
+  core::DiscoveredSlice slice;
+  slice.source_url = input.url;
+  std::sort(chosen.begin(), chosen.end());
+  slice.properties = table.catalog().ToPairs(chosen);
+  std::sort(slice.properties.begin(), slice.properties.end());
+  for (core::EntityId e : entities) {
+    slice.entities.push_back(table.subject(e));
+    const auto& efacts = table.entity_facts(e);
+    slice.facts.insert(slice.facts.end(), efacts.begin(), efacts.end());
+    slice.num_new_facts += profit.entity_new_count(e);
+  }
+  slice.num_facts = slice.facts.size();
+  slice.profit = best_profit;
+  return {std::move(slice)};
+}
+
+}  // namespace baselines
+}  // namespace midas

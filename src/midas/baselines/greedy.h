@@ -1,0 +1,38 @@
+#ifndef MIDAS_BASELINES_GREEDY_H_
+#define MIDAS_BASELINES_GREEDY_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/core/profit.h"
+#include "midas/core/slice_detector.h"
+
+namespace midas {
+namespace baselines {
+
+/// The paper's GREEDY baseline: derives a *single* slice per web source by
+/// starting from the whole source (empty property set) and repeatedly
+/// adding the property that improves the profit function the most, until
+/// no addition improves it. Shares MIDAS's profit function but, unlike
+/// MIDASalg, can never return more than one slice per source — which is
+/// exactly why its recall collapses when sources contain multiple optimal
+/// slices (paper Fig. 11c).
+class GreedyDetector : public core::SliceDetector {
+ public:
+  explicit GreedyDetector(core::CostModel cost_model = core::CostModel())
+      : cost_model_(cost_model) {}
+
+  std::string name() const override { return "Greedy"; }
+
+  std::vector<core::DiscoveredSlice> Detect(
+      const core::SourceInput& input,
+      const rdf::KnowledgeBase& kb) const override;
+
+ private:
+  core::CostModel cost_model_;
+};
+
+}  // namespace baselines
+}  // namespace midas
+
+#endif  // MIDAS_BASELINES_GREEDY_H_

@@ -1,0 +1,31 @@
+#include "midas/baselines/naive.h"
+
+#include "midas/core/fact_table.h"
+
+namespace midas {
+namespace baselines {
+
+std::vector<core::DiscoveredSlice> NaiveDetector::Detect(
+    const core::SourceInput& input, const rdf::KnowledgeBase& kb) const {
+  const std::vector<rdf::Triple>& facts = *input.facts;
+  if (facts.empty()) return {};
+
+  core::FactTable table(facts);
+  core::ProfitContext profit(table, kb, cost_model_);
+
+  core::DiscoveredSlice slice;
+  slice.source_url = input.url;
+  slice.facts = facts;
+  slice.num_facts = facts.size();
+  slice.entities.reserve(table.num_entities());
+  for (core::EntityId e = 0; e < table.num_entities(); ++e) {
+    slice.entities.push_back(table.subject(e));
+    slice.num_new_facts += profit.entity_new_count(e);
+  }
+  if (slice.num_new_facts == 0) return {};
+  slice.profit = static_cast<double>(slice.num_new_facts);
+  return {std::move(slice)};
+}
+
+}  // namespace baselines
+}  // namespace midas

@@ -1,0 +1,40 @@
+#ifndef MIDAS_BASELINES_NAIVE_H_
+#define MIDAS_BASELINES_NAIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/core/profit.h"
+#include "midas/core/slice_detector.h"
+
+namespace midas {
+namespace baselines {
+
+/// The paper's NAÏVE baseline: selects *entire web sources* (never a slice
+/// of their content) and ranks them by the number of new facts they
+/// contribute. For interface uniformity each source is reported as a single
+/// slice with an empty property set covering every entity.
+///
+/// The reported `profit` field carries the naive ranking score — the count
+/// of new facts — because that is the criterion this baseline orders
+/// sources by (paper §IV-B); the real profit under the cost model is
+/// recomputable from the slice's counts.
+class NaiveDetector : public core::SliceDetector {
+ public:
+  explicit NaiveDetector(core::CostModel cost_model = core::CostModel())
+      : cost_model_(cost_model) {}
+
+  std::string name() const override { return "Naive"; }
+
+  std::vector<core::DiscoveredSlice> Detect(
+      const core::SourceInput& input,
+      const rdf::KnowledgeBase& kb) const override;
+
+ private:
+  core::CostModel cost_model_;
+};
+
+}  // namespace baselines
+}  // namespace midas
+
+#endif  // MIDAS_BASELINES_NAIVE_H_

@@ -1,0 +1,66 @@
+#include "midas/core/consolidate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace midas {
+namespace core {
+
+std::vector<DiscoveredSlice> ConsolidateSlices(
+    std::vector<DiscoveredSlice> parent_slices,
+    std::vector<DiscoveredSlice> child_slices) {
+  std::vector<char> child_taken(child_slices.size(), 0);    // kept as winner
+  std::vector<char> child_dropped(child_slices.size(), 0);  // superseded
+  std::vector<DiscoveredSlice> surviving;
+
+  for (auto& dp : parent_slices) {
+    std::unordered_set<rdf::TermId> dp_entities(dp.entities.begin(),
+                                                dp.entities.end());
+    // Children slices fully contained in the parent slice.
+    std::vector<size_t> cover;
+    std::unordered_set<rdf::TermId> union_entities;
+    size_t union_fact_count = 0;
+    double cover_profit = 0.0;
+    for (size_t i = 0; i < child_slices.size(); ++i) {
+      if (child_taken[i] || child_dropped[i]) continue;
+      const auto& cs = child_slices[i];
+      bool contained = std::all_of(
+          cs.entities.begin(), cs.entities.end(),
+          [&dp_entities](rdf::TermId e) { return dp_entities.count(e) > 0; });
+      if (!contained) continue;
+      cover.push_back(i);
+      union_entities.insert(cs.entities.begin(), cs.entities.end());
+      union_fact_count += cs.num_facts;
+      cover_profit += cs.profit;
+    }
+
+    // "Same set of facts": the children jointly cover every entity of the
+    // parent slice and no facts are missing (entity facts can only grow at
+    // the parent level, so equal counts mean equal sets).
+    bool same_content = union_entities.size() == dp_entities.size() &&
+                        union_fact_count == dp.num_facts;
+    // Ties go to the children: when the content and profit are identical,
+    // the finer URL is the more precise extraction target.
+    if (same_content && cover_profit >= dp.profit) {
+      for (size_t i : cover) child_taken[i] = 1;
+    } else {
+      // The parent slice wins; covered children are redundant.
+      for (size_t i : cover) child_dropped[i] = 1;
+      surviving.push_back(std::move(dp));
+    }
+  }
+
+  // Children that won their comparison survive at their finer granularity;
+  // the rest were either superseded or deliberately not re-selected at the
+  // parent level (paper §III-B delivers only "the remaining slices in the
+  // parent web source" to the next round).
+  for (size_t i = 0; i < child_slices.size(); ++i) {
+    if (child_taken[i]) {
+      surviving.push_back(std::move(child_slices[i]));
+    }
+  }
+  return surviving;
+}
+
+}  // namespace core
+}  // namespace midas

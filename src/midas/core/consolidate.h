@@ -1,0 +1,35 @@
+#ifndef MIDAS_CORE_CONSOLIDATE_H_
+#define MIDAS_CORE_CONSOLIDATE_H_
+
+#include <vector>
+
+#include "midas/core/types.h"
+
+namespace midas {
+namespace core {
+
+/// The consolidation step of the multi-source framework (paper §III-B
+/// "Consolidating"): given the slices detected at a parent web source and
+/// the tentative slices its children exported, decide which granularity
+/// survives.
+///
+/// For each parent slice, the child slices fully contained in it are
+/// gathered; if they jointly cover exactly the same content and their
+/// summed profit beats (or ties — finer URLs are the more precise
+/// recommendation) the parent slice's, the children win and the parent
+/// slice is pruned; otherwise the parent slice survives and those children
+/// are dropped as redundant. Children untouched by any parent slice are
+/// discarded: the parent-level detection already saw them as hierarchy
+/// seeds, so not selecting them was a deliberate profit decision.
+///
+/// Profits must have been computed at each slice's own source (the
+/// per-source crawl term f_c·|T_W| is what differs across levels and picks
+/// the right granularity).
+std::vector<DiscoveredSlice> ConsolidateSlices(
+    std::vector<DiscoveredSlice> parent_slices,
+    std::vector<DiscoveredSlice> child_slices);
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_CONSOLIDATE_H_

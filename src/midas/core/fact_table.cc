@@ -1,0 +1,93 @@
+#include "midas/core/fact_table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace midas {
+namespace core {
+
+FactTable::FactTable(const std::vector<rdf::Triple>& facts,
+                     const FactTableOptions& options) {
+  num_facts_ = facts.size();
+
+  // Pass 1: assign entity rows in first-seen order.
+  for (const rdf::Triple& t : facts) {
+    auto [it, inserted] =
+        subject_index_.try_emplace(t.subject, subjects_.size());
+    if (inserted) subjects_.push_back(t.subject);
+    (void)it;
+  }
+  entity_facts_.resize(subjects_.size());
+  entity_properties_.resize(subjects_.size());
+
+  // Pass 2: fill rows, register properties (and, when the range extension
+  // is on, the numeric-bucket property alongside the exact one).
+  std::unordered_set<rdf::TermId> predicates;
+  for (const rdf::Triple& t : facts) {
+    EntityId e = subject_index_.at(t.subject);
+    entity_facts_[e].push_back(t);
+    predicates.insert(t.predicate);
+    PropertyId p = catalog_.Intern(t.predicate, t.object);
+    entity_properties_[e].push_back(p);
+    if (options.range_index != nullptr) {
+      if (auto bucket = options.range_index->BucketOf(t.object)) {
+        entity_properties_[e].push_back(
+            catalog_.Intern(t.predicate, *bucket));
+      }
+    }
+  }
+  num_predicates_ = predicates.size();
+
+  // Sort & dedupe per-entity property lists (a duplicate could only arise
+  // from duplicate input triples, but keep the invariant robust).
+  for (auto& props : entity_properties_) {
+    std::sort(props.begin(), props.end());
+    props.erase(std::unique(props.begin(), props.end()), props.end());
+  }
+
+  // Inverted lists, sorted by construction (entity ids ascending).
+  property_entities_.resize(catalog_.size());
+  for (EntityId e = 0; e < subjects_.size(); ++e) {
+    for (PropertyId p : entity_properties_[e]) {
+      property_entities_[p].push_back(e);
+    }
+  }
+}
+
+EntityId FactTable::FindEntity(rdf::TermId subject) const {
+  auto it = subject_index_.find(subject);
+  return it == subject_index_.end() ? kInvalidIndex : it->second;
+}
+
+std::vector<EntityId> FactTable::MatchEntities(
+    const std::vector<PropertyId>& properties) const {
+  if (properties.empty()) {
+    std::vector<EntityId> all(num_entities());
+    for (EntityId e = 0; e < all.size(); ++e) all[e] = e;
+    return all;
+  }
+
+  // Intersect starting from the shortest inverted list.
+  const std::vector<EntityId>* seed = &property_entities_[properties[0]];
+  for (PropertyId p : properties) {
+    if (property_entities_[p].size() < seed->size()) {
+      seed = &property_entities_[p];
+    }
+  }
+
+  std::vector<EntityId> result = *seed;
+  for (PropertyId p : properties) {
+    const std::vector<EntityId>& list = property_entities_[p];
+    if (&list == seed) continue;
+    std::vector<EntityId> next;
+    next.reserve(result.size());
+    std::set_intersection(result.begin(), result.end(), list.begin(),
+                          list.end(), std::back_inserter(next));
+    result = std::move(next);
+    if (result.empty()) break;
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace midas

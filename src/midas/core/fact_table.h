@@ -1,0 +1,89 @@
+#ifndef MIDAS_CORE_FACT_TABLE_H_
+#define MIDAS_CORE_FACT_TABLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "midas/core/property.h"
+#include "midas/core/range_index.h"
+#include "midas/core/types.h"
+#include "midas/rdf/triple.h"
+
+namespace midas {
+namespace core {
+
+/// Options controlling fact-table construction.
+struct FactTableOptions {
+  /// When set, numeric object values additionally yield range properties
+  /// (pred, "[lo..hi)") via the pre-built index — the paper's
+  /// general-properties extension. The index must outlive the table.
+  const NumericRangeIndex* range_index = nullptr;
+};
+
+/// The fact table F_W of a web source (paper Def. 3): one row per entity
+/// (distinct subject), one column per distinct predicate, set-valued cells.
+/// We store it row-major and sparse — per entity, the list of its facts and
+/// the list of its properties — plus inverted lists property -> entities,
+/// which is what slice evaluation actually needs (Π of a slice is the
+/// intersection of its properties' entity lists).
+class FactTable {
+ public:
+  /// Builds the table from a source's extracted facts T_W. Duplicate
+  /// triples are assumed already collapsed (web::Corpus guarantees this).
+  explicit FactTable(const std::vector<rdf::Triple>& facts,
+                     const FactTableOptions& options = {});
+
+  /// Number of entities (rows).
+  size_t num_entities() const { return subjects_.size(); }
+
+  /// Number of distinct predicates (columns).
+  size_t num_predicates() const { return num_predicates_; }
+
+  /// Total facts |T_W|.
+  size_t num_facts() const { return num_facts_; }
+
+  /// Subject term of entity row `e`.
+  rdf::TermId subject(EntityId e) const { return subjects_[e]; }
+
+  /// Row lookup by subject term; kInvalidIndex if absent.
+  EntityId FindEntity(rdf::TermId subject) const;
+
+  /// All facts of entity `e` (Π* contribution of one entity).
+  const std::vector<rdf::Triple>& entity_facts(EntityId e) const {
+    return entity_facts_[e];
+  }
+
+  /// C_e — the property ids of entity `e`, sorted ascending.
+  const std::vector<PropertyId>& entity_properties(EntityId e) const {
+    return entity_properties_[e];
+  }
+
+  /// Entities carrying property `p`, sorted ascending (inverted list).
+  const std::vector<EntityId>& property_entities(PropertyId p) const {
+    return property_entities_[p];
+  }
+
+  /// The per-source property catalog C_W.
+  const PropertyCatalog& catalog() const { return catalog_; }
+
+  /// Π for a property set: entities carrying *all* of `properties`
+  /// (sorted-list intersection, smallest list first). An empty property set
+  /// selects every entity.
+  std::vector<EntityId> MatchEntities(
+      const std::vector<PropertyId>& properties) const;
+
+ private:
+  std::vector<rdf::TermId> subjects_;
+  std::unordered_map<rdf::TermId, EntityId> subject_index_;
+  std::vector<std::vector<rdf::Triple>> entity_facts_;
+  std::vector<std::vector<PropertyId>> entity_properties_;
+  std::vector<std::vector<EntityId>> property_entities_;
+  PropertyCatalog catalog_;
+  size_t num_predicates_ = 0;
+  size_t num_facts_ = 0;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_FACT_TABLE_H_

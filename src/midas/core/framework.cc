@@ -1,0 +1,147 @@
+#include "midas/core/framework.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "midas/core/consolidate.h"
+#include "midas/util/logging.h"
+#include "midas/util/thread_pool.h"
+#include "midas/util/timer.h"
+#include "midas/web/url.h"
+
+namespace midas {
+namespace core {
+
+namespace {
+
+/// Per-URL work unit accumulated while walking the hierarchy upward.
+struct Shard {
+  std::string url;
+  size_t depth = 0;
+  /// All facts in this URL's subtree (direct + bubbled up from children).
+  std::vector<rdf::Triple> facts;
+  /// Slices exported by children rounds (tentative results).
+  std::vector<DiscoveredSlice> child_slices;
+};
+
+}  // namespace
+
+MidasFramework::MidasFramework(const SliceDetector* detector,
+                               FrameworkOptions options)
+    : detector_(detector), options_(options) {
+  MIDAS_CHECK(detector_ != nullptr);
+}
+
+FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
+                                    const rdf::KnowledgeBase& kb) const {
+  Stopwatch watch;
+  FrameworkResult result;
+  ThreadPool pool(options_.num_threads);
+  std::mutex mu;
+
+  if (!options_.use_hierarchy_rounds) {
+    // Ablation mode: independent detection per explicit source, no rounds.
+    const auto& sources = corpus.sources();
+    pool.ParallelFor(sources.size(), [&](size_t i) {
+      SourceInput input;
+      input.url = sources[i].url;
+      input.facts = &sources[i].facts;
+      auto slices = detector_->Detect(input, kb);
+      std::lock_guard<std::mutex> lock(mu);
+      result.stats.detector_calls++;
+      for (auto& s : slices) result.slices.push_back(std::move(s));
+    });
+    result.stats.shards_processed = sources.size();
+    result.stats.rounds = 1;
+    SortByProfitDesc(&result.slices);
+    result.stats.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  // Current frontier of shards, keyed by URL.
+  std::unordered_map<std::string, Shard> frontier;
+  size_t max_depth = 0;
+  for (const auto& source : corpus.sources()) {
+    Shard& shard = frontier[source.url];
+    if (shard.url.empty()) {
+      shard.url = source.url;
+      shard.depth = web::UrlDepth(source.url);
+    }
+    shard.facts.insert(shard.facts.end(), source.facts.begin(),
+                       source.facts.end());
+    max_depth = std::max(max_depth, shard.depth);
+  }
+
+  std::vector<DiscoveredSlice> final_slices;
+
+  // Rounds: depth d = max .. 0. Shards at depth d are detected and
+  // consolidated; their surviving slices and facts bubble to depth d-1.
+  for (size_t depth = max_depth + 1; depth-- > 0;) {
+    // Collect this round's shards.
+    std::vector<Shard> round;
+    for (auto it = frontier.begin(); it != frontier.end();) {
+      if (it->second.depth == depth) {
+        round.push_back(std::move(it->second));
+        it = frontier.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (round.empty()) continue;
+    result.stats.rounds++;
+
+    std::vector<std::vector<DiscoveredSlice>> surviving(round.size());
+    pool.ParallelFor(round.size(), [&](size_t i) {
+      Shard& shard = round[i];
+      // The same triple can be extracted from several child pages; the
+      // fact table requires a duplicate-free T_W.
+      std::sort(shard.facts.begin(), shard.facts.end());
+      shard.facts.erase(std::unique(shard.facts.begin(), shard.facts.end()),
+                        shard.facts.end());
+      SourceInput input;
+      input.url = shard.url;
+      input.facts = &shard.facts;
+      for (const auto& cs : shard.child_slices) {
+        input.seeds.push_back(cs.properties);
+      }
+      auto detected = detector_->Detect(input, kb);
+      surviving[i] = ConsolidateSlices(std::move(detected),
+                                       std::move(shard.child_slices));
+      std::lock_guard<std::mutex> lock(mu);
+      result.stats.detector_calls++;
+    });
+    result.stats.shards_processed += round.size();
+
+    // Export upward (or finalize at the domain level).
+    for (size_t i = 0; i < round.size(); ++i) {
+      Shard& shard = round[i];
+      result.stats.slices_considered += surviving[i].size();
+      if (depth == 0) {
+        for (auto& s : surviving[i]) final_slices.push_back(std::move(s));
+        continue;
+      }
+      std::string parent_url = web::ParentUrlString(shard.url);
+      Shard& parent = frontier[parent_url];
+      if (parent.url.empty()) {
+        parent.url = parent_url;
+        parent.depth = depth - 1;
+      }
+      parent.facts.insert(parent.facts.end(), shard.facts.begin(),
+                          shard.facts.end());
+      for (auto& s : surviving[i]) {
+        parent.child_slices.push_back(std::move(s));
+      }
+    }
+  }
+
+  result.slices = std::move(final_slices);
+  SortByProfitDesc(&result.slices);
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace core
+}  // namespace midas

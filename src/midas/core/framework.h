@@ -1,0 +1,74 @@
+#ifndef MIDAS_CORE_FRAMEWORK_H_
+#define MIDAS_CORE_FRAMEWORK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "midas/core/slice_detector.h"
+#include "midas/core/types.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/web/web_source.h"
+
+namespace midas {
+namespace core {
+
+/// Options of the multi-source framework.
+struct FrameworkOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  size_t num_threads = 0;
+
+  /// If false, skip the bottom-up rounds and just run the detector on each
+  /// explicit source independently — the paper's "naïve approach" of
+  /// applying MIDASalg on every web source, kept for the ablation bench.
+  bool use_hierarchy_rounds = true;
+};
+
+/// Counters reported by a framework run.
+struct FrameworkStats {
+  size_t rounds = 0;
+  size_t shards_processed = 0;
+  size_t detector_calls = 0;
+  size_t slices_considered = 0;  // tentative slices across rounds
+  double seconds = 0.0;
+};
+
+/// Result of a framework run: the consolidated slice set across every web
+/// source, each attributed to the finest URL granularity that won
+/// consolidation, sorted by descending profit.
+struct FrameworkResult {
+  std::vector<DiscoveredSlice> slices;
+  FrameworkStats stats;
+};
+
+/// The MIDAS highly-parallelizable framework (paper §III-B, Fig. 6).
+///
+/// Rounds proceed from the finest URL granularity upward. Each round:
+///   Shard        — group (child source, exported slices) by parent URL;
+///   Detect       — run the pluggable detector per shard, seeding its
+///                  hierarchy with the children's exported slices;
+///   Consolidate  — keep either a parent slice or the set of child slices
+///                  covering the same content, whichever has higher profit
+///                  (the per-source crawl term f_c·|T_W| differs across
+///                  levels, which is what picks the right granularity).
+///
+/// Parallelism: shards within a round are independent and run on a thread
+/// pool — the in-process stand-in for the paper's MapReduce deployment.
+class MidasFramework {
+ public:
+  /// `detector` must outlive the framework and be thread-safe.
+  MidasFramework(const SliceDetector* detector, FrameworkOptions options = {});
+
+  /// Runs slice discovery over the corpus against the knowledge base.
+  FrameworkResult Run(const web::Corpus& corpus,
+                      const rdf::KnowledgeBase& kb) const;
+
+ private:
+  const SliceDetector* detector_;
+  FrameworkOptions options_;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_FRAMEWORK_H_

@@ -1,0 +1,64 @@
+#ifndef MIDAS_CORE_MIDAS_H_
+#define MIDAS_CORE_MIDAS_H_
+
+/// \file
+/// Umbrella public API for the MIDAS library.
+///
+/// Quickstart:
+///
+///   #include "midas/core/midas.h"
+///
+///   auto dict = std::make_shared<midas::rdf::Dictionary>();
+///   midas::rdf::KnowledgeBase kb(dict);        // the KB to augment
+///   midas::web::Corpus corpus(dict);           // automated extractions
+///   corpus.AddFactRaw("http://site.com/a", "Atlas", "sponsor", "NASA");
+///   ...
+///   midas::core::Midas midas;
+///   auto result = midas.DiscoverSlices(corpus, kb);
+///   for (const auto& slice : result.slices)
+///     std::cout << slice.source_url << "  "
+///               << slice.Description(*dict) << "\n";
+
+#include "midas/core/fact_table.h"
+#include "midas/core/framework.h"
+#include "midas/core/midas_alg.h"
+#include "midas/core/profit.h"
+#include "midas/core/property.h"
+#include "midas/core/range_index.h"
+#include "midas/core/slice_detector.h"
+#include "midas/core/slice_hierarchy.h"
+#include "midas/core/slice_io.h"
+#include "midas/core/types.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/web/web_source.h"
+
+namespace midas {
+namespace core {
+
+/// Facade combining MIDASalg with the multi-source framework — the
+/// one-call entry point matching the paper's end-to-end system.
+class Midas {
+ public:
+  explicit Midas(MidasOptions options = {},
+                 FrameworkOptions framework_options = {})
+      : alg_(options), framework_(&alg_, framework_options) {}
+
+  /// Discovers high-profit web source slices across the corpus for
+  /// augmenting `kb`. Results are sorted by descending profit.
+  FrameworkResult DiscoverSlices(const web::Corpus& corpus,
+                                 const rdf::KnowledgeBase& kb) const {
+    return framework_.Run(corpus, kb);
+  }
+
+  /// The underlying single-source algorithm (for direct use on one source).
+  const MidasAlg& alg() const { return alg_; }
+
+ private:
+  MidasAlg alg_;
+  MidasFramework framework_;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_MIDAS_H_

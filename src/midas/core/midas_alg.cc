@@ -1,0 +1,124 @@
+#include "midas/core/midas_alg.h"
+
+#include <algorithm>
+
+#include "midas/core/fact_table.h"
+
+namespace midas {
+namespace core {
+
+std::vector<DiscoveredSlice> MidasAlg::Detect(
+    const SourceInput& input, const rdf::KnowledgeBase& kb) const {
+  const std::vector<rdf::Triple>& facts = *input.facts;
+  if (facts.empty()) return {};
+
+  FactTable table(facts, options_.fact_table);
+  ProfitContext profit(table, kb, options_.cost_model);
+
+  // Resolve seeds into this source's property catalog. A seed slice whose
+  // properties do not all appear in this source selects nothing and is
+  // dropped (cannot happen for seeds exported by true children, whose facts
+  // are a subset of ours, but keeps external callers safe).
+  std::vector<std::vector<PropertyId>> initial_sets;
+  std::vector<char> seeded_entity(table.num_entities(), 0);
+  bool have_seeds = false;
+  for (const auto& seed : input.seeds) {
+    if (seed.empty()) continue;
+    std::vector<PropertyId> props;
+    props.reserve(seed.size());
+    bool complete = true;
+    for (const PropertyPair& pair : seed) {
+      auto id = table.catalog().Lookup(pair.predicate, pair.value);
+      if (!id) {
+        complete = false;
+        break;
+      }
+      props.push_back(*id);
+    }
+    if (!complete) continue;
+    std::sort(props.begin(), props.end());
+    props.erase(std::unique(props.begin(), props.end()), props.end());
+    for (EntityId e : table.MatchEntities(props)) seeded_entity[e] = 1;
+    initial_sets.push_back(std::move(props));
+    have_seeds = true;
+  }
+
+  if (!have_seeds) {
+    std::vector<EntityId> all(table.num_entities());
+    for (EntityId e = 0; e < all.size(); ++e) all[e] = e;
+    initial_sets = BuildEntityInitialSets(table, all, options_.hierarchy);
+  } else {
+    // Entities no seed covers still deserve slices: give them fresh
+    // per-entity initial sets so the union at this level can amortize
+    // their training cost.
+    std::vector<EntityId> uncovered;
+    for (EntityId e = 0; e < table.num_entities(); ++e) {
+      if (!seeded_entity[e]) uncovered.push_back(e);
+    }
+    auto extra =
+        BuildEntityInitialSets(table, uncovered, options_.hierarchy);
+    for (auto& set : extra) initial_sets.push_back(std::move(set));
+  }
+
+  SliceHierarchy hierarchy(table, profit, initial_sets, options_.hierarchy);
+  std::vector<uint32_t> selected = Traverse(&hierarchy);
+
+  std::vector<DiscoveredSlice> out;
+  out.reserve(selected.size());
+  for (uint32_t idx : selected) {
+    out.push_back(MakeSlice(hierarchy, idx, input.url));
+  }
+  return out;
+}
+
+std::vector<uint32_t> MidasAlg::Traverse(SliceHierarchy* hierarchy) {
+  std::vector<uint32_t> selected;
+  ProfitContext::SetAccumulator acc(hierarchy->profit_context());
+
+  for (size_t level = 1; level <= hierarchy->max_level(); ++level) {
+    for (uint32_t idx : hierarchy->nodes_at_level(level)) {
+      SliceNode& node = hierarchy->mutable_node(idx);
+      if (node.removed) continue;
+      if (!node.covered && node.valid &&
+          acc.DeltaIfAdd(node.entities) > 0.0) {
+        acc.Add(node.entities);
+        selected.push_back(idx);
+        node.covered = true;
+      }
+      // Lazy subtree covering (Algorithm 1 lines 7-9): children sit at
+      // deeper levels and inherit coverage before their level is visited.
+      if (node.covered) {
+        for (uint32_t c : node.children) {
+          hierarchy->mutable_node(c).covered = true;
+        }
+      }
+    }
+  }
+  return selected;
+}
+
+DiscoveredSlice MidasAlg::MakeSlice(const SliceHierarchy& hierarchy,
+                                    uint32_t node_index,
+                                    const std::string& url) {
+  const SliceNode& node = hierarchy.nodes()[node_index];
+  const FactTable& table = hierarchy.table();
+  const ProfitContext& profit = hierarchy.profit_context();
+
+  DiscoveredSlice slice;
+  slice.source_url = url;
+  slice.properties = table.catalog().ToPairs(node.properties);
+  std::sort(slice.properties.begin(), slice.properties.end());
+  slice.entities.reserve(node.entities.size());
+  for (EntityId e : node.entities) {
+    slice.entities.push_back(table.subject(e));
+    const auto& facts = table.entity_facts(e);
+    slice.facts.insert(slice.facts.end(), facts.begin(), facts.end());
+    slice.num_new_facts += profit.entity_new_count(e);
+  }
+  slice.num_facts = slice.facts.size();
+  slice.profit = node.profit;
+  return slice;
+}
+
+}  // namespace core
+}  // namespace midas

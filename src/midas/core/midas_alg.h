@@ -1,0 +1,63 @@
+#ifndef MIDAS_CORE_MIDAS_ALG_H_
+#define MIDAS_CORE_MIDAS_ALG_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/core/profit.h"
+#include "midas/core/slice_detector.h"
+#include "midas/core/slice_hierarchy.h"
+#include "midas/core/types.h"
+
+namespace midas {
+namespace core {
+
+/// Options shared by MIDASalg and the framework.
+struct MidasOptions {
+  /// Profit coefficients (Def. 9).
+  CostModel cost_model = CostModel::Default();
+  /// Hierarchy construction caps.
+  HierarchyOptions hierarchy;
+  /// Fact-table construction (numeric-range property extension). The
+  /// referenced NumericRangeIndex, if any, must be built before the run
+  /// and outlive the algorithm (see core/range_index.h).
+  FactTableOptions fact_table;
+};
+
+/// MIDASalg (paper §III-A): the single-source slice detection algorithm.
+///
+///   Step 1 — bottom-up hierarchy construction with canonical and
+///            low-profit pruning (SliceHierarchy).
+///   Step 2 — top-down traversal (Algorithm 1) selecting valid, uncovered
+///            slices that improve the running set profit, covering each
+///            selected slice's subtree.
+class MidasAlg : public SliceDetector {
+ public:
+  explicit MidasAlg(MidasOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "MIDAS"; }
+
+  std::vector<DiscoveredSlice> Detect(
+      const SourceInput& input, const rdf::KnowledgeBase& kb) const override;
+
+  /// Algorithm 1: traverses a constructed hierarchy level-by-level (coarse
+  /// to fine), greedily adding valid uncovered slices whose addition
+  /// improves the set profit, and covering their subtrees. Mutates covered
+  /// flags. Returns the selected node indices in selection order.
+  static std::vector<uint32_t> Traverse(SliceHierarchy* hierarchy);
+
+  /// Converts a hierarchy node into a reportable slice.
+  static DiscoveredSlice MakeSlice(const SliceHierarchy& hierarchy,
+                                   uint32_t node_index,
+                                   const std::string& url);
+
+  const MidasOptions& options() const { return options_; }
+
+ private:
+  MidasOptions options_;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_MIDAS_ALG_H_

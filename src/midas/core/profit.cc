@@ -1,0 +1,91 @@
+#include "midas/core/profit.h"
+
+namespace midas {
+namespace core {
+
+ProfitContext::ProfitContext(const FactTable& table,
+                             const rdf::KnowledgeBase& kb, CostModel cost)
+    : table_(table), cost_(cost) {
+  source_crawl_cost_ = cost_.f_c * static_cast<double>(table.num_facts());
+  fact_count_.resize(table.num_entities());
+  new_count_.resize(table.num_entities());
+  for (EntityId e = 0; e < table.num_entities(); ++e) {
+    const auto& facts = table.entity_facts(e);
+    fact_count_[e] = static_cast<uint32_t>(facts.size());
+    uint32_t fresh = 0;
+    for (const rdf::Triple& t : facts) {
+      if (!kb.Contains(t)) ++fresh;
+    }
+    new_count_[e] = fresh;
+  }
+}
+
+double ProfitContext::ProfitFromTotals(size_t num_slices, uint64_t facts,
+                                       uint64_t new_facts) const {
+  if (num_slices == 0) return 0.0;
+  double gain = static_cast<double>(new_facts);
+  double crawl = static_cast<double>(num_slices) * cost_.f_p +
+                 source_crawl_cost_;
+  double dedup = cost_.f_d * static_cast<double>(facts);
+  double validate = cost_.f_v * static_cast<double>(new_facts);
+  return gain - crawl - dedup - validate;
+}
+
+double ProfitContext::SliceProfit(const std::vector<EntityId>& entities) const {
+  uint64_t facts = 0, fresh = 0;
+  for (EntityId e : entities) {
+    facts += fact_count_[e];
+    fresh += new_count_[e];
+  }
+  return ProfitFromTotals(1, facts, fresh);
+}
+
+double ProfitContext::SetProfit(
+    const std::vector<const std::vector<EntityId>*>& slices) const {
+  if (slices.empty()) return 0.0;
+  std::vector<char> covered(table_.num_entities(), 0);
+  uint64_t facts = 0, fresh = 0;
+  for (const auto* entities : slices) {
+    for (EntityId e : *entities) {
+      if (!covered[e]) {
+        covered[e] = 1;
+        facts += fact_count_[e];
+        fresh += new_count_[e];
+      }
+    }
+  }
+  return ProfitFromTotals(slices.size(), facts, fresh);
+}
+
+ProfitContext::SetAccumulator::SetAccumulator(const ProfitContext& ctx)
+    : ctx_(ctx), covered_(ctx.table_.num_entities(), 0) {}
+
+double ProfitContext::SetAccumulator::Profit() const {
+  return ctx_.ProfitFromTotals(num_slices_, total_facts_, total_new_);
+}
+
+double ProfitContext::SetAccumulator::DeltaIfAdd(
+    const std::vector<EntityId>& entities) const {
+  uint64_t facts = total_facts_, fresh = total_new_;
+  for (EntityId e : entities) {
+    if (!covered_[e]) {
+      facts += ctx_.fact_count_[e];
+      fresh += ctx_.new_count_[e];
+    }
+  }
+  return ctx_.ProfitFromTotals(num_slices_ + 1, facts, fresh) - Profit();
+}
+
+void ProfitContext::SetAccumulator::Add(const std::vector<EntityId>& entities) {
+  for (EntityId e : entities) {
+    if (!covered_[e]) {
+      covered_[e] = 1;
+      total_facts_ += ctx_.fact_count_[e];
+      total_new_ += ctx_.new_count_[e];
+    }
+  }
+  ++num_slices_;
+}
+
+}  // namespace core
+}  // namespace midas

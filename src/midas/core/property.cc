@@ -1,0 +1,35 @@
+#include "midas/core/property.h"
+
+#include "midas/util/logging.h"
+
+namespace midas {
+namespace core {
+
+PropertyId PropertyCatalog::Intern(rdf::TermId predicate, rdf::TermId value) {
+  PropertyPair pair{predicate, value};
+  auto it = index_.find(pair);
+  if (it != index_.end()) return it->second;
+  MIDAS_CHECK_LT(pairs_.size(), kInvalidIndex);
+  PropertyId id = static_cast<PropertyId>(pairs_.size());
+  pairs_.push_back(pair);
+  index_.emplace(pair, id);
+  return id;
+}
+
+std::optional<PropertyId> PropertyCatalog::Lookup(rdf::TermId predicate,
+                                                  rdf::TermId value) const {
+  auto it = index_.find(PropertyPair{predicate, value});
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<PropertyPair> PropertyCatalog::ToPairs(
+    const std::vector<PropertyId>& ids) const {
+  std::vector<PropertyPair> out;
+  out.reserve(ids.size());
+  for (PropertyId id : ids) out.push_back(pairs_[id]);
+  return out;
+}
+
+}  // namespace core
+}  // namespace midas

@@ -1,0 +1,57 @@
+#ifndef MIDAS_CORE_PROPERTY_H_
+#define MIDAS_CORE_PROPERTY_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "midas/core/types.h"
+#include "midas/rdf/dictionary.h"
+#include "midas/util/hash.h"
+
+namespace midas {
+namespace core {
+
+/// Per-source catalog of properties (paper Def. 4): every distinct
+/// (predicate, value) pair appearing in the source's fact table gets a dense
+/// PropertyId, so slices manipulate small sorted id vectors instead of term
+/// pairs. C_W == the set of all catalog entries.
+class PropertyCatalog {
+ public:
+  PropertyCatalog() = default;
+
+  /// Returns the id for (predicate, value), registering it if new.
+  PropertyId Intern(rdf::TermId predicate, rdf::TermId value);
+
+  /// Looks up without registering.
+  std::optional<PropertyId> Lookup(rdf::TermId predicate,
+                                   rdf::TermId value) const;
+
+  /// Accessors. Require id < size().
+  rdf::TermId predicate(PropertyId id) const { return pairs_[id].predicate; }
+  rdf::TermId value(PropertyId id) const { return pairs_[id].value; }
+  const PropertyPair& pair(PropertyId id) const { return pairs_[id]; }
+
+  /// |C_W|.
+  size_t size() const { return pairs_.size(); }
+
+  /// Converts catalog ids to catalog-independent pairs (sorted by id order
+  /// of the input).
+  std::vector<PropertyPair> ToPairs(
+      const std::vector<PropertyId>& ids) const;
+
+ private:
+  struct PairHash {
+    size_t operator()(const PropertyPair& p) const {
+      return static_cast<size_t>(
+          HashCombine(HashMix(p.predicate), HashMix(p.value)));
+    }
+  };
+  std::vector<PropertyPair> pairs_;
+  std::unordered_map<PropertyPair, PropertyId, PairHash> index_;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_PROPERTY_H_

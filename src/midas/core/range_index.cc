@@ -1,0 +1,60 @@
+#include "midas/core/range_index.h"
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "midas/util/logging.h"
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace core {
+
+bool NumericRangeIndex::ParseInteger(const std::string& term, int64_t* out) {
+  if (term.empty()) return false;
+  size_t start = term[0] == '-' ? 1 : 0;
+  if (start == term.size()) return false;
+  for (size_t i = start; i < term.size(); ++i) {
+    if (term[i] < '0' || term[i] > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(term.c_str(), &end, 10);
+  if (errno == ERANGE || end != term.c_str() + term.size()) return false;
+  *out = v;
+  return true;
+}
+
+NumericRangeIndex::NumericRangeIndex(rdf::Dictionary* dict,
+                                     const web::Corpus& corpus,
+                                     int64_t bucket_width)
+    : bucket_width_(bucket_width) {
+  MIDAS_CHECK(dict != nullptr);
+  MIDAS_CHECK_GT(bucket_width, 0);
+
+  std::unordered_set<rdf::TermId> seen;
+  for (const auto& source : corpus.sources()) {
+    for (const auto& fact : source.facts) {
+      if (!seen.insert(fact.object).second) continue;
+      int64_t value = 0;
+      if (!ParseInteger(dict->Term(fact.object), &value)) continue;
+      // Floor division so negative values bucket consistently:
+      // -5 with width 10 -> [-10..0).
+      int64_t lo = value / bucket_width_ * bucket_width_;
+      if (value < 0 && value % bucket_width_ != 0) lo -= bucket_width_;
+      rdf::TermId bucket = dict->Intern(
+          StringPrintf("[%lld..%lld)", static_cast<long long>(lo),
+                       static_cast<long long>(lo + bucket_width_)));
+      bucket_[fact.object] = bucket;
+    }
+  }
+}
+
+std::optional<rdf::TermId> NumericRangeIndex::BucketOf(
+    rdf::TermId value) const {
+  auto it = bucket_.find(value);
+  if (it == bucket_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace core
+}  // namespace midas

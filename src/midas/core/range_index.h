@@ -1,0 +1,52 @@
+#ifndef MIDAS_CORE_RANGE_INDEX_H_
+#define MIDAS_CORE_RANGE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "midas/rdf/dictionary.h"
+#include "midas/web/web_source.h"
+
+namespace midas {
+namespace core {
+
+/// The paper's "more general properties" extension (§II-A mentions
+/// "year > 2000" as the example and notes the method "can be easily
+/// extended"): numeric object values are additionally bucketed into
+/// fixed-width ranges, so slices like
+///
+///     started=[1950..1960) & sponsor=NASA
+///
+/// become expressible alongside the exact-value ones.
+///
+/// Bucket terms must live in the shared dictionary, and the framework
+/// detects shards concurrently, so all minting happens here, up front, on
+/// one thread; FactTable then only performs read-only lookups.
+class NumericRangeIndex {
+ public:
+  /// Scans every object value in `corpus`, and for each term that parses
+  /// as a (signed) integer interns its bucket term
+  /// "[lo..lo+width)" into `dict` and records the mapping.
+  NumericRangeIndex(rdf::Dictionary* dict, const web::Corpus& corpus,
+                    int64_t bucket_width = 10);
+
+  /// The bucket term for a numeric value term; nullopt for non-numeric
+  /// values or terms unseen at construction.
+  std::optional<rdf::TermId> BucketOf(rdf::TermId value) const;
+
+  int64_t bucket_width() const { return bucket_width_; }
+  size_t size() const { return bucket_.size(); }
+
+  /// Parses a (signed) integer strictly; helper shared with tests.
+  static bool ParseInteger(const std::string& term, int64_t* out);
+
+ private:
+  int64_t bucket_width_;
+  std::unordered_map<rdf::TermId, rdf::TermId> bucket_;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_RANGE_INDEX_H_

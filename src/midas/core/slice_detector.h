@@ -1,0 +1,54 @@
+#ifndef MIDAS_CORE_SLICE_DETECTOR_H_
+#define MIDAS_CORE_SLICE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/core/types.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/rdf/triple.h"
+
+namespace midas {
+namespace core {
+
+/// Input to a single-source slice detection call: the source's extracted
+/// facts plus (in framework rounds past the first) the slices exported by
+/// the source's children, which seed the hierarchy.
+struct SourceInput {
+  /// Normalized URL of the web source.
+  std::string url;
+
+  /// T_W — the source's (filtered, deduplicated) extracted facts. Must
+  /// outlive the call.
+  const std::vector<rdf::Triple>* facts = nullptr;
+
+  /// Seed slices from finer-grained children (property sets in
+  /// catalog-independent form). Empty on the first framework round and in
+  /// standalone use.
+  std::vector<std::vector<PropertyPair>> seeds;
+};
+
+/// Interface of a single-source slice detection algorithm. The MIDAS
+/// framework (paper §III-B) is parameterized on this, so MIDASalg and every
+/// baseline (Greedy, AggCluster, Naive) can run inside the same sharded,
+/// parallel pipeline — exactly the paper's "the framework also supports the
+/// alternative algorithms" claim.
+class SliceDetector {
+ public:
+  virtual ~SliceDetector() = default;
+
+  /// Human-readable algorithm name ("MIDAS", "Greedy", ...).
+  virtual std::string name() const = 0;
+
+  /// Detects slices in one source against the knowledge base. Returns the
+  /// selected slice set (already consolidated within the source), each with
+  /// its individual profit. Thread-safe: called concurrently by the
+  /// framework.
+  virtual std::vector<DiscoveredSlice> Detect(
+      const SourceInput& input, const rdf::KnowledgeBase& kb) const = 0;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_SLICE_DETECTOR_H_

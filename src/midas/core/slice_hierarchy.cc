@@ -1,0 +1,285 @@
+#include "midas/core/slice_hierarchy.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "midas/util/hash.h"
+#include "midas/util/logging.h"
+
+namespace midas {
+namespace core {
+
+namespace {
+
+uint64_t HashPropertySet(const std::vector<PropertyId>& props) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (PropertyId p : props) h = HashCombine(h, HashMix(p));
+  return h;
+}
+
+// True iff `a` is a strict subset of `b` (both sorted ascending).
+bool IsStrictSubset(const std::vector<PropertyId>& a,
+                    const std::vector<PropertyId>& b) {
+  return a.size() < b.size() &&
+         std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+void EraseValue(std::vector<uint32_t>* v, uint32_t value) {
+  v->erase(std::remove(v->begin(), v->end(), value), v->end());
+}
+
+}  // namespace
+
+SliceHierarchy::SliceHierarchy(const FactTable& table,
+                               const ProfitContext& profit,
+                               const HierarchyOptions& options)
+    : table_(table), profit_(profit), options_(options) {
+  std::vector<EntityId> all(table.num_entities());
+  for (EntityId e = 0; e < all.size(); ++e) all[e] = e;
+  Build(BuildEntityInitialSets(table, all, options));
+}
+
+SliceHierarchy::SliceHierarchy(
+    const FactTable& table, const ProfitContext& profit,
+    const std::vector<std::vector<PropertyId>>& seeds,
+    const HierarchyOptions& options)
+    : table_(table), profit_(profit), options_(options) {
+  Build(seeds);
+}
+
+std::vector<std::vector<PropertyId>> BuildEntityInitialSets(
+    const FactTable& table, const std::vector<EntityId>& entities,
+    const HierarchyOptions& options) {
+  std::vector<std::vector<PropertyId>> sets;
+  sets.reserve(entities.size());
+  for (EntityId e : entities) {
+    std::vector<PropertyId> props = table.entity_properties(e);
+
+    // Enforce the per-entity property budget by dropping the least-shared
+    // properties (they define the least reusable slices).
+    if (props.size() > options.max_properties_per_entity) {
+      std::sort(props.begin(), props.end(),
+                [&table](PropertyId a, PropertyId b) {
+                  return table.property_entities(a).size() >
+                         table.property_entities(b).size();
+                });
+      props.resize(options.max_properties_per_entity);
+      std::sort(props.begin(), props.end());
+    }
+
+    // Group by predicate: an initial slice takes one property per
+    // predicate (paper "Generating initial slices").
+    std::map<rdf::TermId, std::vector<PropertyId>> by_pred;
+    for (PropertyId p : props) {
+      by_pred[table.catalog().predicate(p)].push_back(p);
+    }
+
+    // Cartesian product over predicate groups, cut off at the cap.
+    std::vector<std::vector<PropertyId>> combos = {{}};
+    for (const auto& [pred, group] : by_pred) {
+      (void)pred;
+      std::vector<std::vector<PropertyId>> next;
+      for (const auto& combo : combos) {
+        for (PropertyId p : group) {
+          if (next.size() >= options.max_initial_slices_per_entity) break;
+          std::vector<PropertyId> extended = combo;
+          extended.push_back(p);
+          next.push_back(std::move(extended));
+        }
+        if (next.size() >= options.max_initial_slices_per_entity) break;
+      }
+      combos = std::move(next);
+    }
+    for (auto& combo : combos) {
+      if (combo.empty()) continue;
+      std::sort(combo.begin(), combo.end());
+      sets.push_back(std::move(combo));
+    }
+  }
+  return sets;
+}
+
+void SliceHierarchy::Build(
+    const std::vector<std::vector<PropertyId>>& initial_sets) {
+  // Mint initial nodes (deduplicated by property set).
+  for (const auto& set : initial_sets) {
+    if (set.empty()) continue;
+    std::vector<PropertyId> sorted = set;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    uint32_t idx = GetOrCreateNode(std::move(sorted));
+    if (idx == kInvalidIndex) break;
+    if (!nodes_[idx].is_initial) {
+      nodes_[idx].is_initial = true;
+      ++stats_.initial_slices;
+    }
+  }
+
+  const size_t top_level = stats_.max_level;
+  for (size_t level = top_level; level >= 1; --level) {
+    // (a) Construct parents at level-1 before pruning this level, so that
+    // removing a non-canonical node can re-link its children upward.
+    if (level >= 2 && level < by_level_.size()) {
+      // Note: by_level_[level] is final here — parents land at level-1.
+      for (uint32_t idx : by_level_[level]) {
+        const std::vector<PropertyId> props = nodes_[idx].properties;
+        for (size_t skip = 0; skip < props.size(); ++skip) {
+          std::vector<PropertyId> parent_set;
+          parent_set.reserve(props.size() - 1);
+          for (size_t i = 0; i < props.size(); ++i) {
+            if (i != skip) parent_set.push_back(props[i]);
+          }
+          uint32_t parent = GetOrCreateNode(std::move(parent_set));
+          if (parent == kInvalidIndex) continue;
+          LinkEdge(parent, idx);
+        }
+      }
+    }
+
+    // (b) + (c) Prune level: canonicality, then profit lower bounds.
+    if (level < by_level_.size()) {
+      for (uint32_t idx : by_level_[level]) {
+        SliceNode& node = nodes_[idx];
+        size_t canonical_children = 0;
+        for (uint32_t c : node.children) {
+          if (!nodes_[c].removed && nodes_[c].is_canonical) {
+            ++canonical_children;
+          }
+        }
+        node.is_canonical = node.is_initial || canonical_children >= 2;
+        if (!node.is_canonical) {
+          RemoveNonCanonical(idx);
+          ++stats_.noncanonical_removed;
+        } else {
+          ComputeLowerBound(idx);
+          if (!node.valid) ++stats_.low_profit_pruned;
+        }
+      }
+    }
+  }
+}
+
+uint32_t SliceHierarchy::GetOrCreateNode(std::vector<PropertyId> properties) {
+  uint64_t hash = HashPropertySet(properties);
+  auto it = set_index_.find(hash);
+  if (it != set_index_.end()) {
+    for (uint32_t idx : it->second) {
+      if (nodes_[idx].properties == properties) return idx;
+    }
+  }
+  if (nodes_.size() >= options_.max_nodes) {
+    if (!stats_.node_cap_hit) {
+      stats_.node_cap_hit = true;
+      MIDAS_LOG(Warning) << "slice hierarchy node cap (" << options_.max_nodes
+                         << ") hit; results may be partial";
+    }
+    return kInvalidIndex;
+  }
+
+  SliceNode node;
+  node.level = static_cast<uint32_t>(properties.size());
+  node.entities = table_.MatchEntities(properties);
+  node.profit = profit_.SliceProfit(node.entities);
+  node.properties = std::move(properties);
+
+  uint32_t idx = static_cast<uint32_t>(nodes_.size());
+  if (by_level_.size() <= node.level) by_level_.resize(node.level + 1);
+  by_level_[node.level].push_back(idx);
+  stats_.max_level = std::max<size_t>(stats_.max_level, node.level);
+  ++stats_.nodes_generated;
+  set_index_[hash].push_back(idx);
+  nodes_.push_back(std::move(node));
+  return idx;
+}
+
+void SliceHierarchy::LinkEdge(uint32_t parent, uint32_t child) {
+  auto& children = nodes_[parent].children;
+  if (std::find(children.begin(), children.end(), child) != children.end()) {
+    return;
+  }
+  children.push_back(child);
+  nodes_[child].parents.push_back(parent);
+}
+
+bool SliceHierarchy::ReachableViaOther(uint32_t parent, uint32_t child,
+                                       uint32_t via) const {
+  const auto& child_props = nodes_[child].properties;
+  for (uint32_t y : nodes_[parent].children) {
+    if (y == child || y == via || nodes_[y].removed) continue;
+    if (IsStrictSubset(nodes_[y].properties, child_props)) return true;
+  }
+  return false;
+}
+
+void SliceHierarchy::RemoveNonCanonical(uint32_t index) {
+  SliceNode& node = nodes_[index];
+  node.removed = true;
+  node.valid = false;
+
+  // Detach from parents and children first so reachability checks see the
+  // post-removal edge set.
+  std::vector<uint32_t> parents = node.parents;
+  std::vector<uint32_t> children = node.children;
+  for (uint32_t p : parents) EraseValue(&nodes_[p].children, index);
+  for (uint32_t c : children) EraseValue(&nodes_[c].parents, index);
+  node.parents.clear();
+  node.children.clear();
+
+  // Re-link each child to each parent unless already reachable through
+  // another node (paper §III-A1 step 2).
+  for (uint32_t p : parents) {
+    if (nodes_[p].removed) continue;
+    for (uint32_t c : children) {
+      if (nodes_[c].removed) continue;
+      if (!ReachableViaOther(p, c, index)) LinkEdge(p, c);
+    }
+  }
+}
+
+void SliceHierarchy::ComputeLowerBound(uint32_t index) {
+  SliceNode& node = nodes_[index];
+
+  // Union the S_LB sets of children with positive bounds.
+  std::vector<uint32_t> collect;
+  {
+    std::unordered_set<uint32_t> seen;
+    for (uint32_t c : node.children) {
+      const SliceNode& child = nodes_[c];
+      if (child.removed || child.lb_profit <= 0) continue;
+      for (uint32_t s : child.lb_set) {
+        if (seen.insert(s).second) collect.push_back(s);
+      }
+    }
+  }
+
+  double union_profit = 0.0;
+  if (!collect.empty()) {
+    std::vector<const std::vector<EntityId>*> entity_sets;
+    entity_sets.reserve(collect.size());
+    for (uint32_t s : collect) entity_sets.push_back(&nodes_[s].entities);
+    union_profit = profit_.SetProfit(entity_sets);
+  }
+
+  node.valid = node.profit >= 0.0 && node.profit >= union_profit;
+  if (node.profit >= union_profit && node.profit > 0.0) {
+    node.lb_profit = node.profit;
+    node.lb_set = {index};
+  } else if (union_profit > 0.0) {
+    node.lb_profit = union_profit;
+    node.lb_set = std::move(collect);
+  } else {
+    node.lb_profit = 0.0;
+    node.lb_set.clear();
+  }
+}
+
+const std::vector<uint32_t>& SliceHierarchy::nodes_at_level(
+    size_t level) const {
+  static const std::vector<uint32_t> kEmpty;
+  if (level >= by_level_.size()) return kEmpty;
+  return by_level_[level];
+}
+
+}  // namespace core
+}  // namespace midas

@@ -1,0 +1,164 @@
+#ifndef MIDAS_CORE_SLICE_HIERARCHY_H_
+#define MIDAS_CORE_SLICE_HIERARCHY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "midas/core/fact_table.h"
+#include "midas/core/profit.h"
+#include "midas/core/types.h"
+
+namespace midas {
+namespace core {
+
+/// Tuning knobs for hierarchy construction. The defaults are safe for the
+/// fact densities automated extraction produces; the caps only exist to
+/// bound pathological sources (an entity with dozens of multi-valued
+/// predicates would otherwise explode the initial-combination product).
+struct HierarchyOptions {
+  /// Per-entity property budget; if an entity carries more properties, the
+  /// least-shared ones (smallest inverted lists) are dropped from its
+  /// initial slices.
+  size_t max_properties_per_entity = 16;
+
+  /// Cap on initial slices minted per entity (cartesian product over
+  /// multi-valued predicates is cut off here).
+  size_t max_initial_slices_per_entity = 64;
+
+  /// Hard cap on total hierarchy nodes for one source.
+  size_t max_nodes = 2'000'000;
+};
+
+/// One node of the slice lattice. A node is identified by its property set;
+/// its entity set is the full match Π = σ_C(F_W) (which can exceed the set
+/// of entities whose initial slices generated it — see paper Fig. 4, S4).
+struct SliceNode {
+  /// C — sorted property ids.
+  std::vector<PropertyId> properties;
+  /// Π — sorted entity ids (full match over the fact table).
+  std::vector<EntityId> entities;
+
+  /// f({S}) under the run's cost model.
+  double profit = 0.0;
+  /// f_LB(S): best non-negative profit achievable by slices in the subtree.
+  double lb_profit = 0.0;
+  /// S_LB(S): node indices achieving lb_profit (empty set == profit 0).
+  std::vector<uint32_t> lb_set;
+
+  /// Lattice edges (live lists; edited when non-canonical nodes are
+  /// removed). Children have strictly more properties.
+  std::vector<uint32_t> children;
+  std::vector<uint32_t> parents;
+
+  /// |C| — the node's level in the hierarchy.
+  uint32_t level = 0;
+
+  /// Created as an initial slice (from an entity, or a framework seed).
+  bool is_initial = false;
+  /// Canonical per Prop. 12 (initial, or >= 2 canonical children).
+  bool is_canonical = false;
+  /// Not pruned as low-profit. Only valid nodes are candidates in the
+  /// top-down traversal.
+  bool valid = true;
+  /// Structurally removed (non-canonical). Removed nodes are skipped
+  /// everywhere.
+  bool removed = false;
+  /// Covered by a slice selected earlier in the top-down traversal
+  /// (Algorithm 1 state; unused during construction).
+  bool covered = false;
+};
+
+/// Generates the per-entity initial property sets for `entities` (paper
+/// "Generating initial slices"): for each entity, one combination of its
+/// properties per choice of value on multi-valued predicates, subject to the
+/// option caps. Exposed so the framework can seed a hierarchy with child
+/// slices plus fresh initial sets for entities the children do not cover.
+std::vector<std::vector<PropertyId>> BuildEntityInitialSets(
+    const FactTable& table, const std::vector<EntityId>& entities,
+    const HierarchyOptions& options);
+
+/// Counters reported by construction, consumed by tests and the ablation
+/// benches.
+struct HierarchyStats {
+  size_t initial_slices = 0;
+  size_t nodes_generated = 0;
+  size_t noncanonical_removed = 0;
+  size_t low_profit_pruned = 0;
+  size_t max_level = 0;
+  bool node_cap_hit = false;
+};
+
+/// The bottom-up constructed, pruned slice hierarchy of one web source
+/// (paper §III-A1). Construction:
+///
+///   1. Mint initial slices: one per combination of an entity's properties
+///      with one property per predicate (paper "Generating initial
+///      slices"), or from caller-provided seeds (framework mode).
+///   2. For level l = L .. 1:
+///        a. generate every node's parents at level l−1 (Apriori-style
+///           one-property removal, deduplicated by property set);
+///        b. determine canonicality of level-l nodes (Prop. 12) and
+///           structurally remove non-canonical ones, re-linking their
+///           children to their parents unless already reachable;
+///        c. compute f_LB / S_LB for surviving level-l nodes and mark
+///           low-profit nodes invalid.
+class SliceHierarchy {
+ public:
+  /// Builds the hierarchy with per-entity initial slices.
+  SliceHierarchy(const FactTable& table, const ProfitContext& profit,
+                 const HierarchyOptions& options);
+
+  /// Builds the hierarchy from framework seeds (each a property set interned
+  /// in `table`'s catalog). Empty seed sets are ignored.
+  SliceHierarchy(const FactTable& table, const ProfitContext& profit,
+                 const std::vector<std::vector<PropertyId>>& seeds,
+                 const HierarchyOptions& options);
+
+  const std::vector<SliceNode>& nodes() const { return nodes_; }
+  SliceNode& mutable_node(uint32_t index) { return nodes_[index]; }
+
+  /// Node indices at `level` (1-based; includes removed/invalid nodes —
+  /// callers filter by flags).
+  const std::vector<uint32_t>& nodes_at_level(size_t level) const;
+
+  /// Highest populated level.
+  size_t max_level() const { return stats_.max_level; }
+
+  const HierarchyStats& stats() const { return stats_; }
+  const FactTable& table() const { return table_; }
+  const ProfitContext& profit_context() const { return profit_; }
+
+ private:
+  void Build(const std::vector<std::vector<PropertyId>>& initial_sets);
+
+  /// Returns the node index for a property set, creating the node (with
+  /// full entity match, profit) if new. Returns kInvalidIndex if the node
+  /// cap is hit.
+  uint32_t GetOrCreateNode(std::vector<PropertyId> properties);
+
+  /// Links parent -> child if absent.
+  void LinkEdge(uint32_t parent, uint32_t child);
+
+  /// True iff `child_props` is a strict superset of some live child y != via
+  /// of `parent` (i.e. the child is already reachable from parent through
+  /// another node).
+  bool ReachableViaOther(uint32_t parent, uint32_t child, uint32_t via) const;
+
+  void RemoveNonCanonical(uint32_t index);
+  void ComputeLowerBound(uint32_t index);
+
+  const FactTable& table_;
+  const ProfitContext& profit_;
+  HierarchyOptions options_;
+  std::vector<SliceNode> nodes_;
+  std::vector<std::vector<uint32_t>> by_level_;
+  // Property-set -> node index.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> set_index_;
+  HierarchyStats stats_;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_SLICE_HIERARCHY_H_

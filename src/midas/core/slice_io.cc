@@ -1,0 +1,87 @@
+#include "midas/core/slice_io.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "midas/util/string_util.h"
+#include "midas/util/tsv.h"
+
+namespace midas {
+namespace core {
+
+Status SaveSlices(const std::string& path, const rdf::Dictionary& dict,
+                  const std::vector<DiscoveredSlice>& slices) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& slice : slices) {
+    rows.push_back({"S", slice.source_url, FormatDouble(slice.profit, 6),
+                    std::to_string(slice.num_new_facts)});
+    for (const auto& prop : slice.properties) {
+      rows.push_back(
+          {"P", dict.Term(prop.predicate), dict.Term(prop.value)});
+    }
+    for (const auto& fact : slice.facts) {
+      rows.push_back({"F", dict.Term(fact.subject),
+                      dict.Term(fact.predicate), dict.Term(fact.object)});
+    }
+  }
+  return TsvWriteFile(path, rows);
+}
+
+Status LoadSlices(const std::string& path, rdf::Dictionary* dict,
+                  std::vector<DiscoveredSlice>* out) {
+  std::vector<DiscoveredSlice> loaded;
+  Status status = TsvReadFile(
+      path, [&](size_t row, const std::vector<std::string>& fields) {
+        auto bad = [&](const char* why) {
+          return Status::Corruption(path + " row " + std::to_string(row) +
+                                    ": " + why);
+        };
+        if (fields.empty()) return bad("empty row");
+        const std::string& tag = fields[0];
+        if (tag == "S") {
+          if (fields.size() != 4) return bad("S row needs 4 fields");
+          DiscoveredSlice slice;
+          slice.source_url = fields[1];
+          double profit = 0;
+          uint64_t fresh = 0;
+          if (!ParseDouble(fields[2], &profit)) return bad("bad profit");
+          if (!ParseUint64(fields[3], &fresh)) return bad("bad new-count");
+          slice.profit = profit;
+          slice.num_new_facts = fresh;
+          loaded.push_back(std::move(slice));
+          return Status::OK();
+        }
+        if (loaded.empty()) return bad("P/F row before any S row");
+        DiscoveredSlice& slice = loaded.back();
+        if (tag == "P") {
+          if (fields.size() != 3) return bad("P row needs 3 fields");
+          slice.properties.push_back(PropertyPair{
+              dict->Intern(fields[1]), dict->Intern(fields[2])});
+          return Status::OK();
+        }
+        if (tag == "F") {
+          if (fields.size() != 4) return bad("F row needs 4 fields");
+          slice.facts.emplace_back(dict->Intern(fields[1]),
+                                   dict->Intern(fields[2]),
+                                   dict->Intern(fields[3]));
+          return Status::OK();
+        }
+        return bad("unknown row tag");
+      });
+  MIDAS_RETURN_IF_ERROR(status);
+
+  // Derive counts and entity lists.
+  for (auto& slice : loaded) {
+    slice.num_facts = slice.facts.size();
+    std::unordered_set<rdf::TermId> subjects;
+    for (const auto& fact : slice.facts) subjects.insert(fact.subject);
+    slice.entities.assign(subjects.begin(), subjects.end());
+    std::sort(slice.entities.begin(), slice.entities.end());
+    std::sort(slice.properties.begin(), slice.properties.end());
+    out->push_back(std::move(slice));
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace midas

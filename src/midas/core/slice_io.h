@@ -1,0 +1,38 @@
+#ifndef MIDAS_CORE_SLICE_IO_H_
+#define MIDAS_CORE_SLICE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/core/types.h"
+#include "midas/rdf/dictionary.h"
+#include "midas/util/status.h"
+
+namespace midas {
+namespace core {
+
+/// Persistence for discovered slice sets ("extraction work plans").
+///
+/// Line-oriented TSV, self-contained (terms as strings, so no shared
+/// dictionary is needed to reload):
+///
+///   S <url> <profit> <num_new_facts>     -- starts a slice
+///   P <predicate> <value>                -- one defining property
+///   F <subject> <predicate> <object>     -- one fact of the slice
+///
+/// Rows belong to the most recent S row. Entity lists are reconstructed
+/// from the distinct fact subjects; num_facts from the F row count.
+
+/// Writes `slices` to `path`, resolving ids through `dict`.
+Status SaveSlices(const std::string& path, const rdf::Dictionary& dict,
+                  const std::vector<DiscoveredSlice>& slices);
+
+/// Reads slices from `path`, interning terms into `dict`. Appends to
+/// `out`.
+Status LoadSlices(const std::string& path, rdf::Dictionary* dict,
+                  std::vector<DiscoveredSlice>* out);
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_SLICE_IO_H_

@@ -1,0 +1,85 @@
+#include "midas/eval/labeling.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "midas/util/logging.h"
+
+namespace midas {
+namespace eval {
+
+GroundTruthLabeler::GroundTruthLabeler(
+    const std::unordered_map<rdf::TermId, uint32_t>* entity_group,
+    uint32_t noise_group, const rdf::KnowledgeBase* kb,
+    LabelerOptions options, uint64_t seed)
+    : entity_group_(entity_group),
+      noise_group_(noise_group),
+      kb_(kb),
+      options_(options),
+      rng_(seed) {
+  MIDAS_CHECK(entity_group_ != nullptr);
+  MIDAS_CHECK(kb_ != nullptr);
+}
+
+bool GroundTruthLabeler::IsCorrect(const core::DiscoveredSlice& slice) {
+  last_rnew_ = 0.0;
+  last_ranno_ = 0.0;
+  if (slice.entities.empty()) return false;
+
+  // Sample K (or fewer) entities, as the paper's human protocol did.
+  std::vector<rdf::TermId> sample;
+  if (slice.entities.size() <= options_.sample_k) {
+    sample = slice.entities;
+  } else {
+    for (size_t i :
+         rng_.SampleWithoutReplacement(slice.entities.size(),
+                                       options_.sample_k)) {
+      sample.push_back(slice.entities[i]);
+    }
+  }
+  std::unordered_set<rdf::TermId> sampled(sample.begin(), sample.end());
+
+  // R_new over the sampled entities' facts.
+  size_t facts = 0, fresh = 0;
+  for (const rdf::Triple& t : slice.facts) {
+    if (!sampled.count(t.subject)) continue;
+    ++facts;
+    if (!kb_->Contains(t)) ++fresh;
+  }
+  last_rnew_ = facts == 0 ? 0.0
+                          : static_cast<double>(fresh) /
+                                static_cast<double>(facts);
+
+  // R_anno: share of sampled entities in the dominant planted group.
+  std::unordered_map<uint32_t, size_t> group_counts;
+  for (rdf::TermId subject : sample) {
+    auto it = entity_group_->find(subject);
+    uint32_t group = it == entity_group_->end() ? noise_group_ : it->second;
+    if (group != noise_group_) ++group_counts[group];
+  }
+  size_t dominant = 0;
+  for (const auto& [group, count] : group_counts) {
+    (void)group;
+    dominant = std::max(dominant, count);
+  }
+  last_ranno_ =
+      static_cast<double>(dominant) / static_cast<double>(sample.size());
+
+  return last_rnew_ > options_.rnew_threshold &&
+         last_ranno_ > options_.ranno_threshold;
+}
+
+double GroundTruthLabeler::TopKPrecision(
+    const std::vector<core::DiscoveredSlice>& ranked, size_t k) {
+  k = std::min(k, ranked.size());
+  if (k == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (IsCorrect(ranked[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(k);
+}
+
+}  // namespace eval
+}  // namespace midas

@@ -1,0 +1,66 @@
+#ifndef MIDAS_EVAL_LABELING_H_
+#define MIDAS_EVAL_LABELING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "midas/core/types.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/util/random.h"
+
+namespace midas {
+namespace eval {
+
+/// The paper's slice-labeling protocol (§IV-B): a slice is "correct" iff
+/// (1) it provides information absent from the KB and (2) it allows easy
+/// annotation. Operationalized as two statistics over (up to) K sampled
+/// entities:
+///   R_new  — ratio of the sampled entities' facts that are new;
+///   R_anno — ratio of sampled entities providing homogeneous information.
+/// Both must exceed 0.5. The paper used human workers with K = 20; here the
+/// generator's ground truth stands in: an entity is "homogeneous" when it
+/// belongs to the slice's dominant planted content group (noisy forum
+/// entities belong to no group, so slices over loosely related extractions
+/// fail R_anno — exactly the mistake Naive makes).
+struct LabelerOptions {
+  size_t sample_k = 20;
+  double rnew_threshold = 0.5;
+  double ranno_threshold = 0.5;
+};
+
+class GroundTruthLabeler {
+ public:
+  /// `entity_group` maps subjects to planted group ids (kNoiseGroup for
+  /// forum noise); `kb` is the KB the run augmented. Both must outlive the
+  /// labeler.
+  GroundTruthLabeler(
+      const std::unordered_map<rdf::TermId, uint32_t>* entity_group,
+      uint32_t noise_group, const rdf::KnowledgeBase* kb,
+      LabelerOptions options = {}, uint64_t seed = 99);
+
+  /// Labels one slice.
+  bool IsCorrect(const core::DiscoveredSlice& slice);
+
+  /// R_new / R_anno of the last IsCorrect call (for reports).
+  double last_rnew() const { return last_rnew_; }
+  double last_ranno() const { return last_ranno_; }
+
+  /// Precision of the top-k prefix of a ranked slice list (paper Fig. 10a,
+  /// 10c). k is clamped to the list size; returns 0 for an empty prefix.
+  double TopKPrecision(const std::vector<core::DiscoveredSlice>& ranked,
+                       size_t k);
+
+ private:
+  const std::unordered_map<rdf::TermId, uint32_t>* entity_group_;
+  uint32_t noise_group_;
+  const rdf::KnowledgeBase* kb_;
+  LabelerOptions options_;
+  Rng rng_;
+  double last_rnew_ = 0.0;
+  double last_ranno_ = 0.0;
+};
+
+}  // namespace eval
+}  // namespace midas
+
+#endif  // MIDAS_EVAL_LABELING_H_

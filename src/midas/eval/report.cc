@@ -1,0 +1,90 @@
+#include "midas/eval/report.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace midas {
+namespace eval {
+
+ExperimentReport::ExperimentReport(std::string name)
+    : name_(std::move(name)) {}
+
+void ExperimentReport::AddRow(
+    const std::string& series, double x,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  JsonValue row = JsonValue::Object();
+  row.Set("series", JsonValue::Str(series));
+  row.Set("x", JsonValue::Number(x));
+  for (const auto& [key, value] : metrics) {
+    row.Set(key, JsonValue::Number(value));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void ExperimentReport::AddPrfRow(const std::string& series, double x,
+                                 const PrfScores& scores) {
+  AddRow(series, x,
+         {{"precision", scores.precision},
+          {"recall", scores.recall},
+          {"f_measure", scores.f_measure},
+          {"returned", static_cast<double>(scores.returned)},
+          {"matched", static_cast<double>(scores.matched)},
+          {"expected", static_cast<double>(scores.expected)}});
+}
+
+void ExperimentReport::SetContext(const std::string& key,
+                                  const std::string& value) {
+  for (auto& [k, v] : context_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  context_.emplace_back(key, value);
+}
+
+JsonValue ExperimentReport::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  root.Set("experiment", JsonValue::Str(name_));
+  JsonValue context = JsonValue::Object();
+  for (const auto& [k, v] : context_) {
+    context.Set(k, JsonValue::Str(v));
+  }
+  root.Set("context", std::move(context));
+  JsonValue rows = JsonValue::Array();
+  for (const auto& row : rows_) rows.Append(row);
+  root.Set("rows", std::move(rows));
+  return root;
+}
+
+Status ExperimentReport::WriteTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToJson().Dump(2) << "\n";
+  out.flush();
+  if (!out) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+JsonValue SlicesToJson(const std::vector<core::DiscoveredSlice>& slices,
+                       const rdf::Dictionary& dict, size_t limit) {
+  JsonValue array = JsonValue::Array();
+  size_t count = limit == 0 ? slices.size() : std::min(limit, slices.size());
+  for (size_t i = 0; i < count; ++i) {
+    const auto& s = slices[i];
+    JsonValue row = JsonValue::Object();
+    row.Set("source_url", JsonValue::Str(s.source_url));
+    row.Set("description", JsonValue::Str(s.Description(dict)));
+    row.Set("num_facts", JsonValue::Int(static_cast<int64_t>(s.num_facts)));
+    row.Set("num_new_facts",
+            JsonValue::Int(static_cast<int64_t>(s.num_new_facts)));
+    row.Set("num_entities",
+            JsonValue::Int(static_cast<int64_t>(s.entities.size())));
+    row.Set("profit", JsonValue::Number(s.profit));
+    array.Append(std::move(row));
+  }
+  return array;
+}
+
+}  // namespace eval
+}  // namespace midas

@@ -1,0 +1,149 @@
+#include "midas/extract/cleaning.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "midas/util/hash.h"
+
+namespace midas {
+namespace extract {
+
+namespace {
+
+// Key for (url, triple) duplicate detection.
+struct RecordKey {
+  std::string url;
+  rdf::Triple triple;
+  bool operator==(const RecordKey& other) const {
+    return triple == other.triple && url == other.url;
+  }
+};
+struct RecordKeyHash {
+  size_t operator()(const RecordKey& k) const {
+    return static_cast<size_t>(
+        HashCombine(Fnv1a64(k.url), rdf::TripleHash{}(k.triple)));
+  }
+};
+
+// Key for functional-conflict detection: (url, subject, predicate).
+struct CellKey {
+  std::string url;
+  rdf::TermId subject;
+  rdf::TermId predicate;
+  bool operator==(const CellKey& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           url == other.url;
+  }
+};
+struct CellKeyHash {
+  size_t operator()(const CellKey& k) const {
+    return static_cast<size_t>(HashCombine(
+        Fnv1a64(k.url), HashCombine(HashMix(k.subject), HashMix(k.predicate))));
+  }
+};
+
+}  // namespace
+
+std::string NormalizeTermWhitespace(const std::string& term) {
+  std::string out;
+  out.reserve(term.size());
+  bool pending_space = false;
+  for (char c : term) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+CleaningStats CleanExtractions(const CleaningOptions& options,
+                               rdf::Dictionary* dict,
+                               std::vector<ExtractedFact>* facts) {
+  CleaningStats stats;
+  stats.input_records = facts->size();
+
+  // Resolve functional predicate names to ids (only those already seen).
+  std::unordered_set<rdf::TermId> functional;
+  for (const auto& name : options.functional_predicates) {
+    if (auto id = dict->Lookup(name)) functional.insert(*id);
+  }
+
+  // Term-normalization cache.
+  std::unordered_map<rdf::TermId, rdf::TermId> normalized;
+  auto normalize = [&](rdf::TermId id) {
+    if (!options.normalize_whitespace) return id;
+    auto it = normalized.find(id);
+    if (it != normalized.end()) return it->second;
+    const std::string& term = dict->Term(id);
+    std::string clean = NormalizeTermWhitespace(term);
+    rdf::TermId out = clean == term ? id : dict->Intern(clean);
+    if (out != id) ++stats.terms_normalized;
+    normalized.emplace(id, out);
+    return out;
+  };
+
+  std::vector<ExtractedFact> cleaned;
+  cleaned.reserve(facts->size());
+  std::unordered_map<RecordKey, size_t, RecordKeyHash> seen;
+
+  for (auto& fact : *facts) {
+    if (fact.confidence < options.min_confidence) {
+      ++stats.below_confidence;
+      continue;
+    }
+    fact.triple.subject = normalize(fact.triple.subject);
+    fact.triple.object = normalize(fact.triple.object);
+
+    if (options.merge_duplicates) {
+      RecordKey key{fact.url, fact.triple};
+      auto [it, inserted] = seen.try_emplace(key, cleaned.size());
+      if (!inserted) {
+        ++stats.duplicates_merged;
+        cleaned[it->second].confidence =
+            std::max(cleaned[it->second].confidence, fact.confidence);
+        continue;
+      }
+    }
+    cleaned.push_back(std::move(fact));
+  }
+
+  // Functional-conflict resolution: keep the best object per cell.
+  if (!functional.empty()) {
+    std::unordered_map<CellKey, size_t, CellKeyHash> best;
+    std::vector<char> keep(cleaned.size(), 1);
+    for (size_t i = 0; i < cleaned.size(); ++i) {
+      const auto& fact = cleaned[i];
+      if (!functional.count(fact.triple.predicate)) continue;
+      CellKey key{fact.url, fact.triple.subject, fact.triple.predicate};
+      auto [it, inserted] = best.try_emplace(key, i);
+      if (inserted) continue;
+      ++stats.conflicts_resolved;
+      if (cleaned[i].confidence > cleaned[it->second].confidence) {
+        keep[it->second] = 0;
+        it->second = i;
+      } else {
+        keep[i] = 0;
+      }
+    }
+    std::vector<ExtractedFact> filtered;
+    filtered.reserve(cleaned.size());
+    for (size_t i = 0; i < cleaned.size(); ++i) {
+      if (keep[i]) filtered.push_back(std::move(cleaned[i]));
+    }
+    cleaned = std::move(filtered);
+  }
+
+  stats.output_records = cleaned.size();
+  *facts = std::move(cleaned);
+  return stats;
+}
+
+}  // namespace extract
+}  // namespace midas

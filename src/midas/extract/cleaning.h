@@ -1,0 +1,61 @@
+#ifndef MIDAS_EXTRACT_CLEANING_H_
+#define MIDAS_EXTRACT_CLEANING_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/extract/extraction.h"
+#include "midas/rdf/dictionary.h"
+
+namespace midas {
+namespace extract {
+
+/// Options of the extraction-cleaning pass.
+struct CleaningOptions {
+  /// Merge duplicate (url, triple) records, keeping the highest
+  /// confidence (repeated extraction is evidence, not noise).
+  bool merge_duplicates = true;
+
+  /// Predicates that are functional (single-valued per subject): among
+  /// conflicting objects for one (subject, predicate) on one page, keep
+  /// only the highest-confidence object. Names are matched on the
+  /// dictionary string.
+  std::vector<std::string> functional_predicates;
+
+  /// Drop extractions whose confidence is below this floor before any
+  /// other step (0 keeps everything).
+  double min_confidence = 0.0;
+
+  /// Normalize subject/object terms: trim ASCII whitespace and collapse
+  /// internal runs of whitespace to single spaces, re-interning the
+  /// cleaned term. ("Atlas " and "Atlas" are the same entity.)
+  bool normalize_whitespace = true;
+};
+
+/// Statistics of one cleaning pass.
+struct CleaningStats {
+  size_t input_records = 0;
+  size_t below_confidence = 0;
+  size_t duplicates_merged = 0;
+  size_t conflicts_resolved = 0;
+  size_t terms_normalized = 0;
+  size_t output_records = 0;
+};
+
+/// The pre-MIDAS hygiene pass over an extraction dump (the paper defers to
+/// data-fusion literature for this step; this is the pragmatic core of it):
+/// confidence floor -> term normalization -> duplicate merging ->
+/// functional-conflict resolution. Deterministic; record order of the
+/// output follows the first occurrence in the input.
+CleaningStats CleanExtractions(const CleaningOptions& options,
+                               rdf::Dictionary* dict,
+                               std::vector<ExtractedFact>* facts);
+
+/// Whitespace normalization used by the cleaner (exposed for tests):
+/// trims and collapses ASCII whitespace runs to single spaces.
+std::string NormalizeTermWhitespace(const std::string& term);
+
+}  // namespace extract
+}  // namespace midas
+
+#endif  // MIDAS_EXTRACT_CLEANING_H_

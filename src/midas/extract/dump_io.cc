@@ -1,0 +1,50 @@
+#include "midas/extract/dump_io.h"
+
+#include "midas/util/string_util.h"
+#include "midas/util/tsv.h"
+#include "midas/web/url.h"
+
+namespace midas {
+namespace extract {
+
+Status LoadDump(const std::string& path, ExtractionDump* dump) {
+  if (!dump->dict) dump->dict = std::make_shared<rdf::Dictionary>();
+  rdf::Dictionary* dict = dump->dict.get();
+  return TsvReadFile(
+      path, [&](size_t row, const std::vector<std::string>& fields) {
+        if (fields.size() != 5) {
+          return Status::Corruption(path + " row " + std::to_string(row) +
+                                    ": expected 5 fields, got " +
+                                    std::to_string(fields.size()));
+        }
+        double confidence = 0;
+        if (!ParseDouble(fields[4], &confidence) || confidence < 0.0 ||
+            confidence > 1.0) {
+          return Status::Corruption(path + " row " + std::to_string(row) +
+                                    ": bad confidence '" + fields[4] + "'");
+        }
+        ExtractedFact fact;
+        fact.url = web::NormalizeUrl(fields[0]);
+        fact.triple = rdf::Triple(dict->Intern(fields[1]),
+                                  dict->Intern(fields[2]),
+                                  dict->Intern(fields[3]));
+        fact.confidence = confidence;
+        dump->facts.push_back(std::move(fact));
+        return Status::OK();
+      });
+}
+
+Status SaveDump(const std::string& path, const ExtractionDump& dump) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(dump.facts.size());
+  const rdf::Dictionary& dict = *dump.dict;
+  for (const auto& f : dump.facts) {
+    rows.push_back({f.url, dict.Term(f.triple.subject),
+                    dict.Term(f.triple.predicate), dict.Term(f.triple.object),
+                    FormatDouble(f.confidence, 4)});
+  }
+  return TsvWriteFile(path, rows);
+}
+
+}  // namespace extract
+}  // namespace midas

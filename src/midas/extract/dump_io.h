@@ -1,0 +1,27 @@
+#ifndef MIDAS_EXTRACT_DUMP_IO_H_
+#define MIDAS_EXTRACT_DUMP_IO_H_
+
+#include <string>
+
+#include "midas/extract/extraction.h"
+#include "midas/util/status.h"
+
+namespace midas {
+namespace extract {
+
+/// Extraction dumps are exchanged as 5-column TSV:
+///   url \t subject \t predicate \t object \t confidence
+/// Lines starting with '#' are comments. This is the de-facto shape of
+/// public OpenIE dumps (ReVerb ships the same columns plus extras we do not
+/// need).
+
+/// Loads a dump, creating a fresh dictionary unless `dump->dict` is set.
+Status LoadDump(const std::string& path, ExtractionDump* dump);
+
+/// Saves a dump.
+Status SaveDump(const std::string& path, const ExtractionDump& dump);
+
+}  // namespace extract
+}  // namespace midas
+
+#endif  // MIDAS_EXTRACT_DUMP_IO_H_

@@ -1,0 +1,27 @@
+#include "midas/extract/extraction.h"
+
+namespace midas {
+namespace extract {
+
+std::vector<ExtractedFact> FilterByConfidence(
+    const std::vector<ExtractedFact>& facts, double threshold) {
+  std::vector<ExtractedFact> out;
+  out.reserve(facts.size());
+  for (const auto& f : facts) {
+    if (f.confidence > threshold) out.push_back(f);
+  }
+  return out;
+}
+
+web::Corpus BuildCorpus(const ExtractionDump& dump, double threshold) {
+  web::Corpus corpus(dump.dict);
+  for (const auto& f : dump.facts) {
+    if (f.confidence > threshold) {
+      corpus.AddFact(f.url, f.triple);
+    }
+  }
+  return corpus;
+}
+
+}  // namespace extract
+}  // namespace midas

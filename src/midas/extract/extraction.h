@@ -1,0 +1,50 @@
+#ifndef MIDAS_EXTRACT_EXTRACTION_H_
+#define MIDAS_EXTRACT_EXTRACTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "midas/rdf/dictionary.h"
+#include "midas/rdf/triple.h"
+#include "midas/web/web_source.h"
+
+namespace midas {
+namespace extract {
+
+/// One record emitted by an automated knowledge extraction pipeline
+/// (KnowledgeVault / ReVerb / NELL style): a fact, the web page it came
+/// from, and the extractor's confidence.
+struct ExtractedFact {
+  /// Normalized source page URL.
+  std::string url;
+  /// Dictionary-encoded fact.
+  rdf::Triple triple;
+  /// Extractor confidence in [0, 1].
+  double confidence = 1.0;
+};
+
+/// A full extraction dump: the shared dictionary plus all records.
+struct ExtractionDump {
+  std::shared_ptr<rdf::Dictionary> dict;
+  std::vector<ExtractedFact> facts;
+};
+
+/// The paper only trusts extractions "with confidence value above 0.7"
+/// (KnowledgeVault setting); ReVerb and NELL dumps ship pre-filtered at
+/// 0.75.
+inline constexpr double kKnowledgeVaultConfidenceThreshold = 0.7;
+inline constexpr double kOpenIeConfidenceThreshold = 0.75;
+
+/// Keeps only records with confidence > threshold.
+std::vector<ExtractedFact> FilterByConfidence(
+    const std::vector<ExtractedFact>& facts, double threshold);
+
+/// Assembles the slice-discovery input corpus from (already filtered)
+/// extraction records. Duplicate (url, triple) pairs collapse.
+web::Corpus BuildCorpus(const ExtractionDump& dump, double threshold);
+
+}  // namespace extract
+}  // namespace midas
+
+#endif  // MIDAS_EXTRACT_EXTRACTION_H_

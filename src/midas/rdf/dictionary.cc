@@ -1,0 +1,32 @@
+#include "midas/rdf/dictionary.h"
+
+#include "midas/util/logging.h"
+
+namespace midas {
+namespace rdf {
+
+TermId Dictionary::Intern(std::string_view term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  MIDAS_CHECK_LT(terms_.size(), kInvalidTermId) << "dictionary overflow";
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Lookup(std::string_view term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Dictionary::MemoryUsageBytes() const {
+  size_t bytes = terms_.capacity() * sizeof(std::string);
+  for (const auto& t : terms_) bytes += t.capacity();
+  bytes += index_.size() * (sizeof(std::string) + sizeof(TermId) + 16);
+  return bytes;
+}
+
+}  // namespace rdf
+}  // namespace midas

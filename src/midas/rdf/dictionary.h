@@ -1,0 +1,63 @@
+#ifndef MIDAS_RDF_DICTIONARY_H_
+#define MIDAS_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace midas {
+namespace rdf {
+
+/// Dense id for an interned RDF term (subject, predicate, or object string).
+using TermId = uint32_t;
+
+/// Sentinel for "no term".
+inline constexpr TermId kInvalidTermId = std::numeric_limits<TermId>::max();
+
+/// String-interning dictionary. Every RDF term in a dataset is mapped to a
+/// dense TermId once; triples, fact tables, slices, and the knowledge base
+/// all operate on ids, which makes set operations on millions of facts cheap
+/// (this is the standard dictionary-encoding idiom of RDF stores).
+///
+/// A Dictionary is shared between a corpus and the knowledge base it is
+/// compared against, so ids are directly comparable. Not thread-safe for
+/// writes; concurrent reads are safe once loading is done.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id for `term` if already interned.
+  std::optional<TermId> Lookup(std::string_view term) const;
+
+  /// Returns the string for an id. Requires id < size().
+  const std::string& Term(TermId id) const { return terms_[id]; }
+
+  /// Number of distinct terms.
+  size_t size() const { return terms_.size(); }
+
+  /// Approximate heap footprint in bytes (terms + index).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  std::vector<std::string> terms_;
+  // Heterogeneous lookup so Lookup(string_view) does not allocate.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, TermId, StringHash, std::equal_to<>> index_;
+};
+
+}  // namespace rdf
+}  // namespace midas
+
+#endif  // MIDAS_RDF_DICTIONARY_H_

@@ -1,0 +1,32 @@
+#include "midas/rdf/ontology.h"
+
+#include <unordered_set>
+
+#include "midas/util/logging.h"
+
+namespace midas {
+namespace rdf {
+
+void Ontology::AddType(TypeSpec type) {
+  MIDAS_CHECK(index_.find(type.name) == index_.end())
+      << "duplicate type " << type.name;
+  index_[type.name] = types_.size();
+  types_.push_back(std::move(type));
+}
+
+const TypeSpec* Ontology::FindType(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return nullptr;
+  return &types_[it->second];
+}
+
+size_t Ontology::NumDistinctPredicates() const {
+  std::unordered_set<std::string> names;
+  for (const auto& type : types_) {
+    for (const auto& pred : type.predicates) names.insert(pred.name);
+  }
+  return names.size();
+}
+
+}  // namespace rdf
+}  // namespace midas

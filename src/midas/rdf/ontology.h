@@ -1,0 +1,64 @@
+#ifndef MIDAS_RDF_ONTOLOGY_H_
+#define MIDAS_RDF_ONTOLOGY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace midas {
+namespace rdf {
+
+/// Value domain and emission behaviour of one predicate inside a type.
+struct PredicateSpec {
+  /// Predicate name, e.g. "sponsor".
+  std::string name;
+  /// Closed value vocabulary; entities draw from it. For open-valued
+  /// predicates (e.g. "started"), leave empty and set open_values = n so
+  /// synthetic values "name_0".."name_{n-1}" are minted.
+  std::vector<std::string> values;
+  size_t open_values = 0;
+  /// Probability that an entity of the type carries this predicate at all.
+  double presence_prob = 1.0;
+  /// If true, an entity may carry several values for this predicate.
+  bool multivalued = false;
+};
+
+/// One entity type ("vertical"), e.g. "rocket_family" with predicates
+/// {sponsor, started, country}.
+struct TypeSpec {
+  std::string name;
+  std::vector<PredicateSpec> predicates;
+};
+
+/// A ClosedIE ontology: the fixed type system NELL-style extractors emit
+/// into. OpenIE corpora do not use an ontology; their predicate strings are
+/// minted freely by the generator.
+class Ontology {
+ public:
+  Ontology() = default;
+
+  /// Registers a type; name must be unique.
+  void AddType(TypeSpec type);
+
+  /// All registered types, registration order.
+  const std::vector<TypeSpec>& types() const { return types_; }
+
+  /// Looks a type up by name.
+  const TypeSpec* FindType(std::string_view name) const;
+
+  /// Total number of distinct predicate names across all types.
+  size_t NumDistinctPredicates() const;
+
+  size_t size() const { return types_.size(); }
+
+ private:
+  std::vector<TypeSpec> types_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace rdf
+}  // namespace midas
+
+#endif  // MIDAS_RDF_ONTOLOGY_H_

@@ -1,0 +1,77 @@
+#include "midas/rdf/query.h"
+
+#include <algorithm>
+
+namespace midas {
+namespace rdf {
+
+namespace {
+
+// Sorted distinct subjects matching one constraint.
+std::vector<TermId> SubjectsMatching(TripleStore* store,
+                                     const SubjectConstraint& c) {
+  TriplePattern pattern;
+  pattern.predicate = c.predicate;
+  pattern.object = c.object;  // may be a wildcard (existence test)
+  std::vector<TermId> subjects;
+  for (const Triple& t : store->Find(pattern)) {
+    subjects.push_back(t.subject);
+  }
+  std::sort(subjects.begin(), subjects.end());
+  subjects.erase(std::unique(subjects.begin(), subjects.end()),
+                 subjects.end());
+  return subjects;
+}
+
+}  // namespace
+
+std::vector<TermId> SubjectsMatchingAll(
+    TripleStore* store, const std::vector<SubjectConstraint>& constraints) {
+  if (constraints.empty()) {
+    // Every subject in the store.
+    std::vector<TermId> subjects;
+    for (const Triple& t : store->triples()) subjects.push_back(t.subject);
+    std::sort(subjects.begin(), subjects.end());
+    subjects.erase(std::unique(subjects.begin(), subjects.end()),
+                   subjects.end());
+    return subjects;
+  }
+
+  // Materialize per-constraint subject lists, then intersect starting from
+  // the smallest.
+  std::vector<std::vector<TermId>> lists;
+  lists.reserve(constraints.size());
+  for (const auto& c : constraints) {
+    lists.push_back(SubjectsMatching(store, c));
+    if (lists.back().empty()) return {};
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+
+  std::vector<TermId> result = std::move(lists[0]);
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    std::vector<TermId> next;
+    next.reserve(result.size());
+    std::set_intersection(result.begin(), result.end(), lists[i].begin(),
+                          lists[i].end(), std::back_inserter(next));
+    result = std::move(next);
+  }
+  return result;
+}
+
+std::vector<TermId> ObjectsOf(TripleStore* store, TermId subject,
+                              TermId predicate) {
+  TriplePattern pattern;
+  pattern.subject = subject;
+  pattern.predicate = predicate;
+  std::vector<TermId> objects;
+  for (const Triple& t : store->Find(pattern)) {
+    objects.push_back(t.object);
+  }
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+  return objects;
+}
+
+}  // namespace rdf
+}  // namespace midas

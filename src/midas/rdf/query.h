@@ -1,0 +1,36 @@
+#ifndef MIDAS_RDF_QUERY_H_
+#define MIDAS_RDF_QUERY_H_
+
+#include <vector>
+
+#include "midas/rdf/triple_store.h"
+
+namespace midas {
+namespace rdf {
+
+/// One conjunct of a subject query: the subject must have `object` for
+/// `predicate` (a property in MIDAS terms), or — when object is
+/// kInvalidTermId — any value for `predicate` (existence test).
+struct SubjectConstraint {
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+};
+
+/// Returns all subjects satisfying every constraint (sorted, distinct).
+/// This is the knowledge-base-side analog of FactTable::MatchEntities —
+/// "which entities in the KB are rocket families sponsored by NASA?" — and
+/// what a downstream application uses to inspect a slice's entities inside
+/// the augmented KB. Constraints are evaluated most-selective-first via
+/// the store's POS index.
+std::vector<TermId> SubjectsMatchingAll(
+    TripleStore* store, const std::vector<SubjectConstraint>& constraints);
+
+/// Returns the distinct objects `subject` has for `predicate` (sorted) —
+/// a KB cell lookup.
+std::vector<TermId> ObjectsOf(TripleStore* store, TermId subject,
+                              TermId predicate);
+
+}  // namespace rdf
+}  // namespace midas
+
+#endif  // MIDAS_RDF_QUERY_H_

@@ -1,0 +1,18 @@
+#include "midas/rdf/triple.h"
+
+namespace midas {
+namespace rdf {
+
+std::string Triple::ToString(const Dictionary& dict) const {
+  std::string out = "(";
+  out += dict.Term(subject);
+  out += ", ";
+  out += dict.Term(predicate);
+  out += ", ";
+  out += dict.Term(object);
+  out += ")";
+  return out;
+}
+
+}  // namespace rdf
+}  // namespace midas

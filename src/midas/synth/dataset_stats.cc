@@ -1,0 +1,25 @@
+#include "midas/synth/dataset_stats.h"
+
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace synth {
+
+std::string DatasetStats::KbColumn() const {
+  return kb_facts == 0 ? "Empty" : FormatCount(kb_facts);
+}
+
+DatasetStats ComputeDatasetStats(const std::string& name,
+                                 const web::Corpus& corpus,
+                                 const rdf::KnowledgeBase& kb) {
+  DatasetStats stats;
+  stats.name = name;
+  stats.num_facts = corpus.NumFacts();
+  stats.num_predicates = corpus.NumDistinctPredicates();
+  stats.num_urls = corpus.NumSources();
+  stats.kb_facts = kb.size();
+  return stats;
+}
+
+}  // namespace synth
+}  // namespace midas

@@ -1,0 +1,108 @@
+#include "midas/synth/ontology_sampler.h"
+
+#include "midas/util/logging.h"
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace synth {
+
+rdf::Ontology BuildStockOntology(size_t num_types, uint64_t seed) {
+  Rng rng(seed);
+  rdf::Ontology ontology;
+  for (size_t t = 0; t < num_types; ++t) {
+    rdf::TypeSpec type;
+    type.name = StringPrintf("type_%zu", t);
+
+    // Shared type predicate: always present, single value = the type name.
+    rdf::PredicateSpec type_pred;
+    type_pred.name = "type";
+    type_pred.values = {type.name};
+    type.predicates.push_back(std::move(type_pred));
+
+    // Closed-vocabulary attributes.
+    size_t num_attrs = 2 + rng.Uniform(4);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      rdf::PredicateSpec attr;
+      attr.name = StringPrintf("t%zu_attr%zu", t, a);
+      size_t pool = 4 + rng.Uniform(12);
+      for (size_t v = 0; v < pool; ++v) {
+        attr.values.push_back(StringPrintf("t%zu_a%zu_v%zu", t, a, v));
+      }
+      attr.presence_prob = 0.5 + 0.5 * rng.UniformDouble();
+      type.predicates.push_back(std::move(attr));
+    }
+
+    // One multivalued attribute (e.g. tags).
+    rdf::PredicateSpec tags;
+    tags.name = StringPrintf("t%zu_tags", t);
+    for (size_t v = 0; v < 8; ++v) {
+      tags.values.push_back(StringPrintf("t%zu_tag%zu", t, v));
+    }
+    tags.presence_prob = 0.6;
+    tags.multivalued = true;
+    type.predicates.push_back(std::move(tags));
+
+    // One open-valued identifier.
+    rdf::PredicateSpec ident;
+    ident.name = StringPrintf("t%zu_id", t);
+    ident.open_values = 1000000;
+    ident.presence_prob = 0.8;
+    type.predicates.push_back(std::move(ident));
+
+    ontology.AddType(std::move(type));
+  }
+  return ontology;
+}
+
+OntologySampler::OntologySampler(const rdf::Ontology* ontology,
+                                 rdf::Dictionary* dict)
+    : ontology_(ontology), dict_(dict) {
+  MIDAS_CHECK(ontology_ != nullptr);
+  MIDAS_CHECK(dict_ != nullptr);
+}
+
+rdf::TermId OntologySampler::SampleEntity(const rdf::TypeSpec& type,
+                                          const std::string& subject_prefix,
+                                          Rng* rng,
+                                          std::vector<rdf::Triple>* out) {
+  rdf::TermId subject =
+      dict_->Intern(StringPrintf("%s%zu", subject_prefix.c_str(), counter_++));
+  for (const rdf::PredicateSpec& pred : type.predicates) {
+    if (!rng->Bernoulli(pred.presence_prob)) continue;
+    rdf::TermId predicate = dict_->Intern(pred.name);
+
+    auto draw_value = [&]() -> rdf::TermId {
+      if (!pred.values.empty()) {
+        return dict_->Intern(pred.values[rng->Uniform(pred.values.size())]);
+      }
+      // Open domain: mint "<pred.name>_<k>".
+      uint64_t k = rng->Uniform(std::max<size_t>(1, pred.open_values));
+      return dict_->Intern(StringPrintf(
+          "%s_%llu", pred.name.c_str(), static_cast<unsigned long long>(k)));
+    };
+
+    size_t values = 1;
+    if (pred.multivalued) values += rng->Uniform(3);  // 1-3 values
+    for (size_t v = 0; v < values; ++v) {
+      out->emplace_back(subject, predicate, draw_value());
+    }
+  }
+  return subject;
+}
+
+std::vector<rdf::TermId> OntologySampler::SampleEntities(
+    const std::string& type_name, size_t count,
+    const std::string& subject_prefix, Rng* rng,
+    std::vector<rdf::Triple>* out) {
+  const rdf::TypeSpec* type = ontology_->FindType(type_name);
+  if (type == nullptr) return {};
+  std::vector<rdf::TermId> subjects;
+  subjects.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    subjects.push_back(SampleEntity(*type, subject_prefix, rng, out));
+  }
+  return subjects;
+}
+
+}  // namespace synth
+}  // namespace midas

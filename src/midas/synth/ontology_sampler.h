@@ -1,0 +1,54 @@
+#ifndef MIDAS_SYNTH_ONTOLOGY_SAMPLER_H_
+#define MIDAS_SYNTH_ONTOLOGY_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/rdf/dictionary.h"
+#include "midas/rdf/ontology.h"
+#include "midas/rdf/triple.h"
+#include "midas/util/random.h"
+
+namespace midas {
+namespace synth {
+
+/// Builds a stock ClosedIE ontology with `num_types` types. Each type gets
+/// a shared "type" predicate, 2-5 closed-vocabulary attributes, one
+/// multivalued attribute, and one open-valued identifier predicate —
+/// the shape of a NELL-style fixed schema. Deterministic in `seed`.
+rdf::Ontology BuildStockOntology(size_t num_types, uint64_t seed = 13);
+
+/// Samples entities conforming to an rdf::Ontology: honors each
+/// PredicateSpec's presence probability, closed/open value domain, and
+/// multivalued flag. The declarative counterpart of the corpus generator's
+/// internal vertical machinery, for tests and custom pipelines that want
+/// schema control.
+class OntologySampler {
+ public:
+  /// `ontology` and `dict` must outlive the sampler.
+  OntologySampler(const rdf::Ontology* ontology, rdf::Dictionary* dict);
+
+  /// Emits all facts of one fresh entity of `type`. The entity's subject
+  /// term is "<prefix><counter>"; returns the subject id.
+  rdf::TermId SampleEntity(const rdf::TypeSpec& type,
+                           const std::string& subject_prefix, Rng* rng,
+                           std::vector<rdf::Triple>* out);
+
+  /// Emits `count` entities of a type chosen by name. Returns the subject
+  /// ids; empty when the type is unknown.
+  std::vector<rdf::TermId> SampleEntities(const std::string& type_name,
+                                          size_t count,
+                                          const std::string& subject_prefix,
+                                          Rng* rng,
+                                          std::vector<rdf::Triple>* out);
+
+ private:
+  const rdf::Ontology* ontology_;
+  rdf::Dictionary* dict_;
+  size_t counter_ = 0;
+};
+
+}  // namespace synth
+}  // namespace midas
+
+#endif  // MIDAS_SYNTH_ONTOLOGY_SAMPLER_H_

@@ -1,0 +1,36 @@
+#include "midas/synth/silver_standard.h"
+
+#include <algorithm>
+
+namespace midas {
+namespace synth {
+
+CoverageAdjusted BuildCoverageAdjustedKb(
+    const SilverStandard& initial, double coverage,
+    const std::shared_ptr<rdf::Dictionary>& dict, Rng* rng) {
+  CoverageAdjusted out;
+  out.kb = std::make_unique<rdf::KnowledgeBase>(dict);
+
+  size_t take = static_cast<size_t>(
+      coverage * static_cast<double>(initial.slices.size()) + 0.5);
+  take = std::min(take, initial.slices.size());
+
+  std::vector<size_t> order(initial.slices.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  std::vector<char> in_kb(initial.slices.size(), 0);
+  for (size_t i = 0; i < take; ++i) in_kb[order[i]] = 1;
+
+  for (size_t i = 0; i < initial.slices.size(); ++i) {
+    if (in_kb[i]) {
+      out.kb->AddAll(initial.slices[i].facts);
+    } else {
+      out.remaining.slices.push_back(initial.slices[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace synth
+}  // namespace midas

@@ -1,0 +1,60 @@
+#ifndef MIDAS_SYNTH_SILVER_STANDARD_H_
+#define MIDAS_SYNTH_SILVER_STANDARD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "midas/rdf/dictionary.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/rdf/triple.h"
+#include "midas/util/random.h"
+
+namespace midas {
+namespace synth {
+
+/// A ground-truth ("silver standard") slice: what a human labeler marked as
+/// a desired extraction target for a web source (paper §IV-B). In this
+/// reproduction the labels are exact by construction — the generator knows
+/// which coherent entity groups it planted.
+struct GroundTruthSlice {
+  /// The web source the slice belongs to (section-level URL).
+  std::string source_url;
+  /// The defining properties (selection rule), catalog-independent.
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> rule;
+  /// Subjects of the slice's entities.
+  std::vector<rdf::TermId> entities;
+  /// The slice's facts *in extraction space*: the facts of its entities
+  /// that survived extraction and confidence filtering (this is the set
+  /// detected slices are compared against).
+  std::vector<rdf::Triple> facts;
+  /// Human-readable description for reports.
+  std::string description;
+};
+
+/// The full silver standard of a generated dataset.
+struct SilverStandard {
+  std::vector<GroundTruthSlice> slices;
+
+  size_t size() const { return slices.size(); }
+};
+
+/// The coverage-adjustment protocol of §IV-B (ReVerb-Slim / NELL-Slim):
+/// given the Initial Silver Standard (labeled against an empty KB), build a
+/// knowledge base of coverage x by moving a random x-fraction of the silver
+/// slices' facts into the KB; the remaining slices become the optimal
+/// output for the new KB.
+struct CoverageAdjusted {
+  std::unique_ptr<rdf::KnowledgeBase> kb;
+  /// Slices still absent from the KB — the optimal output.
+  SilverStandard remaining;
+};
+
+CoverageAdjusted BuildCoverageAdjustedKb(
+    const SilverStandard& initial, double coverage,
+    const std::shared_ptr<rdf::Dictionary>& dict, Rng* rng);
+
+}  // namespace synth
+}  // namespace midas
+
+#endif  // MIDAS_SYNTH_SILVER_STANDARD_H_

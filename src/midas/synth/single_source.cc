@@ -1,0 +1,102 @@
+#include "midas/synth/single_source.h"
+
+#include <algorithm>
+
+#include "midas/util/logging.h"
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace synth {
+
+SingleSourceData GenerateSingleSource(const SingleSourceParams& params) {
+  MIDAS_CHECK_LE(params.num_optimal, params.num_slices);
+  Rng rng(params.seed);
+
+  SingleSourceData data;
+  data.dict = std::make_shared<rdf::Dictionary>();
+  data.url = params.url;
+  data.kb = std::make_unique<rdf::KnowledgeBase>(data.dict);
+  rdf::Dictionary& dict = *data.dict;
+
+  const size_t b = params.num_slices;
+  const size_t m = params.num_optimal;
+  const size_t conds = params.conditions_per_rule;
+  const size_t entities_per_slice = std::max<size_t>(
+      1, static_cast<size_t>(params.entities_fraction *
+                             static_cast<double>(params.num_facts)));
+
+  // Shared predicate pool: condition j of every rule uses predicate j, so
+  // slices are sibling verticals distinguished by their values (a foreign
+  // condition then lands on an already-used predicate, exercising the
+  // multi-valued cell path of the fact table).
+  std::vector<rdf::TermId> predicates(conds);
+  for (size_t j = 0; j < conds; ++j) {
+    predicates[j] = dict.Intern(StringPrintf("pred_%zu", j));
+  }
+
+  // Selection rules: slice i, condition j has value "v_<i>_<j>".
+  std::vector<std::vector<rdf::TermId>> rule_values(b);
+  for (size_t i = 0; i < b; ++i) {
+    rule_values[i].resize(conds);
+    for (size_t j = 0; j < conds; ++j) {
+      rule_values[i][j] = dict.Intern(StringPrintf("v_%zu_%zu", i, j));
+    }
+  }
+
+  // Pick the m optimal slices uniformly.
+  std::vector<char> optimal(b, 0);
+  for (size_t i : rng.SampleWithoutReplacement(b, m)) optimal[i] = 1;
+
+  // Generate entities and facts.
+  std::vector<std::vector<rdf::Triple>> slice_facts(b);
+  std::vector<std::vector<rdf::TermId>> slice_entities(b);
+  for (size_t i = 0; i < b; ++i) {
+    for (size_t e = 0; e < entities_per_slice; ++e) {
+      rdf::TermId subject =
+          dict.Intern(StringPrintf("slice%zu_entity%zu", i, e));
+      slice_entities[i].push_back(subject);
+      for (size_t j = 0; j < conds; ++j) {
+        if (rng.Bernoulli(params.condition_prob)) {
+          slice_facts[i].emplace_back(subject, predicates[j],
+                                      rule_values[i][j]);
+        }
+      }
+      // With small probability the entity carries one condition from
+      // another slice's rule.
+      if (b > 1 && rng.Bernoulli(params.noise_condition_prob)) {
+        size_t other = rng.Uniform(b - 1);
+        if (other >= i) ++other;
+        size_t j = rng.Uniform(conds);
+        slice_facts[i].emplace_back(subject, predicates[j],
+                                    rule_values[other][j]);
+      }
+    }
+  }
+
+  // Assemble the source, the KB, and the optimal output.
+  for (size_t i = 0; i < b; ++i) {
+    data.facts.insert(data.facts.end(), slice_facts[i].begin(),
+                      slice_facts[i].end());
+    if (optimal[i]) {
+      GroundTruthSlice gt;
+      gt.source_url = params.url;
+      for (size_t j = 0; j < conds; ++j) {
+        gt.rule.emplace_back(predicates[j], rule_values[i][j]);
+      }
+      gt.entities = slice_entities[i];
+      gt.facts = slice_facts[i];
+      gt.description = StringPrintf("synthetic optimal slice %zu", i);
+      data.optimal.slices.push_back(std::move(gt));
+    } else {
+      // Non-optimal slices are mostly known to the KB already.
+      for (const rdf::Triple& t : slice_facts[i]) {
+        if (rng.Bernoulli(params.kb_fraction)) data.kb->Add(t);
+      }
+    }
+  }
+
+  return data;
+}
+
+}  // namespace synth
+}  // namespace midas

@@ -1,0 +1,77 @@
+#ifndef MIDAS_SYNTH_SINGLE_SOURCE_H_
+#define MIDAS_SYNTH_SINGLE_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "midas/rdf/dictionary.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/rdf/triple.h"
+#include "midas/synth/silver_standard.h"
+#include "midas/util/random.h"
+
+namespace midas {
+namespace synth {
+
+/// Parameters of the paper's §IV-D synthetic single-source generator.
+///
+/// "We create synthetic data by randomly generating facts in a web source
+/// based on user-specified parameters: the number of slices k, the number
+/// of optimal slices m ≤ k (output size), and the number of facts n (input
+/// size): For each slice, we first generate its selection rule that
+/// consists [of] 5 conditions and then create n·1% entities in this slice.
+/// [...] for each entity, the probability of having a condition in the
+/// corresponding selection rule is above 0.95 and the probability of having
+/// a condition absent from the selection rule is below 0.05. Among k
+/// slices, we select m of them as optimal slices and construct the existing
+/// knowledge base accordingly: for non-optimal slices, we randomly select
+/// 0.95 of their facts and add them in the existing knowledge base."
+struct SingleSourceParams {
+  /// n — target number of facts in the source.
+  size_t num_facts = 5000;
+  /// b (a.k.a. k) — total planted slices.
+  size_t num_slices = 20;
+  /// m — planted slices whose facts are missing from the KB.
+  size_t num_optimal = 10;
+  /// Conditions per selection rule.
+  size_t conditions_per_rule = 5;
+  /// Entities per slice as a fraction of n (paper: 1%).
+  double entities_fraction = 0.01;
+  /// P(entity has each rule condition). Paper: "above 0.95".
+  double condition_prob = 0.98;
+  /// P(entity gains one condition foreign to its rule). Paper: "below
+  /// 0.05".
+  double noise_condition_prob = 0.02;
+  /// Fraction of a non-optimal slice's facts placed into the KB. The paper
+  /// states 0.95, but with the default cost model that leaves non-optimal
+  /// slices *profitable* once a source exceeds ~5.7k facts (0.05·F·0.9 −
+  /// f_p − f_d·F > 0), contradicting the paper's own Fig. 11a; we default
+  /// to 0.98 so non-optimal slices stay unprofitable across the sweep (see
+  /// DESIGN.md).
+  double kb_fraction = 0.98;
+  /// Seed for the deterministic generator.
+  uint64_t seed = 42;
+  /// URL assigned to the source.
+  std::string url = "http://synthetic.example.com/source";
+};
+
+/// A generated single-source dataset: facts, KB, and ground truth.
+struct SingleSourceData {
+  std::shared_ptr<rdf::Dictionary> dict;
+  std::string url;
+  /// The source's facts T_W.
+  std::vector<rdf::Triple> facts;
+  /// The existing knowledge base E.
+  std::unique_ptr<rdf::KnowledgeBase> kb;
+  /// The m optimal slices (the expected output).
+  SilverStandard optimal;
+};
+
+/// Runs the §IV-D generator.
+SingleSourceData GenerateSingleSource(const SingleSourceParams& params);
+
+}  // namespace synth
+}  // namespace midas
+
+#endif  // MIDAS_SYNTH_SINGLE_SOURCE_H_

@@ -1,0 +1,153 @@
+#include "midas/util/flags.h"
+
+#include <cstdlib>
+
+#include "midas/util/logging.h"
+#include "midas/util/string_util.h"
+
+namespace midas {
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          const std::string& help) {
+  Flag f;
+  f.type = Type::kInt64;
+  f.help = help;
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+Status FlagParser::SetValue(const std::string& name,
+                            const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& f = it->second;
+  switch (f.type) {
+    case Type::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size() || value.empty()) {
+        return Status::InvalidArgument("bad int for --" + name + ": " + value);
+      }
+      f.int_value = v;
+      break;
+    }
+    case Type::kDouble: {
+      double v = 0;
+      if (!ParseDouble(value, &v)) {
+        return Status::InvalidArgument("bad double for --" + name + ": " +
+                                       value);
+      }
+      f.double_value = v;
+      break;
+    }
+    case Type::kBool: {
+      std::string lower = ToLower(value);
+      if (lower == "true" || lower == "1" || lower.empty()) {
+        f.bool_value = true;
+      } else if (lower == "false" || lower == "0") {
+        f.bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " +
+                                       value);
+      }
+      break;
+    }
+    case Type::kString:
+      f.string_value = value;
+      break;
+  }
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      MIDAS_RETURN_IF_ERROR(SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+    if (it->second.type == Type::kBool) {
+      it->second.bool_value = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("missing value for --" + body);
+    }
+    MIDAS_RETURN_IF_ERROR(SetValue(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  auto it = flags_.find(name);
+  MIDAS_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return it->second.int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  MIDAS_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return it->second.double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  MIDAS_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return it->second.bool_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  MIDAS_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return it->second.string_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + "  " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace midas

@@ -1,0 +1,67 @@
+#ifndef MIDAS_UTIL_FLAGS_H_
+#define MIDAS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "midas/util/status.h"
+
+namespace midas {
+
+/// Tiny command-line flag parser for the benchmark harnesses and examples.
+/// Accepts --name=value and --name value forms plus bare --bool (true).
+/// Unknown flags are an error so typos in sweep scripts fail loudly.
+///
+///   FlagParser flags;
+///   flags.AddInt64("num_facts", 5000, "facts per source");
+///   flags.AddString("dataset", "reverb", "reverb|nell");
+///   MIDAS_CHECK(flags.Parse(argc, argv).ok());
+///   int64_t n = flags.GetInt64("num_facts");
+class FlagParser {
+ public:
+  /// Registers flags with defaults and help text.
+  void AddInt64(const std::string& name, int64_t default_value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown flags or bad values.
+  /// Non-flag positional arguments are collected in positional().
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage string listing all registered flags.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_UTIL_FLAGS_H_

@@ -1,0 +1,45 @@
+#ifndef MIDAS_UTIL_HASH_H_
+#define MIDAS_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace midas {
+
+/// 64-bit FNV-1a over arbitrary bytes. Stable across platforms and runs, so
+/// it is safe to use in serialized artifacts and deterministic generators
+/// (unlike std::hash, which is unspecified).
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// FNV-1a over a string view.
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Mixes a new 64-bit value into an existing hash (boost::hash_combine
+/// flavour with a 64-bit golden-ratio constant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Finalizer from SplitMix64; useful to de-correlate sequential ids before
+/// using them as hash keys.
+inline uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace midas
+
+#endif  // MIDAS_UTIL_HASH_H_

@@ -1,0 +1,189 @@
+#include "midas/util/json.h"
+
+#include <cmath>
+
+#include "midas/util/logging.h"
+#include "midas/util/string_util.h"
+
+namespace midas {
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string_view value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_.assign(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+void JsonValue::Set(std::string_view key, JsonValue value) {
+  MIDAS_CHECK(IsObject());
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  MIDAS_CHECK(IsArray());
+  array_.push_back(std::move(value));
+}
+
+size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+std::string JsonValue::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Kind::kNumber:
+      if (std::isfinite(number_)) {
+        // Shortest round-trippable-ish representation.
+        std::string repr = StringPrintf("%.17g", number_);
+        double parsed = 0;
+        if (ParseDouble(StringPrintf("%.15g", number_), &parsed) &&
+            parsed == number_) {
+          repr = StringPrintf("%.15g", number_);
+        }
+        *out += repr;
+      } else {
+        *out += "null";  // JSON has no Inf/NaN
+      }
+      return;
+    case Kind::kString:
+      out->push_back('"');
+      *out += Escape(string_);
+      out->push_back('"');
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i) out->push_back(',');
+        newline(depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i) out->push_back(',');
+        newline(depth + 1);
+        out->push_back('"');
+        *out += Escape(object_[i].first);
+        *out += indent > 0 ? "\": " : "\":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace midas

@@ -1,0 +1,70 @@
+#ifndef MIDAS_UTIL_JSON_H_
+#define MIDAS_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace midas {
+
+/// A minimal JSON value builder/serializer — enough for machine-readable
+/// experiment artifacts (slice lists, metric reports) without an external
+/// dependency. Build values with the static factories, serialize with
+/// Dump(). No parser: the repository only *emits* JSON.
+///
+///   JsonValue report = JsonValue::Object();
+///   report.Set("method", JsonValue::Str("MIDAS"));
+///   report.Set("precision", JsonValue::Number(0.93));
+///   JsonValue rows = JsonValue::Array();
+///   rows.Append(JsonValue::Number(1));
+///   report.Set("rows", std::move(rows));
+///   std::string text = report.Dump(/*indent=*/2);
+class JsonValue {
+ public:
+  /// Factories.
+  static JsonValue Null();
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue Int(int64_t value);
+  static JsonValue Str(std::string_view value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  /// Object member set (replaces an existing key). Requires IsObject().
+  void Set(std::string_view key, JsonValue value);
+
+  /// Array append. Requires IsArray().
+  void Append(JsonValue value);
+
+  bool IsObject() const { return kind_ == Kind::kObject; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+
+  /// Number of members/elements; 0 for scalars.
+  size_t size() const;
+
+  /// Serializes; `indent` == 0 gives compact one-line output.
+  std::string Dump(int indent = 0) const;
+
+  /// Escapes a string for embedding in JSON (without the quotes).
+  static std::string Escape(std::string_view s);
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInt, kString, kArray, kObject };
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  int64_t int_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_UTIL_JSON_H_

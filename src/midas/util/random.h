@@ -1,0 +1,93 @@
+#ifndef MIDAS_UTIL_RANDOM_H_
+#define MIDAS_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace midas {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256++). All
+/// synthetic data in this repository flows through Rng so that every
+/// experiment is reproducible from its seed. Satisfies the C++
+/// UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; equal seeds produce equal streams on every
+  /// platform.
+  explicit Rng(uint64_t seed = 0xC0FFEE);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Zipf-distributed rank in [0, n) with exponent s. Ranks near 0 are the
+  /// most likely. Uses an inverted-CDF table internally; prefer ZipfTable
+  /// when drawing many values with the same (n, s).
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement
+  /// (reservoir-free selection sampling; output is sorted).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Forks an independent generator whose stream is decorrelated from this
+  /// one; used to give each synthetic web source its own stream so that
+  /// generation order does not affect content.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Precomputed Zipf CDF for repeated draws with fixed (n, s).
+class ZipfTable {
+ public:
+  /// Builds the CDF table; O(n).
+  ZipfTable(uint64_t n, double s);
+
+  /// Draws a rank in [0, n) using binary search over the CDF; O(log n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_UTIL_RANDOM_H_

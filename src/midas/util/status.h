@@ -1,0 +1,139 @@
+#ifndef MIDAS_UTIL_STATUS_H_
+#define MIDAS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace midas {
+
+/// Error categories used across the library. Mirrors the classic
+/// database-engine Status idiom: functions that can fail return a Status (or
+/// StatusOr<T>) instead of throwing; exceptions never cross API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kIoError,
+  kInternal,
+  kNotSupported,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("Ok",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success/error result. Cheap to copy in the success case
+/// (single enum); carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and optional message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// absl::StatusOr / rocksdb's result types; deliberately minimal.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error status. Requires !status.ok().
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is held).
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define MIDAS_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::midas::Status _midas_status = (expr);        \
+    if (!_midas_status.ok()) return _midas_status; \
+  } while (0)
+
+}  // namespace midas
+
+#endif  // MIDAS_UTIL_STATUS_H_

@@ -1,0 +1,60 @@
+#ifndef MIDAS_UTIL_THREAD_POOL_H_
+#define MIDAS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace midas {
+
+/// Fixed-size worker pool. Stands in for the paper's MapReduce runtime: the
+/// MIDAS framework shards work by parent URL and submits one task per shard.
+///
+/// Usage:
+///   ThreadPool pool(8);
+///   for (auto& shard : shards) pool.Submit([&] { Process(shard); });
+///   pool.Wait();  // barrier between framework rounds
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1; 0 is clamped to
+  /// hardware_concurrency).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. May be called multiple
+  /// times (acts as a reusable barrier).
+  void Wait();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked to limit queue overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_UTIL_THREAD_POOL_H_

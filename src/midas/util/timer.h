@@ -1,0 +1,35 @@
+#ifndef MIDAS_UTIL_TIMER_H_
+#define MIDAS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace midas {
+
+/// Monotonic wall-clock stopwatch used by the scalability experiments
+/// (Fig. 10b/10d, Fig. 11b/11d).
+class Stopwatch {
+ public:
+  /// Starts the stopwatch.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_UTIL_TIMER_H_

@@ -1,0 +1,112 @@
+#include "midas/util/tsv.h"
+
+#include <fstream>
+
+#include "midas/util/string_util.h"
+
+namespace midas {
+
+std::string TsvEscape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string TsvUnescape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '\\' && i + 1 < field.size()) {
+      switch (field[i + 1]) {
+        case 't':
+          out.push_back('\t');
+          ++i;
+          continue;
+        case 'n':
+          out.push_back('\n');
+          ++i;
+          continue;
+        case 'r':
+          out.push_back('\r');
+          ++i;
+          continue;
+        case '\\':
+          out.push_back('\\');
+          ++i;
+          continue;
+        default:
+          break;
+      }
+    }
+    out.push_back(field[i]);
+  }
+  return out;
+}
+
+std::string TsvFormatRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back('\t');
+    out += TsvEscape(fields[i]);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+std::vector<std::string> TsvParseRow(std::string_view line) {
+  std::vector<std::string> fields;
+  for (std::string_view raw : Split(line, '\t')) {
+    fields.push_back(TsvUnescape(raw));
+  }
+  return fields;
+}
+
+Status TsvReadFile(
+    const std::string& path,
+    const std::function<Status(size_t, const std::vector<std::string>&)>&
+        callback) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  size_t row = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    MIDAS_RETURN_IF_ERROR(callback(row, TsvParseRow(line)));
+    ++row;
+  }
+  if (in.bad()) return Status::IoError("read error on " + path);
+  return Status::OK();
+}
+
+Status TsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& row : rows) {
+    out << TsvFormatRow(row);
+  }
+  out.flush();
+  if (!out) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+}  // namespace midas

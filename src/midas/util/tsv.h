@@ -1,0 +1,43 @@
+#ifndef MIDAS_UTIL_TSV_H_
+#define MIDAS_UTIL_TSV_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "midas/util/status.h"
+
+namespace midas {
+
+/// Minimal TSV reader/writer used for extraction dumps and experiment
+/// artifacts. Fields may not contain tabs or newlines; we escape them with
+/// backslash sequences (\t, \n, \\) so round-trips are lossless.
+
+/// Escapes tabs, newlines, carriage returns, and backslashes.
+std::string TsvEscape(std::string_view field);
+
+/// Reverses TsvEscape. Unknown escape sequences are preserved literally.
+std::string TsvUnescape(std::string_view field);
+
+/// Serializes one row (fields joined by tabs, terminated by '\n').
+std::string TsvFormatRow(const std::vector<std::string>& fields);
+
+/// Parses one line (without trailing newline) into unescaped fields.
+std::vector<std::string> TsvParseRow(std::string_view line);
+
+/// Streams a TSV file row by row. `callback` receives the 0-based row index
+/// and the unescaped fields; returning a non-OK status aborts the scan and
+/// is propagated. Blank lines and lines starting with '#' are skipped.
+Status TsvReadFile(
+    const std::string& path,
+    const std::function<Status(size_t row, const std::vector<std::string>&)>&
+        callback);
+
+/// Writes rows to `path`, overwriting any existing file.
+Status TsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace midas
+
+#endif  // MIDAS_UTIL_TSV_H_

@@ -1,0 +1,121 @@
+#include "midas/web/url.h"
+
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace web {
+
+StatusOr<Url> Url::Parse(std::string_view raw) {
+  std::string_view input = Trim(raw);
+  size_t scheme_end = input.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return Status::InvalidArgument("missing scheme in URL: " +
+                                   std::string(raw));
+  }
+  Url url;
+  url.scheme_ = ToLower(input.substr(0, scheme_end));
+  std::string_view rest = input.substr(scheme_end + 3);
+
+  size_t path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  std::string_view path = path_start == std::string_view::npos
+                              ? std::string_view()
+                              : rest.substr(path_start);
+
+  // Drop userinfo, if any.
+  size_t at = authority.rfind('@');
+  if (at != std::string_view::npos) authority = authority.substr(at + 1);
+
+  // Strip default ports.
+  std::string host = ToLower(authority);
+  size_t colon = host.rfind(':');
+  if (colon != std::string::npos) {
+    std::string_view port = std::string_view(host).substr(colon + 1);
+    if ((url.scheme_ == "http" && port == "80") ||
+        (url.scheme_ == "https" && port == "443")) {
+      host = host.substr(0, colon);
+    }
+  }
+  if (host.empty()) {
+    return Status::InvalidArgument("missing host in URL: " + std::string(raw));
+  }
+  url.host_ = std::move(host);
+
+  // Drop query/fragment, split path segments, collapse empty ones.
+  size_t cut = path.find_first_of("?#");
+  if (cut != std::string_view::npos) path = path.substr(0, cut);
+  for (std::string_view seg : SplitSkipEmpty(path, '/')) {
+    url.segments_.emplace_back(seg);
+  }
+  return url;
+}
+
+std::string Url::ToString() const {
+  std::string out = scheme_ + "://" + host_;
+  for (const auto& seg : segments_) {
+    out.push_back('/');
+    out += seg;
+  }
+  return out;
+}
+
+Url Url::Parent() const {
+  Url out = *this;
+  if (!out.segments_.empty()) out.segments_.pop_back();
+  return out;
+}
+
+Url Url::Domain() const {
+  Url out = *this;
+  out.segments_.clear();
+  return out;
+}
+
+Url Url::Prefix(size_t levels) const {
+  Url out = *this;
+  if (levels < out.segments_.size()) out.segments_.resize(levels);
+  return out;
+}
+
+bool Url::IsPrefixOf(const Url& other) const {
+  if (scheme_ != other.scheme_ || host_ != other.host_) return false;
+  if (segments_.size() > other.segments_.size()) return false;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i] != other.segments_[i]) return false;
+  }
+  return true;
+}
+
+std::string NormalizeUrl(std::string_view raw) {
+  auto parsed = Url::Parse(raw);
+  if (!parsed.ok()) return std::string(Trim(raw));
+  return parsed->ToString();
+}
+
+std::string ParentUrlString(std::string_view normalized) {
+  size_t scheme_end = normalized.find("://");
+  size_t host_start = scheme_end == std::string_view::npos ? 0 : scheme_end + 3;
+  size_t last_slash = normalized.rfind('/');
+  if (last_slash == std::string_view::npos || last_slash < host_start) {
+    return std::string(normalized);  // bare domain
+  }
+  return std::string(normalized.substr(0, last_slash));
+}
+
+size_t UrlDepth(std::string_view normalized) {
+  size_t scheme_end = normalized.find("://");
+  std::string_view rest = scheme_end == std::string_view::npos
+                              ? normalized
+                              : normalized.substr(scheme_end + 3);
+  size_t depth = 0;
+  for (std::string_view seg : SplitSkipEmpty(rest, '/')) {
+    (void)seg;
+    ++depth;
+  }
+  // First component is the host, not a path segment.
+  return depth == 0 ? 0 : depth - 1;
+}
+
+}  // namespace web
+}  // namespace midas

@@ -1,0 +1,74 @@
+#include "midas/web/url_hierarchy.h"
+
+#include <algorithm>
+
+#include "midas/web/url.h"
+
+namespace midas {
+namespace web {
+
+size_t UrlHierarchy::Insert(std::string_view normalized_url) {
+  return InsertInternal(normalized_url, /*is_explicit=*/true);
+}
+
+size_t UrlHierarchy::InsertInternal(std::string_view normalized_url,
+                                    bool is_explicit) {
+  std::string url(normalized_url);
+  auto it = index_.find(url);
+  if (it != index_.end()) {
+    if (is_explicit) nodes_[it->second].is_explicit = true;
+    return it->second;
+  }
+
+  size_t depth = UrlDepth(url);
+  size_t parent_index = kNoNode;
+  if (depth > 0) {
+    parent_index = InsertInternal(ParentUrlString(url), /*is_explicit=*/false);
+  }
+
+  Node node;
+  node.url = url;
+  node.depth = depth;
+  node.parent = parent_index;
+  node.is_explicit = is_explicit;
+  size_t node_index = nodes_.size();
+  nodes_.push_back(std::move(node));
+  index_[url] = node_index;
+  if (parent_index != kNoNode) {
+    nodes_[parent_index].children.push_back(node_index);
+  }
+  max_depth_ = std::max(max_depth_, depth);
+  return node_index;
+}
+
+size_t UrlHierarchy::Find(std::string_view url) const {
+  auto it = index_.find(std::string(url));
+  return it == index_.end() ? kNoNode : it->second;
+}
+
+std::vector<size_t> UrlHierarchy::NodesAtDepth(size_t depth) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].depth == depth) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> UrlHierarchy::Roots() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == kNoNode) out.push_back(i);
+  }
+  return out;
+}
+
+size_t UrlHierarchy::NumExplicit() const {
+  size_t count = 0;
+  for (const auto& n : nodes_) {
+    if (n.is_explicit) ++count;
+  }
+  return count;
+}
+
+}  // namespace web
+}  // namespace midas

@@ -1,0 +1,74 @@
+#ifndef MIDAS_WEB_URL_HIERARCHY_H_
+#define MIDAS_WEB_URL_HIERARCHY_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace midas {
+namespace web {
+
+/// Sentinel node index.
+inline constexpr size_t kNoNode = std::numeric_limits<size_t>::max();
+
+/// The natural hierarchy of web sources in a corpus (paper §III-B): page
+/// URLs, their path prefixes, and bare domains form a forest — one tree per
+/// web domain. The MIDAS framework iterates this structure from the finest
+/// granularity upward, sharding each round's work by parent node.
+class UrlHierarchy {
+ public:
+  struct Node {
+    /// Normalized URL of this prefix.
+    std::string url;
+    /// Path depth: 0 = bare domain.
+    size_t depth = 0;
+    /// Parent node index; kNoNode for domain roots.
+    size_t parent = kNoNode;
+    /// Child node indices.
+    std::vector<size_t> children;
+    /// True iff this exact URL appeared in the input (i.e. facts were
+    /// extracted directly from it), as opposed to being an implied prefix.
+    bool is_explicit = false;
+  };
+
+  UrlHierarchy() = default;
+
+  /// Inserts a normalized URL and all its ancestor prefixes. Returns the
+  /// node index of the URL itself and marks it explicit; newly created
+  /// ancestors are implicit.
+  size_t Insert(std::string_view normalized_url);
+
+  /// Node accessors.
+  const Node& node(size_t index) const { return nodes_[index]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Finds a node by URL; kNoNode if absent.
+  size_t Find(std::string_view url) const;
+
+  /// Maximum depth over all nodes; 0 for an empty hierarchy.
+  size_t MaxDepth() const { return max_depth_; }
+
+  /// Indices of all nodes at `depth`.
+  std::vector<size_t> NodesAtDepth(size_t depth) const;
+
+  /// Indices of domain roots.
+  std::vector<size_t> Roots() const;
+
+  /// Number of explicit (fact-bearing) nodes.
+  size_t NumExplicit() const;
+
+ private:
+  size_t InsertInternal(std::string_view normalized_url, bool is_explicit);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t max_depth_ = 0;
+};
+
+}  // namespace web
+}  // namespace midas
+
+#endif  // MIDAS_WEB_URL_HIERARCHY_H_

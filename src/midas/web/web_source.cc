@@ -1,0 +1,61 @@
+#include "midas/web/web_source.h"
+
+#include "midas/web/url.h"
+
+namespace midas {
+namespace web {
+
+Corpus::Corpus(std::shared_ptr<rdf::Dictionary> dict)
+    : dict_(dict ? std::move(dict) : std::make_shared<rdf::Dictionary>()) {}
+
+size_t Corpus::AddFact(const std::string& url, const rdf::Triple& triple) {
+  auto [it, inserted] = url_index_.try_emplace(url, sources_.size());
+  if (inserted) {
+    sources_.push_back(WebSource{url, {}});
+    dedup_.emplace_back();
+  }
+  size_t idx = it->second;
+  if (dedup_[idx].insert(triple).second) {
+    sources_[idx].facts.push_back(triple);
+  }
+  return idx;
+}
+
+size_t Corpus::AddFactRaw(std::string_view url, std::string_view subject,
+                          std::string_view predicate,
+                          std::string_view object) {
+  return AddFact(NormalizeUrl(url),
+                 rdf::Triple(dict_->Intern(subject), dict_->Intern(predicate),
+                             dict_->Intern(object)));
+}
+
+const WebSource* Corpus::FindSource(std::string_view url) const {
+  auto it = url_index_.find(std::string(url));
+  if (it == url_index_.end()) return nullptr;
+  return &sources_[it->second];
+}
+
+size_t Corpus::NumFacts() const {
+  size_t total = 0;
+  for (const auto& s : sources_) total += s.facts.size();
+  return total;
+}
+
+size_t Corpus::NumDistinctPredicates() const {
+  std::unordered_set<rdf::TermId> preds;
+  for (const auto& s : sources_) {
+    for (const auto& t : s.facts) preds.insert(t.predicate);
+  }
+  return preds.size();
+}
+
+size_t Corpus::NumDistinctSubjects() const {
+  std::unordered_set<rdf::TermId> subjects;
+  for (const auto& s : sources_) {
+    for (const auto& t : s.facts) subjects.insert(t.subject);
+  }
+  return subjects.size();
+}
+
+}  // namespace web
+}  // namespace midas

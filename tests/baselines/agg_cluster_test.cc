@@ -1,0 +1,127 @@
+#include "midas/baselines/agg_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace midas {
+namespace baselines {
+namespace {
+
+class AggClusterTest : public ::testing::Test {
+ protected:
+  AggClusterTest() : dict_(std::make_shared<rdf::Dictionary>()), kb_(dict_) {}
+
+  void AddFact(const std::string& s, const std::string& p,
+               const std::string& o, bool known = false) {
+    rdf::Triple t(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o));
+    facts_.push_back(t);
+    if (known) kb_.Add(t);
+  }
+  core::SourceInput Input() {
+    core::SourceInput input;
+    input.url = "http://src.example.com";
+    input.facts = &facts_;
+    return input;
+  }
+  AggClusterDetector Make() {
+    AggClusterOptions options;
+    options.cost_model = core::CostModel::RunningExample();
+    return AggClusterDetector(options);
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+  rdf::KnowledgeBase kb_;
+  std::vector<rdf::Triple> facts_;
+};
+
+TEST_F(AggClusterTest, MergesHomogeneousEntities) {
+  for (int i = 0; i < 10; ++i) {
+    std::string e = "e" + std::to_string(i);
+    AddFact(e, "cat", "rocket");
+    AddFact(e, "sponsor", "NASA");
+  }
+  auto agg = Make();
+  auto slices = agg.Detect(Input(), kb_);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].entities.size(), 10u);
+  EXPECT_GE(slices[0].properties.size(), 1u);
+  EXPECT_GT(slices[0].profit, 0.0);
+}
+
+TEST_F(AggClusterTest, KeepsDistinctGroupsApart) {
+  for (int i = 0; i < 10; ++i) {
+    AddFact("r" + std::to_string(i), "cat", "rocket");
+    AddFact("c" + std::to_string(i), "cat", "cocktail");
+  }
+  auto agg = Make();
+  auto slices = agg.Detect(Input(), kb_);
+  // Merging across groups would produce an empty property set (profit
+  // -inf), so the two groups stay separate.
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].entities.size(), 10u);
+  EXPECT_EQ(slices[1].entities.size(), 10u);
+}
+
+TEST_F(AggClusterTest, DropsUnprofitableClusters) {
+  AddFact("known", "cat", "x", /*known=*/true);
+  auto agg = Make();
+  EXPECT_TRUE(agg.Detect(Input(), kb_).empty());
+}
+
+TEST_F(AggClusterTest, EmptySource) {
+  auto agg = Make();
+  EXPECT_TRUE(agg.Detect(Input(), kb_).empty());
+}
+
+TEST_F(AggClusterTest, DeduplicatesIdenticalClusterSlices) {
+  // Two entities with identical properties collapse to one reported slice
+  // even if clustering leaves them in separate clusters.
+  AddFact("e1", "cat", "x");
+  AddFact("e1", "grp", "g");
+  AddFact("e2", "cat", "x");
+  AddFact("e2", "grp", "g");
+  for (int i = 0; i < 8; ++i) {
+    AddFact("pad" + std::to_string(i), "cat", "x");
+    AddFact("pad" + std::to_string(i), "grp", "g");
+  }
+  auto agg = Make();
+  auto slices = agg.Detect(Input(), kb_);
+  ASSERT_EQ(slices.size(), 1u);
+}
+
+TEST_F(AggClusterTest, MaxEntitiesCapBoundsWork) {
+  for (int i = 0; i < 50; ++i) {
+    std::string e = "e" + std::to_string(i);
+    AddFact(e, "cat", "x");
+  }
+  AggClusterOptions options;
+  options.cost_model = core::CostModel::RunningExample();
+  options.max_entities = 10;
+  AggClusterDetector agg(options);
+  auto slices = agg.Detect(Input(), kb_);
+  // Clusters are seeded from the first 10 entities only, but the induced
+  // slice still matches all 50 (MatchEntities runs on the full table).
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].entities.size(), 50u);
+}
+
+TEST_F(AggClusterTest, SeedsBecomeInitialClusters) {
+  for (int i = 0; i < 10; ++i) {
+    std::string e = "e" + std::to_string(i);
+    AddFact(e, "cat", "x");
+    AddFact(e, "grp", i < 5 ? "a" : "b");
+  }
+  core::SourceInput input = Input();
+  input.seeds = {{core::PropertyPair{*dict_->Lookup("cat"),
+                                     *dict_->Lookup("x")}}};
+  auto agg = Make();
+  auto slices = agg.Detect(input, kb_);
+  ASSERT_GE(slices.size(), 1u);
+  // The seeded cluster covers all entities.
+  EXPECT_EQ(slices[0].entities.size(), 10u);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace midas

@@ -1,0 +1,146 @@
+// Contract tests applied to every SliceDetector implementation (MIDAS and
+// the three baselines): well-formed output, determinism, and thread safety
+// — the framework invokes detectors concurrently from its pool, so a
+// detector with hidden mutable state would corrupt runs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "midas/baselines/agg_cluster.h"
+#include "midas/baselines/greedy.h"
+#include "midas/baselines/naive.h"
+#include "midas/core/midas_alg.h"
+#include "midas/synth/single_source.h"
+
+namespace midas {
+namespace {
+
+enum class Kind { kMidas, kGreedy, kAggCluster, kNaive };
+
+std::unique_ptr<core::SliceDetector> Make(Kind kind) {
+  switch (kind) {
+    case Kind::kMidas:
+      return std::make_unique<core::MidasAlg>();
+    case Kind::kGreedy:
+      return std::make_unique<baselines::GreedyDetector>();
+    case Kind::kAggCluster:
+      return std::make_unique<baselines::AggClusterDetector>();
+    case Kind::kNaive:
+      return std::make_unique<baselines::NaiveDetector>();
+  }
+  return nullptr;
+}
+
+class DetectorContractTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  void SetUp() override {
+    synth::SingleSourceParams params;
+    params.num_facts = 1200;
+    params.num_slices = 8;
+    params.num_optimal = 4;
+    params.seed = 71;
+    data_ = std::make_unique<synth::SingleSourceData>(
+        synth::GenerateSingleSource(params));
+    detector_ = Make(GetParam());
+  }
+
+  core::SourceInput Input() const {
+    core::SourceInput input;
+    input.url = data_->url;
+    input.facts = &data_->facts;
+    return input;
+  }
+
+  std::unique_ptr<synth::SingleSourceData> data_;
+  std::unique_ptr<core::SliceDetector> detector_;
+};
+
+TEST_P(DetectorContractTest, OutputWellFormed) {
+  auto slices = detector_->Detect(Input(), *data_->kb);
+  for (const auto& s : slices) {
+    EXPECT_EQ(s.source_url, data_->url);
+    EXPECT_FALSE(s.entities.empty());
+    EXPECT_EQ(s.num_facts, s.facts.size());
+    EXPECT_LE(s.num_new_facts, s.num_facts);
+    // Facts belong to the source.
+    for (const auto& t : s.facts) {
+      bool found = false;
+      for (const auto& src : *Input().facts) {
+        if (src == t) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+      if (!found) break;
+    }
+  }
+}
+
+TEST_P(DetectorContractTest, Deterministic) {
+  auto a = detector_->Detect(Input(), *data_->kb);
+  auto b = detector_->Detect(Input(), *data_->kb);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].entities, b[i].entities);
+    EXPECT_DOUBLE_EQ(a[i].profit, b[i].profit);
+    EXPECT_EQ(a[i].properties.size(), b[i].properties.size());
+  }
+}
+
+TEST_P(DetectorContractTest, ConcurrentCallsAgree) {
+  auto reference = detector_->Detect(Input(), *data_->kb);
+  constexpr int kThreads = 6;
+  std::vector<std::vector<core::DiscoveredSlice>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[static_cast<size_t>(t)] =
+          detector_->Detect(Input(), *data_->kb);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& result : results) {
+    ASSERT_EQ(result.size(), reference.size());
+    for (size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].entities, reference[i].entities);
+      EXPECT_DOUBLE_EQ(result[i].profit, reference[i].profit);
+    }
+  }
+}
+
+TEST_P(DetectorContractTest, EmptyInputYieldsNothing) {
+  std::vector<rdf::Triple> empty;
+  core::SourceInput input;
+  input.url = "http://empty.example.com";
+  input.facts = &empty;
+  EXPECT_TRUE(detector_->Detect(input, *data_->kb).empty());
+}
+
+TEST_P(DetectorContractTest, NameIsStable) {
+  EXPECT_FALSE(detector_->name().empty());
+  EXPECT_EQ(detector_->name(), Make(GetParam())->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectors, DetectorContractTest,
+    ::testing::Values(Kind::kMidas, Kind::kGreedy, Kind::kAggCluster,
+                      Kind::kNaive),
+    [](const ::testing::TestParamInfo<Kind>& info) {
+      switch (info.param) {
+        case Kind::kMidas:
+          return std::string("MIDAS");
+        case Kind::kGreedy:
+          return std::string("Greedy");
+        case Kind::kAggCluster:
+          return std::string("AggCluster");
+        case Kind::kNaive:
+          return std::string("Naive");
+      }
+      return std::string("unknown");
+    });
+
+}  // namespace
+}  // namespace midas

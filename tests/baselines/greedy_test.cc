@@ -1,0 +1,114 @@
+#include "midas/baselines/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace midas {
+namespace baselines {
+namespace {
+
+class GreedyTest : public ::testing::Test {
+ protected:
+  GreedyTest() : dict_(std::make_shared<rdf::Dictionary>()), kb_(dict_) {}
+
+  void AddFact(const std::string& s, const std::string& p,
+               const std::string& o, bool known = false) {
+    rdf::Triple t(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o));
+    facts_.push_back(t);
+    if (known) kb_.Add(t);
+  }
+  core::SourceInput Input() {
+    core::SourceInput input;
+    input.url = "http://src.example.com";
+    input.facts = &facts_;
+    return input;
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+  rdf::KnowledgeBase kb_;
+  std::vector<rdf::Triple> facts_;
+};
+
+TEST_F(GreedyTest, AtMostOneSlice) {
+  // Two equally good disjoint groups: greedy must return exactly one.
+  for (int i = 0; i < 10; ++i) {
+    AddFact("r" + std::to_string(i), "cat", "rocket");
+    AddFact("c" + std::to_string(i), "cat", "cocktail");
+  }
+  GreedyDetector greedy(core::CostModel::RunningExample());
+  auto slices = greedy.Detect(Input(), kb_);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].entities.size(), 10u);
+}
+
+TEST_F(GreedyTest, SliceAlwaysHasAtLeastOneProperty) {
+  for (int i = 0; i < 10; ++i) {
+    AddFact("e" + std::to_string(i), "cat", "x");
+    AddFact("e" + std::to_string(i), "grp", i % 2 ? "a" : "b");
+  }
+  GreedyDetector greedy(core::CostModel::RunningExample());
+  auto slices = greedy.Detect(Input(), kb_);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_GE(slices[0].properties.size(), 1u);
+}
+
+TEST_F(GreedyTest, AddsSecondPropertyWhenItPays) {
+  // Under cat=x, the g1 group is new and the g2 group is known: adding
+  // grp=g1 to cat=x removes the known ballast.
+  for (int i = 0; i < 10; ++i) {
+    std::string e = "new" + std::to_string(i);
+    AddFact(e, "cat", "x");
+    AddFact(e, "grp", "g1");
+  }
+  for (int i = 0; i < 30; ++i) {
+    std::string e = "old" + std::to_string(i);
+    AddFact(e, "cat", "x", /*known=*/true);
+    AddFact(e, "grp", "g2", /*known=*/true);
+  }
+  GreedyDetector greedy(core::CostModel::RunningExample());
+  auto slices = greedy.Detect(Input(), kb_);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].entities.size(), 10u);
+  EXPECT_EQ(slices[0].num_new_facts, 20u);
+  // The chosen properties must include grp=g1 (cat=x alone drags in the
+  // 60 known facts at f_d each).
+  bool has_g1 = false;
+  for (const auto& p : slices[0].properties) {
+    if (dict_->Term(p.predicate) == "grp" && dict_->Term(p.value) == "g1") {
+      has_g1 = true;
+    }
+  }
+  EXPECT_TRUE(has_g1);
+}
+
+TEST_F(GreedyTest, NothingWhenBestIsUnprofitable) {
+  AddFact("e1", "cat", "x", /*known=*/true);
+  AddFact("e2", "cat", "x", /*known=*/true);
+  GreedyDetector greedy(core::CostModel::RunningExample());
+  EXPECT_TRUE(greedy.Detect(Input(), kb_).empty());
+}
+
+TEST_F(GreedyTest, EmptySource) {
+  GreedyDetector greedy;
+  EXPECT_TRUE(greedy.Detect(Input(), kb_).empty());
+}
+
+TEST_F(GreedyTest, StopsAtLocalOptimum) {
+  // cat=x (20 new facts) with subgroup grp=g (10 of them): restricting
+  // to the subgroup loses half the gain; greedy keeps the single property.
+  for (int i = 0; i < 10; ++i) {
+    std::string e = "e" + std::to_string(i);
+    AddFact(e, "cat", "x");
+    AddFact(e, "grp", i < 5 ? "g" : ("u" + std::to_string(i)));
+  }
+  GreedyDetector greedy(core::CostModel::RunningExample());
+  auto slices = greedy.Detect(Input(), kb_);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].properties.size(), 1u);
+  EXPECT_EQ(dict_->Term(slices[0].properties[0].predicate), "cat");
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace midas

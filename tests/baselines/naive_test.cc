@@ -1,0 +1,62 @@
+#include "midas/baselines/naive.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace midas {
+namespace baselines {
+namespace {
+
+class NaiveTest : public ::testing::Test {
+ protected:
+  NaiveTest() : dict_(std::make_shared<rdf::Dictionary>()), kb_(dict_) {}
+
+  void AddFact(const std::string& s, const std::string& p,
+               const std::string& o, bool known = false) {
+    rdf::Triple t(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o));
+    facts_.push_back(t);
+    if (known) kb_.Add(t);
+  }
+  core::SourceInput Input() {
+    core::SourceInput input;
+    input.url = "http://src.example.com";
+    input.facts = &facts_;
+    return input;
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+  rdf::KnowledgeBase kb_;
+  std::vector<rdf::Triple> facts_;
+};
+
+TEST_F(NaiveTest, ReturnsWholeSourceAsOneSlice) {
+  AddFact("e1", "cat", "a");
+  AddFact("e2", "cat", "b");
+  AddFact("e3", "loc", "c", /*known=*/true);
+  NaiveDetector naive;
+  auto slices = naive.Detect(Input(), kb_);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_TRUE(slices[0].properties.empty());
+  EXPECT_EQ(slices[0].Description(*dict_), "*");
+  EXPECT_EQ(slices[0].num_facts, 3u);
+  EXPECT_EQ(slices[0].num_new_facts, 2u);
+  EXPECT_EQ(slices[0].entities.size(), 3u);
+  // Rank score is the new-fact count.
+  EXPECT_DOUBLE_EQ(slices[0].profit, 2.0);
+}
+
+TEST_F(NaiveTest, NothingWhenNoNewFacts) {
+  AddFact("e1", "cat", "a", /*known=*/true);
+  NaiveDetector naive;
+  EXPECT_TRUE(naive.Detect(Input(), kb_).empty());
+}
+
+TEST_F(NaiveTest, EmptySource) {
+  NaiveDetector naive;
+  EXPECT_TRUE(naive.Detect(Input(), kb_).empty());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace midas

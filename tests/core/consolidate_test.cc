@@ -1,0 +1,141 @@
+#include "midas/core/consolidate.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace midas {
+namespace core {
+namespace {
+
+// Builds a slice over entity ids [first, first+count) with one fact per
+// entity (predicate 1000, object = entity id).
+DiscoveredSlice MakeSlice(const std::string& url, uint32_t first,
+                          uint32_t count, double profit,
+                          size_t facts_per_entity = 1) {
+  DiscoveredSlice slice;
+  slice.source_url = url;
+  slice.profit = profit;
+  for (uint32_t e = first; e < first + count; ++e) {
+    slice.entities.push_back(e);
+    for (size_t f = 0; f < facts_per_entity; ++f) {
+      slice.facts.emplace_back(e, static_cast<rdf::TermId>(1000 + f), e);
+    }
+  }
+  slice.num_facts = slice.facts.size();
+  slice.num_new_facts = slice.num_facts;
+  return slice;
+}
+
+std::set<std::string> Urls(const std::vector<DiscoveredSlice>& slices) {
+  std::set<std::string> out;
+  for (const auto& s : slices) out.insert(s.source_url);
+  return out;
+}
+
+TEST(ConsolidateTest, ParentWinsOverCostlierChildren) {
+  // Parent covers entities 0-9 with profit 8; the two children cover the
+  // same entities at combined profit 3+3=6 (two training costs).
+  auto parent = MakeSlice("http://a.com/sec", 0, 10, 8.0);
+  auto c1 = MakeSlice("http://a.com/sec/p1", 0, 5, 3.0);
+  auto c2 = MakeSlice("http://a.com/sec/p2", 5, 5, 3.0);
+  auto surviving = ConsolidateSlices({parent}, {c1, c2});
+  ASSERT_EQ(surviving.size(), 1u);
+  EXPECT_EQ(surviving[0].source_url, "http://a.com/sec");
+}
+
+TEST(ConsolidateTest, ChildrenWinWhenJointlyMoreProfitable) {
+  auto parent = MakeSlice("http://a.com/sec", 0, 10, 5.0);
+  auto c1 = MakeSlice("http://a.com/sec/p1", 0, 5, 3.0);
+  auto c2 = MakeSlice("http://a.com/sec/p2", 5, 5, 3.0);
+  auto surviving = ConsolidateSlices({parent}, {c1, c2});
+  ASSERT_EQ(surviving.size(), 2u);
+  EXPECT_EQ(Urls(surviving),
+            (std::set<std::string>{"http://a.com/sec/p1",
+                                   "http://a.com/sec/p2"}));
+}
+
+TEST(ConsolidateTest, TieGoesToTheChild) {
+  auto parent = MakeSlice("http://a.com/sec", 0, 10, 5.0);
+  auto child = MakeSlice("http://a.com/sec/p1", 0, 10, 5.0);
+  auto surviving = ConsolidateSlices({parent}, {child});
+  ASSERT_EQ(surviving.size(), 1u);
+  EXPECT_EQ(surviving[0].source_url, "http://a.com/sec/p1");
+}
+
+TEST(ConsolidateTest, PartialCoverKeepsParent) {
+  // The child covers only half the parent's entities: not "same content",
+  // so the parent wins even though the child's profit is higher.
+  auto parent = MakeSlice("http://a.com/sec", 0, 10, 5.0);
+  auto child = MakeSlice("http://a.com/sec/p1", 0, 5, 9.0);
+  auto surviving = ConsolidateSlices({parent}, {child});
+  ASSERT_EQ(surviving.size(), 1u);
+  EXPECT_EQ(surviving[0].source_url, "http://a.com/sec");
+}
+
+TEST(ConsolidateTest, ParentWithMoreFactsPerEntityKeepsParent) {
+  // Same entities, but the parent slice carries extra facts (the entity
+  // appears on several pages): fact counts differ -> parent content is
+  // strictly richer -> parent wins.
+  auto parent = MakeSlice("http://a.com/sec", 0, 10, 5.0,
+                          /*facts_per_entity=*/2);
+  auto child = MakeSlice("http://a.com/sec/p1", 0, 10, 6.0);
+  auto surviving = ConsolidateSlices({parent}, {child});
+  ASSERT_EQ(surviving.size(), 1u);
+  EXPECT_EQ(surviving[0].source_url, "http://a.com/sec");
+}
+
+TEST(ConsolidateTest, UncoveredChildrenAreDiscarded) {
+  // A child disjoint from every parent slice was deliberately rejected at
+  // the parent level; it must not resurface.
+  auto parent = MakeSlice("http://a.com/sec", 0, 10, 8.0);
+  auto covered = MakeSlice("http://a.com/sec/p1", 0, 10, 3.0);
+  auto stray = MakeSlice("http://a.com/sec/p2", 50, 5, 2.0);
+  auto surviving = ConsolidateSlices({parent}, {covered, stray});
+  ASSERT_EQ(surviving.size(), 1u);
+  EXPECT_EQ(surviving[0].source_url, "http://a.com/sec");
+}
+
+TEST(ConsolidateTest, NoChildrenKeepsAllParents) {
+  auto p1 = MakeSlice("http://a.com/x", 0, 5, 2.0);
+  auto p2 = MakeSlice("http://a.com/y", 5, 5, 3.0);
+  auto surviving = ConsolidateSlices({p1, p2}, {});
+  EXPECT_EQ(surviving.size(), 2u);
+}
+
+TEST(ConsolidateTest, NoParentsDiscardsChildren) {
+  // If the parent detection selected nothing, children die with it (their
+  // content was unprofitable at this aggregation level).
+  auto child = MakeSlice("http://a.com/sec/p1", 0, 5, 1.0);
+  auto surviving = ConsolidateSlices({}, {child});
+  EXPECT_TRUE(surviving.empty());
+}
+
+TEST(ConsolidateTest, EachChildCountedForOneParentOnly) {
+  // Two identical parent slices: the child set can only be consumed once;
+  // the second parent keeps itself.
+  auto p1 = MakeSlice("http://a.com/x", 0, 10, 5.0);
+  auto p2 = MakeSlice("http://a.com/y", 0, 10, 5.0);
+  auto child = MakeSlice("http://a.com/x/p", 0, 10, 7.0);
+  auto surviving = ConsolidateSlices({p1, p2}, {child});
+  ASSERT_EQ(surviving.size(), 2u);
+  EXPECT_EQ(Urls(surviving),
+            (std::set<std::string>{"http://a.com/x/p", "http://a.com/y"}));
+}
+
+TEST(ConsolidateTest, MixedOutcomeAcrossParents) {
+  // Parent A is beaten by its children; parent B beats its child.
+  auto pa = MakeSlice("http://a.com/a", 0, 10, 4.0);
+  auto pb = MakeSlice("http://a.com/b", 20, 10, 9.0);
+  auto ca1 = MakeSlice("http://a.com/a/1", 0, 5, 3.0);
+  auto ca2 = MakeSlice("http://a.com/a/2", 5, 5, 3.0);
+  auto cb = MakeSlice("http://a.com/b/1", 20, 10, 2.0);
+  auto surviving = ConsolidateSlices({pa, pb}, {ca1, ca2, cb});
+  EXPECT_EQ(Urls(surviving),
+            (std::set<std::string>{"http://a.com/a/1", "http://a.com/a/2",
+                                   "http://a.com/b"}));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

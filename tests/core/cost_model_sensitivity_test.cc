@@ -1,0 +1,109 @@
+// Property tests pinning the semantics of the profit coefficients
+// (Def. 9): on a fixed workload, raising each cost must move the output in
+// the direction the model promises.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "midas/core/midas.h"
+#include "midas/synth/single_source.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+class CostModelSensitivityTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    synth::SingleSourceParams params;
+    params.num_facts = 2000;
+    params.num_slices = 12;
+    params.num_optimal = 6;
+    params.seed = GetParam();
+    data_ = std::make_unique<synth::SingleSourceData>(
+        synth::GenerateSingleSource(params));
+  }
+
+  std::vector<DiscoveredSlice> Run(CostModel cost) {
+    MidasOptions options;
+    options.cost_model = cost;
+    MidasAlg alg(options);
+    SourceInput input;
+    input.url = data_->url;
+    input.facts = &data_->facts;
+    return alg.Detect(input, *data_->kb);
+  }
+
+  static size_t DistinctNewFacts(const std::vector<DiscoveredSlice>& slices,
+                                 const rdf::KnowledgeBase& kb) {
+    std::unordered_set<rdf::Triple, rdf::TripleHash> fresh;
+    for (const auto& s : slices) {
+      for (const auto& t : s.facts) {
+        if (!kb.Contains(t)) fresh.insert(t);
+      }
+    }
+    return fresh.size();
+  }
+
+  std::unique_ptr<synth::SingleSourceData> data_;
+};
+
+TEST_P(CostModelSensitivityTest, TrainingCostReducesSliceCount) {
+  size_t previous = SIZE_MAX;
+  for (double fp : {0.5, 5.0, 20.0, 80.0, 400.0}) {
+    CostModel cost;
+    cost.f_p = fp;
+    size_t count = Run(cost).size();
+    EXPECT_LE(count, previous) << "f_p=" << fp;
+    previous = count;
+  }
+  // At an absurd training cost nothing is worth a wrapper.
+  CostModel prohibitive;
+  prohibitive.f_p = 1e9;
+  EXPECT_TRUE(Run(prohibitive).empty());
+}
+
+TEST_P(CostModelSensitivityTest, ValidationCostAboveUnityKillsEverything) {
+  // f_v >= 1 means every new fact costs more to validate than it gains.
+  CostModel cost;
+  cost.f_v = 1.1;
+  EXPECT_TRUE(Run(cost).empty());
+}
+
+TEST_P(CostModelSensitivityTest, ProfitsDecreaseMonotonicallyInEachCost) {
+  CostModel base;
+  auto baseline = Run(base);
+  if (baseline.empty()) GTEST_SKIP();
+  double base_total = 0;
+  for (const auto& s : baseline) base_total += s.profit;
+
+  for (int knob = 0; knob < 3; ++knob) {
+    CostModel expensive = base;
+    if (knob == 0) expensive.f_d *= 4;
+    if (knob == 1) expensive.f_v *= 4;
+    if (knob == 2) expensive.f_c *= 4;
+    auto slices = Run(expensive);
+    double total = 0;
+    for (const auto& s : slices) total += s.profit;
+    EXPECT_LE(total, base_total + 1e-9) << "knob " << knob;
+  }
+}
+
+TEST_P(CostModelSensitivityTest, CheapTrainingNeverCoversLess) {
+  CostModel cheap;
+  cheap.f_p = 0.5;
+  CostModel expensive;
+  expensive.f_p = 50.0;
+  size_t cheap_cover = DistinctNewFacts(Run(cheap), *data_->kb);
+  size_t expensive_cover = DistinctNewFacts(Run(expensive), *data_->kb);
+  EXPECT_GE(cheap_cover, expensive_cover);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CostModelSensitivityTest,
+                         ::testing::Values(401u, 402u, 403u));
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

@@ -1,0 +1,124 @@
+#include "midas/core/fact_table.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/rdf/dictionary.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+class FactTableTest : public ::testing::Test {
+ protected:
+  rdf::Triple T(const char* s, const char* p, const char* o) {
+    return rdf::Triple(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+  }
+  rdf::Dictionary dict_;
+};
+
+TEST_F(FactTableTest, EmptyInput) {
+  FactTable table({});
+  EXPECT_EQ(table.num_entities(), 0u);
+  EXPECT_EQ(table.num_predicates(), 0u);
+  EXPECT_EQ(table.num_facts(), 0u);
+  EXPECT_EQ(table.catalog().size(), 0u);
+  EXPECT_TRUE(table.MatchEntities({}).empty());
+}
+
+TEST_F(FactTableTest, RowsInFirstSeenOrder) {
+  std::vector<rdf::Triple> facts = {
+      T("b", "p", "1"), T("a", "p", "2"), T("b", "q", "3")};
+  FactTable table(facts);
+  ASSERT_EQ(table.num_entities(), 2u);
+  EXPECT_EQ(dict_.Term(table.subject(0)), "b");
+  EXPECT_EQ(dict_.Term(table.subject(1)), "a");
+  EXPECT_EQ(table.entity_facts(0).size(), 2u);
+  EXPECT_EQ(table.entity_facts(1).size(), 1u);
+  EXPECT_EQ(table.num_predicates(), 2u);
+  EXPECT_EQ(table.num_facts(), 3u);
+}
+
+TEST_F(FactTableTest, FindEntity) {
+  FactTable table({T("x", "p", "1")});
+  EXPECT_EQ(table.FindEntity(*dict_.Lookup("x")), 0u);
+  EXPECT_EQ(table.FindEntity(dict_.Intern("unknown")), kInvalidIndex);
+}
+
+TEST_F(FactTableTest, MultivaluedCellsYieldMultipleProperties) {
+  // Entity with two sponsors -> two distinct properties on one predicate.
+  std::vector<rdf::Triple> facts = {
+      T("e", "sponsor", "NASA"), T("e", "sponsor", "ESA")};
+  FactTable table(facts);
+  EXPECT_EQ(table.catalog().size(), 2u);
+  EXPECT_EQ(table.entity_properties(0).size(), 2u);
+  EXPECT_EQ(table.num_predicates(), 1u);
+}
+
+TEST_F(FactTableTest, PropertyEntitiesInvertedLists) {
+  std::vector<rdf::Triple> facts = {
+      T("e1", "cat", "a"), T("e2", "cat", "a"), T("e3", "cat", "b")};
+  FactTable table(facts);
+  auto a = table.catalog().Lookup(*dict_.Lookup("cat"), *dict_.Lookup("a"));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(table.property_entities(*a).size(), 2u);
+  EXPECT_TRUE(std::is_sorted(table.property_entities(*a).begin(),
+                             table.property_entities(*a).end()));
+}
+
+TEST_F(FactTableTest, MatchEntitiesIntersection) {
+  std::vector<rdf::Triple> facts = {
+      T("e1", "cat", "a"), T("e1", "loc", "x"),
+      T("e2", "cat", "a"), T("e2", "loc", "y"),
+      T("e3", "cat", "b"), T("e3", "loc", "x")};
+  FactTable table(facts);
+  auto prop = [&](const char* p, const char* v) {
+    return *table.catalog().Lookup(*dict_.Lookup(p), *dict_.Lookup(v));
+  };
+  auto both = table.MatchEntities({prop("cat", "a"), prop("loc", "x")});
+  ASSERT_EQ(both.size(), 1u);
+  EXPECT_EQ(dict_.Term(table.subject(both[0])), "e1");
+
+  // Empty property set selects everyone.
+  EXPECT_EQ(table.MatchEntities({}).size(), 3u);
+
+  // Disjoint combination selects nobody.
+  EXPECT_TRUE(
+      table.MatchEntities({prop("cat", "b"), prop("loc", "y")}).empty());
+}
+
+TEST_F(FactTableTest, EntityPropertiesSortedUnique) {
+  std::vector<rdf::Triple> facts = {
+      T("e", "p1", "a"), T("e", "p2", "b"), T("e", "p3", "c")};
+  FactTable table(facts);
+  const auto& props = table.entity_properties(0);
+  EXPECT_EQ(props.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(props.begin(), props.end()));
+}
+
+TEST(PropertyCatalogTest, InternLookupRoundTrip) {
+  PropertyCatalog catalog;
+  PropertyId a = catalog.Intern(1, 2);
+  PropertyId b = catalog.Intern(1, 3);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(catalog.Intern(1, 2), a);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.predicate(a), 1u);
+  EXPECT_EQ(catalog.value(b), 3u);
+  ASSERT_TRUE(catalog.Lookup(1, 3).has_value());
+  EXPECT_EQ(*catalog.Lookup(1, 3), b);
+  EXPECT_FALSE(catalog.Lookup(9, 9).has_value());
+}
+
+TEST(PropertyCatalogTest, ToPairs) {
+  PropertyCatalog catalog;
+  PropertyId a = catalog.Intern(5, 6);
+  PropertyId b = catalog.Intern(7, 8);
+  auto pairs = catalog.ToPairs({b, a});
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].predicate, 7u);
+  EXPECT_EQ(pairs[1].value, 6u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

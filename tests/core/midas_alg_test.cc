@@ -1,0 +1,182 @@
+#include "midas/core/midas_alg.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "midas/core/fact_table.h"
+#include "midas/rdf/dictionary.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+class MidasAlgTest : public ::testing::Test {
+ protected:
+  MidasAlgTest() : dict_(std::make_shared<rdf::Dictionary>()), kb_(dict_) {}
+
+  void AddFact(const std::string& s, const std::string& p,
+               const std::string& o, bool known = false) {
+    rdf::Triple t(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o));
+    facts_.push_back(t);
+    if (known) kb_.Add(t);
+  }
+
+  SourceInput Input() {
+    SourceInput input;
+    input.url = "http://test.example.com";
+    input.facts = &facts_;
+    return input;
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+  rdf::KnowledgeBase kb_;
+  std::vector<rdf::Triple> facts_;
+};
+
+TEST_F(MidasAlgTest, EmptySourceReturnsNothing) {
+  MidasAlg alg;
+  EXPECT_TRUE(alg.Detect(Input(), kb_).empty());
+}
+
+TEST_F(MidasAlgTest, AllKnownFactsReturnsNothing) {
+  for (int i = 0; i < 10; ++i) {
+    AddFact("e" + std::to_string(i), "cat", "x", /*known=*/true);
+  }
+  MidasOptions options;
+  options.cost_model = CostModel::RunningExample();
+  MidasAlg alg(options);
+  EXPECT_TRUE(alg.Detect(Input(), kb_).empty());
+}
+
+TEST_F(MidasAlgTest, FindsTwoDisjointSlices) {
+  // Two coherent groups, both new, both big enough to beat f_p = 1.
+  for (int i = 0; i < 8; ++i) {
+    std::string e = "rocket" + std::to_string(i);
+    AddFact(e, "cat", "rocket");
+    AddFact(e, "sponsor", "NASA");
+  }
+  for (int i = 0; i < 8; ++i) {
+    std::string e = "cocktail" + std::to_string(i);
+    AddFact(e, "cat", "cocktail");
+    AddFact(e, "base", "tequila");
+  }
+  MidasOptions options;
+  options.cost_model = CostModel::RunningExample();
+  MidasAlg alg(options);
+  auto slices = alg.Detect(Input(), kb_);
+
+  ASSERT_EQ(slices.size(), 2u);
+  size_t total_facts = slices[0].num_facts + slices[1].num_facts;
+  EXPECT_EQ(total_facts, facts_.size());
+  for (const auto& s : slices) {
+    EXPECT_EQ(s.num_facts, s.num_new_facts);
+    EXPECT_EQ(s.entities.size(), 8u);
+    EXPECT_GT(s.profit, 0.0);
+    EXPECT_EQ(s.source_url, "http://test.example.com");
+  }
+}
+
+TEST_F(MidasAlgTest, SelectedSlicesOrderedCoarseFirstAndNonRedundant) {
+  // One coherent group plus a sub-group: the parent slice subsumes the
+  // child; only one slice should be returned.
+  for (int i = 0; i < 10; ++i) {
+    std::string e = "e" + std::to_string(i);
+    AddFact(e, "cat", "x");
+    if (i < 5) AddFact(e, "sub", "left");
+  }
+  MidasOptions options;
+  options.cost_model = CostModel::RunningExample();
+  MidasAlg alg(options);
+  auto slices = alg.Detect(Input(), kb_);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].entities.size(), 10u);
+}
+
+TEST_F(MidasAlgTest, TrainingCostSuppressesTinySlices) {
+  // A slice worth less than f_p = 10 should not be reported under the
+  // default cost model.
+  AddFact("lonely", "cat", "x");
+  AddFact("lonely", "p", "v");
+  MidasAlg alg;  // default cost model
+  EXPECT_TRUE(alg.Detect(Input(), kb_).empty());
+}
+
+TEST_F(MidasAlgTest, SeedsRestrictInitialHierarchy) {
+  for (int i = 0; i < 6; ++i) {
+    std::string e = "e" + std::to_string(i);
+    AddFact(e, "cat", "x");
+    AddFact(e, "grp", i < 3 ? "a" : "b");
+  }
+  MidasOptions options;
+  options.cost_model = CostModel::RunningExample();
+  MidasAlg alg(options);
+
+  SourceInput input = Input();
+  PropertyPair cat{*dict_->Lookup("cat"), *dict_->Lookup("x")};
+  input.seeds = {{cat}};
+  auto slices = alg.Detect(input, kb_);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].entities.size(), 6u);
+  ASSERT_EQ(slices[0].properties.size(), 1u);
+  EXPECT_EQ(slices[0].properties[0], cat);
+}
+
+TEST_F(MidasAlgTest, SeedsWithUnknownPropertyAreDropped) {
+  for (int i = 0; i < 6; ++i) {
+    AddFact("e" + std::to_string(i), "cat", "x");
+  }
+  MidasOptions options;
+  options.cost_model = CostModel::RunningExample();
+  MidasAlg alg(options);
+
+  SourceInput input = Input();
+  // A seed referencing a property this source does not contain.
+  input.seeds = {{PropertyPair{dict_->Intern("cat"), dict_->Intern("zzz")}}};
+  auto slices = alg.Detect(input, kb_);
+  // The bogus seed is dropped; uncovered entities get fresh initial sets,
+  // so the real slice is still found.
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].entities.size(), 6u);
+}
+
+TEST_F(MidasAlgTest, UncoveredEntitiesGetFreshSeeds) {
+  // Seed covers group a only; group b entities must still be discovered.
+  for (int i = 0; i < 6; ++i) {
+    std::string e = "a" + std::to_string(i);
+    AddFact(e, "grp", "a");
+    AddFact(e, "cat", "x");
+  }
+  for (int i = 0; i < 6; ++i) {
+    std::string e = "b" + std::to_string(i);
+    AddFact(e, "grp", "b");
+    AddFact(e, "cat", "y");
+  }
+  MidasOptions options;
+  options.cost_model = CostModel::RunningExample();
+  MidasAlg alg(options);
+
+  SourceInput input = Input();
+  input.seeds = {{PropertyPair{*dict_->Lookup("grp"), *dict_->Lookup("a")}}};
+  auto slices = alg.Detect(input, kb_);
+  ASSERT_EQ(slices.size(), 2u);
+}
+
+TEST_F(MidasAlgTest, DescriptionRendersSortedProperties) {
+  for (int i = 0; i < 8; ++i) {
+    std::string e = "e" + std::to_string(i);
+    AddFact(e, "cat", "rocket");
+    AddFact(e, "sponsor", "NASA");
+  }
+  MidasOptions options;
+  options.cost_model = CostModel::RunningExample();
+  MidasAlg alg(options);
+  auto slices = alg.Detect(Input(), kb_);
+  ASSERT_EQ(slices.size(), 1u);
+  // cat interned before sponsor -> sorted by term id.
+  EXPECT_EQ(slices[0].Description(*dict_), "cat=rocket & sponsor=NASA");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

@@ -1,0 +1,126 @@
+#include "midas/core/profit.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "midas/rdf/dictionary.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+// A source with 4 entities, 2 facts each; entities e0, e1 are fully known
+// to the KB, e2, e3 are fully new.
+class ProfitTest : public ::testing::Test {
+ protected:
+  ProfitTest() : dict_(std::make_shared<rdf::Dictionary>()), kb_(dict_) {
+    for (int e = 0; e < 4; ++e) {
+      for (int f = 0; f < 2; ++f) {
+        rdf::Triple t(dict_->Intern("e" + std::to_string(e)),
+                      dict_->Intern("p" + std::to_string(f)),
+                      dict_->Intern("v" + std::to_string(e)));
+        facts_.push_back(t);
+        if (e < 2) kb_.Add(t);
+      }
+    }
+    table_ = std::make_unique<FactTable>(facts_);
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+  rdf::KnowledgeBase kb_;
+  std::vector<rdf::Triple> facts_;
+  std::unique_ptr<FactTable> table_;
+};
+
+TEST_F(ProfitTest, PerEntityCounts) {
+  ProfitContext ctx(*table_, kb_, CostModel::Default());
+  for (EntityId e = 0; e < 4; ++e) {
+    EXPECT_EQ(ctx.entity_fact_count(e), 2u);
+    EXPECT_EQ(ctx.entity_new_count(e), e < 2 ? 0u : 2u);
+  }
+  EXPECT_DOUBLE_EQ(ctx.source_crawl_cost(), 0.008);  // f_c * 8
+}
+
+TEST_F(ProfitTest, SliceProfitFormula) {
+  CostModel cost;  // defaults: fp=10, fc=0.001, fd=0.01, fv=0.1
+  ProfitContext ctx(*table_, kb_, cost);
+  // Slice over {e2, e3}: 4 facts, all new.
+  double profit = ctx.SliceProfit({2, 3});
+  // 4 - (10 + 0.008) - 0.04 - 0.4 = -6.448
+  EXPECT_NEAR(profit, -6.448, 1e-9);
+
+  // Empty entity set: pure cost.
+  EXPECT_NEAR(ctx.SliceProfit({}), -10.008, 1e-9);
+}
+
+TEST_F(ProfitTest, CheaperCostModelFlipsSign) {
+  CostModel cost = CostModel::RunningExample();  // fp = 1
+  ProfitContext ctx(*table_, kb_, cost);
+  // 4 - 1.008 - 0.04 - 0.4 = 2.552
+  EXPECT_NEAR(ctx.SliceProfit({2, 3}), 2.552, 1e-9);
+}
+
+TEST_F(ProfitTest, SetProfitUnionSemantics) {
+  CostModel cost = CostModel::RunningExample();
+  ProfitContext ctx(*table_, kb_, cost);
+  std::vector<EntityId> a = {2}, b = {3}, overlap = {2, 3};
+
+  // Disjoint slices: each contributes gain, two training costs.
+  double two = ctx.SetProfit({&a, &b});
+  EXPECT_NEAR(two, 4 - 2 - 0.008 - 0.04 - 0.4, 1e-9);
+
+  // Fully overlapping slices: gain counted once, both trainings paid.
+  double dup = ctx.SetProfit({&overlap, &overlap});
+  EXPECT_NEAR(dup, 4 - 2 - 0.008 - 0.04 - 0.4, 1e-9);
+
+  // Empty set is exactly zero.
+  EXPECT_DOUBLE_EQ(ctx.SetProfit({}), 0.0);
+}
+
+TEST_F(ProfitTest, AccumulatorMatchesSetProfit) {
+  CostModel cost = CostModel::RunningExample();
+  ProfitContext ctx(*table_, kb_, cost);
+  std::vector<EntityId> a = {0, 2}, b = {2, 3};
+
+  ProfitContext::SetAccumulator acc(ctx);
+  EXPECT_DOUBLE_EQ(acc.Profit(), 0.0);
+
+  double delta_a = acc.DeltaIfAdd(a);
+  acc.Add(a);
+  EXPECT_NEAR(acc.Profit(), delta_a, 1e-12);
+  EXPECT_NEAR(acc.Profit(), ctx.SetProfit({&a}), 1e-12);
+
+  double delta_b = acc.DeltaIfAdd(b);
+  acc.Add(b);
+  EXPECT_NEAR(acc.Profit(), ctx.SetProfit({&a, &b}), 1e-12);
+  EXPECT_NEAR(delta_a + delta_b, acc.Profit(), 1e-12);
+
+  EXPECT_EQ(acc.num_slices(), 2u);
+  EXPECT_TRUE(acc.Covers(0));
+  EXPECT_TRUE(acc.Covers(3));
+  EXPECT_FALSE(acc.Covers(1));
+}
+
+TEST_F(ProfitTest, DeltaIfAddDoesNotMutate) {
+  ProfitContext ctx(*table_, kb_, CostModel::RunningExample());
+  ProfitContext::SetAccumulator acc(ctx);
+  std::vector<EntityId> a = {2};
+  double d1 = acc.DeltaIfAdd(a);
+  double d2 = acc.DeltaIfAdd(a);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_DOUBLE_EQ(acc.Profit(), 0.0);
+}
+
+TEST(CostModelTest, PaperDefaults) {
+  CostModel def = CostModel::Default();
+  EXPECT_DOUBLE_EQ(def.f_p, 10.0);
+  EXPECT_DOUBLE_EQ(def.f_c, 0.001);
+  EXPECT_DOUBLE_EQ(def.f_d, 0.01);
+  EXPECT_DOUBLE_EQ(def.f_v, 0.1);
+  EXPECT_DOUBLE_EQ(CostModel::RunningExample().f_p, 1.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

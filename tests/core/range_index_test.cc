@@ -1,0 +1,124 @@
+#include "midas/core/range_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "midas/core/midas.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+TEST(ParseIntegerTest, StrictParsing) {
+  int64_t v = 0;
+  EXPECT_TRUE(NumericRangeIndex::ParseInteger("1957", &v));
+  EXPECT_EQ(v, 1957);
+  EXPECT_TRUE(NumericRangeIndex::ParseInteger("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(NumericRangeIndex::ParseInteger("0", &v));
+  EXPECT_FALSE(NumericRangeIndex::ParseInteger("", &v));
+  EXPECT_FALSE(NumericRangeIndex::ParseInteger("-", &v));
+  EXPECT_FALSE(NumericRangeIndex::ParseInteger("12a", &v));
+  EXPECT_FALSE(NumericRangeIndex::ParseInteger("1.5", &v));
+  EXPECT_FALSE(NumericRangeIndex::ParseInteger("NASA", &v));
+  EXPECT_FALSE(NumericRangeIndex::ParseInteger("99999999999999999999", &v));
+}
+
+class RangeIndexTest : public ::testing::Test {
+ protected:
+  RangeIndexTest()
+      : dict_(std::make_shared<rdf::Dictionary>()), corpus_(dict_) {}
+  std::shared_ptr<rdf::Dictionary> dict_;
+  web::Corpus corpus_;
+};
+
+TEST_F(RangeIndexTest, BucketsNumericValues) {
+  corpus_.AddFactRaw("http://x.com", "Atlas", "started", "1957");
+  corpus_.AddFactRaw("http://x.com", "Mercury", "started", "1959");
+  corpus_.AddFactRaw("http://x.com", "Castor", "started", "1971");
+  corpus_.AddFactRaw("http://x.com", "Atlas", "sponsor", "NASA");
+
+  NumericRangeIndex index(dict_.get(), corpus_, 10);
+  EXPECT_EQ(index.size(), 3u);  // three numeric values
+
+  auto b1957 = index.BucketOf(*dict_->Lookup("1957"));
+  auto b1959 = index.BucketOf(*dict_->Lookup("1959"));
+  auto b1971 = index.BucketOf(*dict_->Lookup("1971"));
+  ASSERT_TRUE(b1957 && b1959 && b1971);
+  EXPECT_EQ(*b1957, *b1959);  // same decade
+  EXPECT_NE(*b1957, *b1971);
+  EXPECT_EQ(dict_->Term(*b1957), "[1950..1960)");
+  EXPECT_EQ(dict_->Term(*b1971), "[1970..1980)");
+  EXPECT_FALSE(index.BucketOf(*dict_->Lookup("NASA")).has_value());
+}
+
+TEST_F(RangeIndexTest, NegativeValuesFloorCorrectly) {
+  corpus_.AddFactRaw("http://x.com", "e", "delta", "-5");
+  corpus_.AddFactRaw("http://x.com", "f", "delta", "-10");
+  NumericRangeIndex index(dict_.get(), corpus_, 10);
+  EXPECT_EQ(dict_->Term(*index.BucketOf(*dict_->Lookup("-5"))),
+            "[-10..0)");
+  EXPECT_EQ(dict_->Term(*index.BucketOf(*dict_->Lookup("-10"))),
+            "[-10..0)");
+}
+
+TEST_F(RangeIndexTest, FactTableGainsRangeProperties) {
+  corpus_.AddFactRaw("http://x.com", "Atlas", "started", "1957");
+  corpus_.AddFactRaw("http://x.com", "Mercury", "started", "1959");
+  NumericRangeIndex index(dict_.get(), corpus_, 10);
+
+  FactTableOptions options;
+  options.range_index = &index;
+  FactTable table(corpus_.sources()[0].facts, options);
+
+  // Exact properties (1957, 1959) + one shared range property.
+  EXPECT_EQ(table.catalog().size(), 3u);
+  auto range_prop = table.catalog().Lookup(*dict_->Lookup("started"),
+                                           *dict_->Lookup("[1950..1960)"));
+  ASSERT_TRUE(range_prop.has_value());
+  EXPECT_EQ(table.property_entities(*range_prop).size(), 2u);
+}
+
+TEST_F(RangeIndexTest, MidasDiscoversDecadeSlice) {
+  // Six satellites launched across one decade, with distinct years: only
+  // the range property unites them.
+  for (int i = 0; i < 6; ++i) {
+    corpus_.AddFactRaw("http://space.example.com/sats",
+                       "sat" + std::to_string(i), "launched",
+                       std::to_string(1960 + i));
+  }
+  NumericRangeIndex index(dict_.get(), corpus_, 10);
+  rdf::KnowledgeBase kb(dict_);
+
+  MidasOptions options;
+  options.cost_model = CostModel::RunningExample();
+
+  // Without the extension: six singleton-year properties, nothing groups.
+  {
+    MidasAlg alg(options);
+    SourceInput input;
+    input.url = "http://space.example.com/sats";
+    input.facts = &corpus_.sources()[0].facts;
+    auto slices = alg.Detect(input, kb);
+    EXPECT_TRUE(slices.empty());
+  }
+
+  // With the extension: the decade slice is found.
+  options.fact_table.range_index = &index;
+  {
+    MidasAlg alg(options);
+    SourceInput input;
+    input.url = "http://space.example.com/sats";
+    input.facts = &corpus_.sources()[0].facts;
+    auto slices = alg.Detect(input, kb);
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_EQ(slices[0].entities.size(), 6u);
+    EXPECT_EQ(slices[0].Description(*dict_), "launched=[1960..1970)");
+    EXPECT_GT(slices[0].profit, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

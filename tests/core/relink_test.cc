@@ -1,0 +1,208 @@
+// Structural tests of non-canonical node removal and child re-linking
+// (paper §III-A1 step 2, illustrated in Fig. 5b -> 5c): when a
+// non-canonical slice is removed, each of its children re-attaches to each
+// of its parents unless already reachable through another node.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "midas/core/midas.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+class RelinkTest : public ::testing::Test {
+ protected:
+  RelinkTest() : dict_(std::make_shared<rdf::Dictionary>()), kb_(dict_) {}
+
+  void AddFact(const std::string& s, const std::string& p,
+               const std::string& o, bool known = false) {
+    rdf::Triple t(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o));
+    facts_.push_back(t);
+    if (!known) return;
+    kb_.Add(t);
+  }
+
+  void Build() {
+    table_ = std::make_unique<FactTable>(facts_);
+    profit_ = std::make_unique<ProfitContext>(*table_, kb_,
+                                              CostModel::RunningExample());
+    hierarchy_ = std::make_unique<SliceHierarchy>(*table_, *profit_,
+                                                  HierarchyOptions());
+  }
+
+  uint32_t Find(std::vector<std::pair<std::string, std::string>> props) {
+    std::vector<PropertyId> ids;
+    for (const auto& [p, v] : props) {
+      auto pid = dict_->Lookup(p);
+      auto vid = dict_->Lookup(v);
+      if (!pid || !vid) return kInvalidIndex;
+      auto id = table_->catalog().Lookup(*pid, *vid);
+      if (!id) return kInvalidIndex;
+      ids.push_back(*id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (uint32_t i = 0; i < hierarchy_->nodes().size(); ++i) {
+      if (hierarchy_->nodes()[i].properties == ids) return i;
+    }
+    return kInvalidIndex;
+  }
+
+  bool HasChild(uint32_t parent, uint32_t child) {
+    const auto& children = hierarchy_->nodes()[parent].children;
+    return std::find(children.begin(), children.end(), child) !=
+           children.end();
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+  rdf::KnowledgeBase kb_;
+  std::vector<rdf::Triple> facts_;
+  std::unique_ptr<FactTable> table_;
+  std::unique_ptr<ProfitContext> profit_;
+  std::unique_ptr<SliceHierarchy> hierarchy_;
+};
+
+TEST_F(RelinkTest, PaperFigure5Relinking) {
+  // The running example's facts (skyrocket.de, Fig. 2).
+  AddFact("Project Mercury", "category", "space_program");
+  AddFact("Project Mercury", "started", "1959");
+  AddFact("Project Mercury", "sponsor", "NASA");
+  AddFact("Project Gemini", "category", "space_program");
+  AddFact("Project Gemini", "sponsor", "NASA");
+  AddFact("Atlas", "category", "rocket_family");
+  AddFact("Atlas", "sponsor", "NASA");
+  AddFact("Atlas", "started", "1957");
+  AddFact("Apollo program", "category", "space_program");
+  AddFact("Apollo program", "sponsor", "NASA");
+  AddFact("Castor-4", "category", "rocket_family");
+  AddFact("Castor-4", "started", "1971");
+  AddFact("Castor-4", "sponsor", "NASA");
+  Build();
+
+  uint32_t s1 = Find({{"category", "space_program"},
+                      {"started", "1959"},
+                      {"sponsor", "NASA"}});
+  uint32_t s4 = Find({{"category", "space_program"}, {"sponsor", "NASA"}});
+  uint32_t s5 = Find({{"category", "rocket_family"}, {"sponsor", "NASA"}});
+  uint32_t s2 = Find({{"category", "rocket_family"},
+                      {"started", "1957"},
+                      {"sponsor", "NASA"}});
+  uint32_t s3 = Find({{"category", "rocket_family"},
+                      {"started", "1971"},
+                      {"sponsor", "NASA"}});
+  uint32_t c3 = Find({{"started", "1959"}});
+  uint32_t c1 = Find({{"category", "space_program"}});
+  uint32_t c6 = Find({{"sponsor", "NASA"}});
+  ASSERT_NE(s1, kInvalidIndex);
+  ASSERT_NE(s4, kInvalidIndex);
+  ASSERT_NE(s5, kInvalidIndex);
+  ASSERT_NE(c3, kInvalidIndex);
+  ASSERT_NE(c1, kInvalidIndex);
+  ASSERT_NE(c6, kInvalidIndex);
+
+  // Final hierarchy (after level-1 pruning): the singletons {c1}..{c5}
+  // are all non-canonical and removed; only {c6} = {sponsor=NASA} is
+  // canonical (its children S4 and S5 are both canonical, Fig. 5c).
+  EXPECT_TRUE(hierarchy_->nodes()[c1].removed);
+  EXPECT_TRUE(hierarchy_->nodes()[c3].removed);
+  EXPECT_FALSE(hierarchy_->nodes()[c6].removed);
+  EXPECT_TRUE(hierarchy_->nodes()[c6].is_canonical);
+  EXPECT_TRUE(HasChild(c6, s4));
+  EXPECT_TRUE(HasChild(c6, s5));
+
+  // S1's one surviving parent is S4: the re-linking rule never attached S1
+  // directly to {c1} because it stayed reachable through S4 (paper's
+  // explicit example in §III-A1 step 2).
+  size_t live_parents = 0;
+  for (uint32_t p : hierarchy_->nodes()[s1].parents) {
+    if (!hierarchy_->nodes()[p].removed) {
+      ++live_parents;
+      EXPECT_EQ(p, s4);
+    }
+  }
+  EXPECT_EQ(live_parents, 1u);
+  EXPECT_TRUE(HasChild(s4, s1));
+
+  // S5 keeps its canonical children S2 and S3.
+  EXPECT_TRUE(HasChild(s5, s2));
+  EXPECT_TRUE(HasChild(s5, s3));
+
+  // {c4,c6} = {started=1957, sponsor=NASA} was removed as non-canonical
+  // and fully detached.
+  uint32_t c46 = Find({{"started", "1957"}, {"sponsor", "NASA"}});
+  ASSERT_NE(c46, kInvalidIndex);
+  EXPECT_TRUE(hierarchy_->nodes()[c46].removed);
+  EXPECT_TRUE(hierarchy_->nodes()[c46].children.empty());
+  EXPECT_TRUE(hierarchy_->nodes()[c46].parents.empty());
+}
+
+TEST_F(RelinkTest, ChainOfRemovalsKeepsConnectivity) {
+  // A 4-property single entity: every strict subset is non-canonical and
+  // removed; the initial node must remain reachable from every singleton.
+  AddFact("e", "a", "1");
+  AddFact("e", "b", "2");
+  AddFact("e", "c", "3");
+  AddFact("e", "d", "4");
+  Build();
+
+  uint32_t init = Find({{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"}});
+  ASSERT_NE(init, kInvalidIndex);
+  EXPECT_FALSE(hierarchy_->nodes()[init].removed);
+
+  // 2^4 - 1 = 15 nodes generated, 14 removed.
+  EXPECT_EQ(hierarchy_->stats().nodes_generated, 15u);
+  EXPECT_EQ(hierarchy_->stats().noncanonical_removed, 14u);
+
+  // All removed nodes are fully detached.
+  for (const auto& node : hierarchy_->nodes()) {
+    if (node.removed) {
+      EXPECT_TRUE(node.children.empty());
+      EXPECT_TRUE(node.parents.empty());
+    }
+  }
+}
+
+TEST_F(RelinkTest, DiamondKeepsSingleEdgeAfterRemoval) {
+  // Entities engineered so {x} has two canonical children {x,y} and {x,z},
+  // while {y} and {z} each have one and get removed; their children must
+  // re-link to the singletons' parents without duplicate edges.
+  for (int i = 0; i < 3; ++i) {
+    std::string e = "p" + std::to_string(i);
+    AddFact(e, "x", "1");
+    AddFact(e, "y", "1");
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::string e = "q" + std::to_string(i);
+    AddFact(e, "x", "1");
+    AddFact(e, "z", "1");
+  }
+  Build();
+
+  uint32_t x = Find({{"x", "1"}});
+  uint32_t xy = Find({{"x", "1"}, {"y", "1"}});
+  uint32_t xz = Find({{"x", "1"}, {"z", "1"}});
+  uint32_t y = Find({{"y", "1"}});
+  ASSERT_NE(x, kInvalidIndex);
+  ASSERT_NE(xy, kInvalidIndex);
+  ASSERT_NE(xz, kInvalidIndex);
+
+  EXPECT_FALSE(hierarchy_->nodes()[x].removed);
+  EXPECT_TRUE(hierarchy_->nodes()[x].is_canonical);
+  EXPECT_TRUE(HasChild(x, xy));
+  EXPECT_TRUE(HasChild(x, xz));
+  // {y} has a single canonical child {x,y} -> removed.
+  ASSERT_NE(y, kInvalidIndex);
+  EXPECT_TRUE(hierarchy_->nodes()[y].removed);
+
+  // No duplicate edges anywhere.
+  for (const auto& node : hierarchy_->nodes()) {
+    std::set<uint32_t> unique(node.children.begin(), node.children.end());
+    EXPECT_EQ(unique.size(), node.children.size());
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

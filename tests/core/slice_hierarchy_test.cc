@@ -1,0 +1,244 @@
+#include "midas/core/slice_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "midas/rdf/dictionary.h"
+#include "midas/rdf/knowledge_base.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+class SliceHierarchyTest : public ::testing::Test {
+ protected:
+  SliceHierarchyTest() : dict_(std::make_shared<rdf::Dictionary>()) {}
+
+  rdf::Triple T(const std::string& s, const std::string& p,
+                const std::string& o) {
+    return rdf::Triple(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o));
+  }
+
+  // Finds the node with exactly the given property pairs; kInvalidIndex if
+  // absent.
+  uint32_t FindNode(const SliceHierarchy& h, const FactTable& table,
+                    std::vector<std::pair<std::string, std::string>> props) {
+    std::vector<PropertyId> ids;
+    for (const auto& [p, v] : props) {
+      auto id = table.catalog().Lookup(*dict_->Lookup(p), *dict_->Lookup(v));
+      if (!id) return kInvalidIndex;
+      ids.push_back(*id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (uint32_t i = 0; i < h.nodes().size(); ++i) {
+      if (h.nodes()[i].properties == ids) return i;
+    }
+    return kInvalidIndex;
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+};
+
+TEST_F(SliceHierarchyTest, SingleEntityChainCollapses) {
+  // One entity with 3 single-valued predicates: only the initial 3-property
+  // node is canonical; every strict subset has exactly one canonical child
+  // and is removed.
+  std::vector<rdf::Triple> facts = {T("e", "a", "1"), T("e", "b", "2"),
+                                    T("e", "c", "3")};
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+  SliceHierarchy h(table, profit, HierarchyOptions());
+
+  EXPECT_EQ(h.stats().initial_slices, 1u);
+  // Full closure generated: 2^3 - 1 = 7 nodes.
+  EXPECT_EQ(h.stats().nodes_generated, 7u);
+  size_t live = 0;
+  for (const auto& node : h.nodes()) {
+    if (!node.removed) ++live;
+  }
+  EXPECT_EQ(live, 1u);
+  EXPECT_EQ(h.stats().noncanonical_removed, 6u);
+}
+
+TEST_F(SliceHierarchyTest, EntitySetsComputedByFullMatch) {
+  // Paper Fig. 4 S4 effect: a node's entity set covers matching entities
+  // even when they did not mint it.
+  std::vector<rdf::Triple> facts = {
+      T("e1", "cat", "x"), T("e1", "loc", "y"), T("e1", "extra", "z"),
+      T("e2", "cat", "x"), T("e2", "loc", "y")};
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+  SliceHierarchy h(table, profit, HierarchyOptions());
+
+  uint32_t node = FindNode(h, table, {{"cat", "x"}, {"loc", "y"}});
+  ASSERT_NE(node, kInvalidIndex);
+  EXPECT_EQ(h.nodes()[node].entities.size(), 2u);  // e1 matches too
+  EXPECT_TRUE(h.nodes()[node].is_initial);         // minted by e2
+  EXPECT_TRUE(h.nodes()[node].is_canonical);
+}
+
+TEST_F(SliceHierarchyTest, CanonicalRequiresTwoCanonicalChildren) {
+  // Two sibling entities sharing one property: the shared singleton has two
+  // canonical children -> canonical.
+  std::vector<rdf::Triple> facts = {
+      T("e1", "cat", "x"), T("e1", "loc", "a"),
+      T("e2", "cat", "x"), T("e2", "loc", "b")};
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+  SliceHierarchy h(table, profit, HierarchyOptions());
+
+  uint32_t shared = FindNode(h, table, {{"cat", "x"}});
+  ASSERT_NE(shared, kInvalidIndex);
+  EXPECT_FALSE(h.nodes()[shared].removed);
+  EXPECT_TRUE(h.nodes()[shared].is_canonical);
+
+  // The singletons {loc=a}, {loc=b} each have one canonical child -> gone.
+  uint32_t loca = FindNode(h, table, {{"loc", "a"}});
+  ASSERT_NE(loca, kInvalidIndex);
+  EXPECT_TRUE(h.nodes()[loca].removed);
+}
+
+TEST_F(SliceHierarchyTest, LowProfitMarkedInvalidNotRemoved) {
+  // All facts already in the KB -> every slice has negative profit.
+  std::vector<rdf::Triple> facts = {
+      T("e1", "cat", "x"), T("e1", "loc", "a"),
+      T("e2", "cat", "x"), T("e2", "loc", "b")};
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  for (const auto& t : facts) kb.Add(t);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+  SliceHierarchy h(table, profit, HierarchyOptions());
+
+  uint32_t shared = FindNode(h, table, {{"cat", "x"}});
+  ASSERT_NE(shared, kInvalidIndex);
+  EXPECT_FALSE(h.nodes()[shared].removed);
+  EXPECT_FALSE(h.nodes()[shared].valid);
+  EXPECT_DOUBLE_EQ(h.nodes()[shared].lb_profit, 0.0);
+  EXPECT_TRUE(h.nodes()[shared].lb_set.empty());
+  EXPECT_GT(h.stats().low_profit_pruned, 0u);
+}
+
+TEST_F(SliceHierarchyTest, LowerBoundPrefersChildrenSet) {
+  // Two disjoint children slices whose union beats their common parent:
+  // entities under cat=x split into two large value groups; the parent
+  // {cat=x} covers everything the children cover, so its profit equals the
+  // union gain minus ONE training cost -> parent actually wins with few
+  // children. To make children win, give each child extra facts the parent
+  // also covers... impossible by construction (parent superset). Instead
+  // verify the bound equals max(parent, children-union) and the valid flag
+  // agrees.
+  std::vector<rdf::Triple> facts;
+  for (int i = 0; i < 6; ++i) {
+    std::string e = "a" + std::to_string(i);
+    facts.push_back(T(e, "cat", "x"));
+    facts.push_back(T(e, "grp", "g1"));
+  }
+  for (int i = 0; i < 6; ++i) {
+    std::string e = "b" + std::to_string(i);
+    facts.push_back(T(e, "cat", "x"));
+    facts.push_back(T(e, "grp", "g2"));
+  }
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+  SliceHierarchy h(table, profit, HierarchyOptions());
+
+  uint32_t parent = FindNode(h, table, {{"cat", "x"}});
+  uint32_t g1 = FindNode(h, table, {{"cat", "x"}, {"grp", "g1"}});
+  uint32_t g2 = FindNode(h, table, {{"cat", "x"}, {"grp", "g2"}});
+  ASSERT_NE(parent, kInvalidIndex);
+  ASSERT_NE(g1, kInvalidIndex);
+  ASSERT_NE(g2, kInvalidIndex);
+
+  const auto& pn = h.nodes()[parent];
+  double children_union =
+      profit.SetProfit({&h.nodes()[g1].entities, &h.nodes()[g2].entities});
+  EXPECT_NEAR(pn.lb_profit, std::max(pn.profit, children_union), 1e-9);
+  EXPECT_EQ(pn.valid, pn.profit >= children_union && pn.profit >= 0);
+  // With one shared training cost the parent must win here.
+  EXPECT_TRUE(pn.valid);
+  ASSERT_EQ(pn.lb_set.size(), 1u);
+  EXPECT_EQ(pn.lb_set[0], parent);
+}
+
+TEST_F(SliceHierarchyTest, SeededConstructionUsesSeeds) {
+  std::vector<rdf::Triple> facts = {
+      T("e1", "cat", "x"), T("e1", "loc", "a"),
+      T("e2", "cat", "x"), T("e2", "loc", "b")};
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+
+  auto cat = *table.catalog().Lookup(*dict_->Lookup("cat"),
+                                     *dict_->Lookup("x"));
+  std::vector<std::vector<PropertyId>> seeds = {{cat}};
+  SliceHierarchy h(table, profit, seeds, HierarchyOptions());
+
+  EXPECT_EQ(h.stats().initial_slices, 1u);
+  EXPECT_EQ(h.stats().nodes_generated, 1u);  // nothing above a singleton
+  EXPECT_TRUE(h.nodes()[0].is_initial);
+  EXPECT_EQ(h.nodes()[0].entities.size(), 2u);
+}
+
+TEST_F(SliceHierarchyTest, MultivaluedPredicateMintsMultipleInitialSlices) {
+  std::vector<rdf::Triple> facts = {T("e", "tag", "a"), T("e", "tag", "b")};
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+  SliceHierarchy h(table, profit, HierarchyOptions());
+  // One initial slice per value choice.
+  EXPECT_EQ(h.stats().initial_slices, 2u);
+}
+
+TEST_F(SliceHierarchyTest, NodeCapStopsGeneration) {
+  // An entity with 10 distinct predicates has 2^10-1 subset nodes; cap at
+  // 50 and expect the warning path.
+  std::vector<rdf::Triple> facts;
+  for (int p = 0; p < 10; ++p) {
+    facts.push_back(T("e", "p" + std::to_string(p), "v"));
+  }
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+  HierarchyOptions options;
+  options.max_nodes = 50;
+  SliceHierarchy h(table, profit, options);
+  EXPECT_TRUE(h.stats().node_cap_hit);
+  EXPECT_LE(h.stats().nodes_generated, 50u);
+}
+
+TEST_F(SliceHierarchyTest, PropertyBudgetTruncatesEntity) {
+  std::vector<rdf::Triple> facts;
+  for (int p = 0; p < 8; ++p) {
+    facts.push_back(T("e", "p" + std::to_string(p), "v"));
+  }
+  // A second entity shares p0..p3, making those properties better-shared.
+  for (int p = 0; p < 4; ++p) {
+    facts.push_back(T("f", "p" + std::to_string(p), "v"));
+  }
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+  HierarchyOptions options;
+  options.max_properties_per_entity = 4;
+  SliceHierarchy h(table, profit, options);
+
+  // e's initial slice keeps the 4 best-shared properties (p0..p3), which f
+  // also has -> a single initial node with both entities at full depth 4.
+  bool found = false;
+  for (const auto& node : h.nodes()) {
+    if (node.is_initial && node.level == 4 && node.entities.size() == 2) {
+      found = true;
+    }
+    EXPECT_LE(node.level, 4u);
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

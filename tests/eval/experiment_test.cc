@@ -1,0 +1,90 @@
+#include "midas/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "midas/synth/corpus_generator.h"
+#include "midas/web/url.h"
+
+namespace midas {
+namespace eval {
+namespace {
+
+TEST(MethodSuiteTest, ProvidesTheFourPaperMethods) {
+  MethodSuite suite;
+  ASSERT_EQ(suite.specs().size(), 4u);
+  EXPECT_NE(suite.Find("MIDAS"), nullptr);
+  EXPECT_NE(suite.Find("Greedy"), nullptr);
+  EXPECT_NE(suite.Find("AggCluster"), nullptr);
+  EXPECT_NE(suite.Find("Naive"), nullptr);
+  EXPECT_EQ(suite.Find("Bogus"), nullptr);
+  // Run modes per DESIGN: MIDAS/Greedy in framework rounds, AggCluster and
+  // Naive per domain.
+  EXPECT_EQ(suite.Find("MIDAS")->mode, RunMode::kFrameworkRounds);
+  EXPECT_EQ(suite.Find("Naive")->mode, RunMode::kPerDomain);
+  EXPECT_EQ(suite.Find("AggCluster")->mode, RunMode::kPerDomain);
+}
+
+TEST(AggregateByDomainTest, MergesPathsUnderDomains) {
+  auto dict = std::make_shared<rdf::Dictionary>();
+  web::Corpus corpus(dict);
+  corpus.AddFactRaw("http://a.com/x/p1", "e1", "p", "1");
+  corpus.AddFactRaw("http://a.com/y/p2", "e2", "p", "2");
+  corpus.AddFactRaw("http://b.com/z", "e3", "p", "3");
+
+  web::Corpus by_domain = AggregateByDomain(corpus);
+  EXPECT_EQ(by_domain.NumSources(), 2u);
+  EXPECT_EQ(by_domain.NumFacts(), 3u);
+  const auto* a = by_domain.FindSource("http://a.com");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->facts.size(), 2u);
+}
+
+TEST(AggregateByDomainTest, DedupesSameTripleAcrossPages) {
+  auto dict = std::make_shared<rdf::Dictionary>();
+  web::Corpus corpus(dict);
+  corpus.AddFactRaw("http://a.com/x", "e1", "p", "1");
+  corpus.AddFactRaw("http://a.com/y", "e1", "p", "1");
+  web::Corpus by_domain = AggregateByDomain(corpus);
+  EXPECT_EQ(by_domain.NumFacts(), 1u);
+}
+
+TEST(RunMethodTest, StatsReturnedAndSlicesRanked) {
+  auto data = synth::GenerateCorpus(synth::SlimParams(false, 20, 41));
+  MethodSuite suite;
+  core::FrameworkStats stats;
+  auto slices =
+      RunMethod(*suite.Find("MIDAS"), *data.corpus, *data.kb, &stats);
+  EXPECT_GT(stats.detector_calls, 0u);
+  EXPECT_GT(stats.rounds, 1u);
+  for (size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_GE(slices[i - 1].profit, slices[i].profit);
+  }
+}
+
+TEST(RunMethodTest, NaiveReportsDomainUrls) {
+  auto data = synth::GenerateCorpus(synth::SlimParams(false, 20, 42));
+  MethodSuite suite;
+  auto slices = RunMethod(*suite.Find("Naive"), *data.corpus, *data.kb);
+  ASSERT_FALSE(slices.empty());
+  for (const auto& s : slices) {
+    EXPECT_EQ(web::UrlDepth(s.source_url), 0u) << s.source_url;
+  }
+}
+
+TEST(CoverageSweepTest, MonotoneKbAndDisjointOptimalOutput) {
+  auto data = synth::GenerateCorpus(synth::SlimParams(false, 20, 43));
+  MethodSuite suite;
+  std::vector<MethodSpec> midas_only = {*suite.Find("MIDAS")};
+  auto rows = RunCoverageSweep(*data.corpus, data.dict, data.silver,
+                               midas_only, {0.0, 0.5, 1.0});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].scores.expected, data.silver.size());
+  EXPECT_LT(rows[1].scores.expected, rows[0].scores.expected);
+  EXPECT_EQ(rows[2].scores.expected, 0u);  // full coverage: nothing left
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace midas

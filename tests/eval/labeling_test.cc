@@ -1,0 +1,131 @@
+#include "midas/eval/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace midas {
+namespace eval {
+namespace {
+
+constexpr uint32_t kNoise = 0xFFFFFFFFu;
+
+class LabelingTest : public ::testing::Test {
+ protected:
+  LabelingTest() : dict_(std::make_shared<rdf::Dictionary>()), kb_(dict_) {}
+
+  rdf::TermId Entity(const std::string& name, uint32_t group) {
+    rdf::TermId id = dict_->Intern(name);
+    groups_[id] = group;
+    return id;
+  }
+
+  core::DiscoveredSlice SliceOf(const std::vector<rdf::TermId>& entities,
+                                bool facts_in_kb) {
+    core::DiscoveredSlice s;
+    s.entities = entities;
+    for (rdf::TermId e : entities) {
+      rdf::Triple t(e, dict_->Intern("p"), dict_->Intern("v"));
+      s.facts.push_back(t);
+      if (facts_in_kb) kb_.Add(t);
+    }
+    s.num_facts = s.facts.size();
+    return s;
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+  rdf::KnowledgeBase kb_;
+  std::unordered_map<rdf::TermId, uint32_t> groups_;
+};
+
+TEST_F(LabelingTest, HomogeneousNewSliceIsCorrect) {
+  std::vector<rdf::TermId> entities;
+  for (int i = 0; i < 10; ++i) {
+    entities.push_back(Entity("e" + std::to_string(i), /*group=*/1));
+  }
+  auto slice = SliceOf(entities, /*facts_in_kb=*/false);
+  GroundTruthLabeler labeler(&groups_, kNoise, &kb_);
+  EXPECT_TRUE(labeler.IsCorrect(slice));
+  EXPECT_DOUBLE_EQ(labeler.last_rnew(), 1.0);
+  EXPECT_DOUBLE_EQ(labeler.last_ranno(), 1.0);
+}
+
+TEST_F(LabelingTest, KnownFactsFailRnew) {
+  std::vector<rdf::TermId> entities;
+  for (int i = 0; i < 10; ++i) {
+    entities.push_back(Entity("e" + std::to_string(i), 1));
+  }
+  auto slice = SliceOf(entities, /*facts_in_kb=*/true);
+  GroundTruthLabeler labeler(&groups_, kNoise, &kb_);
+  EXPECT_FALSE(labeler.IsCorrect(slice));
+  EXPECT_DOUBLE_EQ(labeler.last_rnew(), 0.0);
+}
+
+TEST_F(LabelingTest, NoiseEntitiesFailRanno) {
+  std::vector<rdf::TermId> entities;
+  for (int i = 0; i < 10; ++i) {
+    entities.push_back(Entity("n" + std::to_string(i), kNoise));
+  }
+  auto slice = SliceOf(entities, /*facts_in_kb=*/false);
+  GroundTruthLabeler labeler(&groups_, kNoise, &kb_);
+  EXPECT_FALSE(labeler.IsCorrect(slice));
+  EXPECT_DOUBLE_EQ(labeler.last_ranno(), 0.0);
+  EXPECT_DOUBLE_EQ(labeler.last_rnew(), 1.0);
+}
+
+TEST_F(LabelingTest, MixedGroupsNeedMajority) {
+  std::vector<rdf::TermId> entities;
+  for (int i = 0; i < 6; ++i) entities.push_back(Entity("a" + std::to_string(i), 1));
+  for (int i = 0; i < 4; ++i) entities.push_back(Entity("b" + std::to_string(i), 2));
+  auto slice = SliceOf(entities, false);
+  GroundTruthLabeler labeler(&groups_, kNoise, &kb_);
+  EXPECT_TRUE(labeler.IsCorrect(slice));
+  EXPECT_DOUBLE_EQ(labeler.last_ranno(), 0.6);
+
+  // 50/50 split: ranno == 0.5 is not strictly above the threshold.
+  std::vector<rdf::TermId> even;
+  for (int i = 0; i < 5; ++i) even.push_back(Entity("c" + std::to_string(i), 1));
+  for (int i = 0; i < 5; ++i) even.push_back(Entity("d" + std::to_string(i), 2));
+  EXPECT_FALSE(labeler.IsCorrect(SliceOf(even, false)));
+}
+
+TEST_F(LabelingTest, EmptySliceIsIncorrect) {
+  core::DiscoveredSlice empty;
+  GroundTruthLabeler labeler(&groups_, kNoise, &kb_);
+  EXPECT_FALSE(labeler.IsCorrect(empty));
+}
+
+TEST_F(LabelingTest, SamplingBoundsWork) {
+  // 100 entities, sample K=20: still labeled correct.
+  std::vector<rdf::TermId> entities;
+  for (int i = 0; i < 100; ++i) {
+    entities.push_back(Entity("e" + std::to_string(i), 3));
+  }
+  auto slice = SliceOf(entities, false);
+  LabelerOptions options;
+  options.sample_k = 20;
+  GroundTruthLabeler labeler(&groups_, kNoise, &kb_, options);
+  EXPECT_TRUE(labeler.IsCorrect(slice));
+}
+
+TEST_F(LabelingTest, TopKPrecision) {
+  std::vector<core::DiscoveredSlice> ranked;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<rdf::TermId> entities;
+    for (int j = 0; j < 5; ++j) {
+      entities.push_back(Entity("g" + std::to_string(i) + "_" +
+                                    std::to_string(j),
+                                i < 2 ? i + 10 : kNoise));
+    }
+    ranked.push_back(SliceOf(entities, false));
+  }
+  GroundTruthLabeler labeler(&groups_, kNoise, &kb_);
+  EXPECT_DOUBLE_EQ(labeler.TopKPrecision(ranked, 2), 1.0);
+  EXPECT_DOUBLE_EQ(labeler.TopKPrecision(ranked, 4), 0.5);
+  EXPECT_DOUBLE_EQ(labeler.TopKPrecision(ranked, 100), 0.5);  // clamps
+  EXPECT_DOUBLE_EQ(labeler.TopKPrecision({}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace midas

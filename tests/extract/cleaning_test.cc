@@ -1,0 +1,137 @@
+#include "midas/extract/cleaning.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace midas {
+namespace extract {
+namespace {
+
+class CleaningTest : public ::testing::Test {
+ protected:
+  CleaningTest() : dict_(std::make_shared<rdf::Dictionary>()) {}
+
+  void Add(const char* url, const char* s, const char* p, const char* o,
+           double conf) {
+    facts_.push_back(ExtractedFact{
+        url,
+        rdf::Triple(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o)),
+        conf});
+  }
+
+  std::string Term(rdf::TermId id) const { return dict_->Term(id); }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+  std::vector<ExtractedFact> facts_;
+};
+
+TEST(NormalizeTermWhitespaceTest, TrimsAndCollapses) {
+  EXPECT_EQ(NormalizeTermWhitespace("  Atlas  "), "Atlas");
+  EXPECT_EQ(NormalizeTermWhitespace("Project\t\tMercury"),
+            "Project Mercury");
+  EXPECT_EQ(NormalizeTermWhitespace("a \n b"), "a b");
+  EXPECT_EQ(NormalizeTermWhitespace(""), "");
+  EXPECT_EQ(NormalizeTermWhitespace("   "), "");
+  EXPECT_EQ(NormalizeTermWhitespace("clean"), "clean");
+}
+
+TEST_F(CleaningTest, MergesDuplicatesKeepingMaxConfidence) {
+  Add("http://x", "Atlas", "sponsor", "NASA", 0.6);
+  Add("http://x", "Atlas", "sponsor", "NASA", 0.9);
+  Add("http://x", "Atlas", "sponsor", "NASA", 0.7);
+  auto stats = CleanExtractions({}, dict_.get(), &facts_);
+  ASSERT_EQ(facts_.size(), 1u);
+  EXPECT_DOUBLE_EQ(facts_[0].confidence, 0.9);
+  EXPECT_EQ(stats.duplicates_merged, 2u);
+  EXPECT_EQ(stats.output_records, 1u);
+}
+
+TEST_F(CleaningTest, SameTripleOnDifferentPagesKept) {
+  Add("http://x/a", "Atlas", "sponsor", "NASA", 0.8);
+  Add("http://x/b", "Atlas", "sponsor", "NASA", 0.8);
+  CleanExtractions({}, dict_.get(), &facts_);
+  EXPECT_EQ(facts_.size(), 2u);
+}
+
+TEST_F(CleaningTest, NormalizesWhitespaceAndThenMerges) {
+  Add("http://x", "Atlas ", "sponsor", "NASA", 0.5);
+  Add("http://x", " Atlas", "sponsor", "NASA", 0.8);
+  auto stats = CleanExtractions({}, dict_.get(), &facts_);
+  ASSERT_EQ(facts_.size(), 1u);
+  EXPECT_EQ(Term(facts_[0].triple.subject), "Atlas");
+  EXPECT_DOUBLE_EQ(facts_[0].confidence, 0.8);
+  EXPECT_GE(stats.terms_normalized, 2u);
+}
+
+TEST_F(CleaningTest, ConfidenceFloorApplied) {
+  Add("http://x", "a", "p", "1", 0.2);
+  Add("http://x", "b", "p", "2", 0.8);
+  CleaningOptions options;
+  options.min_confidence = 0.5;
+  auto stats = CleanExtractions(options, dict_.get(), &facts_);
+  ASSERT_EQ(facts_.size(), 1u);
+  EXPECT_EQ(Term(facts_[0].triple.subject), "b");
+  EXPECT_EQ(stats.below_confidence, 1u);
+}
+
+TEST_F(CleaningTest, FunctionalPredicateKeepsBestObject) {
+  Add("http://x", "Atlas", "started", "1957", 0.9);
+  Add("http://x", "Atlas", "started", "1958", 0.4);  // extractor misread
+  Add("http://x", "Atlas", "sponsor", "NASA", 0.8);
+  Add("http://x", "Atlas", "sponsor", "ESA", 0.7);  // sponsor NOT functional
+  CleaningOptions options;
+  options.functional_predicates = {"started"};
+  auto stats = CleanExtractions(options, dict_.get(), &facts_);
+  EXPECT_EQ(stats.conflicts_resolved, 1u);
+  ASSERT_EQ(facts_.size(), 3u);
+  for (const auto& f : facts_) {
+    if (Term(f.triple.predicate) == "started") {
+      EXPECT_EQ(Term(f.triple.object), "1957");
+    }
+  }
+}
+
+TEST_F(CleaningTest, FunctionalConflictScopedToPage) {
+  // Conflicting objects on different pages are both kept: cross-source
+  // resolution is the knowledge-fusion stage's job, not extraction
+  // hygiene's.
+  Add("http://x/a", "Atlas", "started", "1957", 0.9);
+  Add("http://x/b", "Atlas", "started", "1958", 0.4);
+  CleaningOptions options;
+  options.functional_predicates = {"started"};
+  CleanExtractions(options, dict_.get(), &facts_);
+  EXPECT_EQ(facts_.size(), 2u);
+}
+
+TEST_F(CleaningTest, LaterHigherConfidenceWinsFunctionalConflict) {
+  Add("http://x", "Atlas", "started", "1958", 0.4);
+  Add("http://x", "Atlas", "started", "1957", 0.9);
+  CleaningOptions options;
+  options.functional_predicates = {"started"};
+  CleanExtractions(options, dict_.get(), &facts_);
+  ASSERT_EQ(facts_.size(), 1u);
+  EXPECT_EQ(Term(facts_[0].triple.object), "1957");
+}
+
+TEST_F(CleaningTest, DisableEverythingIsIdentity) {
+  Add("http://x", "a ", "p", "1", 0.2);
+  Add("http://x", "a ", "p", "1", 0.3);
+  CleaningOptions options;
+  options.merge_duplicates = false;
+  options.normalize_whitespace = false;
+  auto stats = CleanExtractions(options, dict_.get(), &facts_);
+  EXPECT_EQ(facts_.size(), 2u);
+  EXPECT_EQ(Term(facts_[0].triple.subject), "a ");
+  EXPECT_EQ(stats.output_records, 2u);
+}
+
+TEST_F(CleaningTest, EmptyInput) {
+  auto stats = CleanExtractions({}, dict_.get(), &facts_);
+  EXPECT_EQ(stats.input_records, 0u);
+  EXPECT_EQ(stats.output_records, 0u);
+}
+
+}  // namespace
+}  // namespace extract
+}  // namespace midas

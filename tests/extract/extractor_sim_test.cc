@@ -1,0 +1,157 @@
+#include "midas/extract/extractor_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace extract {
+namespace {
+
+std::vector<PageContent> MakePages(rdf::Dictionary* dict, size_t num_pages,
+                                   size_t facts_per_page) {
+  std::vector<PageContent> pages;
+  for (size_t p = 0; p < num_pages; ++p) {
+    PageContent page;
+    page.url = StringPrintf("http://site.com/page%zu", p);
+    for (size_t f = 0; f < facts_per_page; ++f) {
+      page.facts.emplace_back(
+          dict->Intern(StringPrintf("e%zu_%zu", p, f)),
+          dict->Intern("pred"),
+          dict->Intern(StringPrintf("v%zu", f)));
+    }
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+TEST(ExtractionSimulatorTest, RecallControlsTrueExtractionRate) {
+  auto dict = std::make_shared<rdf::Dictionary>();
+  auto pages = MakePages(dict.get(), 100, 50);  // 5000 true facts
+
+  ExtractorProfile profile;
+  profile.recall = 0.3;
+  profile.noise_rate = 0.0;
+  ExtractionSimulator sim(profile, dict.get());
+  Rng rng(1);
+  auto dump = sim.ExtractAll(pages, dict, &rng);
+
+  EXPECT_NEAR(static_cast<double>(dump.facts.size()), 1500.0, 120.0);
+  // All extracted facts are true page facts (no noise configured).
+  std::unordered_set<rdf::Triple, rdf::TripleHash> truth;
+  for (const auto& page : pages) {
+    truth.insert(page.facts.begin(), page.facts.end());
+  }
+  for (const auto& f : dump.facts) {
+    EXPECT_TRUE(truth.count(f.triple));
+  }
+}
+
+TEST(ExtractionSimulatorTest, NoiseRateMintsSpuriousFacts) {
+  auto dict = std::make_shared<rdf::Dictionary>();
+  auto pages = MakePages(dict.get(), 50, 40);  // 2000 true facts
+
+  ExtractorProfile profile;
+  profile.recall = 0.0;
+  profile.noise_rate = 0.5;
+  ExtractionSimulator sim(profile, dict.get());
+  Rng rng(2);
+  auto dump = sim.ExtractAll(pages, dict, &rng);
+
+  EXPECT_NEAR(static_cast<double>(dump.facts.size()), 1000.0, 100.0);
+  // Every extraction is spurious: it must differ from the original triple.
+  std::unordered_set<rdf::Triple, rdf::TripleHash> truth;
+  for (const auto& page : pages) {
+    truth.insert(page.facts.begin(), page.facts.end());
+  }
+  for (const auto& f : dump.facts) {
+    EXPECT_FALSE(truth.count(f.triple));
+  }
+}
+
+TEST(ExtractionSimulatorTest, ConfidencesSeparateTrueFromNoise) {
+  auto dict = std::make_shared<rdf::Dictionary>();
+  auto pages = MakePages(dict.get(), 50, 40);
+
+  ExtractorProfile profile;  // defaults: recall .3, noise .25
+  ExtractionSimulator sim(profile, dict.get());
+  Rng rng(3);
+  std::unordered_set<rdf::Triple, rdf::TripleHash> truth;
+  for (const auto& page : pages) {
+    truth.insert(page.facts.begin(), page.facts.end());
+  }
+  auto dump = sim.ExtractAll(pages, dict, &rng);
+
+  double true_sum = 0, noise_sum = 0;
+  size_t true_n = 0, noise_n = 0;
+  for (const auto& f : dump.facts) {
+    if (truth.count(f.triple)) {
+      true_sum += f.confidence;
+      ++true_n;
+    } else {
+      noise_sum += f.confidence;
+      ++noise_n;
+    }
+    EXPECT_GT(f.confidence, 0.0);
+    EXPECT_LT(f.confidence, 1.0);
+  }
+  ASSERT_GT(true_n, 0u);
+  ASSERT_GT(noise_n, 0u);
+  EXPECT_GT(true_sum / static_cast<double>(true_n),
+            noise_sum / static_cast<double>(noise_n) + 0.2);
+}
+
+TEST(ExtractionSimulatorTest, SalienceBoostsExtraction) {
+  auto dict = std::make_shared<rdf::Dictionary>();
+  PageContent page;
+  page.url = "http://site.com/p";
+  for (int i = 0; i < 2000; ++i) {
+    page.facts.emplace_back(dict->Intern("e" + std::to_string(i)),
+                            dict->Intern("p"), dict->Intern("v"));
+    page.salience.push_back(i % 2 == 0 ? 3.0 : 1.0);
+  }
+  ExtractorProfile profile;
+  profile.recall = 0.3;
+  profile.noise_rate = 0.0;
+  ExtractionSimulator sim(profile, dict.get());
+  Rng rng(4);
+  std::vector<ExtractedFact> out;
+  sim.ExtractPage(page, &rng, &out);
+
+  size_t salient = 0, plain = 0;
+  for (const auto& f : out) {
+    // Even-index subjects are the salient ones ("e0", "e2", ...).
+    const std::string& name = dict->Term(f.triple.subject);
+    int idx = std::stoi(name.substr(1));
+    (idx % 2 == 0 ? salient : plain)++;
+  }
+  // salience 3.0 * recall 0.3 = 0.9 vs 0.3: expect ~900 vs ~300.
+  EXPECT_GT(salient, 800u);
+  EXPECT_LT(plain, 400u);
+}
+
+TEST(ExtractionSimulatorTest, DeterministicGivenRng) {
+  auto dict_a = std::make_shared<rdf::Dictionary>();
+  auto pages_a = MakePages(dict_a.get(), 10, 10);
+  auto dict_b = std::make_shared<rdf::Dictionary>();
+  auto pages_b = MakePages(dict_b.get(), 10, 10);
+
+  ExtractorProfile profile;
+  ExtractionSimulator sim_a(profile, dict_a.get());
+  ExtractionSimulator sim_b(profile, dict_b.get());
+  Rng rng_a(7), rng_b(7);
+  auto dump_a = sim_a.ExtractAll(pages_a, dict_a, &rng_a);
+  auto dump_b = sim_b.ExtractAll(pages_b, dict_b, &rng_b);
+
+  ASSERT_EQ(dump_a.facts.size(), dump_b.facts.size());
+  for (size_t i = 0; i < dump_a.facts.size(); ++i) {
+    EXPECT_EQ(dump_a.facts[i].url, dump_b.facts[i].url);
+    EXPECT_DOUBLE_EQ(dump_a.facts[i].confidence, dump_b.facts[i].confidence);
+  }
+}
+
+}  // namespace
+}  // namespace extract
+}  // namespace midas

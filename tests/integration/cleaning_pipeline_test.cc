@@ -1,0 +1,126 @@
+// Integration: the extraction-hygiene pass in front of slice discovery.
+// A dump polluted with duplicate records, whitespace-variant subjects, and
+// low-confidence junk must, after cleaning, yield the same discovery
+// result as the pristine dump.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "midas/core/midas.h"
+#include "midas/extract/cleaning.h"
+#include "midas/extract/extraction.h"
+#include "midas/util/random.h"
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace {
+
+class CleaningPipelineTest : public ::testing::Test {
+ protected:
+  CleaningPipelineTest() : dict_(std::make_shared<rdf::Dictionary>()) {}
+
+  extract::ExtractedFact Fact(const std::string& url, const std::string& s,
+                              const std::string& p, const std::string& o,
+                              double conf) {
+    return extract::ExtractedFact{
+        url,
+        rdf::Triple(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o)),
+        conf};
+  }
+
+  // A clean dump: two coherent sections.
+  std::vector<extract::ExtractedFact> PristineDump() {
+    std::vector<extract::ExtractedFact> facts;
+    for (int i = 0; i < 8; ++i) {
+      std::string url = StringPrintf("http://a.com/rockets/p%d", i);
+      std::string e = StringPrintf("rocket%d", i);
+      facts.push_back(Fact(url, e, "cat", "rocket", 0.9));
+      facts.push_back(Fact(url, e, "sponsor", "NASA", 0.9));
+    }
+    for (int i = 0; i < 8; ++i) {
+      std::string url = StringPrintf("http://a.com/drinks/p%d", i);
+      std::string e = StringPrintf("drink%d", i);
+      facts.push_back(Fact(url, e, "cat", "cocktail", 0.9));
+    }
+    return facts;
+  }
+
+  // The same dump with pollution layered on.
+  std::vector<extract::ExtractedFact> PollutedDump() {
+    auto facts = PristineDump();
+    Rng rng(9);
+    std::vector<extract::ExtractedFact> polluted;
+    for (const auto& f : facts) {
+      polluted.push_back(f);
+      // Duplicate record at lower confidence.
+      auto dup = f;
+      dup.confidence = 0.75;
+      polluted.push_back(dup);
+      // Whitespace-variant subject record.
+      auto ws = f;
+      ws.triple.subject =
+          dict_->Intern("  " + dict_->Term(f.triple.subject) + " ");
+      polluted.push_back(ws);
+      // Low-confidence junk.
+      polluted.push_back(Fact(f.url, "junk" + std::to_string(rng.Next() % 100),
+                              "noise", "x", 0.2));
+    }
+    return polluted;
+  }
+
+  std::vector<core::DiscoveredSlice> Discover(
+      std::vector<extract::ExtractedFact> facts) {
+    extract::ExtractionDump dump;
+    dump.dict = dict_;
+    dump.facts = std::move(facts);
+    web::Corpus corpus = extract::BuildCorpus(dump, 0.7);
+    rdf::KnowledgeBase kb(dict_);
+    core::MidasOptions options;
+    options.cost_model = core::CostModel::RunningExample();
+    core::Midas midas(options);
+    return midas.DiscoverSlices(corpus, kb).slices;
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+};
+
+TEST_F(CleaningPipelineTest, CleanedPollutedDumpMatchesPristine) {
+  auto pristine_slices = Discover(PristineDump());
+  ASSERT_EQ(pristine_slices.size(), 2u);
+
+  auto polluted = PollutedDump();
+  extract::CleaningOptions options;
+  options.min_confidence = 0.7;
+  auto stats = extract::CleanExtractions(options, dict_.get(), &polluted);
+  EXPECT_GT(stats.duplicates_merged, 0u);
+  EXPECT_GT(stats.below_confidence, 0u);
+  EXPECT_GT(stats.terms_normalized, 0u);
+
+  auto cleaned_slices = Discover(std::move(polluted));
+  ASSERT_EQ(cleaned_slices.size(), pristine_slices.size());
+  for (size_t i = 0; i < cleaned_slices.size(); ++i) {
+    EXPECT_EQ(cleaned_slices[i].Description(*dict_),
+              pristine_slices[i].Description(*dict_));
+    EXPECT_EQ(cleaned_slices[i].num_facts, pristine_slices[i].num_facts);
+  }
+}
+
+TEST_F(CleaningPipelineTest, WithoutCleaningThePollutionLeaksThrough) {
+  auto polluted_slices = Discover(PollutedDump());
+  auto pristine_slices = Discover(PristineDump());
+  // Whitespace-variant subjects double the entities, so the polluted run's
+  // slices disagree with the pristine ones in size.
+  bool identical = polluted_slices.size() == pristine_slices.size();
+  if (identical) {
+    for (size_t i = 0; i < polluted_slices.size(); ++i) {
+      if (polluted_slices[i].num_facts != pristine_slices[i].num_facts) {
+        identical = false;
+      }
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+}  // namespace
+}  // namespace midas

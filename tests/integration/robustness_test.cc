@@ -1,0 +1,172 @@
+// Robustness / fuzz-style tests: random and adversarial inputs through the
+// parsers and serializers (nothing may crash; round-trips must be
+// lossless), plus framework determinism across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "midas/core/midas.h"
+#include "midas/rdf/ntriples.h"
+#include "midas/synth/corpus_generator.h"
+#include "midas/util/random.h"
+#include "midas/util/tsv.h"
+#include "midas/web/url.h"
+
+namespace midas {
+namespace {
+
+// Random printable-ish string including separators and escapes.
+std::string RandomNastyString(Rng* rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "abcXYZ012 \t\n\r\\\"<>.:/?#@%&=;[]{}()|~^$!*+,'\x7f";
+  size_t len = rng->Uniform(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+TEST(FuzzTest, UrlParseNeverCrashesAndNormalizeIsIdempotent) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    std::string input = RandomNastyString(&rng, 64);
+    auto parsed = web::Url::Parse(input);
+    if (parsed.ok()) {
+      // Normalization must be a fixpoint.
+      std::string normalized = parsed->ToString();
+      auto again = web::Url::Parse(normalized);
+      ASSERT_TRUE(again.ok()) << normalized;
+      EXPECT_EQ(again->ToString(), normalized);
+      // Depth helpers agree with the parsed form.
+      EXPECT_EQ(web::UrlDepth(normalized), parsed->depth());
+    }
+  }
+}
+
+TEST(FuzzTest, ParentUrlStringTerminates) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    std::string url = RandomNastyString(&rng, 48);
+    // Walking parents must reach a fixpoint in bounded steps.
+    int steps = 0;
+    std::string current = url;
+    while (steps < 100) {
+      std::string parent = web::ParentUrlString(current);
+      if (parent == current) break;
+      current = parent;
+      ++steps;
+    }
+    EXPECT_LT(steps, 100) << url;
+  }
+}
+
+TEST(FuzzTest, TsvEscapeRoundTripsArbitraryStrings) {
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    std::string s = RandomNastyString(&rng, 32);
+    std::string escaped = TsvEscape(s);
+    EXPECT_EQ(escaped.find('\t'), std::string::npos);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    EXPECT_EQ(TsvUnescape(escaped), s);
+  }
+}
+
+TEST(FuzzTest, TsvRowRoundTripsArbitraryFields) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::string> fields;
+    size_t n = 1 + rng.Uniform(5);
+    for (size_t f = 0; f < n; ++f) {
+      fields.push_back(RandomNastyString(&rng, 24));
+    }
+    std::string row = TsvFormatRow(fields);
+    auto parsed =
+        TsvParseRow(std::string_view(row).substr(0, row.size() - 1));
+    EXPECT_EQ(parsed, fields);
+  }
+}
+
+TEST(FuzzTest, NTriplesParserNeverCrashes) {
+  Rng rng(5);
+  std::vector<std::string> terms;
+  for (int i = 0; i < 20000; ++i) {
+    std::string line = RandomNastyString(&rng, 80);
+    auto status = rdf::ParseNTriplesLine(line, &terms);
+    (void)status;  // ok or error — just must not crash
+  }
+}
+
+TEST(FuzzTest, NTriplesFormatParsesBackWhenTermsAreClean) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    // IRI-safe subject/predicate (no '>'), arbitrary literal object.
+    auto clean = [&](size_t len) {
+      std::string s;
+      for (size_t c = 0; c < len; ++c) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(26)));
+      }
+      return s;
+    };
+    std::string subject = clean(8), predicate = clean(6);
+    std::string object = RandomNastyString(&rng, 24);
+    // The formatter only quotes/escapes literal objects; objects that look
+    // like IRIs must themselves be clean.
+    if (object.find("://") != std::string::npos) continue;
+
+    std::string line = rdf::FormatNTriplesLine(subject, predicate, object);
+    std::vector<std::string> terms;
+    Status s = rdf::ParseNTriplesLine(line, &terms);
+    ASSERT_TRUE(s.ok()) << line;
+    EXPECT_EQ(terms[0], subject);
+    EXPECT_EQ(terms[1], predicate);
+    EXPECT_EQ(terms[2], object);
+  }
+}
+
+TEST(FuzzTest, CorpusAcceptsGarbageUrlsAndTerms) {
+  Rng rng(7);
+  auto dict = std::make_shared<rdf::Dictionary>();
+  web::Corpus corpus(dict);
+  rdf::KnowledgeBase kb(dict);
+  for (int i = 0; i < 2000; ++i) {
+    corpus.AddFactRaw(RandomNastyString(&rng, 40),
+                      RandomNastyString(&rng, 16),
+                      RandomNastyString(&rng, 16),
+                      RandomNastyString(&rng, 16));
+  }
+  // The full pipeline must survive whatever the corpus now contains.
+  core::Midas midas;
+  auto result = midas.DiscoverSlices(corpus, kb);
+  (void)result;
+  SUCCEED();
+}
+
+TEST(DeterminismTest, FrameworkResultsIndependentOfThreadCount) {
+  auto params = synth::SlimParams(/*open_ie=*/false, 30, /*seed=*/77);
+  auto data = synth::GenerateCorpus(params);
+
+  core::MidasOptions options;
+  core::MidasAlg alg(options);
+
+  auto run = [&](size_t threads) {
+    core::FrameworkOptions fw;
+    fw.num_threads = threads;
+    core::MidasFramework framework(&alg, fw);
+    return framework.Run(*data.corpus, *data.kb);
+  };
+
+  auto one = run(1);
+  auto many = run(8);
+  ASSERT_EQ(one.slices.size(), many.slices.size());
+  for (size_t i = 0; i < one.slices.size(); ++i) {
+    EXPECT_EQ(one.slices[i].source_url, many.slices[i].source_url);
+    EXPECT_EQ(one.slices[i].entities, many.slices[i].entities);
+    EXPECT_DOUBLE_EQ(one.slices[i].profit, many.slices[i].profit);
+  }
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,64 @@
+#include "midas/rdf/ontology.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace rdf {
+namespace {
+
+TypeSpec MakeType(const std::string& name,
+                  std::vector<std::string> pred_names) {
+  TypeSpec t;
+  t.name = name;
+  for (auto& p : pred_names) {
+    PredicateSpec spec;
+    spec.name = std::move(p);
+    t.predicates.push_back(std::move(spec));
+  }
+  return t;
+}
+
+TEST(OntologyTest, AddAndFind) {
+  Ontology ont;
+  ont.AddType(MakeType("rocket_family", {"sponsor", "started"}));
+  ont.AddType(MakeType("cocktail", {"ingredient"}));
+
+  EXPECT_EQ(ont.size(), 2u);
+  const TypeSpec* rocket = ont.FindType("rocket_family");
+  ASSERT_NE(rocket, nullptr);
+  EXPECT_EQ(rocket->predicates.size(), 2u);
+  EXPECT_EQ(ont.FindType("nope"), nullptr);
+}
+
+TEST(OntologyTest, TypesKeepRegistrationOrder) {
+  Ontology ont;
+  ont.AddType(MakeType("b", {}));
+  ont.AddType(MakeType("a", {}));
+  EXPECT_EQ(ont.types()[0].name, "b");
+  EXPECT_EQ(ont.types()[1].name, "a");
+}
+
+TEST(OntologyTest, DistinctPredicatesAcrossTypes) {
+  Ontology ont;
+  ont.AddType(MakeType("t1", {"shared", "only1"}));
+  ont.AddType(MakeType("t2", {"shared", "only2"}));
+  EXPECT_EQ(ont.NumDistinctPredicates(), 3u);
+}
+
+TEST(OntologyTest, PredicateSpecDefaults) {
+  PredicateSpec spec;
+  EXPECT_EQ(spec.presence_prob, 1.0);
+  EXPECT_FALSE(spec.multivalued);
+  EXPECT_TRUE(spec.values.empty());
+  EXPECT_EQ(spec.open_values, 0u);
+}
+
+TEST(OntologyDeathTest, DuplicateTypeNameAborts) {
+  Ontology ont;
+  ont.AddType(MakeType("dup", {}));
+  EXPECT_DEATH(ont.AddType(MakeType("dup", {})), "duplicate type");
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace midas

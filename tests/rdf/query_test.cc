@@ -1,0 +1,112 @@
+#include "midas/rdf/query.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/rdf/dictionary.h"
+
+namespace midas {
+namespace rdf {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Add("Atlas", "category", "rocket_family");
+    Add("Atlas", "sponsor", "NASA");
+    Add("Atlas", "started", "1957");
+    Add("Castor-4", "category", "rocket_family");
+    Add("Castor-4", "sponsor", "NASA");
+    Add("Apollo", "category", "space_program");
+    Add("Apollo", "sponsor", "NASA");
+    Add("Soyuz", "category", "rocket_family");
+    Add("Soyuz", "sponsor", "Roscosmos");
+  }
+
+  void Add(const char* s, const char* p, const char* o) {
+    store_.Insert(Triple(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)));
+  }
+  TermId Id(const char* term) { return dict_.Intern(term); }
+
+  std::vector<std::string> Names(const std::vector<TermId>& ids) {
+    std::vector<std::string> out;
+    for (TermId id : ids) out.push_back(dict_.Term(id));
+    return out;
+  }
+
+  Dictionary dict_;
+  TripleStore store_;
+};
+
+TEST_F(QueryTest, SingleConstraint) {
+  auto subjects = SubjectsMatchingAll(
+      &store_, {{Id("category"), Id("rocket_family")}});
+  EXPECT_EQ(subjects.size(), 3u);  // Atlas, Castor-4, Soyuz
+}
+
+TEST_F(QueryTest, Conjunction) {
+  auto subjects = SubjectsMatchingAll(
+      &store_, {{Id("category"), Id("rocket_family")},
+                {Id("sponsor"), Id("NASA")}});
+  auto names = Names(subjects);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"Atlas", "Castor-4"}));
+}
+
+TEST_F(QueryTest, ExistenceConstraint) {
+  // Wildcard object: subjects that have *any* "started" fact.
+  auto subjects =
+      SubjectsMatchingAll(&store_, {{Id("started"), kInvalidTermId}});
+  ASSERT_EQ(subjects.size(), 1u);
+  EXPECT_EQ(dict_.Term(subjects[0]), "Atlas");
+}
+
+TEST_F(QueryTest, MixedExistenceAndValue) {
+  auto subjects = SubjectsMatchingAll(
+      &store_, {{Id("started"), kInvalidTermId},
+                {Id("sponsor"), Id("NASA")}});
+  EXPECT_EQ(subjects.size(), 1u);
+}
+
+TEST_F(QueryTest, EmptyConstraintsReturnsAllSubjects) {
+  auto subjects = SubjectsMatchingAll(&store_, {});
+  EXPECT_EQ(subjects.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(subjects.begin(), subjects.end()));
+}
+
+TEST_F(QueryTest, UnsatisfiableConjunction) {
+  auto subjects = SubjectsMatchingAll(
+      &store_, {{Id("category"), Id("space_program")},
+                {Id("sponsor"), Id("Roscosmos")}});
+  EXPECT_TRUE(subjects.empty());
+}
+
+TEST_F(QueryTest, ConstraintOnUnknownValue) {
+  auto subjects = SubjectsMatchingAll(
+      &store_, {{Id("category"), Id("never-seen-value")}});
+  EXPECT_TRUE(subjects.empty());
+}
+
+TEST_F(QueryTest, ObjectsOf) {
+  Add("Atlas", "sponsor", "USAF");  // second sponsor
+  auto objects = ObjectsOf(&store_, Id("Atlas"), Id("sponsor"));
+  auto names = Names(objects);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"NASA", "USAF"}));
+  EXPECT_TRUE(ObjectsOf(&store_, Id("Atlas"), Id("orbit")).empty());
+}
+
+TEST_F(QueryTest, DuplicateSubjectsCollapsed) {
+  // Soyuz has two category facts after this; subject must appear once.
+  Add("Soyuz", "category", "launch_vehicle");
+  auto subjects =
+      SubjectsMatchingAll(&store_, {{Id("category"), kInvalidTermId}});
+  size_t soyuz_count = 0;
+  for (TermId s : subjects) {
+    if (dict_.Term(s) == "Soyuz") ++soyuz_count;
+  }
+  EXPECT_EQ(soyuz_count, 1u);
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace midas

@@ -1,0 +1,100 @@
+// Differential test: the indexed TripleStore's pattern queries must agree
+// with a brute-force scan over random data, for every pattern shape, across
+// several random store shapes (parameterized).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "midas/rdf/triple_store.h"
+#include "midas/util/random.h"
+
+namespace midas {
+namespace rdf {
+namespace {
+
+struct StoreShape {
+  size_t num_triples;
+  uint64_t subjects;
+  uint64_t predicates;
+  uint64_t objects;
+  uint64_t seed;
+};
+
+class TripleStoreDifferentialTest
+    : public ::testing::TestWithParam<StoreShape> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam().seed);
+    for (size_t i = 0; i < GetParam().num_triples; ++i) {
+      Triple t(static_cast<TermId>(rng.Uniform(GetParam().subjects)),
+               static_cast<TermId>(rng.Uniform(GetParam().predicates)),
+               static_cast<TermId>(rng.Uniform(GetParam().objects)));
+      store_.Insert(t);
+    }
+  }
+
+  std::vector<Triple> BruteForce(const TriplePattern& p) const {
+    std::vector<Triple> out;
+    for (const Triple& t : store_.triples()) {
+      if (p.Matches(t)) out.push_back(t);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void Check(const TriplePattern& p) {
+    auto indexed = store_.Find(p);
+    std::sort(indexed.begin(), indexed.end());
+    EXPECT_EQ(indexed, BruteForce(p))
+        << "pattern (" << p.subject << "," << p.predicate << "," << p.object
+        << ")";
+  }
+
+  TripleStore store_;
+};
+
+TEST_P(TripleStoreDifferentialTest, AllPatternShapesAgree) {
+  Rng rng(GetParam().seed + 1000);
+  const auto& shape = GetParam();
+  for (int trial = 0; trial < 50; ++trial) {
+    TermId s = static_cast<TermId>(rng.Uniform(shape.subjects + 2));
+    TermId p = static_cast<TermId>(rng.Uniform(shape.predicates + 2));
+    TermId o = static_cast<TermId>(rng.Uniform(shape.objects + 2));
+    // All 8 bound/unbound combinations.
+    for (int mask = 0; mask < 8; ++mask) {
+      TriplePattern pattern;
+      if (mask & 1) pattern.subject = s;
+      if (mask & 2) pattern.predicate = p;
+      if (mask & 4) pattern.object = o;
+      Check(pattern);
+    }
+  }
+}
+
+TEST_P(TripleStoreDifferentialTest, CountAgreesWithFind) {
+  Rng rng(GetParam().seed + 2000);
+  for (int trial = 0; trial < 20; ++trial) {
+    TriplePattern pattern;
+    pattern.predicate =
+        static_cast<TermId>(rng.Uniform(GetParam().predicates));
+    EXPECT_EQ(store_.Count(pattern), store_.Find(pattern).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TripleStoreDifferentialTest,
+    ::testing::Values(
+        StoreShape{0, 4, 4, 4, 1},        // empty store
+        StoreShape{50, 4, 2, 4, 2},       // tiny, dense duplicates
+        StoreShape{1000, 100, 8, 50, 3},  // medium
+        StoreShape{5000, 40, 4, 20, 4},   // heavy collisions
+        StoreShape{2000, 2000, 64, 2000, 5}),  // sparse
+    [](const ::testing::TestParamInfo<StoreShape>& info) {
+      return "n" + std::to_string(info.param.num_triples) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace rdf
+}  // namespace midas

@@ -1,0 +1,176 @@
+#include "midas/rdf/triple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "midas/rdf/dictionary.h"
+
+namespace midas {
+namespace rdf {
+namespace {
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A small graph: people, cities, types.
+    Add("alice", "lives_in", "paris");
+    Add("alice", "type", "person");
+    Add("bob", "lives_in", "paris");
+    Add("bob", "type", "person");
+    Add("carol", "lives_in", "rome");
+    Add("carol", "type", "person");
+    Add("paris", "type", "city");
+    Add("rome", "type", "city");
+  }
+
+  Triple Add(const char* s, const char* p, const char* o) {
+    Triple t(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+    store_.Insert(t);
+    return t;
+  }
+  TermId Id(const char* term) { return dict_.Intern(term); }
+
+  Dictionary dict_;
+  TripleStore store_;
+};
+
+TEST_F(TripleStoreTest, InsertDedupes) {
+  EXPECT_EQ(store_.size(), 8u);
+  Triple dup(Id("alice"), Id("lives_in"), Id("paris"));
+  EXPECT_FALSE(store_.Insert(dup));
+  EXPECT_EQ(store_.size(), 8u);
+}
+
+TEST_F(TripleStoreTest, Contains) {
+  EXPECT_TRUE(store_.Contains(Triple(Id("bob"), Id("type"), Id("person"))));
+  EXPECT_FALSE(store_.Contains(Triple(Id("bob"), Id("type"), Id("city"))));
+}
+
+TEST_F(TripleStoreTest, FindBySubject) {
+  TriplePattern p;
+  p.subject = Id("alice");
+  auto results = store_.Find(p);
+  EXPECT_EQ(results.size(), 2u);
+  for (const auto& t : results) EXPECT_EQ(t.subject, Id("alice"));
+}
+
+TEST_F(TripleStoreTest, FindByPredicate) {
+  TriplePattern p;
+  p.predicate = Id("type");
+  EXPECT_EQ(store_.Find(p).size(), 5u);
+}
+
+TEST_F(TripleStoreTest, FindByObject) {
+  TriplePattern p;
+  p.object = Id("paris");
+  EXPECT_EQ(store_.Find(p).size(), 2u);
+}
+
+TEST_F(TripleStoreTest, FindByPredicateObject) {
+  TriplePattern p;
+  p.predicate = Id("type");
+  p.object = Id("city");
+  auto results = store_.Find(p);
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, FindBySubjectPredicate) {
+  TriplePattern p;
+  p.subject = Id("carol");
+  p.predicate = Id("lives_in");
+  auto results = store_.Find(p);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].object, Id("rome"));
+}
+
+TEST_F(TripleStoreTest, FindBySubjectObject) {
+  TriplePattern p;
+  p.subject = Id("alice");
+  p.object = Id("paris");
+  EXPECT_EQ(store_.Find(p).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, FullyBoundPattern) {
+  TriplePattern p;
+  p.subject = Id("rome");
+  p.predicate = Id("type");
+  p.object = Id("city");
+  EXPECT_EQ(store_.Find(p).size(), 1u);
+  p.object = Id("person");
+  EXPECT_TRUE(store_.Find(p).empty());
+}
+
+TEST_F(TripleStoreTest, UnboundPatternReturnsAll) {
+  EXPECT_EQ(store_.Find(TriplePattern()).size(), 8u);
+}
+
+TEST_F(TripleStoreTest, CountMatchesFind) {
+  TriplePattern p;
+  p.predicate = Id("lives_in");
+  EXPECT_EQ(store_.Count(p), store_.Find(p).size());
+}
+
+TEST_F(TripleStoreTest, InsertAfterFreezeReindexes) {
+  TriplePattern p;
+  p.predicate = Id("type");
+  EXPECT_EQ(store_.Find(p).size(), 5u);  // freezes
+  Add("dave", "type", "person");
+  EXPECT_EQ(store_.Find(p).size(), 6u);  // re-freezes transparently
+}
+
+TEST_F(TripleStoreTest, DistinctCounts) {
+  EXPECT_EQ(store_.NumDistinctSubjects(), 5u);   // alice,bob,carol,paris,rome
+  EXPECT_EQ(store_.NumDistinctPredicates(), 2u); // lives_in,type
+  EXPECT_EQ(store_.NumDistinctObjects(), 4u);    // paris,rome,person,city
+}
+
+TEST_F(TripleStoreTest, NoMatchForUnknownTerm) {
+  TriplePattern p;
+  p.subject = Id("never-inserted-subject");
+  EXPECT_TRUE(store_.Find(p).empty());
+}
+
+TEST(TripleStoreScaleTest, LargeStorePatternQueries) {
+  Dictionary dict;
+  TripleStore store;
+  // 100 subjects x 10 predicates.
+  for (int s = 0; s < 100; ++s) {
+    for (int p = 0; p < 10; ++p) {
+      store.Insert(Triple(dict.Intern("s" + std::to_string(s)),
+                          dict.Intern("p" + std::to_string(p)),
+                          dict.Intern("o" + std::to_string((s + p) % 7))));
+    }
+  }
+  EXPECT_EQ(store.size(), 1000u);
+  TriplePattern bypred;
+  bypred.predicate = *dict.Lookup("p3");
+  EXPECT_EQ(store.Find(bypred).size(), 100u);
+  TriplePattern byobj;
+  byobj.object = *dict.Lookup("o0");
+  size_t expected = 0;
+  for (int s = 0; s < 100; ++s) {
+    for (int p = 0; p < 10; ++p) {
+      if ((s + p) % 7 == 0) ++expected;
+    }
+  }
+  EXPECT_EQ(store.Find(byobj).size(), expected);
+}
+
+TEST(TripleTest, ToStringFormats) {
+  Dictionary dict;
+  Triple t(dict.Intern("s"), dict.Intern("p"), dict.Intern("o"));
+  EXPECT_EQ(t.ToString(dict), "(s, p, o)");
+}
+
+TEST(TripleTest, OrderingAndEquality) {
+  Triple a(1, 2, 3), b(1, 2, 4), c(1, 2, 3);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_FALSE(b < a);
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace midas

@@ -1,0 +1,141 @@
+#include "midas/synth/ontology_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "midas/core/midas.h"
+
+namespace midas {
+namespace synth {
+namespace {
+
+TEST(BuildStockOntologyTest, ShapeAndDeterminism) {
+  auto a = BuildStockOntology(5, 13);
+  auto b = BuildStockOntology(5, 13);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.NumDistinctPredicates(), b.NumDistinctPredicates());
+  for (const auto& type : a.types()) {
+    // type + >=2 attrs + tags + id
+    EXPECT_GE(type.predicates.size(), 5u);
+    EXPECT_EQ(type.predicates[0].name, "type");
+    ASSERT_EQ(type.predicates[0].values.size(), 1u);
+    EXPECT_EQ(type.predicates[0].values[0], type.name);
+  }
+  // Different seed -> different attribute pools (sizes may differ).
+  auto c = BuildStockOntology(5, 14);
+  EXPECT_EQ(c.size(), 5u);
+}
+
+class OntologySamplerTest : public ::testing::Test {
+ protected:
+  OntologySamplerTest()
+      : ontology_(BuildStockOntology(3, 21)),
+        dict_(std::make_shared<rdf::Dictionary>()),
+        sampler_(&ontology_, dict_.get()) {}
+
+  rdf::Ontology ontology_;
+  std::shared_ptr<rdf::Dictionary> dict_;
+  OntologySampler sampler_;
+};
+
+TEST_F(OntologySamplerTest, EntitiesConformToSchema) {
+  Rng rng(1);
+  std::vector<rdf::Triple> facts;
+  auto subjects = sampler_.SampleEntities("type_0", 50, "ent_", &rng, &facts);
+  ASSERT_EQ(subjects.size(), 50u);
+  EXPECT_FALSE(facts.empty());
+
+  const rdf::TypeSpec* type = ontology_.FindType("type_0");
+  std::set<std::string> allowed_preds;
+  for (const auto& pred : type->predicates) allowed_preds.insert(pred.name);
+  std::set<rdf::TermId> subject_set(subjects.begin(), subjects.end());
+
+  for (const auto& t : facts) {
+    EXPECT_TRUE(subject_set.count(t.subject));
+    EXPECT_TRUE(allowed_preds.count(dict_->Term(t.predicate)))
+        << dict_->Term(t.predicate);
+  }
+
+  // The always-present "type" predicate appears exactly once per entity
+  // with the right value.
+  std::map<rdf::TermId, int> type_facts;
+  for (const auto& t : facts) {
+    if (dict_->Term(t.predicate) == "type") {
+      type_facts[t.subject]++;
+      EXPECT_EQ(dict_->Term(t.object), "type_0");
+    }
+  }
+  EXPECT_EQ(type_facts.size(), 50u);
+  for (const auto& [s, count] : type_facts) {
+    (void)s;
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST_F(OntologySamplerTest, MultivaluedPredicateEmitsMultipleValues) {
+  Rng rng(2);
+  std::vector<rdf::Triple> facts;
+  sampler_.SampleEntities("type_1", 100, "m_", &rng, &facts);
+  // At least one entity carries >= 2 tag values.
+  std::map<rdf::TermId, std::set<rdf::TermId>> tags;
+  for (const auto& t : facts) {
+    if (dict_->Term(t.predicate) == "t1_tags") {
+      tags[t.subject].insert(t.object);
+    }
+  }
+  bool multi = false;
+  for (const auto& [s, values] : tags) {
+    (void)s;
+    if (values.size() >= 2) multi = true;
+  }
+  EXPECT_TRUE(multi);
+}
+
+TEST_F(OntologySamplerTest, UnknownTypeReturnsEmpty) {
+  Rng rng(3);
+  std::vector<rdf::Triple> facts;
+  EXPECT_TRUE(
+      sampler_.SampleEntities("no_such_type", 5, "x_", &rng, &facts)
+          .empty());
+  EXPECT_TRUE(facts.empty());
+}
+
+TEST_F(OntologySamplerTest, SubjectsAreUniqueAcrossCalls) {
+  Rng rng(4);
+  std::vector<rdf::Triple> facts;
+  auto a = sampler_.SampleEntities("type_0", 10, "u_", &rng, &facts);
+  auto b = sampler_.SampleEntities("type_1", 10, "u_", &rng, &facts);
+  std::set<rdf::TermId> all(a.begin(), a.end());
+  all.insert(b.begin(), b.end());
+  EXPECT_EQ(all.size(), 20u);
+}
+
+TEST_F(OntologySamplerTest, MidasFindsTypeSlicesInSampledSource) {
+  // Sample two types into one "page" and let MIDAS separate them.
+  Rng rng(5);
+  std::vector<rdf::Triple> facts;
+  sampler_.SampleEntities("type_0", 12, "a_", &rng, &facts);
+  sampler_.SampleEntities("type_2", 12, "b_", &rng, &facts);
+
+  rdf::KnowledgeBase kb(dict_);
+  core::MidasOptions options;
+  options.cost_model = core::CostModel::RunningExample();
+  core::MidasAlg alg(options);
+  core::SourceInput input;
+  input.url = "http://sampled.example.com";
+  input.facts = &facts;
+  auto slices = alg.Detect(input, kb);
+
+  // Both type groups are covered by some selected slice.
+  size_t covered = 0;
+  for (const auto& s : slices) covered += s.entities.size();
+  EXPECT_GE(covered, 24u);
+  EXPECT_GE(slices.size(), 2u);
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace midas

@@ -1,0 +1,91 @@
+#include "midas/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+// Helper: builds argv from a list of literals.
+Status ParseArgs(FlagParser* parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parser->Parse(static_cast<int>(args.size()),
+                       const_cast<char**>(args.data()));
+}
+
+class FlagsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    parser_.AddInt64("n", 10, "count");
+    parser_.AddDouble("ratio", 0.5, "ratio");
+    parser_.AddBool("verbose", false, "verbosity");
+    parser_.AddString("name", "default", "a name");
+  }
+  FlagParser parser_;
+};
+
+TEST_F(FlagsTest, DefaultsApply) {
+  ASSERT_TRUE(ParseArgs(&parser_, {}).ok());
+  EXPECT_EQ(parser_.GetInt64("n"), 10);
+  EXPECT_DOUBLE_EQ(parser_.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(parser_.GetBool("verbose"));
+  EXPECT_EQ(parser_.GetString("name"), "default");
+}
+
+TEST_F(FlagsTest, EqualsForm) {
+  ASSERT_TRUE(ParseArgs(&parser_, {"--n=42", "--ratio=0.25",
+                                   "--verbose=true", "--name=midas"})
+                  .ok());
+  EXPECT_EQ(parser_.GetInt64("n"), 42);
+  EXPECT_DOUBLE_EQ(parser_.GetDouble("ratio"), 0.25);
+  EXPECT_TRUE(parser_.GetBool("verbose"));
+  EXPECT_EQ(parser_.GetString("name"), "midas");
+}
+
+TEST_F(FlagsTest, SpaceForm) {
+  ASSERT_TRUE(ParseArgs(&parser_, {"--n", "7", "--name", "x"}).ok());
+  EXPECT_EQ(parser_.GetInt64("n"), 7);
+  EXPECT_EQ(parser_.GetString("name"), "x");
+}
+
+TEST_F(FlagsTest, BareBoolIsTrue) {
+  ASSERT_TRUE(ParseArgs(&parser_, {"--verbose"}).ok());
+  EXPECT_TRUE(parser_.GetBool("verbose"));
+}
+
+TEST_F(FlagsTest, NegativeNumbers) {
+  ASSERT_TRUE(ParseArgs(&parser_, {"--n=-5", "--ratio=-1.5"}).ok());
+  EXPECT_EQ(parser_.GetInt64("n"), -5);
+  EXPECT_DOUBLE_EQ(parser_.GetDouble("ratio"), -1.5);
+}
+
+TEST_F(FlagsTest, UnknownFlagFails) {
+  Status s = ParseArgs(&parser_, {"--bogus=1"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FlagsTest, BadValueFails) {
+  EXPECT_FALSE(ParseArgs(&parser_, {"--n=abc"}).ok());
+  EXPECT_FALSE(ParseArgs(&parser_, {"--ratio=zz"}).ok());
+  EXPECT_FALSE(ParseArgs(&parser_, {"--verbose=maybe"}).ok());
+}
+
+TEST_F(FlagsTest, MissingValueFails) {
+  EXPECT_FALSE(ParseArgs(&parser_, {"--n"}).ok());
+}
+
+TEST_F(FlagsTest, PositionalArgsCollected) {
+  ASSERT_TRUE(ParseArgs(&parser_, {"pos1", "--n=1", "pos2"}).ok());
+  ASSERT_EQ(parser_.positional().size(), 2u);
+  EXPECT_EQ(parser_.positional()[0], "pos1");
+  EXPECT_EQ(parser_.positional()[1], "pos2");
+}
+
+TEST_F(FlagsTest, UsageListsFlags) {
+  std::string usage = parser_.Usage("prog");
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,43 @@
+#include "midas/util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace midas {
+namespace {
+
+TEST(HashTest, Fnv1a64KnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Fnv1a64StableAcrossOverloads) {
+  const char bytes[] = {'a', 'b', 'c'};
+  EXPECT_EQ(Fnv1a64(bytes, 3), Fnv1a64(std::string_view("abc")));
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  uint64_t ab = HashCombine(HashMix(1), HashMix(2));
+  uint64_t ba = HashCombine(HashMix(2), HashMix(1));
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, HashMixSpreadsSequentialIds) {
+  std::set<uint64_t> buckets;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    buckets.insert(HashMix(i) % 4096);
+  }
+  // Sequential ids should land in many distinct buckets.
+  EXPECT_GT(buckets.size(), 850u);
+}
+
+TEST(HashTest, HashMixDeterministic) {
+  EXPECT_EQ(HashMix(42), HashMix(42));
+  EXPECT_NE(HashMix(42), HashMix(43));
+}
+
+}  // namespace
+}  // namespace midas

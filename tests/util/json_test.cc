@@ -1,0 +1,75 @@
+#include "midas/util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Int(-42).Dump(), "-42");
+  EXPECT_EQ(JsonValue::Number(0.5).Dump(), "0.5");
+  EXPECT_EQ(JsonValue::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, NumberEdgeCases) {
+  EXPECT_EQ(JsonValue::Number(1e300).Dump(), "1e+300");
+  // Inf/NaN have no JSON representation.
+  EXPECT_EQ(JsonValue::Number(1.0 / 0.0).Dump(), "null");
+  EXPECT_EQ(JsonValue::Number(0.0 / 0.0).Dump(), "null");
+  EXPECT_EQ(JsonValue::Int(INT64_MIN).Dump(),
+            std::to_string(INT64_MIN));
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(JsonValue::Str("a\"b\\c\nd\te").Dump(),
+            "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(JsonValue::Str(std::string_view("\x01", 1)).Dump(),
+            "\"\\u0001\"");
+}
+
+TEST(JsonTest, CompactContainers) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::Str("MIDAS"));
+  obj.Set("count", JsonValue::Int(3));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(1));
+  arr.Append(JsonValue::Int(2));
+  obj.Set("items", std::move(arr));
+  EXPECT_EQ(obj.Dump(),
+            "{\"name\":\"MIDAS\",\"count\":3,\"items\":[1,2]}");
+  EXPECT_EQ(obj.size(), 3u);
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_EQ(JsonValue::Array().Dump(), "[]");
+  EXPECT_EQ(JsonValue::Object().Dump(2), "{}");
+}
+
+TEST(JsonTest, SetReplacesExistingKey) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue::Int(1));
+  obj.Set("k", JsonValue::Int(2));
+  EXPECT_EQ(obj.Dump(), "{\"k\":2}");
+  EXPECT_EQ(obj.size(), 1u);
+}
+
+TEST(JsonTest, IndentedOutput) {
+  JsonValue obj = JsonValue::Object();
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(1));
+  obj.Set("a", std::move(arr));
+  EXPECT_EQ(obj.Dump(2), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(JsonTest, KeysKeepInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("z", JsonValue::Int(1));
+  obj.Set("a", JsonValue::Int(2));
+  EXPECT_EQ(obj.Dump(), "{\"z\":1,\"a\":2}");
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,82 @@
+#include "midas/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+
+  Status s = Status::InvalidArgument("bad flag");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad flag");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad flag");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto inner = [](bool fail) {
+    return fail ? Status::Internal("boom") : Status::OK();
+  };
+  auto outer = [&](bool fail) -> Status {
+    MIDAS_RETURN_IF_ERROR(inner(fail));
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(outer(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(outer(false).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(5));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("hello"));
+  EXPECT_EQ(v->size(), 5u);
+}
+
+}  // namespace
+}  // namespace midas

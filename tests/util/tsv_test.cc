@@ -1,0 +1,108 @@
+#include "midas/util/tsv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace midas {
+namespace {
+
+TEST(TsvEscapeTest, RoundTrip) {
+  const std::string nasty = "a\tb\nc\rd\\e plain";
+  std::string escaped = TsvEscape(nasty);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(TsvUnescape(escaped), nasty);
+}
+
+TEST(TsvEscapeTest, PlainStringsUntouched) {
+  EXPECT_EQ(TsvEscape("hello world"), "hello world");
+  EXPECT_EQ(TsvUnescape("hello world"), "hello world");
+}
+
+TEST(TsvEscapeTest, UnknownEscapePreserved) {
+  EXPECT_EQ(TsvUnescape("a\\qb"), "a\\qb");
+  // Trailing lone backslash preserved.
+  EXPECT_EQ(TsvUnescape("a\\"), "a\\");
+}
+
+TEST(TsvRowTest, FormatAndParse) {
+  std::vector<std::string> fields = {"url", "a\tb", "c"};
+  std::string row = TsvFormatRow(fields);
+  EXPECT_EQ(row.back(), '\n');
+  auto parsed = TsvParseRow(std::string_view(row).substr(0, row.size() - 1));
+  EXPECT_EQ(parsed, fields);
+}
+
+class TsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/midas_tsv_test.tsv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(TsvFileTest, WriteThenRead) {
+  std::vector<std::vector<std::string>> rows = {
+      {"a", "b", "c"}, {"d", "e\tf", "g"}};
+  ASSERT_TRUE(TsvWriteFile(path_, rows).ok());
+
+  std::vector<std::vector<std::string>> read;
+  Status s = TsvReadFile(path_, [&](size_t, const std::vector<std::string>& f) {
+    read.push_back(f);
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(read, rows);
+}
+
+TEST_F(TsvFileTest, SkipsCommentsAndBlankLines) {
+  {
+    std::ofstream out(path_);
+    out << "# comment\n\nreal\trow\n";
+  }
+  size_t rows = 0;
+  ASSERT_TRUE(TsvReadFile(path_, [&](size_t row,
+                                     const std::vector<std::string>& f) {
+                EXPECT_EQ(row, rows);
+                EXPECT_EQ(f.size(), 2u);
+                ++rows;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(rows, 1u);
+}
+
+TEST_F(TsvFileTest, CallbackErrorPropagates) {
+  ASSERT_TRUE(TsvWriteFile(path_, {{"x"}, {"y"}}).ok());
+  Status s = TsvReadFile(path_, [](size_t, const std::vector<std::string>&) {
+    return Status::Corruption("stop");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST_F(TsvFileTest, MissingFileIsIoError) {
+  Status s = TsvReadFile("/nonexistent/really/not/here.tsv",
+                         [](size_t, const std::vector<std::string>&) {
+                           return Status::OK();
+                         });
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST_F(TsvFileTest, HandlesCrLf) {
+  {
+    std::ofstream out(path_);
+    out << "a\tb\r\nc\td\r\n";
+  }
+  std::vector<std::vector<std::string>> read;
+  ASSERT_TRUE(TsvReadFile(path_, [&](size_t, const std::vector<std::string>& f) {
+                read.push_back(f);
+                return Status::OK();
+              }).ok());
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_EQ(read[0][1], "b");  // no trailing \r
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,87 @@
+#include "midas/web/url_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace web {
+namespace {
+
+TEST(UrlHierarchyTest, InsertCreatesAncestors) {
+  UrlHierarchy h;
+  size_t page = h.Insert("http://a.com/x/y/page.htm");
+  EXPECT_EQ(h.size(), 4u);  // page, /x/y, /x, domain
+  EXPECT_EQ(h.node(page).depth, 3u);
+  EXPECT_TRUE(h.node(page).is_explicit);
+
+  size_t section = h.Find("http://a.com/x/y");
+  ASSERT_NE(section, kNoNode);
+  EXPECT_FALSE(h.node(section).is_explicit);
+  EXPECT_EQ(h.node(page).parent, section);
+
+  size_t domain = h.Find("http://a.com");
+  ASSERT_NE(domain, kNoNode);
+  EXPECT_EQ(h.node(domain).parent, kNoNode);
+}
+
+TEST(UrlHierarchyTest, SharedPrefixesMerge) {
+  UrlHierarchy h;
+  h.Insert("http://a.com/x/p1");
+  h.Insert("http://a.com/x/p2");
+  h.Insert("http://a.com/y/p3");
+  // domain, x, y, p1, p2, p3 = 6 nodes
+  EXPECT_EQ(h.size(), 6u);
+  size_t x = h.Find("http://a.com/x");
+  ASSERT_NE(x, kNoNode);
+  EXPECT_EQ(h.node(x).children.size(), 2u);
+  size_t domain = h.Find("http://a.com");
+  EXPECT_EQ(h.node(domain).children.size(), 2u);  // x and y
+}
+
+TEST(UrlHierarchyTest, ReinsertMarksExplicit) {
+  UrlHierarchy h;
+  h.Insert("http://a.com/x/p1");
+  size_t x = h.Find("http://a.com/x");
+  EXPECT_FALSE(h.node(x).is_explicit);
+  size_t x2 = h.Insert("http://a.com/x");
+  EXPECT_EQ(x, x2);
+  EXPECT_TRUE(h.node(x).is_explicit);
+  EXPECT_EQ(h.NumExplicit(), 2u);
+}
+
+TEST(UrlHierarchyTest, MultipleDomainsAreRoots) {
+  UrlHierarchy h;
+  h.Insert("http://a.com/x");
+  h.Insert("http://b.com/y");
+  auto roots = h.Roots();
+  EXPECT_EQ(roots.size(), 2u);
+}
+
+TEST(UrlHierarchyTest, NodesAtDepth) {
+  UrlHierarchy h;
+  h.Insert("http://a.com/x/p1");
+  h.Insert("http://a.com/x/p2");
+  h.Insert("http://b.com/q");
+  EXPECT_EQ(h.NodesAtDepth(0).size(), 2u);  // two domains
+  EXPECT_EQ(h.NodesAtDepth(1).size(), 2u);  // /x and /q
+  EXPECT_EQ(h.NodesAtDepth(2).size(), 2u);  // p1, p2
+  EXPECT_TRUE(h.NodesAtDepth(3).empty());
+  EXPECT_EQ(h.MaxDepth(), 2u);
+}
+
+TEST(UrlHierarchyTest, BareDomainInsert) {
+  UrlHierarchy h;
+  size_t d = h.Insert("http://solo.com");
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.node(d).depth, 0u);
+  EXPECT_TRUE(h.node(d).is_explicit);
+  EXPECT_EQ(h.MaxDepth(), 0u);
+}
+
+TEST(UrlHierarchyTest, FindMissing) {
+  UrlHierarchy h;
+  EXPECT_EQ(h.Find("http://nowhere.com"), kNoNode);
+}
+
+}  // namespace
+}  // namespace web
+}  // namespace midas

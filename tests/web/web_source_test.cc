@@ -1,0 +1,65 @@
+#include "midas/web/web_source.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace midas {
+namespace web {
+namespace {
+
+TEST(CorpusTest, AddFactRawNormalizesAndInterns) {
+  Corpus corpus;
+  size_t idx = corpus.AddFactRaw("HTTP://X.com/a?utm=1", "s", "p", "o");
+  EXPECT_EQ(idx, 0u);
+  ASSERT_EQ(corpus.NumSources(), 1u);
+  EXPECT_EQ(corpus.sources()[0].url, "http://x.com/a");
+  EXPECT_EQ(corpus.NumFacts(), 1u);
+  EXPECT_TRUE(corpus.dict().Lookup("s").has_value());
+}
+
+TEST(CorpusTest, DuplicateFactsCollapsePerSource) {
+  Corpus corpus;
+  corpus.AddFactRaw("http://x.com/a", "s", "p", "o");
+  corpus.AddFactRaw("http://x.com/a", "s", "p", "o");
+  EXPECT_EQ(corpus.NumFacts(), 1u);
+  // Same triple on another source is kept.
+  corpus.AddFactRaw("http://x.com/b", "s", "p", "o");
+  EXPECT_EQ(corpus.NumFacts(), 2u);
+  EXPECT_EQ(corpus.NumSources(), 2u);
+}
+
+TEST(CorpusTest, SourcesKeyedByUrl) {
+  Corpus corpus;
+  corpus.AddFactRaw("http://x.com/a", "s1", "p", "o");
+  corpus.AddFactRaw("http://y.com/b", "s2", "p", "o");
+  corpus.AddFactRaw("http://x.com/a", "s3", "p", "o");
+  EXPECT_EQ(corpus.NumSources(), 2u);
+  const WebSource* a = corpus.FindSource("http://x.com/a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->facts.size(), 2u);
+  EXPECT_EQ(corpus.FindSource("http://nope.com"), nullptr);
+}
+
+TEST(CorpusTest, DistinctCounts) {
+  Corpus corpus;
+  corpus.AddFactRaw("http://x.com/a", "s1", "p1", "o1");
+  corpus.AddFactRaw("http://x.com/a", "s1", "p2", "o2");
+  corpus.AddFactRaw("http://x.com/b", "s2", "p1", "o3");
+  EXPECT_EQ(corpus.NumDistinctPredicates(), 2u);
+  EXPECT_EQ(corpus.NumDistinctSubjects(), 2u);
+  EXPECT_EQ(corpus.NumFacts(), 3u);
+}
+
+TEST(CorpusTest, SharedDictionaryAcrossKbAndCorpus) {
+  auto dict = std::make_shared<rdf::Dictionary>();
+  Corpus corpus(dict);
+  corpus.AddFactRaw("http://x.com", "Atlas", "sponsor", "NASA");
+  // Ids assigned through the corpus are visible through the same dict.
+  EXPECT_TRUE(dict->Lookup("Atlas").has_value());
+  EXPECT_EQ(corpus.shared_dict().get(), dict.get());
+}
+
+}  // namespace
+}  // namespace web
+}  // namespace midas

@@ -1,0 +1,366 @@
+#include "tools/commands.h"
+
+#include <memory>
+#include <ostream>
+
+#include "midas/baselines/agg_cluster.h"
+#include "midas/baselines/greedy.h"
+#include "midas/baselines/naive.h"
+#include "midas/core/midas.h"
+#include "midas/eval/metrics.h"
+#include "midas/eval/summary.h"
+#include "midas/extract/cleaning.h"
+#include "midas/extract/dump_io.h"
+#include "midas/rdf/ntriples.h"
+#include "midas/synth/corpus_generator.h"
+#include "midas/synth/dataset_stats.h"
+#include "midas/util/json.h"
+#include "midas/util/string_util.h"
+#include "midas/util/table_printer.h"
+
+namespace midas {
+namespace tools {
+
+namespace {
+
+// Converts a ground-truth slice to the DiscoveredSlice shape so silver
+// standards share the slice_io on-disk format.
+core::DiscoveredSlice ToDiscovered(const synth::GroundTruthSlice& gt) {
+  core::DiscoveredSlice slice;
+  slice.source_url = gt.source_url;
+  for (const auto& [pred, value] : gt.rule) {
+    slice.properties.push_back(core::PropertyPair{pred, value});
+  }
+  slice.entities = gt.entities;
+  slice.facts = gt.facts;
+  slice.num_facts = gt.facts.size();
+  return slice;
+}
+
+Status LoadKbFacts(const std::string& path, rdf::KnowledgeBase* kb,
+                   rdf::Dictionary* dict) {
+  std::vector<rdf::Triple> facts;
+  MIDAS_RETURN_IF_ERROR(rdf::LoadTsvFacts(path, dict, &facts));
+  kb->AddAll(facts);
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterGenerateFlags(FlagParser* flags) {
+  flags->AddString("dataset", "slim-nell",
+                   "reverb|nell|kv|slim-reverb|slim-nell");
+  flags->AddDouble("scale", 0.5, "scale factor for full datasets");
+  flags->AddInt64("num_sources", 100, "sources for slim datasets");
+  flags->AddInt64("seed", 11, "generator seed");
+  flags->AddString("dump", "", "output extraction dump TSV (required)");
+  flags->AddString("kb", "", "output KB facts TSV (optional)");
+  flags->AddString("silver", "", "output silver-standard slices (optional)");
+}
+
+Status RunGenerate(const FlagParser& flags, std::ostream& out) {
+  const std::string dump_path = flags.GetString("dump");
+  if (dump_path.empty()) {
+    return Status::InvalidArgument("--dump is required");
+  }
+
+  const std::string dataset = flags.GetString("dataset");
+  double scale = flags.GetDouble("scale");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  size_t num_sources = static_cast<size_t>(flags.GetInt64("num_sources"));
+
+  synth::CorpusGenParams params;
+  if (dataset == "reverb") {
+    params = synth::ReVerbLikeParams(scale);
+  } else if (dataset == "nell") {
+    params = synth::NellLikeParams(scale);
+  } else if (dataset == "kv") {
+    params = synth::KnowledgeVaultLikeParams(scale);
+  } else if (dataset == "slim-reverb") {
+    params = synth::SlimParams(/*open_ie=*/true, num_sources, seed);
+  } else if (dataset == "slim-nell") {
+    params = synth::SlimParams(/*open_ie=*/false, num_sources, seed);
+  } else {
+    return Status::InvalidArgument("unknown --dataset: " + dataset);
+  }
+  params.seed = seed;
+
+  auto data = synth::GenerateCorpus(params);
+
+  // Dump: confidence 0.95 (the corpus is already confidence-filtered).
+  extract::ExtractionDump dump;
+  dump.dict = data.dict;
+  for (const auto& src : data.corpus->sources()) {
+    for (const auto& t : src.facts) {
+      dump.facts.push_back(extract::ExtractedFact{src.url, t, 0.95});
+    }
+  }
+  MIDAS_RETURN_IF_ERROR(extract::SaveDump(dump_path, dump));
+  out << "wrote " << dump.facts.size() << " extraction records to "
+      << dump_path << "\n";
+
+  if (!flags.GetString("kb").empty()) {
+    MIDAS_RETURN_IF_ERROR(rdf::SaveTsvFacts(
+        flags.GetString("kb"), *data.dict, data.kb->store().triples()));
+    out << "wrote " << data.kb->size() << " KB facts to "
+        << flags.GetString("kb") << "\n";
+  }
+  if (!flags.GetString("silver").empty()) {
+    std::vector<core::DiscoveredSlice> silver;
+    for (const auto& gt : data.silver.slices) {
+      silver.push_back(ToDiscovered(gt));
+    }
+    MIDAS_RETURN_IF_ERROR(
+        core::SaveSlices(flags.GetString("silver"), *data.dict, silver));
+    out << "wrote " << silver.size() << " silver slices to "
+        << flags.GetString("silver") << "\n";
+  }
+  return Status::OK();
+}
+
+void RegisterDiscoverFlags(FlagParser* flags) {
+  flags->AddString("dump", "", "extraction dump TSV (required)");
+  flags->AddString("kb", "", "KB facts TSV (optional)");
+  flags->AddString("method", "midas", "midas|greedy|aggcluster|naive");
+  flags->AddDouble("threshold", 0.7, "confidence threshold");
+  flags->AddInt64("top_k", 20, "rows to print");
+  flags->AddString("out", "", "save the full slice list here (optional)");
+  flags->AddBool("ranges", false, "numeric-range property extension");
+  flags->AddDouble("f_p", 10.0, "per-slice training cost");
+  flags->AddDouble("f_c", 0.001, "per-fact crawling cost");
+  flags->AddDouble("f_d", 0.01, "per-fact de-duplication cost");
+  flags->AddDouble("f_v", 0.1, "per-new-fact validation cost");
+  flags->AddInt64("threads", 0, "framework threads (0 = hardware)");
+  flags->AddBool("json", false, "emit a JSON report instead of tables");
+  flags->AddBool("clean", false,
+                 "run the extraction-hygiene pass before discovery");
+  flags->AddString("functional", "",
+                   "comma-separated functional predicates for --clean");
+}
+
+Status RunDiscover(const FlagParser& flags, std::ostream& out) {
+  if (flags.GetString("dump").empty()) {
+    return Status::InvalidArgument("--dump is required");
+  }
+
+  extract::ExtractionDump dump;
+  MIDAS_RETURN_IF_ERROR(extract::LoadDump(flags.GetString("dump"), &dump));
+  if (flags.GetBool("clean")) {
+    extract::CleaningOptions cleaning;
+    for (std::string_view name :
+         SplitSkipEmpty(flags.GetString("functional"), ',')) {
+      cleaning.functional_predicates.emplace_back(name);
+    }
+    auto clean_stats =
+        extract::CleanExtractions(cleaning, dump.dict.get(), &dump.facts);
+    if (!flags.GetBool("json")) {
+      out << "cleaning: " << clean_stats.input_records << " -> "
+          << clean_stats.output_records << " records ("
+          << clean_stats.duplicates_merged << " duplicates, "
+          << clean_stats.conflicts_resolved << " conflicts, "
+          << clean_stats.terms_normalized << " terms normalized)\n";
+    }
+  }
+  web::Corpus corpus =
+      extract::BuildCorpus(dump, flags.GetDouble("threshold"));
+
+  rdf::KnowledgeBase kb(dump.dict);
+  if (!flags.GetString("kb").empty()) {
+    MIDAS_RETURN_IF_ERROR(
+        LoadKbFacts(flags.GetString("kb"), &kb, dump.dict.get()));
+  }
+  const bool json = flags.GetBool("json");
+  if (!json) {
+    out << "corpus: " << corpus.NumFacts() << " facts over "
+        << corpus.NumSources() << " sources; KB: " << kb.size()
+        << " facts\n";
+  }
+
+  core::CostModel cost{flags.GetDouble("f_p"), flags.GetDouble("f_c"),
+                       flags.GetDouble("f_d"), flags.GetDouble("f_v")};
+  core::MidasOptions options;
+  options.cost_model = cost;
+
+  std::unique_ptr<core::NumericRangeIndex> ranges;
+  if (flags.GetBool("ranges")) {
+    ranges = std::make_unique<core::NumericRangeIndex>(dump.dict.get(),
+                                                       corpus);
+    options.fact_table.range_index = ranges.get();
+    if (!json) {
+      out << "numeric-range extension: " << ranges->size()
+          << " values bucketed\n";
+    }
+  }
+
+  // Detector selection.
+  std::unique_ptr<core::SliceDetector> detector;
+  bool hierarchy_rounds = true;
+  const std::string method = flags.GetString("method");
+  if (method == "midas") {
+    detector = std::make_unique<core::MidasAlg>(options);
+  } else if (method == "greedy") {
+    detector = std::make_unique<baselines::GreedyDetector>(cost);
+  } else if (method == "aggcluster") {
+    baselines::AggClusterOptions agg;
+    agg.cost_model = cost;
+    detector = std::make_unique<baselines::AggClusterDetector>(agg);
+    hierarchy_rounds = false;
+  } else if (method == "naive") {
+    detector = std::make_unique<baselines::NaiveDetector>(cost);
+    hierarchy_rounds = false;
+  } else {
+    return Status::InvalidArgument("unknown --method: " + method);
+  }
+
+  core::FrameworkOptions framework_options;
+  framework_options.num_threads =
+      static_cast<size_t>(flags.GetInt64("threads"));
+  framework_options.use_hierarchy_rounds = hierarchy_rounds;
+  core::MidasFramework framework(detector.get(), framework_options);
+  auto result = framework.Run(corpus, kb);
+
+  if (json) {
+    JsonValue report = JsonValue::Object();
+    report.Set("method", JsonValue::Str(method));
+    report.Set("corpus_facts", JsonValue::Int(
+                                   static_cast<int64_t>(corpus.NumFacts())));
+    report.Set("corpus_sources",
+               JsonValue::Int(static_cast<int64_t>(corpus.NumSources())));
+    report.Set("kb_facts", JsonValue::Int(static_cast<int64_t>(kb.size())));
+    report.Set("seconds", JsonValue::Number(result.stats.seconds));
+    JsonValue slices = JsonValue::Array();
+    for (const auto& s : result.slices) {
+      JsonValue row = JsonValue::Object();
+      row.Set("source_url", JsonValue::Str(s.source_url));
+      row.Set("description", JsonValue::Str(s.Description(*dump.dict)));
+      JsonValue props = JsonValue::Array();
+      for (const auto& p : s.properties) {
+        JsonValue prop = JsonValue::Object();
+        prop.Set("predicate", JsonValue::Str(dump.dict->Term(p.predicate)));
+        prop.Set("value", JsonValue::Str(dump.dict->Term(p.value)));
+        props.Append(std::move(prop));
+      }
+      row.Set("properties", std::move(props));
+      row.Set("num_facts", JsonValue::Int(static_cast<int64_t>(s.num_facts)));
+      row.Set("num_new_facts",
+              JsonValue::Int(static_cast<int64_t>(s.num_new_facts)));
+      row.Set("profit", JsonValue::Number(s.profit));
+      slices.Append(std::move(row));
+    }
+    report.Set("slices", std::move(slices));
+    out << report.Dump(2) << "\n";
+    if (!flags.GetString("out").empty()) {
+      MIDAS_RETURN_IF_ERROR(core::SaveSlices(flags.GetString("out"),
+                                             *dump.dict, result.slices));
+    }
+    return Status::OK();
+  }
+
+  out << "discovered " << result.slices.size() << " slices in "
+      << FormatDouble(result.stats.seconds, 3) << "s ("
+      << result.stats.detector_calls << " detector calls over "
+      << result.stats.rounds << " rounds)\n"
+      << eval::SummarizeSlices(result.slices).ToString();
+
+  TablePrinter table({"#", "web source", "what to extract", "facts",
+                      "new", "profit"});
+  size_t top_k = static_cast<size_t>(flags.GetInt64("top_k"));
+  for (size_t i = 0; i < result.slices.size() && i < top_k; ++i) {
+    const auto& s = result.slices[i];
+    table.AddRow({std::to_string(i + 1), s.source_url,
+                  s.Description(*dump.dict), std::to_string(s.num_facts),
+                  std::to_string(s.num_new_facts),
+                  FormatDouble(s.profit, 3)});
+  }
+  table.Print(out);
+
+  if (!flags.GetString("out").empty()) {
+    MIDAS_RETURN_IF_ERROR(
+        core::SaveSlices(flags.GetString("out"), *dump.dict, result.slices));
+    out << "saved full slice list to " << flags.GetString("out") << "\n";
+  }
+  return Status::OK();
+}
+
+void RegisterStatsFlags(FlagParser* flags) {
+  flags->AddString("dump", "", "extraction dump TSV (required)");
+  flags->AddDouble("threshold", 0.7, "confidence threshold");
+}
+
+Status RunStats(const FlagParser& flags, std::ostream& out) {
+  if (flags.GetString("dump").empty()) {
+    return Status::InvalidArgument("--dump is required");
+  }
+  extract::ExtractionDump dump;
+  MIDAS_RETURN_IF_ERROR(extract::LoadDump(flags.GetString("dump"), &dump));
+  web::Corpus corpus =
+      extract::BuildCorpus(dump, flags.GetDouble("threshold"));
+  rdf::KnowledgeBase empty_kb(dump.dict);
+  auto stats = synth::ComputeDatasetStats(flags.GetString("dump"), corpus,
+                                          empty_kb);
+  TablePrinter table({"# of facts", "# of pred.", "# of URLs",
+                      "# of subjects", "records in dump"});
+  table.AddRow({FormatCount(stats.num_facts),
+                FormatCount(stats.num_predicates),
+                FormatCount(stats.num_urls),
+                FormatCount(corpus.NumDistinctSubjects()),
+                FormatCount(dump.facts.size())});
+  table.Print(out);
+  return Status::OK();
+}
+
+void RegisterEvaluateFlags(FlagParser* flags) {
+  flags->AddString("slices", "", "discovered slices file (required)");
+  flags->AddString("silver", "", "silver-standard slices file (required)");
+  flags->AddDouble("jaccard", 0.95, "equivalence threshold");
+  flags->AddBool("json", false, "emit a JSON report instead of a table");
+}
+
+Status RunEvaluate(const FlagParser& flags, std::ostream& out) {
+  if (flags.GetString("slices").empty() ||
+      flags.GetString("silver").empty()) {
+    return Status::InvalidArgument("--slices and --silver are required");
+  }
+  auto dict = std::make_shared<rdf::Dictionary>();
+  std::vector<core::DiscoveredSlice> returned, silver_slices;
+  MIDAS_RETURN_IF_ERROR(
+      core::LoadSlices(flags.GetString("slices"), dict.get(), &returned));
+  MIDAS_RETURN_IF_ERROR(core::LoadSlices(flags.GetString("silver"),
+                                         dict.get(), &silver_slices));
+
+  synth::SilverStandard silver;
+  for (const auto& s : silver_slices) {
+    synth::GroundTruthSlice gt;
+    gt.source_url = s.source_url;
+    gt.entities = s.entities;
+    gt.facts = s.facts;
+    silver.slices.push_back(std::move(gt));
+  }
+
+  auto scores = eval::ScoreAgainstSilver(returned, silver,
+                                         flags.GetDouble("jaccard"));
+  if (flags.GetBool("json")) {
+    JsonValue report = JsonValue::Object();
+    report.Set("returned", JsonValue::Int(static_cast<int64_t>(scores.returned)));
+    report.Set("expected", JsonValue::Int(static_cast<int64_t>(scores.expected)));
+    report.Set("matched", JsonValue::Int(static_cast<int64_t>(scores.matched)));
+    report.Set("precision", JsonValue::Number(scores.precision));
+    report.Set("recall", JsonValue::Number(scores.recall));
+    report.Set("f_measure", JsonValue::Number(scores.f_measure));
+    out << report.Dump(2) << "\n";
+    return Status::OK();
+  }
+  TablePrinter table({"returned", "expected", "matched", "precision",
+                      "recall", "f-measure"});
+  table.AddRow({std::to_string(scores.returned),
+                std::to_string(scores.expected),
+                std::to_string(scores.matched),
+                FormatDouble(scores.precision, 3),
+                FormatDouble(scores.recall, 3),
+                FormatDouble(scores.f_measure, 3)});
+  table.Print(out);
+  return Status::OK();
+}
+
+}  // namespace tools
+}  // namespace midas

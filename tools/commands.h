@@ -1,0 +1,58 @@
+#ifndef MIDAS_TOOLS_COMMANDS_H_
+#define MIDAS_TOOLS_COMMANDS_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "midas/util/flags.h"
+#include "midas/util/status.h"
+
+namespace midas {
+namespace tools {
+
+/// Implementations of the `midas` CLI subcommands, factored out of main()
+/// so they are unit-testable. Each takes the already-parsed flags and an
+/// output stream.
+
+/// `midas generate` — produce a synthetic dataset on disk:
+///   --dataset reverb|nell|kv|slim-reverb|slim-nell
+///   --scale F        corpus scale factor (full datasets)
+///   --num_sources N  source count (slim datasets)
+///   --seed N
+///   --dump PATH      extraction dump TSV (required)
+///   --kb PATH        knowledge-base facts TSV (optional)
+///   --silver PATH    silver-standard slices file (optional)
+Status RunGenerate(const FlagParser& flags, std::ostream& out);
+
+/// `midas discover` — run slice discovery over an extraction dump:
+///   --dump PATH      extraction dump TSV (required)
+///   --kb PATH        knowledge-base facts TSV (optional; empty KB if not)
+///   --method midas|greedy|aggcluster|naive
+///   --threshold F    confidence threshold (default 0.7)
+///   --top_k N        rows to print (default 20)
+///   --out PATH       save the full slice list (optional)
+///   --ranges         enable the numeric-range property extension
+///   --f_p/--f_c/--f_d/--f_v   cost-model coefficients
+Status RunDiscover(const FlagParser& flags, std::ostream& out);
+
+/// `midas stats` — dataset statistics of a dump (Fig. 7 columns):
+///   --dump PATH      extraction dump TSV (required)
+///   --threshold F    confidence threshold (default 0.7)
+Status RunStats(const FlagParser& flags, std::ostream& out);
+
+/// `midas evaluate` — score a slice file against a silver-standard file:
+///   --slices PATH    discovered slices (slice_io format, required)
+///   --silver PATH    silver slices (slice_io format, required)
+///   --jaccard F      equivalence threshold (default 0.95)
+Status RunEvaluate(const FlagParser& flags, std::ostream& out);
+
+/// Registers the flags of each subcommand on a parser.
+void RegisterGenerateFlags(FlagParser* flags);
+void RegisterDiscoverFlags(FlagParser* flags);
+void RegisterStatsFlags(FlagParser* flags);
+void RegisterEvaluateFlags(FlagParser* flags);
+
+}  // namespace tools
+}  // namespace midas
+
+#endif  // MIDAS_TOOLS_COMMANDS_H_

@@ -1,0 +1,70 @@
+// The `midas` command-line tool: slice discovery over extraction dumps.
+//
+//   midas generate --dataset slim-nell --dump dump.tsv --silver silver.tsv
+//   midas discover --dump dump.tsv --kb kb.tsv --out slices.tsv
+//   midas stats    --dump dump.tsv
+//   midas evaluate --slices slices.tsv --silver silver.tsv
+//
+// Run any subcommand with a bad flag to see its usage.
+
+#include <iostream>
+#include <string>
+
+#include "tools/commands.h"
+
+namespace {
+
+void PrintTopLevelUsage() {
+  std::cerr
+      << "usage: midas <command> [flags]\n"
+         "\n"
+         "commands:\n"
+         "  generate   produce a synthetic dataset (dump / KB / silver)\n"
+         "  discover   run slice discovery over an extraction dump\n"
+         "  stats      dataset statistics of a dump\n"
+         "  evaluate   score a slice file against a silver standard\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  if (argc < 2) {
+    PrintTopLevelUsage();
+    return 2;
+  }
+  std::string command = argv[1];
+
+  FlagParser flags;
+  Status (*run)(const FlagParser&, std::ostream&) = nullptr;
+  if (command == "generate") {
+    tools::RegisterGenerateFlags(&flags);
+    run = tools::RunGenerate;
+  } else if (command == "discover") {
+    tools::RegisterDiscoverFlags(&flags);
+    run = tools::RunDiscover;
+  } else if (command == "stats") {
+    tools::RegisterStatsFlags(&flags);
+    run = tools::RunStats;
+  } else if (command == "evaluate") {
+    tools::RegisterEvaluateFlags(&flags);
+    run = tools::RunEvaluate;
+  } else {
+    std::cerr << "unknown command: " << command << "\n";
+    PrintTopLevelUsage();
+    return 2;
+  }
+
+  Status parse = flags.Parse(argc - 1, argv + 1);
+  if (!parse.ok()) {
+    std::cerr << parse.ToString() << "\n"
+              << flags.Usage("midas " + command);
+    return 2;
+  }
+  Status status = run(flags, std::cout);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 // from the paper (different hardware, synthetic data at laptop scale) but
 // the shapes are the reproduction target (see EXPERIMENTS.md).
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,6 +14,35 @@
 #include "midas/eval/experiment.h"
 #include "midas/util/string_util.h"
 #include "midas/util/table_printer.h"
+
+/// Replaces BENCHMARK_MAIN() in the google-benchmark microbenches: when the
+/// MIDAS_BENCH_JSON environment variable names a file (e.g.
+/// BENCH_micro.json), the run additionally writes the machine-readable JSON
+/// artifact there (--benchmark_out) alongside the console report, so CI or
+/// cross-PR perf tracking can diff numbers without scraping stdout. The
+/// macro body only compiles in translation units that include
+/// <benchmark/benchmark.h>; the plain figure harnesses can keep including
+/// this header without the dependency.
+#define MIDAS_BENCHMARK_MAIN_WITH_JSON_ARTIFACT()                           \
+  int main(int argc, char** argv) {                                         \
+    std::vector<char*> args(argv, argv + argc);                             \
+    std::string out_flag, fmt_flag;                                         \
+    const char* json_path = std::getenv("MIDAS_BENCH_JSON");                \
+    if (json_path != nullptr && *json_path != '\0') {                       \
+      out_flag = std::string("--benchmark_out=") + json_path;               \
+      fmt_flag = "--benchmark_out_format=json";                             \
+      args.push_back(out_flag.data());                                      \
+      args.push_back(fmt_flag.data());                                      \
+    }                                                                       \
+    int count = static_cast<int>(args.size());                              \
+    ::benchmark::Initialize(&count, args.data());                           \
+    if (::benchmark::ReportUnrecognizedArguments(count, args.data())) {     \
+      return 1;                                                             \
+    }                                                                       \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    return 0;                                                               \
+  }
 
 namespace midas {
 namespace bench {

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <memory>
 
 #include "midas/core/midas_alg.h"
@@ -111,14 +113,43 @@ void BM_MidasAlgEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_MidasAlgEndToEnd)->Arg(1000)->Arg(5000)->Arg(10000);
 
-void BM_SetAccumulator(benchmark::State& state) {
+void BM_SetProfitUnion(benchmark::State& state) {
+  // f(S) over 48 overlapping slices of ~1/16 of the entity universe each —
+  // the ComputeLowerBound inner loop shape, on the production word-block
+  // path (hierarchy nodes hold bitsets on dense tables).
   const auto& data = SharedData(5000);
   core::FactTable table(data.facts);
   core::ProfitContext ctx(table, *data.kb, core::CostModel());
-  std::vector<core::EntityId> all(table.num_entities());
-  for (core::EntityId e = 0; e < all.size(); ++e) all[e] = e;
+  const size_t n = table.num_entities();
+  std::vector<core::EntityBitset> slices(48);
+  for (size_t s = 0; s < slices.size(); ++s) {
+    slices[s].Reset(n);
+    size_t begin = s * n / 64;
+    size_t end = std::min(n, begin + n / 16 + 1);
+    for (size_t e = begin; e < end; ++e) {
+      slices[s].Set(static_cast<core::EntityId>(e));
+    }
+  }
+  std::vector<const core::EntityBitset*> ptrs;
+  for (const auto& s : slices) ptrs.push_back(&s);
   for (auto _ : state) {
-    core::ProfitContext::SetAccumulator acc(ctx);
+    benchmark::DoNotOptimize(ctx.SetProfitBits(ptrs));
+  }
+}
+BENCHMARK(BM_SetProfitUnion);
+
+void BM_SetAccumulator(benchmark::State& state) {
+  // One full-universe f(S ∪ {S}) probe + commit per iteration, in the
+  // traversal's steady-state shape: the accumulator is constructed once
+  // and Reset() between queries (zero allocation in the loop).
+  const auto& data = SharedData(5000);
+  core::FactTable table(data.facts);
+  core::ProfitContext ctx(table, *data.kb, core::CostModel());
+  core::EntityBitset all(table.num_entities());
+  all.FillAll();
+  core::ProfitContext::SetAccumulator acc(ctx);
+  for (auto _ : state) {
+    acc.Reset();
     benchmark::DoNotOptimize(acc.DeltaIfAdd(all));
     acc.Add(all);
     benchmark::DoNotOptimize(acc.Profit());
@@ -129,4 +160,4 @@ BENCHMARK(BM_SetAccumulator);
 }  // namespace
 }  // namespace midas
 
-BENCHMARK_MAIN();
+MIDAS_BENCHMARK_MAIN_WITH_JSON_ARTIFACT()

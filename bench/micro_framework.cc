@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <map>
 #include <memory>
 
@@ -93,4 +95,4 @@ BENCHMARK(BM_Consolidate);
 }  // namespace
 }  // namespace midas
 
-BENCHMARK_MAIN();
+MIDAS_BENCHMARK_MAIN_WITH_JSON_ARTIFACT()

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the full test suite under AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs ctest. Any sanitizer finding aborts the offending test
+# (-fno-sanitize-recover=all), so a green run certifies the suite clean.
+#
+# Usage: scripts/check_sanitizers.sh [ctest-args...]
+#   e.g. scripts/check_sanitizers.sh -R bitset   # only the bitset tests
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+if cmake --list-presets >/dev/null 2>&1; then
+  cmake --preset asan-ubsan -S "${repo_root}"
+else
+  # Older CMake without preset support: pass the cache variables directly.
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMIDAS_SANITIZE=address,undefined \
+    -DMIDAS_BUILD_BENCHMARKS=OFF \
+    -DMIDAS_BUILD_EXAMPLES=OFF
+fi
+
+cmake --build "${build_dir}" -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cd "${build_dir}"
+ctest --output-on-failure "$@"

@@ -58,12 +58,27 @@ std::vector<core::DiscoveredSlice> AggClusterDetector::Detect(
     num_entities = options_.max_entities;
   }
 
+  // On dense tables clusters are scored word-wise on a reusable scratch
+  // bitset and `induced` stays empty — merge_gain evaluates O(n²) transient
+  // clusters, so skipping the materialization is the dominant win. The few
+  // places that need actual entity lists (seed marking, final output) read
+  // the scratch right after evaluating / re-match once at the end. Profits
+  // are bit-identical to the sorted-vector path (integral totals).
+  core::EntityBitset scratch;
   auto evaluate = [&](Cluster* c) {
     if (c->properties.empty()) {
       // No common properties: the cluster's slice degenerates to the whole
       // source; treat as maximally unattractive so such merges never win.
       c->induced.clear();
       c->profit = -1e18;
+      return;
+    }
+    if (table.dense()) {
+      table.MatchEntitiesInto(c->properties, &scratch);
+      uint64_t f = 0, n = 0;
+      profit.BitsetTotals(scratch, &f, &n);
+      c->induced.clear();
+      c->profit = profit.SliceProfitFromTotals(f, n);
       return;
     }
     c->induced = table.MatchEntities(c->properties);
@@ -91,8 +106,15 @@ std::vector<core::DiscoveredSlice> AggClusterDetector::Detect(
     c.properties.erase(std::unique(c.properties.begin(), c.properties.end()),
                        c.properties.end());
     evaluate(&c);
-    for (EntityId e : c.induced) {
-      if (e < num_entities) seeded[e] = 1;
+    if (table.dense()) {
+      // `scratch` still holds this cluster's entity match.
+      scratch.ForEach([&](EntityId e) {
+        if (e < num_entities) seeded[e] = 1;
+      });
+    } else {
+      for (EntityId e : c.induced) {
+        if (e < num_entities) seeded[e] = 1;
+      }
     }
     clusters.push_back(std::move(c));
   }
@@ -175,7 +197,15 @@ std::vector<core::DiscoveredSlice> AggClusterDetector::Detect(
     slice.source_url = input.url;
     slice.properties = table.catalog().ToPairs(c.properties);
     std::sort(slice.properties.begin(), slice.properties.end());
-    for (EntityId e : c.induced) {
+    const std::vector<EntityId>* induced = &c.induced;
+    std::vector<EntityId> dense_induced;
+    if (table.dense()) {
+      table.MatchEntitiesInto(c.properties, &scratch);
+      dense_induced.reserve(scratch.Count());
+      scratch.AppendTo(&dense_induced);
+      induced = &dense_induced;
+    }
+    for (EntityId e : *induced) {
       slice.entities.push_back(table.subject(e));
       const auto& efacts = table.entity_facts(e);
       slice.facts.insert(slice.facts.end(), efacts.begin(), efacts.end());

@@ -18,9 +18,21 @@ std::vector<core::DiscoveredSlice> GreedyDetector::Detect(
 
   // A slice's property set is non-empty (Def. 5), so the first round must
   // commit to the best single property; later rounds only add properties
-  // that improve the profit.
+  // that improve the profit. On dense tables each candidate is scored
+  // word-wise against the current bitset without materializing the
+  // intersection; the sorted-vector path is kept for tiny sources. Profits
+  // are bit-identical either way (integral totals).
+  const bool dense = table.dense();
   std::vector<core::PropertyId> chosen;
-  std::vector<core::EntityId> entities = table.MatchEntities(chosen);
+  std::vector<core::EntityId> entities;
+  core::EntityBitset cur;
+  uint64_t cur_count = table.num_entities();
+  if (dense) {
+    cur.Reset(table.num_entities());
+    cur.FillAll();
+  } else {
+    entities = table.MatchEntities(chosen);
+  }
   double best_profit = -std::numeric_limits<double>::infinity();
 
   std::vector<char> used(table.catalog().size(), 0);
@@ -28,36 +40,57 @@ std::vector<core::DiscoveredSlice> GreedyDetector::Detect(
     double round_best = best_profit;
     core::PropertyId round_pick = core::kInvalidIndex;
     std::vector<core::EntityId> round_entities;
+    uint64_t round_count = 0;
 
     for (core::PropertyId p = 0; p < table.catalog().size(); ++p) {
       if (used[p]) continue;
-      // Intersect the current entity set with the property's entities.
-      const auto& list = table.property_entities(p);
-      std::vector<core::EntityId> next;
-      next.reserve(std::min(entities.size(), list.size()));
-      std::set_intersection(entities.begin(), entities.end(), list.begin(),
-                            list.end(), std::back_inserter(next));
-      if (next.empty() || (!chosen.empty() && next.size() == entities.size())) {
-        // Either the slice dies or the property is redundant; a redundant
-        // property cannot change the profit, so skip it.
-        continue;
+      double candidate;
+      uint64_t count;
+      if (dense) {
+        uint64_t f = 0, n = 0;
+        count = profit.AndTotals(cur, table.property_bits(p), &f, &n);
+        if (count == 0 || (!chosen.empty() && count == cur_count)) {
+          // Either the slice dies or the property is redundant; a redundant
+          // property cannot change the profit, so skip it.
+          continue;
+        }
+        candidate = profit.SliceProfitFromTotals(f, n);
+      } else {
+        // Intersect the current entity set with the property's entities.
+        const auto& list = table.property_entities(p);
+        std::vector<core::EntityId> next;
+        next.reserve(std::min(entities.size(), list.size()));
+        std::set_intersection(entities.begin(), entities.end(), list.begin(),
+                              list.end(), std::back_inserter(next));
+        if (next.empty() ||
+            (!chosen.empty() && next.size() == entities.size())) {
+          continue;
+        }
+        count = next.size();
+        candidate = profit.SliceProfit(next);
+        if (candidate > round_best) round_entities = std::move(next);
       }
-      double candidate = profit.SliceProfit(next);
       if (candidate > round_best) {
         round_best = candidate;
         round_pick = p;
-        round_entities = std::move(next);
+        round_count = count;
       }
     }
 
     if (round_pick == core::kInvalidIndex) break;
     chosen.push_back(round_pick);
     used[round_pick] = 1;
-    entities = std::move(round_entities);
+    if (dense) {
+      cur.AndWith(table.property_bits(round_pick));
+      cur_count = round_count;
+    } else {
+      entities = std::move(round_entities);
+    }
     best_profit = round_best;
   }
 
   if (best_profit <= 0.0) return {};
+  if (dense) entities = cur.ToVector();
 
   core::DiscoveredSlice slice;
   slice.source_url = input.url;

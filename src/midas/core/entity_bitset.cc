@@ -1,0 +1,25 @@
+#include "midas/core/entity_bitset.h"
+
+namespace midas {
+namespace core {
+
+std::vector<EntityId> EntityBitset::ToVector() const {
+  std::vector<EntityId> out;
+  out.reserve(Count());
+  AppendTo(&out);
+  return out;
+}
+
+void EntityBitset::AppendTo(std::vector<EntityId>* out) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t w = words_[i];
+    while (w != 0) {
+      unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+      out->push_back(static_cast<EntityId>(i * 64 + bit));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace core
+}  // namespace midas

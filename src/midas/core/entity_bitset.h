@@ -1,0 +1,154 @@
+#ifndef MIDAS_CORE_ENTITY_BITSET_H_
+#define MIDAS_CORE_ENTITY_BITSET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "midas/core/small_vec.h"
+#include "midas/core/types.h"
+
+namespace midas {
+namespace core {
+
+/// Dense bitset over a per-source entity universe [0, universe), stored as
+/// 64-bit word blocks. This is the kernel type behind the fast entity-set
+/// algebra (AND/OR/popcount) of the single-source hot path: a slice's
+/// entity set Π becomes one word block, intersection becomes word-wise AND,
+/// set-union profit becomes word-wise OR plus a popcount-driven totals
+/// sweep.
+///
+/// Invariant: bits at positions >= universe() are always zero, so Count()
+/// and word-wise comparisons never see garbage in the trailing word.
+class EntityBitset {
+ public:
+  EntityBitset() = default;
+  explicit EntityBitset(size_t universe) { Reset(universe); }
+
+  /// Resizes to `universe` bits and clears all of them.
+  void Reset(size_t universe) {
+    universe_ = universe;
+    words_.assign((universe + 63) / 64, 0);
+  }
+
+  /// Clears all bits, keeping the universe.
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Sets every bit in [0, universe).
+  void FillAll() {
+    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    MaskTail();
+  }
+
+  size_t universe() const { return universe_; }
+  size_t num_words() const { return words_.size(); }
+
+  void Set(EntityId e) { words_[e >> 6] |= uint64_t{1} << (e & 63); }
+
+  bool Test(EntityId e) const {
+    return (words_[e >> 6] >> (e & 63)) & uint64_t{1};
+  }
+
+  /// Popcount over all words.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool AnySet() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// this |= other. Universes must match.
+  void OrWith(const EntityBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// this &= other. Universes must match.
+  void AndWith(const EntityBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// this = other (word copy; resizes if needed).
+  void Assign(const EntityBitset& other) {
+    universe_ = other.universe_;
+    words_.assign(other.words_.begin(), other.words_.end());
+  }
+
+  /// this = {e : e in list}, over a fresh `universe`.
+  void AssignList(const std::vector<EntityId>& list, size_t universe) {
+    Reset(universe);
+    for (EntityId e : list) Set(e);
+  }
+
+  /// |this & other| without materializing the intersection.
+  static size_t CountAnd(const EntityBitset& a, const EntityBitset& b) {
+    size_t n = 0;
+    for (size_t i = 0; i < a.words_.size(); ++i) {
+      n += static_cast<size_t>(__builtin_popcountll(a.words_[i] & b.words_[i]));
+    }
+    return n;
+  }
+
+  /// |this & ~other| without materializing.
+  static size_t CountAndNot(const EntityBitset& a, const EntityBitset& b) {
+    size_t n = 0;
+    for (size_t i = 0; i < a.words_.size(); ++i) {
+      n += static_cast<size_t>(
+          __builtin_popcountll(a.words_[i] & ~b.words_[i]));
+    }
+    return n;
+  }
+
+  /// True iff the sets are identical.
+  bool operator==(const EntityBitset& other) const {
+    return universe_ == other.universe_ && words_ == other.words_;
+  }
+
+  /// Invokes `fn(EntityId)` for every set bit, ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i];
+      while (w != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+        fn(static_cast<EntityId>(i * 64 + bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Set bits as a sorted ascending vector.
+  std::vector<EntityId> ToVector() const;
+
+  /// Appends set bits (ascending) to `out`.
+  void AppendTo(std::vector<EntityId>* out) const;
+
+  /// Raw word access for fused kernels (see ProfitContext). Writers must
+  /// preserve the trailing-word invariant (bits >= universe stay zero).
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+
+ private:
+  /// Zeroes the bits at positions >= universe_ in the trailing word.
+  void MaskTail() {
+    if (universe_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (universe_ % 64)) - 1;
+    }
+  }
+
+  size_t universe_ = 0;
+  /// Inline storage covers universes up to 256 entities — hierarchy nodes
+  /// on small sources carry their whole word block without touching the
+  /// heap.
+  SmallVec<uint64_t, 4> words_;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_ENTITY_BITSET_H_

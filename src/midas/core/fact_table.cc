@@ -52,6 +52,16 @@ FactTable::FactTable(const std::vector<rdf::Triple>& facts,
       property_entities_[p].push_back(e);
     }
   }
+
+  // Dense bitset index: one word block per property. Built only at or
+  // above the entity threshold — below it the sorted-vector path wins.
+  if (subjects_.size() >= options.dense_index_min_entities &&
+      catalog_.size() > 0) {
+    property_bits_.resize(catalog_.size());
+    for (PropertyId p = 0; p < catalog_.size(); ++p) {
+      property_bits_[p].AssignList(property_entities_[p], subjects_.size());
+    }
+  }
 }
 
 EntityId FactTable::FindEntity(rdf::TermId subject) const {
@@ -59,9 +69,9 @@ EntityId FactTable::FindEntity(rdf::TermId subject) const {
   return it == subject_index_.end() ? kInvalidIndex : it->second;
 }
 
-std::vector<EntityId> FactTable::MatchEntities(
-    const std::vector<PropertyId>& properties) const {
-  if (properties.empty()) {
+std::vector<EntityId> FactTable::MatchEntities(const PropertyId* properties,
+                                               size_t count) const {
+  if (count == 0) {
     std::vector<EntityId> all(num_entities());
     for (EntityId e = 0; e < all.size(); ++e) all[e] = e;
     return all;
@@ -69,15 +79,22 @@ std::vector<EntityId> FactTable::MatchEntities(
 
   // Intersect starting from the shortest inverted list.
   const std::vector<EntityId>* seed = &property_entities_[properties[0]];
-  for (PropertyId p : properties) {
-    if (property_entities_[p].size() < seed->size()) {
-      seed = &property_entities_[p];
+  for (size_t i = 0; i < count; ++i) {
+    if (property_entities_[properties[i]].size() < seed->size()) {
+      seed = &property_entities_[properties[i]];
     }
   }
 
+  // A near-singleton seed list beats word blocks even on dense tables.
+  if (dense() && seed->size() > 32) {
+    EntityBitset bits;
+    MatchEntitiesInto(properties, count, &bits);
+    return bits.ToVector();
+  }
+
   std::vector<EntityId> result = *seed;
-  for (PropertyId p : properties) {
-    const std::vector<EntityId>& list = property_entities_[p];
+  for (size_t i = 0; i < count; ++i) {
+    const std::vector<EntityId>& list = property_entities_[properties[i]];
     if (&list == seed) continue;
     std::vector<EntityId> next;
     next.reserve(result.size());
@@ -87,6 +104,19 @@ std::vector<EntityId> FactTable::MatchEntities(
     if (result.empty()) break;
   }
   return result;
+}
+
+void FactTable::MatchEntitiesInto(const PropertyId* properties, size_t count,
+                                  EntityBitset* out) const {
+  if (count == 0) {
+    out->Reset(num_entities());
+    out->FillAll();
+    return;
+  }
+  out->Assign(property_bits_[properties[0]]);
+  for (size_t i = 1; i < count; ++i) {
+    out->AndWith(property_bits_[properties[i]]);
+  }
 }
 
 }  // namespace core

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "midas/core/entity_bitset.h"
 #include "midas/core/property.h"
 #include "midas/core/range_index.h"
 #include "midas/core/types.h"
@@ -18,6 +19,12 @@ struct FactTableOptions {
   /// (pred, "[lo..hi)") via the pre-built index — the paper's
   /// general-properties extension. The index must outlive the table.
   const NumericRangeIndex* range_index = nullptr;
+
+  /// Entity-count threshold at or above which the dense per-property bitset
+  /// index is built alongside the inverted lists. Below it, set algebra
+  /// stays on the sorted-vector path (a tiny source gains nothing from word
+  /// blocks). Set to 0 to force the dense index, SIZE_MAX to disable it.
+  size_t dense_index_min_entities = 64;
 };
 
 /// The fact table F_W of a web source (paper Def. 3): one row per entity
@@ -26,6 +33,11 @@ struct FactTableOptions {
 /// the list of its properties — plus inverted lists property -> entities,
 /// which is what slice evaluation actually needs (Π of a slice is the
 /// intersection of its properties' entity lists).
+///
+/// For sources at or above `dense_index_min_entities` entities, each
+/// inverted list is additionally materialized as an EntityBitset, and
+/// MatchEntities switches to word-wise AND — the bitset kernel behind the
+/// hierarchy-construction hot path.
 class FactTable {
  public:
   /// Builds the table from a source's extracted facts T_W. Duplicate
@@ -63,14 +75,37 @@ class FactTable {
     return property_entities_[p];
   }
 
+  /// True iff the dense bitset index was built for this source.
+  bool dense() const { return !property_bits_.empty(); }
+
+  /// Bitset of entities carrying property `p`. Requires dense().
+  const EntityBitset& property_bits(PropertyId p) const {
+    return property_bits_[p];
+  }
+
   /// The per-source property catalog C_W.
   const PropertyCatalog& catalog() const { return catalog_; }
 
   /// Π for a property set: entities carrying *all* of `properties`
-  /// (sorted-list intersection, smallest list first). An empty property set
-  /// selects every entity.
+  /// (word-wise AND when dense, sorted-list intersection otherwise; both
+  /// paths return the identical ascending vector). An empty property set
+  /// selects every entity. The pointer form exists for callers whose
+  /// property sets live in non-vector storage (hierarchy nodes).
+  std::vector<EntityId> MatchEntities(const PropertyId* properties,
+                                      size_t count) const;
   std::vector<EntityId> MatchEntities(
-      const std::vector<PropertyId>& properties) const;
+      const std::vector<PropertyId>& properties) const {
+    return MatchEntities(properties.data(), properties.size());
+  }
+
+  /// Π as a bitset, written into caller-owned `out` (no allocation beyond
+  /// `out`'s one-time sizing). Requires dense().
+  void MatchEntitiesInto(const PropertyId* properties, size_t count,
+                         EntityBitset* out) const;
+  void MatchEntitiesInto(const std::vector<PropertyId>& properties,
+                         EntityBitset* out) const {
+    MatchEntitiesInto(properties.data(), properties.size(), out);
+  }
 
  private:
   std::vector<rdf::TermId> subjects_;
@@ -78,6 +113,7 @@ class FactTable {
   std::vector<std::vector<rdf::Triple>> entity_facts_;
   std::vector<std::vector<PropertyId>> entity_properties_;
   std::vector<std::vector<EntityId>> property_entities_;
+  std::vector<EntityBitset> property_bits_;
   PropertyCatalog catalog_;
   size_t num_predicates_ = 0;
   size_t num_facts_ = 0;

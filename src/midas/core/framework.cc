@@ -22,10 +22,35 @@ struct Shard {
   std::string url;
   size_t depth = 0;
   /// All facts in this URL's subtree (direct + bubbled up from children).
+  /// Layout: an unsorted direct-extraction prefix, then zero or more
+  /// sorted, deduplicated runs bubbled up from already-processed children
+  /// (each child's facts were normalized in its round).
   std::vector<rdf::Triple> facts;
+  /// Start offset of each sorted child run appended to `facts`.
+  std::vector<size_t> run_begins;
   /// Slices exported by children rounds (tentative results).
   std::vector<DiscoveredSlice> child_slices;
 };
+
+/// Sorts + dedupes `shard->facts` in place: sorts the direct prefix, then
+/// folds each already-sorted child run in via inplace_merge — O(n log r)
+/// instead of re-sorting the whole subtree's facts from scratch at every
+/// level of the URL hierarchy.
+void NormalizeShardFacts(Shard* shard) {
+  auto& f = shard->facts;
+  const size_t direct_end =
+      shard->run_begins.empty() ? f.size() : shard->run_begins[0];
+  std::sort(f.begin(), f.begin() + static_cast<ptrdiff_t>(direct_end));
+  for (size_t i = 0; i < shard->run_begins.size(); ++i) {
+    const size_t mid = shard->run_begins[i];
+    const size_t end =
+        i + 1 < shard->run_begins.size() ? shard->run_begins[i + 1] : f.size();
+    std::inplace_merge(f.begin(), f.begin() + static_cast<ptrdiff_t>(mid),
+                       f.begin() + static_cast<ptrdiff_t>(end));
+  }
+  f.erase(std::unique(f.begin(), f.end()), f.end());
+  shard->run_begins.clear();
+}
 
 }  // namespace
 
@@ -98,9 +123,7 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
       Shard& shard = round[i];
       // The same triple can be extracted from several child pages; the
       // fact table requires a duplicate-free T_W.
-      std::sort(shard.facts.begin(), shard.facts.end());
-      shard.facts.erase(std::unique(shard.facts.begin(), shard.facts.end()),
-                        shard.facts.end());
+      NormalizeShardFacts(&shard);
       SourceInput input;
       input.url = shard.url;
       input.facts = &shard.facts;
@@ -129,8 +152,14 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
         parent.url = parent_url;
         parent.depth = depth - 1;
       }
+      // shard.facts is sorted + deduped (normalized above); record the run
+      // boundary so the parent's normalization can merge instead of sort.
+      parent.facts.reserve(parent.facts.size() + shard.facts.size());
+      parent.run_begins.push_back(parent.facts.size());
       parent.facts.insert(parent.facts.end(), shard.facts.begin(),
                           shard.facts.end());
+      parent.child_slices.reserve(parent.child_slices.size() +
+                                  surviving[i].size());
       for (auto& s : surviving[i]) {
         parent.child_slices.push_back(std::move(s));
       }

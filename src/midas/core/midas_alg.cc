@@ -74,14 +74,22 @@ std::vector<DiscoveredSlice> MidasAlg::Detect(
 std::vector<uint32_t> MidasAlg::Traverse(SliceHierarchy* hierarchy) {
   std::vector<uint32_t> selected;
   ProfitContext::SetAccumulator acc(hierarchy->profit_context());
+  // On dense tables the marginal-profit test runs word-wise over the node's
+  // bitset (identical totals: all sums are integral — see ProfitContext).
+  const bool dense = hierarchy->table().dense();
 
   for (size_t level = 1; level <= hierarchy->max_level(); ++level) {
     for (uint32_t idx : hierarchy->nodes_at_level(level)) {
       SliceNode& node = hierarchy->mutable_node(idx);
       if (node.removed) continue;
       if (!node.covered && node.valid &&
-          acc.DeltaIfAdd(node.entities) > 0.0) {
-        acc.Add(node.entities);
+          (dense ? acc.DeltaIfAdd(node.bits)
+                 : acc.DeltaIfAdd(node.entities)) > 0.0) {
+        if (dense) {
+          acc.Add(node.bits);
+        } else {
+          acc.Add(node.entities);
+        }
         selected.push_back(idx);
         node.covered = true;
       }
@@ -102,19 +110,27 @@ DiscoveredSlice MidasAlg::MakeSlice(const SliceHierarchy& hierarchy,
                                     const std::string& url) {
   const SliceNode& node = hierarchy.nodes()[node_index];
   const FactTable& table = hierarchy.table();
-  const ProfitContext& profit = hierarchy.profit_context();
 
   DiscoveredSlice slice;
   slice.source_url = url;
-  slice.properties = table.catalog().ToPairs(node.properties);
+  slice.properties = table.catalog().ToPairs(
+      std::vector<PropertyId>(node.properties.begin(), node.properties.end()));
   std::sort(slice.properties.begin(), slice.properties.end());
-  slice.entities.reserve(node.entities.size());
-  for (EntityId e : node.entities) {
+  slice.facts.reserve(node.total_facts);
+  const auto append_entity = [&](EntityId e) {
     slice.entities.push_back(table.subject(e));
     const auto& facts = table.entity_facts(e);
     slice.facts.insert(slice.facts.end(), facts.begin(), facts.end());
-    slice.num_new_facts += profit.entity_new_count(e);
+  };
+  if (table.dense()) {
+    slice.entities.reserve(node.bits.Count());
+    node.bits.ForEach(append_entity);
+  } else {
+    slice.entities.reserve(node.entities.size());
+    for (EntityId e : node.entities) append_entity(e);
   }
+  // Cached at node mint time; identical to summing entity_new_count here.
+  slice.num_new_facts = node.total_new;
   slice.num_facts = slice.facts.size();
   slice.profit = node.profit;
   return slice;

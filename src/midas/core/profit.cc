@@ -7,16 +7,22 @@ ProfitContext::ProfitContext(const FactTable& table,
                              const rdf::KnowledgeBase& kb, CostModel cost)
     : table_(table), cost_(cost) {
   source_crawl_cost_ = cost_.f_c * static_cast<double>(table.num_facts());
-  fact_count_.resize(table.num_entities());
-  new_count_.resize(table.num_entities());
+  counts_.resize(table.num_entities());
+  mark_.assign(table.num_entities(), 0);
+  union_scratch_.Reset(table.num_entities());
   for (EntityId e = 0; e < table.num_entities(); ++e) {
     const auto& facts = table.entity_facts(e);
-    fact_count_[e] = static_cast<uint32_t>(facts.size());
-    uint32_t fresh = 0;
+    uint64_t fresh = 0;
     for (const rdf::Triple& t : facts) {
       if (!kb.Contains(t)) ++fresh;
     }
-    new_count_[e] = fresh;
+    counts_[e] = (static_cast<uint64_t>(facts.size()) << 32) | fresh;
+  }
+  word_facts_.assign((counts_.size() + 63) / 64, 0);
+  word_new_.assign(word_facts_.size(), 0);
+  for (size_t e = 0; e < counts_.size(); ++e) {
+    word_facts_[e >> 6] += counts_[e] >> 32;
+    word_new_[e >> 6] += counts_[e] & 0xffffffffu;
   }
 }
 
@@ -31,34 +37,104 @@ double ProfitContext::ProfitFromTotals(size_t num_slices, uint64_t facts,
   return gain - crawl - dedup - validate;
 }
 
+void ProfitContext::EntityTotals(const std::vector<EntityId>& entities,
+                                 uint64_t* facts, uint64_t* fresh) const {
+  uint64_t f = 0, n = 0;
+  for (EntityId e : entities) {
+    uint64_t packed = counts_[e];
+    f += packed >> 32;
+    n += packed & 0xffffffffu;
+  }
+  *facts = f;
+  *fresh = n;
+}
+
+void ProfitContext::BitsetTotals(const EntityBitset& entities,
+                                 uint64_t* facts, uint64_t* fresh) const {
+  uint64_t f = 0, n = 0;
+  const uint64_t* words = entities.words();
+  for (size_t i = 0; i < entities.num_words(); ++i) {
+    AccumulateWord(words[i], i * 64, &f, &n);
+  }
+  *facts = f;
+  *fresh = n;
+}
+
+uint64_t ProfitContext::AndTotals(const EntityBitset& a, const EntityBitset& b,
+                                  uint64_t* facts, uint64_t* fresh) const {
+  uint64_t f = 0, n = 0, cnt = 0;
+  const uint64_t* wa = a.words();
+  const uint64_t* wb = b.words();
+  for (size_t i = 0; i < a.num_words(); ++i) {
+    uint64_t w = wa[i] & wb[i];
+    cnt += static_cast<uint64_t>(__builtin_popcountll(w));
+    AccumulateWord(w, i * 64, &f, &n);
+  }
+  *facts = f;
+  *fresh = n;
+  return cnt;
+}
+
+void ProfitContext::IntersectTotals(const uint64_t* const* sets,
+                                    size_t num_sets, EntityBitset* out,
+                                    uint64_t* facts, uint64_t* fresh) const {
+  out->Reset(table_.num_entities());
+  uint64_t* dst = out->mutable_words();
+  const size_t num_words = out->num_words();
+  uint64_t f = 0, n = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    uint64_t w = sets[0][i];
+    for (size_t k = 1; k < num_sets; ++k) w &= sets[k][i];
+    dst[i] = w;
+    AccumulateWord(w, i * 64, &f, &n);
+  }
+  *facts = f;
+  *fresh = n;
+}
+
 double ProfitContext::SliceProfit(const std::vector<EntityId>& entities) const {
   uint64_t facts = 0, fresh = 0;
-  for (EntityId e : entities) {
-    facts += fact_count_[e];
-    fresh += new_count_[e];
-  }
+  EntityTotals(entities, &facts, &fresh);
   return ProfitFromTotals(1, facts, fresh);
 }
 
 double ProfitContext::SetProfit(
     const std::vector<const std::vector<EntityId>*>& slices) const {
   if (slices.empty()) return 0.0;
-  std::vector<char> covered(table_.num_entities(), 0);
+  const uint64_t epoch = ++epoch_;
   uint64_t facts = 0, fresh = 0;
   for (const auto* entities : slices) {
     for (EntityId e : *entities) {
-      if (!covered[e]) {
-        covered[e] = 1;
-        facts += fact_count_[e];
-        fresh += new_count_[e];
+      if (mark_[e] != epoch) {
+        mark_[e] = epoch;
+        uint64_t packed = counts_[e];
+        facts += packed >> 32;
+        fresh += packed & 0xffffffffu;
       }
     }
   }
   return ProfitFromTotals(slices.size(), facts, fresh);
 }
 
+double ProfitContext::SetProfitBits(
+    const std::vector<const EntityBitset*>& slices) const {
+  if (slices.empty()) return 0.0;
+  union_scratch_.ClearAll();
+  for (const EntityBitset* bits : slices) union_scratch_.OrWith(*bits);
+  uint64_t facts = 0, fresh = 0;
+  BitsetTotals(union_scratch_, &facts, &fresh);
+  return ProfitFromTotals(slices.size(), facts, fresh);
+}
+
 ProfitContext::SetAccumulator::SetAccumulator(const ProfitContext& ctx)
-    : ctx_(ctx), covered_(ctx.table_.num_entities(), 0) {}
+    : ctx_(ctx), covered_(ctx.table_.num_entities()) {}
+
+void ProfitContext::SetAccumulator::Reset() {
+  covered_.ClearAll();
+  num_slices_ = 0;
+  total_facts_ = 0;
+  total_new_ = 0;
+}
 
 double ProfitContext::SetAccumulator::Profit() const {
   return ctx_.ProfitFromTotals(num_slices_, total_facts_, total_new_);
@@ -68,22 +144,46 @@ double ProfitContext::SetAccumulator::DeltaIfAdd(
     const std::vector<EntityId>& entities) const {
   uint64_t facts = total_facts_, fresh = total_new_;
   for (EntityId e : entities) {
-    if (!covered_[e]) {
-      facts += ctx_.fact_count_[e];
-      fresh += ctx_.new_count_[e];
+    if (!covered_.Test(e)) {
+      uint64_t packed = ctx_.counts_[e];
+      facts += packed >> 32;
+      fresh += packed & 0xffffffffu;
     }
+  }
+  return ctx_.ProfitFromTotals(num_slices_ + 1, facts, fresh) - Profit();
+}
+
+double ProfitContext::SetAccumulator::DeltaIfAdd(
+    const EntityBitset& entities) const {
+  uint64_t facts = total_facts_, fresh = total_new_;
+  const uint64_t* slice = entities.words();
+  const uint64_t* covered = covered_.words();
+  for (size_t i = 0; i < entities.num_words(); ++i) {
+    ctx_.AccumulateWord(slice[i] & ~covered[i], i * 64, &facts, &fresh);
   }
   return ctx_.ProfitFromTotals(num_slices_ + 1, facts, fresh) - Profit();
 }
 
 void ProfitContext::SetAccumulator::Add(const std::vector<EntityId>& entities) {
   for (EntityId e : entities) {
-    if (!covered_[e]) {
-      covered_[e] = 1;
-      total_facts_ += ctx_.fact_count_[e];
-      total_new_ += ctx_.new_count_[e];
+    if (!covered_.Test(e)) {
+      covered_.Set(e);
+      uint64_t packed = ctx_.counts_[e];
+      total_facts_ += packed >> 32;
+      total_new_ += packed & 0xffffffffu;
     }
   }
+  ++num_slices_;
+}
+
+void ProfitContext::SetAccumulator::Add(const EntityBitset& entities) {
+  const uint64_t* slice = entities.words();
+  const uint64_t* covered = covered_.words();
+  for (size_t i = 0; i < entities.num_words(); ++i) {
+    ctx_.AccumulateWord(slice[i] & ~covered[i], i * 64, &total_facts_,
+                        &total_new_);
+  }
+  covered_.OrWith(entities);
   ++num_slices_;
 }
 

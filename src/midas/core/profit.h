@@ -1,8 +1,10 @@
 #ifndef MIDAS_CORE_PROFIT_H_
 #define MIDAS_CORE_PROFIT_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "midas/core/entity_bitset.h"
 #include "midas/core/fact_table.h"
 #include "midas/core/types.h"
 #include "midas/rdf/knowledge_base.h"
@@ -41,11 +43,22 @@ struct CostModel {
 
 /// Profit evaluation for one web source: caches per-entity fact counts and
 /// new-fact counts (KB membership probed once per fact), then answers slice
-/// and slice-set profit queries in time linear in the entity lists.
+/// and slice-set profit queries in time linear in the entity sets.
 ///
 /// Because a slice's fact set Π* is the union of *all* facts of its
 /// entities (Def. 5), slice sets reduce to entity sets: two slices overlap
-/// exactly on their shared entities' facts.
+/// exactly on their shared entities' facts. All totals are integral
+/// (uint64 sums converted to double once at the end), so every entry point
+/// — sorted-vector or bitset, any visit order — produces bit-identical
+/// profits.
+///
+/// Allocation contract: construction sizes every internal buffer once;
+/// SliceProfit, SetProfit, and the SetAccumulator operations never allocate
+/// in steady state (the zero-allocation contract the traversal and
+/// ComputeLowerBound rely on). The epoch-marked SetProfit scratch makes the
+/// const query methods non-reentrant: share one ProfitContext per thread
+/// (the framework already builds one per Detect call), or use a dedicated
+/// SetAccumulator per worker as SliceHierarchy does.
 class ProfitContext {
  public:
   /// `table` and `kb` must outlive the context.
@@ -53,16 +66,61 @@ class ProfitContext {
                 CostModel cost);
 
   /// |facts of entity e| and |facts of e absent from the KB|.
-  uint32_t entity_fact_count(EntityId e) const { return fact_count_[e]; }
-  uint32_t entity_new_count(EntityId e) const { return new_count_[e]; }
+  uint32_t entity_fact_count(EntityId e) const {
+    return static_cast<uint32_t>(counts_[e] >> 32);
+  }
+  uint32_t entity_new_count(EntityId e) const {
+    return static_cast<uint32_t>(counts_[e]);
+  }
+
+  /// Sums (|facts|, |new facts|) over an entity list / bitset.
+  void EntityTotals(const std::vector<EntityId>& entities, uint64_t* facts,
+                    uint64_t* fresh) const;
+  void BitsetTotals(const EntityBitset& entities, uint64_t* facts,
+                    uint64_t* fresh) const;
+
+  /// Sums (|facts|, |new facts|) over a ∧ b without materializing the
+  /// intersection; returns |a ∧ b|. Both bitsets must share the universe.
+  uint64_t AndTotals(const EntityBitset& a, const EntityBitset& b,
+                     uint64_t* facts, uint64_t* fresh) const;
+
+  /// Intersects `num_sets` >= 1 word blocks (each over the table's entity
+  /// universe, tail-masked) into `out` and accumulates the intersection's
+  /// (facts, new) totals in the same pass — the hierarchy's node-evaluation
+  /// kernel, one write pass instead of match-then-sweep. Reentrant.
+  void IntersectTotals(const uint64_t* const* sets, size_t num_sets,
+                       EntityBitset* out, uint64_t* facts,
+                       uint64_t* fresh) const;
 
   /// f({S}) for a single slice given its entity set Π.
   double SliceProfit(const std::vector<EntityId>& entities) const;
 
+  /// f({S}) from pre-aggregated totals — O(1); hierarchy nodes cache their
+  /// (facts, new_facts) pair at mint time and use this everywhere after.
+  double SliceProfitFromTotals(uint64_t facts, uint64_t new_facts) const {
+    return ProfitFromTotals(1, facts, new_facts);
+  }
+
+  /// f(S) for `num_slices` slices from their union's pre-aggregated totals
+  /// — O(1). Callers that union word blocks themselves (per-worker scratch)
+  /// pair this with BitsetTotals.
+  double SetProfitFromTotals(size_t num_slices, uint64_t facts,
+                             uint64_t new_facts) const {
+    return ProfitFromTotals(num_slices, facts, new_facts);
+  }
+
   /// f(S) for a set of slices given their entity sets. Handles overlap
-  /// (union semantics) and the per-slice training cost.
+  /// (union semantics) and the per-slice training cost. Zero-alloc via an
+  /// internal epoch-marked scratch (hence non-reentrant; see class docs).
   double SetProfit(
       const std::vector<const std::vector<EntityId>*>& slices) const;
+
+  /// f(S) over bitset entity sets: word-wise OR into an internal scratch
+  /// block, then one popcount-driven totals sweep. All universes must be
+  /// table().num_entities(). Zero-alloc steady state, non-reentrant.
+  /// (Named distinctly: a SetProfit overload would be ambiguous with the
+  /// pointer-list overload under vector's iterator-pair constructor.)
+  double SetProfitBits(const std::vector<const EntityBitset*>& slices) const;
 
   /// Total |T_W| crawl term f_c·|T_W| for this source.
   double source_crawl_cost() const { return source_crawl_cost_; }
@@ -71,10 +129,15 @@ class ProfitContext {
   const FactTable& table() const { return table_; }
 
   /// Incremental accumulator over a growing slice set — the traversal's
-  /// f(S ∪ {S}) > f(S) test without recomputing unions.
+  /// f(S ∪ {S}) > f(S) test without recomputing unions. Reusable: Reset()
+  /// restores the empty-set state without touching capacity, so one
+  /// accumulator per worker serves any number of queries allocation-free.
   class SetAccumulator {
    public:
     explicit SetAccumulator(const ProfitContext& ctx);
+
+    /// Restores the empty-set state (all buffers retain capacity).
+    void Reset();
 
     /// Current f(S); 0 for the empty set.
     double Profit() const;
@@ -82,19 +145,25 @@ class ProfitContext {
     /// f(S ∪ {S}) − f(S) if the slice with entity set `entities` were
     /// added. Does not modify state.
     double DeltaIfAdd(const std::vector<EntityId>& entities) const;
+    double DeltaIfAdd(const EntityBitset& entities) const;
 
     /// Adds the slice.
     void Add(const std::vector<EntityId>& entities);
+    void Add(const EntityBitset& entities);
 
     /// Number of slices added so far.
     size_t num_slices() const { return num_slices_; }
 
+    /// Aggregated |∪ facts| and |∪ new| over the added slices.
+    uint64_t total_facts() const { return total_facts_; }
+    uint64_t total_new() const { return total_new_; }
+
     /// True iff entity `e` is already covered by an added slice.
-    bool Covers(EntityId e) const { return covered_[e] != 0; }
+    bool Covers(EntityId e) const { return covered_.Test(e); }
 
    private:
     const ProfitContext& ctx_;
-    std::vector<char> covered_;
+    EntityBitset covered_;
     size_t num_slices_ = 0;
     uint64_t total_facts_ = 0;
     uint64_t total_new_ = 0;
@@ -104,11 +173,42 @@ class ProfitContext {
   double ProfitFromTotals(size_t num_slices, uint64_t facts,
                           uint64_t new_facts) const;
 
+  /// Adds the counts of every entity in `word` (entities [base,base+64))
+  /// to the totals — the shared inner kernel of the bitset sweeps. Full
+  /// words skip the per-entity walk via the per-word sums precomputed at
+  /// construction (a tail word with universe % 64 != 0 can never be
+  /// all-ones: bits beyond the universe are zero by invariant).
+  void AccumulateWord(uint64_t word, size_t base, uint64_t* facts,
+                      uint64_t* fresh) const {
+    if (word == ~uint64_t{0}) {
+      *facts += word_facts_[base >> 6];
+      *fresh += word_new_[base >> 6];
+      return;
+    }
+    while (word != 0) {
+      unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+      uint64_t packed = counts_[base + bit];
+      *facts += packed >> 32;
+      *fresh += packed & 0xffffffffu;
+      word &= word - 1;
+    }
+  }
+
   const FactTable& table_;
   CostModel cost_;
   double source_crawl_cost_;
-  std::vector<uint32_t> fact_count_;
-  std::vector<uint32_t> new_count_;
+  /// Per-entity (fact_count << 32 | new_count): one cache line fetch per
+  /// entity in the hot sweeps instead of two.
+  std::vector<uint64_t> counts_;
+  /// Per-64-entity-word sums of fact / new counts — the full-word fast
+  /// path of AccumulateWord (dense unions are mostly full words).
+  std::vector<uint64_t> word_facts_;
+  std::vector<uint64_t> word_new_;
+  /// Epoch-marked scratch for the sorted-vector SetProfit (sized once).
+  mutable std::vector<uint64_t> mark_;
+  mutable uint64_t epoch_ = 0;
+  /// Union scratch for the bitset SetProfit (sized once).
+  mutable EntityBitset union_scratch_;
 };
 
 }  // namespace core

@@ -1,8 +1,8 @@
 #include "midas/core/slice_hierarchy.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_set>
+#include <thread>
+#include <utility>
 
 #include "midas/util/hash.h"
 #include "midas/util/logging.h"
@@ -12,24 +12,44 @@ namespace core {
 
 namespace {
 
+// Zobrist-style commutative hash: XOR of per-property mixes. Deleting a
+// property is one more XOR, so parent generation derives every candidate's
+// hash from its child's in O(1) instead of rehashing the whole set.
 uint64_t HashPropertySet(const std::vector<PropertyId>& props) {
   uint64_t h = 0x9ae16a3b2f90404fULL;
-  for (PropertyId p : props) h = HashCombine(h, HashMix(p));
+  for (PropertyId p : props) h ^= HashMix(p);
   return h;
 }
 
-// True iff `a` is a strict subset of `b` (both sorted ascending).
-bool IsStrictSubset(const std::vector<PropertyId>& a,
-                    const std::vector<PropertyId>& b) {
+// True iff `a` is a strict subset of `b` (both sorted ascending; any
+// random-access containers of PropertyId).
+template <typename A, typename B>
+bool IsStrictSubset(const A& a, const B& b) {
   return a.size() < b.size() &&
          std::includes(b.begin(), b.end(), a.begin(), a.end());
 }
 
-void EraseValue(std::vector<uint32_t>* v, uint32_t value) {
-  v->erase(std::remove(v->begin(), v->end(), value), v->end());
+template <typename Vec>
+void EraseValue(Vec* v, uint32_t value) {
+  auto* new_end = std::remove(v->begin(), v->end(), value);
+  v->truncate(static_cast<size_t>(new_end - v->begin()));
 }
 
 }  // namespace
+
+/// See header: reusable set-profit accumulator + epoch-marked node dedup,
+/// one instance per worker chunk.
+struct SliceHierarchy::LbScratch {
+  explicit LbScratch(const ProfitContext& ctx) : acc(ctx) {}
+
+  ProfitContext::SetAccumulator acc;
+  std::vector<uint32_t> collect;
+  /// Epoch stamps indexed by node id (grown per level, never shrunk).
+  std::vector<uint64_t> seen;
+  uint64_t epoch = 0;
+  /// Dense-path union scratch (sized on first use, then reused).
+  EntityBitset union_bits;
+};
 
 SliceHierarchy::SliceHierarchy(const FactTable& table,
                                const ProfitContext& profit,
@@ -53,48 +73,70 @@ std::vector<std::vector<PropertyId>> BuildEntityInitialSets(
     const HierarchyOptions& options) {
   std::vector<std::vector<PropertyId>> sets;
   sets.reserve(entities.size());
+  // Scratch reused across entities: the per-entity walk allocates only the
+  // emitted sets (this routine is half of hierarchy-construction time on
+  // per-entity seeding, so no maps or intermediate combo lists here).
+  std::vector<std::pair<rdf::TermId, PropertyId>> tagged;
+  std::vector<size_t> group_end;  // end offset of each predicate group
+  std::vector<size_t> odometer;   // current pick within each group
+  std::vector<PropertyId> combo;
   for (EntityId e : entities) {
-    std::vector<PropertyId> props = table.entity_properties(e);
+    const std::vector<PropertyId>& props = table.entity_properties(e);
+    tagged.clear();
+    for (PropertyId p : props) {
+      tagged.emplace_back(table.catalog().predicate(p), p);
+    }
 
     // Enforce the per-entity property budget by dropping the least-shared
-    // properties (they define the least reusable slices).
-    if (props.size() > options.max_properties_per_entity) {
-      std::sort(props.begin(), props.end(),
-                [&table](PropertyId a, PropertyId b) {
-                  return table.property_entities(a).size() >
-                         table.property_entities(b).size();
-                });
-      props.resize(options.max_properties_per_entity);
-      std::sort(props.begin(), props.end());
+    // properties (they define the least reusable slices). Selection only —
+    // no full sort; ties break on property id to stay deterministic.
+    if (tagged.size() > options.max_properties_per_entity) {
+      std::nth_element(
+          tagged.begin(),
+          tagged.begin() +
+              static_cast<std::ptrdiff_t>(options.max_properties_per_entity),
+          tagged.end(), [&table](const auto& a, const auto& b) {
+            const size_t sa = table.property_entities(a.second).size();
+            const size_t sb = table.property_entities(b.second).size();
+            return sa != sb ? sa > sb : a.second < b.second;
+          });
+      tagged.resize(options.max_properties_per_entity);
     }
 
-    // Group by predicate: an initial slice takes one property per
-    // predicate (paper "Generating initial slices").
-    std::map<rdf::TermId, std::vector<PropertyId>> by_pred;
-    for (PropertyId p : props) {
-      by_pred[table.catalog().predicate(p)].push_back(p);
+    // Group by predicate, ascending: an initial slice takes one property
+    // per predicate (paper "Generating initial slices").
+    std::sort(tagged.begin(), tagged.end());
+    group_end.clear();
+    for (size_t i = 0; i < tagged.size();) {
+      size_t j = i + 1;
+      while (j < tagged.size() && tagged[j].first == tagged[i].first) ++j;
+      group_end.push_back(j);
+      i = j;
     }
+    if (group_end.empty()) continue;
 
-    // Cartesian product over predicate groups, cut off at the cap.
-    std::vector<std::vector<PropertyId>> combos = {{}};
-    for (const auto& [pred, group] : by_pred) {
-      (void)pred;
-      std::vector<std::vector<PropertyId>> next;
-      for (const auto& combo : combos) {
-        for (PropertyId p : group) {
-          if (next.size() >= options.max_initial_slices_per_entity) break;
-          std::vector<PropertyId> extended = combo;
-          extended.push_back(p);
-          next.push_back(std::move(extended));
-        }
-        if (next.size() >= options.max_initial_slices_per_entity) break;
+    // Cartesian product over predicate groups (last group varies fastest),
+    // cut off at the cap.
+    odometer.assign(group_end.size(), 0);
+    for (size_t emitted = 0; emitted < options.max_initial_slices_per_entity;
+         ++emitted) {
+      combo.clear();
+      size_t begin = 0;
+      for (size_t g = 0; g < group_end.size(); ++g) {
+        combo.push_back(tagged[begin + odometer[g]].second);
+        begin = group_end[g];
       }
-      combos = std::move(next);
-    }
-    for (auto& combo : combos) {
-      if (combo.empty()) continue;
       std::sort(combo.begin(), combo.end());
-      sets.push_back(std::move(combo));
+      sets.push_back(combo);
+
+      size_t g = group_end.size();
+      while (g > 0) {
+        --g;
+        const size_t begin_g = g == 0 ? 0 : group_end[g - 1];
+        if (begin_g + ++odometer[g] < group_end[g]) break;
+        odometer[g] = 0;
+      }
+      if (g == 0 && odometer[0] == 0) break;  // odometer wrapped: all done
     }
   }
   return sets;
@@ -102,70 +144,180 @@ std::vector<std::vector<PropertyId>> BuildEntityInitialSets(
 
 void SliceHierarchy::Build(
     const std::vector<std::vector<PropertyId>>& initial_sets) {
-  // Mint initial nodes (deduplicated by property set).
+  resolved_threads_ = options_.num_threads == 0
+                          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+                          : options_.num_threads;
+
+  // Mint initial nodes (deduplicated by property set). A cap hit only
+  // drops the seed at hand: later seeds may still dedup into existing
+  // nodes, so keep going and count what the cap cost us. Per-entity seeds
+  // arrive sorted and unique; only irregular framework seeds pay the
+  // normalization copy.
+  set_index_.Reserve(initial_sets.size());
+  // Parent generation grows the lattice a few-fold past the seeds on
+  // per-entity seeding; reserving that up front avoids rehoming the node
+  // array mid-build (bounded so degenerate seed counts don't overcommit).
+  nodes_.reserve(std::min(initial_sets.size() * 4,
+                          std::min<size_t>(options_.max_nodes, 16384)));
+  std::vector<PropertyId> seed_scratch;
   for (const auto& set : initial_sets) {
     if (set.empty()) continue;
-    std::vector<PropertyId> sorted = set;
-    std::sort(sorted.begin(), sorted.end());
-    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-    uint32_t idx = GetOrCreateNode(std::move(sorted));
-    if (idx == kInvalidIndex) break;
+    const std::vector<PropertyId>* key = &set;
+    if (!std::is_sorted(set.begin(), set.end()) ||
+        std::adjacent_find(set.begin(), set.end()) != set.end()) {
+      seed_scratch.assign(set.begin(), set.end());
+      std::sort(seed_scratch.begin(), seed_scratch.end());
+      seed_scratch.erase(std::unique(seed_scratch.begin(), seed_scratch.end()),
+                         seed_scratch.end());
+      key = &seed_scratch;
+    }
+    uint32_t idx = GetOrCreateNode(*key);
+    if (idx == kInvalidIndex) {
+      ++stats_.seeds_dropped;
+      continue;
+    }
     if (!nodes_[idx].is_initial) {
       nodes_[idx].is_initial = true;
       ++stats_.initial_slices;
     }
   }
+  EvaluatePending();
+
+  // Per-worker lower-bound scratch, reused across all levels.
+  std::vector<std::unique_ptr<LbScratch>> lb_scratch(resolved_threads_);
+  // Canonical survivors of the current level (refilled per level).
+  std::vector<uint32_t> lb_batch;
+  // Parent-generation scratch, reused across all nodes and levels.
+  std::vector<PropertyId> props_scratch;
+  std::vector<PropertyId> parent_set;
 
   const size_t top_level = stats_.max_level;
   for (size_t level = top_level; level >= 1; --level) {
     // (a) Construct parents at level-1 before pruning this level, so that
-    // removing a non-canonical node can re-link its children upward.
+    // removing a non-canonical node can re-link its children upward. Only
+    // the dedup walk is serial; the minted shells are evaluated afterwards
+    // as one index-ordered (possibly parallel) batch.
     if (level >= 2 && level < by_level_.size()) {
       // Note: by_level_[level] is final here — parents land at level-1.
       for (uint32_t idx : by_level_[level]) {
-        const std::vector<PropertyId> props = nodes_[idx].properties;
-        for (size_t skip = 0; skip < props.size(); ++skip) {
-          std::vector<PropertyId> parent_set;
-          parent_set.reserve(props.size() - 1);
-          for (size_t i = 0; i < props.size(); ++i) {
-            if (i != skip) parent_set.push_back(props[i]);
+        // Copied into scratch: GetOrCreateNode may grow nodes_ and
+        // invalidate references into it.
+        props_scratch.assign(nodes_[idx].properties.begin(),
+                             nodes_[idx].properties.end());
+        const uint64_t node_hash = HashPropertySet(props_scratch);
+        for (size_t skip = 0; skip < props_scratch.size(); ++skip) {
+          parent_set.clear();
+          for (size_t i = 0; i < props_scratch.size(); ++i) {
+            if (i != skip) parent_set.push_back(props_scratch[i]);
           }
-          uint32_t parent = GetOrCreateNode(std::move(parent_set));
+          uint32_t parent = GetOrCreateNode(
+              parent_set, node_hash ^ HashMix(props_scratch[skip]));
           if (parent == kInvalidIndex) continue;
-          LinkEdge(parent, idx);
+          // Fresh edge by construction — distinct skips yield distinct
+          // parents, and re-linked edges always span two levels — so no
+          // duplicate check (unlike LinkEdge).
+          nodes_[parent].children.push_back(idx);
+          nodes_[idx].parents.push_back(parent);
         }
       }
     }
+    EvaluatePending();
 
     // (b) + (c) Prune level: canonicality, then profit lower bounds.
     if (level < by_level_.size()) {
-      for (uint32_t idx : by_level_[level]) {
-        SliceNode& node = nodes_[idx];
-        size_t canonical_children = 0;
-        for (uint32_t c : node.children) {
-          if (!nodes_[c].removed && nodes_[c].is_canonical) {
-            ++canonical_children;
+      const std::vector<uint32_t>& level_nodes = by_level_[level];
+
+      // Canonicality flags (Prop. 12) read only deeper-level state, which
+      // is final — safe to compute for the whole level at once.
+      ForChunks(level_nodes.size(), [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          SliceNode& node = nodes_[level_nodes[i]];
+          size_t canonical_children = 0;
+          for (uint32_t c : node.children) {
+            if (!nodes_[c].removed && nodes_[c].is_canonical) {
+              ++canonical_children;
+            }
           }
+          node.is_canonical = node.is_initial || canonical_children >= 2;
         }
-        node.is_canonical = node.is_initial || canonical_children >= 2;
-        if (!node.is_canonical) {
+      });
+
+      // Structural removals stay serial in level order: re-linking edits
+      // edge lists on the adjacent levels.
+      lb_batch.clear();
+      for (uint32_t idx : level_nodes) {
+        if (!nodes_[idx].is_canonical) {
           RemoveNonCanonical(idx);
           ++stats_.noncanonical_removed;
         } else {
-          ComputeLowerBound(idx);
-          if (!node.valid) ++stats_.low_profit_pruned;
+          lb_batch.push_back(idx);
         }
+      }
+
+      // Lower bounds for the survivors: disjoint node writes, per-worker
+      // scratch, bit-identical to the serial order.
+      ForChunks(lb_batch.size(), [&](size_t chunk, size_t begin, size_t end) {
+        if (!lb_scratch[chunk]) {
+          lb_scratch[chunk] = std::make_unique<LbScratch>(profit_);
+        }
+        for (size_t i = begin; i < end; ++i) {
+          ComputeLowerBound(lb_batch[i], lb_scratch[chunk].get());
+        }
+      });
+      for (uint32_t idx : lb_batch) {
+        if (!nodes_[idx].valid) ++stats_.low_profit_pruned;
       }
     }
   }
 }
 
-uint32_t SliceHierarchy::GetOrCreateNode(std::vector<PropertyId> properties) {
-  uint64_t hash = HashPropertySet(properties);
-  auto it = set_index_.find(hash);
-  if (it != set_index_.end()) {
-    for (uint32_t idx : it->second) {
-      if (nodes_[idx].properties == properties) return idx;
+void SliceHierarchy::SetIndex::Reserve(size_t expected_nodes) {
+  Grow(expected_nodes * 2);
+}
+
+void SliceHierarchy::SetIndex::Grow(size_t min_capacity) {
+  size_t cap = slots.empty() ? 64 : slots.size();
+  while (cap < min_capacity) cap *= 2;
+  if (cap == slots.size()) return;
+  std::vector<uint64_t> old_hashes = std::move(hashes);
+  std::vector<uint32_t> old_slots = std::move(slots);
+  hashes.assign(cap, 0);
+  slots.assign(cap, kInvalidIndex);
+  for (size_t i = 0; i < old_slots.size(); ++i) {
+    if (old_slots[i] == kInvalidIndex) continue;
+    size_t s = static_cast<size_t>(old_hashes[i]) & (cap - 1);
+    while (slots[s] != kInvalidIndex) s = (s + 1) & (cap - 1);
+    hashes[s] = old_hashes[i];
+    slots[s] = old_slots[i];
+  }
+}
+
+void SliceHierarchy::SetIndex::Insert(uint64_t hash, uint32_t node) {
+  // Grow at 3/4 load to keep probe clusters short.
+  if ((size + 1) * 4 > slots.size() * 3) {
+    Grow(std::max<size_t>(64, slots.size() * 2));
+  }
+  size_t s = SlotFor(hash);
+  while (slots[s] != kInvalidIndex) s = NextSlot(s);
+  hashes[s] = hash;
+  slots[s] = node;
+  ++size;
+}
+
+uint32_t SliceHierarchy::GetOrCreateNode(
+    const std::vector<PropertyId>& properties) {
+  return GetOrCreateNode(properties, HashPropertySet(properties));
+}
+
+uint32_t SliceHierarchy::GetOrCreateNode(
+    const std::vector<PropertyId>& properties, uint64_t hash) {
+  for (size_t s = set_index_.SlotFor(hash);
+       set_index_.slots[s] != kInvalidIndex; s = set_index_.NextSlot(s)) {
+    const auto& candidate = nodes_[set_index_.slots[s]].properties;
+    if (set_index_.hashes[s] == hash &&
+        candidate.size() == properties.size() &&
+        std::equal(candidate.begin(), candidate.end(), properties.begin())) {
+      return set_index_.slots[s];
     }
   }
   if (nodes_.size() >= options_.max_nodes) {
@@ -177,20 +329,84 @@ uint32_t SliceHierarchy::GetOrCreateNode(std::vector<PropertyId> properties) {
     return kInvalidIndex;
   }
 
+  // Shell only: entity match and profit are deferred to EvaluatePending,
+  // where the whole batch runs word-wise (and in parallel when large).
+  // The property set is copied only here — dedup hits (the common case)
+  // never allocate.
   SliceNode node;
   node.level = static_cast<uint32_t>(properties.size());
-  node.entities = table_.MatchEntities(properties);
-  node.profit = profit_.SliceProfit(node.entities);
-  node.properties = std::move(properties);
+  node.properties.assign(properties.begin(), properties.end());
 
   uint32_t idx = static_cast<uint32_t>(nodes_.size());
   if (by_level_.size() <= node.level) by_level_.resize(node.level + 1);
   by_level_[node.level].push_back(idx);
   stats_.max_level = std::max<size_t>(stats_.max_level, node.level);
   ++stats_.nodes_generated;
-  set_index_[hash].push_back(idx);
+  set_index_.Insert(hash, idx);
   nodes_.push_back(std::move(node));
+  pending_eval_.push_back(idx);
   return idx;
+}
+
+void SliceHierarchy::EvaluateNode(uint32_t index) {
+  SliceNode& node = nodes_[index];
+  uint64_t facts = 0, fresh = 0;
+  if (table_.dense()) {
+    // Fused intersect + totals: one write pass over the node's word block.
+    constexpr size_t kMaxFused = 32;
+    const size_t k = node.properties.size();
+    if (k >= 1 && k <= kMaxFused) {
+      const uint64_t* sets[kMaxFused];
+      for (size_t i = 0; i < k; ++i) {
+        sets[i] = table_.property_bits(node.properties[i]).words();
+      }
+      profit_.IntersectTotals(sets, k, &node.bits, &facts, &fresh);
+    } else {
+      table_.MatchEntitiesInto(node.properties.data(), k, &node.bits);
+      profit_.BitsetTotals(node.bits, &facts, &fresh);
+    }
+  } else {
+    node.entities =
+        table_.MatchEntities(node.properties.data(), node.properties.size());
+    profit_.EntityTotals(node.entities, &facts, &fresh);
+  }
+  node.total_facts = facts;
+  node.total_new = fresh;
+  node.profit = profit_.SliceProfitFromTotals(facts, fresh);
+}
+
+void SliceHierarchy::EvaluatePending() {
+  if (pending_eval_.empty()) return;
+  ForChunks(pending_eval_.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) EvaluateNode(pending_eval_[i]);
+  });
+  pending_eval_.clear();
+}
+
+void SliceHierarchy::ForChunks(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  ThreadPool* p = n >= options_.parallel_min_batch ? pool() : nullptr;
+  if (p == nullptr) {
+    fn(0, 0, n);
+    return;
+  }
+  const size_t chunks = std::min(resolved_threads_, n);
+  const size_t base = n / chunks;
+  const size_t rem = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < rem ? 1 : 0);
+    p->Submit([&fn, c, begin, end] { fn(c, begin, end); });
+    begin = end;
+  }
+  p->Wait();
+}
+
+ThreadPool* SliceHierarchy::pool() {
+  if (resolved_threads_ <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(resolved_threads_);
+  return pool_.get();
 }
 
 void SliceHierarchy::LinkEdge(uint32_t parent, uint32_t child) {
@@ -218,9 +434,10 @@ void SliceHierarchy::RemoveNonCanonical(uint32_t index) {
   node.valid = false;
 
   // Detach from parents and children first so reachability checks see the
-  // post-removal edge set.
-  std::vector<uint32_t> parents = node.parents;
-  std::vector<uint32_t> children = node.children;
+  // post-removal edge set. Inline copies — no allocation for typical
+  // degrees.
+  const auto parents = node.parents;
+  const auto children = node.children;
   for (uint32_t p : parents) EraseValue(&nodes_[p].children, index);
   for (uint32_t c : children) EraseValue(&nodes_[c].parents, index);
   node.parents.clear();
@@ -237,37 +454,55 @@ void SliceHierarchy::RemoveNonCanonical(uint32_t index) {
   }
 }
 
-void SliceHierarchy::ComputeLowerBound(uint32_t index) {
+void SliceHierarchy::ComputeLowerBound(uint32_t index, LbScratch* scratch) {
   SliceNode& node = nodes_[index];
 
-  // Union the S_LB sets of children with positive bounds.
-  std::vector<uint32_t> collect;
-  {
-    std::unordered_set<uint32_t> seen;
-    for (uint32_t c : node.children) {
-      const SliceNode& child = nodes_[c];
-      if (child.removed || child.lb_profit <= 0) continue;
-      for (uint32_t s : child.lb_set) {
-        if (seen.insert(s).second) collect.push_back(s);
+  // Union the S_LB sets of children with positive bounds (epoch-marked
+  // dedup — no per-call allocation once `seen` has grown to the node
+  // count).
+  std::vector<uint32_t>& collect = scratch->collect;
+  collect.clear();
+  if (scratch->seen.size() < nodes_.size()) {
+    scratch->seen.resize(nodes_.size(), 0);
+  }
+  const uint64_t epoch = ++scratch->epoch;
+  for (uint32_t c : node.children) {
+    const SliceNode& child = nodes_[c];
+    if (child.removed || child.lb_profit <= 0) continue;
+    for (uint32_t s : child.lb_set) {
+      if (scratch->seen[s] != epoch) {
+        scratch->seen[s] = epoch;
+        collect.push_back(s);
       }
     }
   }
 
   double union_profit = 0.0;
   if (!collect.empty()) {
-    std::vector<const std::vector<EntityId>*> entity_sets;
-    entity_sets.reserve(collect.size());
-    for (uint32_t s : collect) entity_sets.push_back(&nodes_[s].entities);
-    union_profit = profit_.SetProfit(entity_sets);
+    if (table_.dense()) {
+      // OR the children's word blocks, then one totals sweep — half the
+      // word passes of incremental accumulation, identical integral sums.
+      EntityBitset& u = scratch->union_bits;
+      u.Reset(table_.num_entities());
+      for (uint32_t s : collect) u.OrWith(nodes_[s].bits);
+      uint64_t f = 0, n = 0;
+      profit_.BitsetTotals(u, &f, &n);
+      union_profit = profit_.SetProfitFromTotals(collect.size(), f, n);
+    } else {
+      ProfitContext::SetAccumulator& acc = scratch->acc;
+      acc.Reset();
+      for (uint32_t s : collect) acc.Add(nodes_[s].entities);
+      union_profit = acc.Profit();
+    }
   }
 
   node.valid = node.profit >= 0.0 && node.profit >= union_profit;
   if (node.profit >= union_profit && node.profit > 0.0) {
     node.lb_profit = node.profit;
-    node.lb_set = {index};
+    node.lb_set.assign(1, index);
   } else if (union_profit > 0.0) {
     node.lb_profit = union_profit;
-    node.lb_set = std::move(collect);
+    node.lb_set.assign(collect.begin(), collect.end());
   } else {
     node.lb_profit = 0.0;
     node.lb_set.clear();

@@ -2,12 +2,15 @@
 #define MIDAS_CORE_SLICE_HIERARCHY_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "midas/core/entity_bitset.h"
 #include "midas/core/fact_table.h"
 #include "midas/core/profit.h"
+#include "midas/core/small_vec.h"
 #include "midas/core/types.h"
+#include "midas/util/thread_pool.h"
 
 namespace midas {
 namespace core {
@@ -28,28 +31,60 @@ struct HierarchyOptions {
 
   /// Hard cap on total hierarchy nodes for one source.
   size_t max_nodes = 2'000'000;
+
+  /// Worker threads for per-level node evaluation (entity matching +
+  /// profit) during construction. 0 = hardware concurrency. Results are
+  /// bit-identical for every thread count: tasks write disjoint node state
+  /// and all profit totals are integral sums.
+  size_t num_threads = 0;
+
+  /// Minimum node batch before evaluation fans out to the thread pool;
+  /// below it the per-level batch runs inline (framework shards are mostly
+  /// tiny, and pool startup would dominate).
+  size_t parallel_min_batch = 2048;
 };
 
 /// One node of the slice lattice. A node is identified by its property set;
 /// its entity set is the full match Π = σ_C(F_W) (which can exceed the set
 /// of entities whose initial slices generated it — see paper Fig. 4, S4).
+///
+/// The per-node collections use inline small-vector storage: construction
+/// mints thousands of nodes, and with heap-backed vectors malloc/free is
+/// the single largest cost of building a hierarchy on small sources.
 struct SliceNode {
   /// C — sorted property ids.
-  std::vector<PropertyId> properties;
-  /// Π — sorted entity ids (full match over the fact table).
+  SmallVec<PropertyId, 8> properties;
+  /// Π — sorted entity ids (full match over the fact table). Populated
+  /// only on sparse tables; dense tables keep just the word block (the
+  /// kernels never need the vector — see EntityVector()).
   std::vector<EntityId> entities;
+  /// Π as a word block, populated when the fact table is dense(). The
+  /// traversal and lower-bound kernels run on this.
+  EntityBitset bits;
+
+  /// Π as a sorted vector regardless of representation; materializes from
+  /// the word block on dense tables (selected nodes only — hot paths stay
+  /// on the words).
+  std::vector<EntityId> EntityVector() const {
+    return bits.universe() > 0 ? bits.ToVector() : entities;
+  }
+
+  /// |Π*| and |Π* \ E| — cached once at mint time; every later profit
+  /// query on this node is O(1) from these.
+  uint64_t total_facts = 0;
+  uint64_t total_new = 0;
 
   /// f({S}) under the run's cost model.
   double profit = 0.0;
   /// f_LB(S): best non-negative profit achievable by slices in the subtree.
   double lb_profit = 0.0;
   /// S_LB(S): node indices achieving lb_profit (empty set == profit 0).
-  std::vector<uint32_t> lb_set;
+  SmallVec<uint32_t, 4> lb_set;
 
   /// Lattice edges (live lists; edited when non-canonical nodes are
   /// removed). Children have strictly more properties.
-  std::vector<uint32_t> children;
-  std::vector<uint32_t> parents;
+  SmallVec<uint32_t, 6> children;
+  SmallVec<uint32_t, 6> parents;
 
   /// |C| — the node's level in the hierarchy.
   uint32_t level = 0;
@@ -87,6 +122,10 @@ struct HierarchyStats {
   size_t low_profit_pruned = 0;
   size_t max_level = 0;
   bool node_cap_hit = false;
+  /// Initial seeds discarded because the node cap prevented minting a new
+  /// node for them (seeds deduplicating into existing nodes still count as
+  /// initial slices even after the cap is hit).
+  size_t seeds_dropped = 0;
 };
 
 /// The bottom-up constructed, pruned slice hierarchy of one web source
@@ -103,6 +142,13 @@ struct HierarchyStats {
 ///           children to their parents unless already reachable;
 ///        c. compute f_LB / S_LB for surviving level-l nodes and mark
 ///           low-profit nodes invalid.
+///
+/// Node evaluation (full entity match + profit) is deferred out of the
+/// dedup walk and executed per level as an index-ordered batch — in
+/// parallel on the thread pool when the batch is large enough. Lower-bound
+/// computation likewise runs per level over disjoint nodes with per-worker
+/// scratch accumulators. Both phases write disjoint node state, so results
+/// are bit-identical to the serial order for every thread count.
 class SliceHierarchy {
  public:
   /// Builds the hierarchy with per-entity initial slices.
@@ -130,12 +176,37 @@ class SliceHierarchy {
   const ProfitContext& profit_context() const { return profit_; }
 
  private:
+  /// Per-worker scratch for lower-bound computation: a reusable set-profit
+  /// accumulator plus epoch-marked node dedup — no allocation per node in
+  /// steady state.
+  struct LbScratch;
+
   void Build(const std::vector<std::vector<PropertyId>>& initial_sets);
 
-  /// Returns the node index for a property set, creating the node (with
-  /// full entity match, profit) if new. Returns kInvalidIndex if the node
-  /// cap is hit.
-  uint32_t GetOrCreateNode(std::vector<PropertyId> properties);
+  /// Returns the node index for a sorted property set, creating an
+  /// unevaluated node shell (entity match and profit deferred to
+  /// EvaluatePending) if new; the set is copied only on creation. Returns
+  /// kInvalidIndex if the node cap is hit. The second form takes the
+  /// precomputed commutative set hash (parent generation derives it in
+  /// O(1) from the child's).
+  uint32_t GetOrCreateNode(const std::vector<PropertyId>& properties);
+  uint32_t GetOrCreateNode(const std::vector<PropertyId>& properties,
+                           uint64_t hash);
+
+  /// Evaluates all node shells created since the last call: full entity
+  /// match (word-wise AND when dense), bitset, cached totals, profit.
+  /// Fans out to the pool for large batches.
+  void EvaluatePending();
+
+  void EvaluateNode(uint32_t index);
+
+  /// Runs fn(chunk_index, begin, end) over [0, n) split into contiguous
+  /// chunks, one per worker (inline when the pool is not engaged).
+  void ForChunks(size_t n,
+                 const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Lazily created pool, engaged once a batch reaches parallel_min_batch.
+  ThreadPool* pool();
 
   /// Links parent -> child if absent.
   void LinkEdge(uint32_t parent, uint32_t child);
@@ -146,15 +217,41 @@ class SliceHierarchy {
   bool ReachableViaOther(uint32_t parent, uint32_t child, uint32_t via) const;
 
   void RemoveNonCanonical(uint32_t index);
-  void ComputeLowerBound(uint32_t index);
+  void ComputeLowerBound(uint32_t index, LbScratch* scratch);
+
+  /// Open-addressed property-set index (hash -> node), linear probing over
+  /// power-of-two capacity. Dedup is the single hottest lookup of
+  /// construction; a flat table avoids the per-bucket allocations and
+  /// pointer chasing of unordered_map. Hash collisions are resolved by the
+  /// property-set equality check in GetOrCreateNode.
+  struct SetIndex {
+    std::vector<uint64_t> hashes;
+    std::vector<uint32_t> slots;  // kInvalidIndex = empty
+    size_t size = 0;
+
+    void Reserve(size_t expected_nodes);
+    void Insert(uint64_t hash, uint32_t node);
+    /// First probe slot for `hash`; the caller walks with NextSlot until an
+    /// empty slot terminates the cluster.
+    size_t SlotFor(uint64_t hash) const {
+      return static_cast<size_t>(hash) & (slots.size() - 1);
+    }
+    size_t NextSlot(size_t slot) const { return (slot + 1) & (slots.size() - 1); }
+
+   private:
+    void Grow(size_t min_capacity);
+  };
 
   const FactTable& table_;
   const ProfitContext& profit_;
   HierarchyOptions options_;
   std::vector<SliceNode> nodes_;
   std::vector<std::vector<uint32_t>> by_level_;
-  // Property-set -> node index.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> set_index_;
+  SetIndex set_index_;
+  // Node shells awaiting evaluation (index order preserved).
+  std::vector<uint32_t> pending_eval_;
+  std::unique_ptr<ThreadPool> pool_;
+  size_t resolved_threads_ = 1;
   HierarchyStats stats_;
 };
 

@@ -1,0 +1,156 @@
+#ifndef MIDAS_CORE_SMALL_VEC_H_
+#define MIDAS_CORE_SMALL_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace midas {
+namespace core {
+
+/// Vector with inline storage for the first N elements, spilling to the
+/// heap only past that. Hierarchy construction mints thousands of nodes,
+/// each carrying a handful of tiny collections (property set, lattice
+/// edges, bitset word block); with std::vector each of those is a heap
+/// allocation, and malloc/free dominates construction on small sources.
+/// Inline storage makes the common case allocation-free.
+///
+/// Restricted to trivially copyable element types — growth and moves are
+/// memcpy. Semantics follow std::vector where implemented: push_back may
+/// invalidate iterators, capacity never shrinks. assign() must not be fed
+/// a range aliasing this container's own storage.
+template <typename T, size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec growth/moves are memcpy-based");
+  static_assert(N >= 1, "inline capacity must be non-zero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+  SmallVec(SmallVec&& other) noexcept { StealFrom(&other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      if (data_ != inline_) delete[] data_;
+      data_ = inline_;
+      capacity_ = N;
+      StealFrom(&other);
+    }
+    return *this;
+  }
+  ~SmallVec() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void push_back(T value) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  /// Drops the elements past the first `n` (requires n <= size()); the
+  /// std::remove + erase idiom becomes remove + truncate.
+  void truncate(size_t n) { size_ = n; }
+
+  void assign(size_t n, T value) {
+    reserve(n);
+    std::fill(data_, data_ + n, value);
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const size_t n = static_cast<size_t>(last - first);
+    reserve(n);
+    std::copy(first, last, data_);
+    size_ = n;
+  }
+
+  bool operator==(const SmallVec& other) const {
+    return size_ == other.size_ &&
+           std::equal(data_, data_ + size_, other.data_);
+  }
+  bool operator!=(const SmallVec& other) const { return !(*this == other); }
+
+  /// Element-wise comparison against any other container of T (tests
+  /// compare node collections with std::vector expectations).
+  template <typename C>
+  auto operator==(const C& other) const
+      -> decltype(other.begin(), other.size(), bool()) {
+    return size_ == other.size() &&
+           std::equal(data_, data_ + size_, other.begin());
+  }
+  template <typename C>
+  auto operator!=(const C& other) const
+      -> decltype(other.begin(), other.size(), bool()) {
+    return !(*this == other);
+  }
+
+ private:
+  void Grow(size_t min_capacity) {
+    size_t cap = capacity_;
+    while (cap < min_capacity) cap *= 2;
+    T* heap = new T[cap];
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (data_ != inline_) delete[] data_;
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  /// Takes over `other`'s contents: steals the heap block when spilled,
+  /// copies the inline words otherwise. `other` is left empty and inline.
+  void StealFrom(SmallVec* other) {
+    if (other->data_ == other->inline_) {
+      std::memcpy(inline_, other->inline_, other->size_ * sizeof(T));
+      data_ = inline_;
+      capacity_ = N;
+    } else {
+      data_ = other->data_;
+      capacity_ = other->capacity_;
+      other->data_ = other->inline_;
+      other->capacity_ = N;
+    }
+    size_ = other->size_;
+    other->size_ = 0;
+  }
+
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  T* data_ = inline_;
+  T inline_[N];
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_SMALL_VEC_H_

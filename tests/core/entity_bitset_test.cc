@@ -1,0 +1,151 @@
+#include "midas/core/entity_bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "midas/util/random.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+TEST(EntityBitsetTest, EmptyAndReset) {
+  EntityBitset b;
+  EXPECT_EQ(b.universe(), 0u);
+  EXPECT_EQ(b.num_words(), 0u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.AnySet());
+
+  b.Reset(70);
+  EXPECT_EQ(b.universe(), 70u);
+  EXPECT_EQ(b.num_words(), 2u);
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(EntityBitsetTest, SetTestCount) {
+  EntityBitset b(130);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_FALSE(b.Test(128));
+  EXPECT_EQ(b.Count(), 4u);
+  EXPECT_TRUE(b.AnySet());
+}
+
+TEST(EntityBitsetTest, FillAllMasksTrailingWord) {
+  // A non-multiple-of-64 universe must not leak bits past the universe.
+  for (size_t universe : {1u, 63u, 64u, 65u, 100u, 127u, 128u}) {
+    EntityBitset b(universe);
+    b.FillAll();
+    EXPECT_EQ(b.Count(), universe) << "universe=" << universe;
+  }
+}
+
+TEST(EntityBitsetTest, ClearAllKeepsUniverse) {
+  EntityBitset b(100);
+  b.FillAll();
+  b.ClearAll();
+  EXPECT_EQ(b.universe(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(EntityBitsetTest, OrAndAssign) {
+  EntityBitset a(200), b(200);
+  a.Set(3);
+  a.Set(100);
+  b.Set(100);
+  b.Set(150);
+
+  EntityBitset u;
+  u.Assign(a);
+  u.OrWith(b);
+  EXPECT_EQ(u.ToVector(), (std::vector<EntityId>{3, 100, 150}));
+
+  EntityBitset i;
+  i.Assign(a);
+  i.AndWith(b);
+  EXPECT_EQ(i.ToVector(), (std::vector<EntityId>{100}));
+}
+
+TEST(EntityBitsetTest, CountAndCountAndNot) {
+  EntityBitset a(128), b(128);
+  for (EntityId e : {0u, 5u, 64u, 90u, 127u}) a.Set(e);
+  for (EntityId e : {5u, 64u, 100u}) b.Set(e);
+  EXPECT_EQ(EntityBitset::CountAnd(a, b), 2u);
+  EXPECT_EQ(EntityBitset::CountAndNot(a, b), 3u);
+  EXPECT_EQ(EntityBitset::CountAndNot(b, a), 1u);
+}
+
+TEST(EntityBitsetTest, AssignListRoundTrip) {
+  std::vector<EntityId> list = {1, 2, 63, 64, 65, 199};
+  EntityBitset b;
+  b.AssignList(list, 200);
+  EXPECT_EQ(b.Count(), list.size());
+  EXPECT_EQ(b.ToVector(), list);
+
+  std::vector<EntityId> out = {7};
+  b.AppendTo(&out);
+  EXPECT_EQ(out.size(), list.size() + 1);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[1], 1u);
+}
+
+TEST(EntityBitsetTest, ForEachAscending) {
+  EntityBitset b(300);
+  std::vector<EntityId> expect = {0, 64, 128, 192, 256, 299};
+  for (EntityId e : expect) b.Set(e);
+  std::vector<EntityId> got;
+  b.ForEach([&](EntityId e) { got.push_back(e); });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(EntityBitsetTest, EqualityIncludesUniverse) {
+  EntityBitset a(64), b(64), c(65);
+  a.Set(3);
+  b.Set(3);
+  c.Set(3);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  b.Set(4);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(EntityBitsetTest, RandomizedAgainstReferenceSet) {
+  Rng rng(42);
+  for (int round = 0; round < 50; ++round) {
+    const size_t universe = 1 + rng.Uniform(300);
+    std::vector<char> ref_a(universe, 0), ref_b(universe, 0);
+    EntityBitset a(universe), b(universe);
+    for (size_t k = 0; k < universe / 2; ++k) {
+      EntityId e = static_cast<EntityId>(rng.Uniform(universe));
+      a.Set(e);
+      ref_a[e] = 1;
+      EntityId f = static_cast<EntityId>(rng.Uniform(universe));
+      b.Set(f);
+      ref_b[f] = 1;
+    }
+    size_t expect_and = 0, expect_andnot = 0, expect_a = 0;
+    for (size_t e = 0; e < universe; ++e) {
+      expect_a += ref_a[e] != 0;
+      expect_and += (ref_a[e] && ref_b[e]);
+      expect_andnot += (ref_a[e] && !ref_b[e]);
+    }
+    EXPECT_EQ(a.Count(), expect_a);
+    EXPECT_EQ(EntityBitset::CountAnd(a, b), expect_and);
+    EXPECT_EQ(EntityBitset::CountAndNot(a, b), expect_andnot);
+    for (size_t e = 0; e < universe; ++e) {
+      ASSERT_EQ(a.Test(static_cast<EntityId>(e)), ref_a[e] != 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

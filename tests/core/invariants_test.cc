@@ -94,11 +94,13 @@ TEST_P(InvariantsTest, HierarchyStructuralInvariants) {
     EXPECT_TRUE(
         std::is_sorted(node.properties.begin(), node.properties.end()));
 
-    // Π is exactly the match set (Def. 5).
-    EXPECT_EQ(node.entities, table_->MatchEntities(node.properties));
+    // Π is exactly the match set (Def. 5), in either representation.
+    const std::vector<EntityId> entities = node.EntityVector();
+    EXPECT_EQ(entities, table_->MatchEntities(node.properties.data(),
+                                              node.properties.size()));
 
     // Profit is the profit function of Π (Def. 9).
-    EXPECT_NEAR(node.profit, profit_->SliceProfit(node.entities), 1e-9);
+    EXPECT_NEAR(node.profit, profit_->SliceProfit(entities), 1e-9);
 
     if (node.removed) continue;
 
@@ -106,8 +108,13 @@ TEST_P(InvariantsTest, HierarchyStructuralInvariants) {
     EXPECT_GE(node.lb_profit, 0.0);
     EXPECT_GE(node.lb_profit, node.profit - 1e-9);
     if (!node.lb_set.empty()) {
+      std::vector<std::vector<EntityId>> lb_entities;
+      lb_entities.reserve(node.lb_set.size());
       std::vector<const std::vector<EntityId>*> sets;
-      for (uint32_t s : node.lb_set) sets.push_back(&nodes[s].entities);
+      for (uint32_t s : node.lb_set) {
+        lb_entities.push_back(nodes[s].EntityVector());
+        sets.push_back(&lb_entities.back());
+      }
       EXPECT_NEAR(node.lb_profit, profit_->SetProfit(sets), 1e-9);
     } else {
       EXPECT_DOUBLE_EQ(node.lb_profit, 0.0);
@@ -129,9 +136,10 @@ TEST_P(InvariantsTest, HierarchyStructuralInvariants) {
                                 child.properties.end(),
                                 node.properties.begin(),
                                 node.properties.end()));
-      EXPECT_TRUE(std::includes(node.entities.begin(), node.entities.end(),
-                                child.entities.begin(),
-                                child.entities.end()));
+      const std::vector<EntityId> child_entities = child.EntityVector();
+      EXPECT_TRUE(std::includes(entities.begin(), entities.end(),
+                                child_entities.begin(),
+                                child_entities.end()));
     }
 
     // Prop. 12: canonicality flags agree with the structural rule.

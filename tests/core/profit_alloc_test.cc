@@ -1,0 +1,170 @@
+// Verifies the zero-allocation contract of the profit kernels: after one
+// warm-up pass, SetProfit (both paths), the SetAccumulator operations, and
+// the totals sweeps perform no heap allocation — the steady state that
+// hierarchy construction (ComputeLowerBound) and the Algorithm 1 traversal
+// rely on. Allocations are counted by instrumenting the global operator new
+// for this test binary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "midas/core/entity_bitset.h"
+#include "midas/core/fact_table.h"
+#include "midas/core/profit.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/util/random.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<size_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace midas {
+namespace core {
+namespace {
+
+class AllocationGuard {
+ public:
+  AllocationGuard() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationGuard() { g_counting.store(false, std::memory_order_relaxed); }
+
+  size_t count() const { return g_allocations.load(std::memory_order_relaxed); }
+
+ private:
+};
+
+struct Fixture {
+  std::shared_ptr<rdf::Dictionary> dict = std::make_shared<rdf::Dictionary>();
+  std::unique_ptr<rdf::KnowledgeBase> kb =
+      std::make_unique<rdf::KnowledgeBase>(dict);
+  std::vector<rdf::Triple> facts;
+  std::unique_ptr<FactTable> table;
+  std::unique_ptr<ProfitContext> profit;
+
+  // A handful of overlapping slices in both representations.
+  std::vector<std::vector<EntityId>> slice_lists;
+  std::vector<EntityBitset> slice_bits;
+  std::vector<const std::vector<EntityId>*> list_ptrs;
+  std::vector<const EntityBitset*> bit_ptrs;
+
+  Fixture() {
+    Rng rng(7);
+    const size_t n = 500;
+    for (size_t e = 0; e < n; ++e) {
+      rdf::TermId subj = dict->Intern("e" + std::to_string(e));
+      for (size_t p = 0; p < 4; ++p) {
+        if (!rng.Bernoulli(0.8)) continue;
+        rdf::Triple t(subj, dict->Intern("p" + std::to_string(p)),
+                      dict->Intern("v" + std::to_string(rng.Uniform(3))));
+        facts.push_back(t);
+        if (rng.Bernoulli(0.5)) kb->Add(t);
+      }
+    }
+    FactTableOptions options;
+    options.dense_index_min_entities = 0;
+    table = std::make_unique<FactTable>(facts, options);
+    profit = std::make_unique<ProfitContext>(*table, *kb, CostModel::Default());
+
+    for (size_t s = 0; s < 12; ++s) {
+      std::vector<EntityId> list;
+      for (EntityId e = 0; e < table->num_entities(); ++e) {
+        if ((e + s) % 3 != 0) list.push_back(e);
+      }
+      EntityBitset bits;
+      bits.AssignList(list, table->num_entities());
+      slice_lists.push_back(std::move(list));
+      slice_bits.push_back(std::move(bits));
+    }
+    for (size_t s = 0; s < slice_lists.size(); ++s) {
+      list_ptrs.push_back(&slice_lists[s]);
+      bit_ptrs.push_back(&slice_bits[s]);
+    }
+  }
+};
+
+TEST(ProfitAllocTest, SetProfitPathsAreAllocationFreeAfterWarmup) {
+  Fixture fx;
+  double sink = 0.0;
+
+  // Warm-up: sizes every internal scratch once.
+  sink += fx.profit->SetProfit(fx.list_ptrs);
+  sink += fx.profit->SetProfitBits(fx.bit_ptrs);
+
+  size_t allocations;
+  {
+    AllocationGuard guard;
+    for (int i = 0; i < 200; ++i) {
+      sink += fx.profit->SetProfit(fx.list_ptrs);
+      sink += fx.profit->SetProfitBits(fx.bit_ptrs);
+      uint64_t f = 0, fresh = 0;
+      fx.profit->EntityTotals(fx.slice_lists[0], &f, &fresh);
+      fx.profit->BitsetTotals(fx.slice_bits[0], &f, &fresh);
+      fx.profit->AndTotals(fx.slice_bits[0], fx.slice_bits[1], &f, &fresh);
+      sink += static_cast<double>(f + fresh);
+    }
+    allocations = guard.count();
+  }
+  EXPECT_EQ(allocations, 0u) << "sink=" << sink;
+}
+
+TEST(ProfitAllocTest, SetAccumulatorIsAllocationFreeAfterConstruction) {
+  Fixture fx;
+  ProfitContext::SetAccumulator acc(*fx.profit);
+  double sink = 0.0;
+
+  size_t allocations;
+  {
+    AllocationGuard guard;
+    // The ComputeLowerBound steady-state pattern: Reset, a run of
+    // DeltaIfAdd/Add over node entity sets, final Profit — repeated across
+    // "nodes" with the same accumulator. Both representations.
+    for (int node = 0; node < 200; ++node) {
+      acc.Reset();
+      for (size_t s = 0; s < fx.slice_bits.size(); ++s) {
+        sink += acc.DeltaIfAdd(fx.slice_bits[s]);
+        acc.Add(fx.slice_bits[s]);
+      }
+      sink += acc.Profit();
+
+      acc.Reset();
+      for (size_t s = 0; s < fx.slice_lists.size(); ++s) {
+        sink += acc.DeltaIfAdd(fx.slice_lists[s]);
+        acc.Add(fx.slice_lists[s]);
+      }
+      sink += acc.Profit();
+    }
+    allocations = guard.count();
+  }
+  EXPECT_EQ(allocations, 0u) << "sink=" << sink;
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

@@ -32,7 +32,11 @@ class SliceHierarchyTest : public ::testing::Test {
     }
     std::sort(ids.begin(), ids.end());
     for (uint32_t i = 0; i < h.nodes().size(); ++i) {
-      if (h.nodes()[i].properties == ids) return i;
+      const auto& node_props = h.nodes()[i].properties;
+      if (std::equal(node_props.begin(), node_props.end(), ids.begin(),
+                     ids.end())) {
+        return i;
+      }
     }
     return kInvalidIndex;
   }
@@ -209,6 +213,33 @@ TEST_F(SliceHierarchyTest, NodeCapStopsGeneration) {
   SliceHierarchy h(table, profit, options);
   EXPECT_TRUE(h.stats().node_cap_hit);
   EXPECT_LE(h.stats().nodes_generated, 50u);
+}
+
+TEST_F(SliceHierarchyTest, CapHitKeepsConsumingSeedsAndCountsDrops) {
+  // Four entities with one distinct property each, plus a repeat of the
+  // first seed. With max_nodes = 2, seeds 3 and 4 cannot mint and must be
+  // counted as dropped — but the loop keeps going, so the repeated first
+  // seed still deduplicates into its existing node instead of being lost.
+  std::vector<rdf::Triple> facts = {T("e1", "a", "v"), T("e2", "b", "v"),
+                                    T("e3", "c", "v"), T("e4", "d", "v")};
+  FactTable table(facts);
+  rdf::KnowledgeBase kb(dict_);
+  ProfitContext profit(table, kb, CostModel::RunningExample());
+  auto prop = [&](const char* p) {
+    return *table.catalog().Lookup(*dict_->Lookup(p), *dict_->Lookup("v"));
+  };
+  std::vector<std::vector<PropertyId>> seeds = {
+      {prop("a")}, {prop("b")}, {prop("c")}, {prop("d")}, {prop("a")}};
+  HierarchyOptions options;
+  options.max_nodes = 2;
+  SliceHierarchy h(table, profit, seeds, options);
+
+  EXPECT_TRUE(h.stats().node_cap_hit);
+  EXPECT_EQ(h.stats().nodes_generated, 2u);
+  EXPECT_EQ(h.stats().seeds_dropped, 2u);
+  EXPECT_EQ(h.stats().initial_slices, 2u);
+  EXPECT_TRUE(h.nodes()[0].is_initial);
+  EXPECT_TRUE(h.nodes()[1].is_initial);
 }
 
 TEST_F(SliceHierarchyTest, PropertyBudgetTruncatesEntity) {

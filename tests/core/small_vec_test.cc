@@ -1,0 +1,123 @@
+#include "midas/core/small_vec.h"
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace core {
+namespace {
+
+TEST(SmallVecTest, StartsEmptyInline) {
+  SmallVec<uint32_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVecTest, PushBackWithinInlineCapacity) {
+  SmallVec<uint32_t, 4> v;
+  for (uint32_t i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i * 10);
+  EXPECT_EQ(v.back(), 30u);
+}
+
+TEST(SmallVecTest, SpillsToHeapAndKeepsContents) {
+  SmallVec<uint32_t, 2> v;
+  for (uint32_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, AssignRangeAndFill) {
+  std::vector<uint32_t> src(37);
+  std::iota(src.begin(), src.end(), 5);
+  SmallVec<uint32_t, 4> v;
+  v.assign(src.begin(), src.end());
+  ASSERT_EQ(v.size(), src.size());
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), src.begin()));
+
+  v.assign(3, 9u);
+  ASSERT_EQ(v.size(), 3u);
+  for (uint32_t x : v) EXPECT_EQ(x, 9u);
+}
+
+TEST(SmallVecTest, ClearKeepsCapacity) {
+  SmallVec<uint32_t, 2> v;
+  for (uint32_t i = 0; i < 20; ++i) v.push_back(i);
+  const size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVecTest, TruncateDropsTail) {
+  SmallVec<uint32_t, 4> v;
+  for (uint32_t i = 0; i < 10; ++i) v.push_back(i);
+  v.truncate(3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.back(), 2u);
+}
+
+TEST(SmallVecTest, CopySemantics) {
+  SmallVec<uint32_t, 2> heap;
+  for (uint32_t i = 0; i < 16; ++i) heap.push_back(i);
+  SmallVec<uint32_t, 2> copy(heap);
+  EXPECT_EQ(copy, heap);
+  copy.push_back(99);
+  EXPECT_NE(copy, heap);  // deep copy: originals unaffected
+  EXPECT_EQ(heap.size(), 16u);
+
+  SmallVec<uint32_t, 2> assigned;
+  assigned = heap;
+  EXPECT_EQ(assigned, heap);
+}
+
+TEST(SmallVecTest, MoveStealsHeapAndCopiesInline) {
+  SmallVec<uint32_t, 2> heap;
+  for (uint32_t i = 0; i < 16; ++i) heap.push_back(i);
+  const uint32_t* block = heap.data();
+  SmallVec<uint32_t, 2> stolen(std::move(heap));
+  EXPECT_EQ(stolen.data(), block);  // heap block moved, not copied
+  EXPECT_EQ(stolen.size(), 16u);
+  EXPECT_TRUE(heap.empty());  // NOLINT(bugprone-use-after-move)
+
+  SmallVec<uint32_t, 2> inline_src;
+  inline_src.push_back(7);
+  SmallVec<uint32_t, 2> inline_dst(std::move(inline_src));
+  ASSERT_EQ(inline_dst.size(), 1u);
+  EXPECT_EQ(inline_dst[0], 7u);
+}
+
+TEST(SmallVecTest, MoveAssignReleasesOldHeapBlock) {
+  SmallVec<uint32_t, 2> a;
+  for (uint32_t i = 0; i < 8; ++i) a.push_back(i);
+  SmallVec<uint32_t, 2> b;
+  for (uint32_t i = 0; i < 32; ++i) b.push_back(i + 100);
+  a = std::move(b);
+  ASSERT_EQ(a.size(), 32u);
+  EXPECT_EQ(a[0], 100u);
+}
+
+TEST(SmallVecTest, WorksInsideStdVectorReallocation) {
+  std::vector<SmallVec<uint32_t, 3>> outer;
+  for (uint32_t i = 0; i < 50; ++i) {
+    SmallVec<uint32_t, 3> v;
+    for (uint32_t j = 0; j <= i % 7; ++j) v.push_back(i * 100 + j);
+    outer.push_back(std::move(v));
+  }
+  for (uint32_t i = 0; i < 50; ++i) {
+    ASSERT_EQ(outer[i].size(), i % 7 + 1u);
+    for (uint32_t j = 0; j <= i % 7; ++j) EXPECT_EQ(outer[i][j], i * 100 + j);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

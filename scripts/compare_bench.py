@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Matches benchmarks by name and compares cpu_time (falling back to
+real_time when cpu_time is missing). A benchmark counts as regressed when
+its current time exceeds baseline * (1 + threshold). Benchmarks present
+in only one file are reported but never fail the run, so adding or
+retiring kernels does not break CI. Exit code 1 iff any regression.
+
+Only the Python standard library is used — this runs on a bare CI image.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: time_ns} for aggregate-free benchmark rows."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); compare
+        # the plain iteration rows only.
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name")
+        time = row.get("cpu_time", row.get("real_time"))
+        if name is None or time is None:
+            continue
+        out[name] = float(time)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+    if not base:
+        print(f"error: no benchmarks found in {args.baseline}", file=sys.stderr)
+        return 2
+    if not curr:
+        print(f"error: no benchmarks found in {args.current}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in sorted(set(base) | set(curr)))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(set(base) | set(curr)):
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>12}  {curr[name]:>12.1f}  (new)")
+            continue
+        if name not in curr:
+            print(f"{name:<{width}}  {base[name]:>12.1f}  {'-':>12}  (gone)")
+            continue
+        ratio = curr[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  REGRESSED"
+            regressions.append((name, ratio))
+        print(
+            f"{name:<{width}}  {base[name]:>12.1f}  {curr[name]:>12.1f}"
+            f"  {ratio:5.2f}x{flag}"
+        )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nall shared benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "midas/core/fact_table.h"
+#include "midas/obs/obs.h"
 
 namespace midas {
 namespace baselines {
@@ -47,6 +48,8 @@ std::vector<PropertyId> IntersectSorted(const std::vector<PropertyId>& x,
 
 std::vector<core::DiscoveredSlice> AggClusterDetector::Detect(
     const core::SourceInput& input, const rdf::KnowledgeBase& kb) const {
+  MIDAS_OBS_SPAN(detect_span, "baseline.agg_cluster.detect", input.url);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("baseline.agg_cluster.detect_calls"), 1);
   const std::vector<rdf::Triple>& facts = *input.facts;
   if (facts.empty()) return {};
 

@@ -4,12 +4,17 @@
 #include <limits>
 
 #include "midas/core/fact_table.h"
+#include "midas/obs/obs.h"
 
 namespace midas {
 namespace baselines {
 
 std::vector<core::DiscoveredSlice> GreedyDetector::Detect(
     const core::SourceInput& input, const rdf::KnowledgeBase& kb) const {
+  // The span also feeds the "span.baseline.greedy.detect" duration
+  // histogram (see obs::ScopedSpan).
+  MIDAS_OBS_SPAN(detect_span, "baseline.greedy.detect", input.url);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("baseline.greedy.detect_calls"), 1);
   const std::vector<rdf::Triple>& facts = *input.facts;
   if (facts.empty()) return {};
 

@@ -1,12 +1,15 @@
 #include "midas/baselines/naive.h"
 
 #include "midas/core/fact_table.h"
+#include "midas/obs/obs.h"
 
 namespace midas {
 namespace baselines {
 
 std::vector<core::DiscoveredSlice> NaiveDetector::Detect(
     const core::SourceInput& input, const rdf::KnowledgeBase& kb) const {
+  MIDAS_OBS_SPAN(detect_span, "baseline.naive.detect", input.url);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("baseline.naive.detect_calls"), 1);
   const std::vector<rdf::Triple>& facts = *input.facts;
   if (facts.empty()) return {};
 

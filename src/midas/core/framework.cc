@@ -1,12 +1,15 @@
 #include "midas/core/framework.h"
 
 #include <algorithm>
+#include <exception>
 #include <map>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "midas/core/consolidate.h"
+#include "midas/obs/obs.h"
 #include "midas/util/logging.h"
 #include "midas/util/thread_pool.h"
 #include "midas/util/timer.h"
@@ -62,19 +65,52 @@ MidasFramework::MidasFramework(const SliceDetector* detector,
 
 FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
                                     const rdf::KnowledgeBase& kb) const {
+  MIDAS_OBS_SPAN(run_span, "framework.run");
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("framework.runs"), 1);
+  // Shared-registry handles resolved once per Run; the per-shard tasks
+  // record through them lock-free. ([[maybe_unused]]: the recording macros
+  // compile out under MIDAS_OBS_NOOP.)
+  [[maybe_unused]] obs::Histogram* shard_us =
+      MIDAS_OBS_HISTOGRAM("framework.shard_us");
+  [[maybe_unused]] obs::Histogram* normalize_us =
+      MIDAS_OBS_HISTOGRAM("framework.normalize_us");
+  [[maybe_unused]] obs::Histogram* merge_us =
+      MIDAS_OBS_HISTOGRAM("framework.merge_us");
+  [[maybe_unused]] obs::Counter* detector_errors =
+      MIDAS_OBS_COUNTER("framework.detector_errors");
+
   Stopwatch watch;
   FrameworkResult result;
   ThreadPool pool(options_.num_threads);
   std::mutex mu;
 
+  // Detect with a per-shard error boundary: a throwing detector drops that
+  // shard's slices (counted + logged) instead of tearing down the whole
+  // run — an uncaught exception in a pool task would std::terminate.
+  const auto detect = [&](const SourceInput& input) {
+    std::vector<DiscoveredSlice> out;
+    try {
+      out = detector_->Detect(input, kb);
+    } catch (const std::exception& e) {
+      MIDAS_OBS_ADD(detector_errors, 1);
+      MIDAS_LOG(Warning) << "detector failed on " << input.url << ": "
+                         << e.what() << "; dropping this shard's slices";
+    }
+    return out;
+  };
+
   if (!options_.use_hierarchy_rounds) {
     // Ablation mode: independent detection per explicit source, no rounds.
     const auto& sources = corpus.sources();
     pool.ParallelFor(sources.size(), [&](size_t i) {
+      MIDAS_OBS_SPAN(source_span, "framework.source", sources[i].url);
+      const uint64_t start_ns = MIDAS_OBS_NOW_NS();
+      (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
       SourceInput input;
       input.url = sources[i].url;
       input.facts = &sources[i].facts;
-      auto slices = detector_->Detect(input, kb);
+      auto slices = detect(input);
+      MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
       std::lock_guard<std::mutex> lock(mu);
       result.stats.detector_calls++;
       for (auto& s : slices) result.slices.push_back(std::move(s));
@@ -117,27 +153,36 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
     }
     if (round.empty()) continue;
     result.stats.rounds++;
+    MIDAS_OBS_SPAN(round_span, "framework.round",
+                   "depth=" + std::to_string(depth));
 
     std::vector<std::vector<DiscoveredSlice>> surviving(round.size());
     pool.ParallelFor(round.size(), [&](size_t i) {
       Shard& shard = round[i];
+      MIDAS_OBS_SPAN(source_span, "framework.source", shard.url);
+      const uint64_t start_ns = MIDAS_OBS_NOW_NS();
+      (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
       // The same triple can be extracted from several child pages; the
       // fact table requires a duplicate-free T_W.
       NormalizeShardFacts(&shard);
+      MIDAS_OBS_RECORD(normalize_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
       SourceInput input;
       input.url = shard.url;
       input.facts = &shard.facts;
       for (const auto& cs : shard.child_slices) {
         input.seeds.push_back(cs.properties);
       }
-      auto detected = detector_->Detect(input, kb);
+      auto detected = detect(input);
       surviving[i] = ConsolidateSlices(std::move(detected),
                                        std::move(shard.child_slices));
+      MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
       std::lock_guard<std::mutex> lock(mu);
       result.stats.detector_calls++;
     });
     result.stats.shards_processed += round.size();
 
+    const uint64_t merge_start_ns = MIDAS_OBS_NOW_NS();
+    (void)merge_start_ns;  // unused in a MIDAS_OBS_NOOP build
     // Export upward (or finalize at the domain level).
     for (size_t i = 0; i < round.size(); ++i) {
       Shard& shard = round[i];
@@ -164,6 +209,7 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
         parent.child_slices.push_back(std::move(s));
       }
     }
+    MIDAS_OBS_RECORD(merge_us, (MIDAS_OBS_NOW_NS() - merge_start_ns) / 1000);
   }
 
   result.slices = std::move(final_slices);

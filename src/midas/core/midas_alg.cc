@@ -3,12 +3,16 @@
 #include <algorithm>
 
 #include "midas/core/fact_table.h"
+#include "midas/obs/obs.h"
 
 namespace midas {
 namespace core {
 
 std::vector<DiscoveredSlice> MidasAlg::Detect(
     const SourceInput& input, const rdf::KnowledgeBase& kb) const {
+  MIDAS_OBS_SPAN(detect_span, "alg.detect", input.url);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.detect_calls"), 1);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.seeds_in"), input.seeds.size());
   const std::vector<rdf::Triple>& facts = *input.facts;
   if (facts.empty()) return {};
 
@@ -22,6 +26,7 @@ std::vector<DiscoveredSlice> MidasAlg::Detect(
   std::vector<std::vector<PropertyId>> initial_sets;
   std::vector<char> seeded_entity(table.num_entities(), 0);
   bool have_seeds = false;
+  uint64_t seeds_unresolved = 0;
   for (const auto& seed : input.seeds) {
     if (seed.empty()) continue;
     std::vector<PropertyId> props;
@@ -35,7 +40,10 @@ std::vector<DiscoveredSlice> MidasAlg::Detect(
       }
       props.push_back(*id);
     }
-    if (!complete) continue;
+    if (!complete) {
+      ++seeds_unresolved;
+      continue;
+    }
     std::sort(props.begin(), props.end());
     props.erase(std::unique(props.begin(), props.end()), props.end());
     for (EntityId e : table.MatchEntities(props)) seeded_entity[e] = 1;
@@ -60,6 +68,10 @@ std::vector<DiscoveredSlice> MidasAlg::Detect(
     for (auto& set : extra) initial_sets.push_back(std::move(set));
   }
 
+  (void)seeds_unresolved;  // unused in a MIDAS_OBS_NOOP build
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.seeds_unresolved"), seeds_unresolved);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.initial_sets"), initial_sets.size());
+
   SliceHierarchy hierarchy(table, profit, initial_sets, options_.hierarchy);
   std::vector<uint32_t> selected = Traverse(&hierarchy);
 
@@ -78,10 +90,17 @@ std::vector<uint32_t> MidasAlg::Traverse(SliceHierarchy* hierarchy) {
   // bitset (identical totals: all sums are integral — see ProfitContext).
   const bool dense = hierarchy->table().dense();
 
+  // Local tallies, flushed to the registry once after the walk (the loop
+  // body is the hot path).
+  uint64_t visited = 0;
+  uint64_t covered_skips = 0;
+
   for (size_t level = 1; level <= hierarchy->max_level(); ++level) {
     for (uint32_t idx : hierarchy->nodes_at_level(level)) {
       SliceNode& node = hierarchy->mutable_node(idx);
       if (node.removed) continue;
+      ++visited;
+      if (node.covered) ++covered_skips;
       if (!node.covered && node.valid &&
           (dense ? acc.DeltaIfAdd(node.bits)
                  : acc.DeltaIfAdd(node.entities)) > 0.0) {
@@ -102,6 +121,11 @@ std::vector<uint32_t> MidasAlg::Traverse(SliceHierarchy* hierarchy) {
       }
     }
   }
+  (void)visited;  // unused in a MIDAS_OBS_NOOP build
+  (void)covered_skips;
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.nodes_visited"), visited);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.covered_skips"), covered_skips);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.slices_selected"), selected.size());
   return selected;
 }
 

@@ -1,11 +1,16 @@
 #include "midas/core/profit.h"
 
+#include "midas/obs/obs.h"
+
 namespace midas {
 namespace core {
 
 ProfitContext::ProfitContext(const FactTable& table,
                              const rdf::KnowledgeBase& kb, CostModel cost)
     : table_(table), cost_(cost) {
+  obs_set_profit_calls_ = MIDAS_OBS_COUNTER("profit.set_profit_calls");
+  obs_acc_deltas_ = MIDAS_OBS_COUNTER("profit.accumulator_deltas");
+  obs_acc_adds_ = MIDAS_OBS_COUNTER("profit.accumulator_adds");
   source_crawl_cost_ = cost_.f_c * static_cast<double>(table.num_facts());
   counts_.resize(table.num_entities());
   mark_.assign(table.num_entities(), 0);
@@ -100,6 +105,7 @@ double ProfitContext::SliceProfit(const std::vector<EntityId>& entities) const {
 
 double ProfitContext::SetProfit(
     const std::vector<const std::vector<EntityId>*>& slices) const {
+  MIDAS_OBS_ADD(obs_set_profit_calls_, 1);
   if (slices.empty()) return 0.0;
   const uint64_t epoch = ++epoch_;
   uint64_t facts = 0, fresh = 0;
@@ -118,6 +124,7 @@ double ProfitContext::SetProfit(
 
 double ProfitContext::SetProfitBits(
     const std::vector<const EntityBitset*>& slices) const {
+  MIDAS_OBS_ADD(obs_set_profit_calls_, 1);
   if (slices.empty()) return 0.0;
   union_scratch_.ClearAll();
   for (const EntityBitset* bits : slices) union_scratch_.OrWith(*bits);
@@ -142,6 +149,7 @@ double ProfitContext::SetAccumulator::Profit() const {
 
 double ProfitContext::SetAccumulator::DeltaIfAdd(
     const std::vector<EntityId>& entities) const {
+  MIDAS_OBS_ADD(ctx_.obs_acc_deltas_, 1);
   uint64_t facts = total_facts_, fresh = total_new_;
   for (EntityId e : entities) {
     if (!covered_.Test(e)) {
@@ -155,6 +163,7 @@ double ProfitContext::SetAccumulator::DeltaIfAdd(
 
 double ProfitContext::SetAccumulator::DeltaIfAdd(
     const EntityBitset& entities) const {
+  MIDAS_OBS_ADD(ctx_.obs_acc_deltas_, 1);
   uint64_t facts = total_facts_, fresh = total_new_;
   const uint64_t* slice = entities.words();
   const uint64_t* covered = covered_.words();
@@ -165,6 +174,7 @@ double ProfitContext::SetAccumulator::DeltaIfAdd(
 }
 
 void ProfitContext::SetAccumulator::Add(const std::vector<EntityId>& entities) {
+  MIDAS_OBS_ADD(ctx_.obs_acc_adds_, 1);
   for (EntityId e : entities) {
     if (!covered_.Test(e)) {
       covered_.Set(e);
@@ -177,6 +187,7 @@ void ProfitContext::SetAccumulator::Add(const std::vector<EntityId>& entities) {
 }
 
 void ProfitContext::SetAccumulator::Add(const EntityBitset& entities) {
+  MIDAS_OBS_ADD(ctx_.obs_acc_adds_, 1);
   const uint64_t* slice = entities.words();
   const uint64_t* covered = covered_.words();
   for (size_t i = 0; i < entities.num_words(); ++i) {

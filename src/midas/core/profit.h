@@ -7,6 +7,7 @@
 #include "midas/core/entity_bitset.h"
 #include "midas/core/fact_table.h"
 #include "midas/core/types.h"
+#include "midas/obs/metrics.h"
 #include "midas/rdf/knowledge_base.h"
 
 namespace midas {
@@ -209,6 +210,14 @@ class ProfitContext {
   mutable uint64_t epoch_ = 0;
   /// Union scratch for the bitset SetProfit (sized once).
   mutable EntityBitset union_scratch_;
+
+  /// Hot-path instrumentation, resolved once at construction (null in a
+  /// MIDAS_OBS_NOOP build). Recording is a relaxed sharded atomic add —
+  /// the zero-allocation contract above holds with metrics enabled
+  /// (profit_alloc_test pins it).
+  obs::Counter* obs_set_profit_calls_ = nullptr;
+  obs::Counter* obs_acc_deltas_ = nullptr;
+  obs::Counter* obs_acc_adds_ = nullptr;
 };
 
 }  // namespace core

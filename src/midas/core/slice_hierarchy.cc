@@ -1,9 +1,11 @@
 #include "midas/core/slice_hierarchy.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "midas/obs/obs.h"
 #include "midas/util/hash.h"
 #include "midas/util/logging.h"
 
@@ -11,6 +13,18 @@ namespace midas {
 namespace core {
 
 namespace {
+
+/// Registry name for a per-level construction counter. Levels above the
+/// cap share one bucket so a deep hierarchy cannot explode metric
+/// cardinality. ([[maybe_unused]]: call sites compile out under
+/// MIDAS_OBS_NOOP.)
+[[maybe_unused]] std::string LevelMetricName(size_t level, const char* what) {
+  constexpr size_t kLevelMetricCap = 16;
+  if (level > kLevelMetricCap) {
+    return std::string("hierarchy.level.16plus.") + what;
+  }
+  return "hierarchy.level." + std::to_string(level) + "." + what;
+}
 
 // Zobrist-style commutative hash: XOR of per-property mixes. Deleting a
 // property is one more XOR, so parent generation derives every candidate's
@@ -144,6 +158,9 @@ std::vector<std::vector<PropertyId>> BuildEntityInitialSets(
 
 void SliceHierarchy::Build(
     const std::vector<std::vector<PropertyId>>& initial_sets) {
+  MIDAS_OBS_SPAN(build_span, "hierarchy.build");
+  const uint64_t build_start_ns = MIDAS_OBS_NOW_NS();
+  (void)build_start_ns;  // unused in a MIDAS_OBS_NOOP build
   resolved_threads_ = options_.num_threads == 0
                           ? std::max<size_t>(1, std::thread::hardware_concurrency())
                           : options_.num_threads;
@@ -193,6 +210,10 @@ void SliceHierarchy::Build(
 
   const size_t top_level = stats_.max_level;
   for (size_t level = top_level; level >= 1; --level) {
+    const uint64_t level_start_ns = MIDAS_OBS_NOW_NS();
+    const uint64_t level_dedup_before = dedup_hits_;
+    (void)level_start_ns;  // unused in a MIDAS_OBS_NOOP build
+    (void)level_dedup_before;
     // (a) Construct parents at level-1 before pruning this level, so that
     // removing a non-canonical node can re-link its children upward. Only
     // the dedup walk is serial; the minted shells are evaluated afterwards
@@ -268,7 +289,33 @@ void SliceHierarchy::Build(
         if (!nodes_[idx].valid) ++stats_.low_profit_pruned;
       }
     }
+
+    // Flush this level's construction tallies to the shared registry
+    // (nodes at the level are final once its parents exist).
+    if (level < by_level_.size()) {
+      MIDAS_OBS_ADD(MIDAS_OBS_COUNTER(LevelMetricName(level, "nodes")),
+                    by_level_[level].size());
+    }
+    MIDAS_OBS_ADD(MIDAS_OBS_COUNTER(LevelMetricName(level, "dedup_hits")),
+                  dedup_hits_ - level_dedup_before);
+    MIDAS_OBS_ADD(MIDAS_OBS_COUNTER(LevelMetricName(level, "eval_us")),
+                  (MIDAS_OBS_NOW_NS() - level_start_ns) / 1000);
   }
+
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.builds"), 1);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.nodes_generated"),
+                stats_.nodes_generated);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.initial_slices"),
+                stats_.initial_slices);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.noncanonical_removed"),
+                stats_.noncanonical_removed);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.low_profit_pruned"),
+                stats_.low_profit_pruned);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.seeds_dropped"),
+                stats_.seeds_dropped);
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.dedup_hits"), dedup_hits_);
+  MIDAS_OBS_RECORD(MIDAS_OBS_HISTOGRAM("hierarchy.build_us"),
+                   (MIDAS_OBS_NOW_NS() - build_start_ns) / 1000);
 }
 
 void SliceHierarchy::SetIndex::Reserve(size_t expected_nodes) {
@@ -317,6 +364,7 @@ uint32_t SliceHierarchy::GetOrCreateNode(
     if (set_index_.hashes[s] == hash &&
         candidate.size() == properties.size() &&
         std::equal(candidate.begin(), candidate.end(), properties.begin())) {
+      ++dedup_hits_;
       return set_index_.slots[s];
     }
   }
@@ -377,6 +425,8 @@ void SliceHierarchy::EvaluateNode(uint32_t index) {
 
 void SliceHierarchy::EvaluatePending() {
   if (pending_eval_.empty()) return;
+  MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.profit_evals"),
+                pending_eval_.size());
   ForChunks(pending_eval_.size(), [&](size_t, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) EvaluateNode(pending_eval_[i]);
   });

@@ -253,6 +253,9 @@ class SliceHierarchy {
   std::unique_ptr<ThreadPool> pool_;
   size_t resolved_threads_ = 1;
   HierarchyStats stats_;
+  /// Dedup hits in GetOrCreateNode (serial walk, plain counter); flushed
+  /// per level and in aggregate to the shared obs registry by Build.
+  uint64_t dedup_hits_ = 0;
 };
 
 }  // namespace core

@@ -1,0 +1,162 @@
+#include "midas/obs/export.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <ctime>
+#include <fstream>
+
+#include "midas/util/string_util.h"
+#include "midas/util/table_printer.h"
+
+namespace midas {
+namespace obs {
+
+namespace {
+
+std::string Iso8601Now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%FT%TZ", &tm);
+  return buf;
+}
+
+JsonValue HistogramJson(const std::string& name,
+                        const HistogramSnapshot& snap) {
+  JsonValue h = JsonValue::Object();
+  h.Set("name", JsonValue::Str(name));
+  h.Set("count", JsonValue::Int(static_cast<int64_t>(snap.count)));
+  h.Set("sum", JsonValue::Int(static_cast<int64_t>(snap.sum)));
+  h.Set("min", JsonValue::Int(static_cast<int64_t>(snap.min)));
+  h.Set("max", JsonValue::Int(static_cast<int64_t>(snap.max)));
+  h.Set("mean", JsonValue::Number(snap.Mean()));
+  h.Set("p50", JsonValue::Number(snap.Quantile(0.50)));
+  h.Set("p95", JsonValue::Number(snap.Quantile(0.95)));
+  h.Set("p99", JsonValue::Number(snap.Quantile(0.99)));
+  return h;
+}
+
+}  // namespace
+
+JsonValue MetricsToJson(const Registry& registry, const Tracer& tracer) {
+  JsonValue root = JsonValue::Object();
+
+  JsonValue context = JsonValue::Object();
+  context.Set("date", JsonValue::Str(Iso8601Now()));
+  context.Set("exporter", JsonValue::Str("midas::obs"));
+#ifdef MIDAS_OBS_NOOP
+  context.Set("noop", JsonValue::Bool(true));
+#else
+  context.Set("noop", JsonValue::Bool(false));
+#endif
+  root.Set("context", std::move(context));
+
+  // google-benchmark-shaped rows (one per histogram) so BENCH_micro.json
+  // tooling reads this artifact unchanged.
+  JsonValue benchmarks = JsonValue::Array();
+  JsonValue histograms = JsonValue::Array();
+  registry.VisitHistograms(
+      [&](const std::string& name, const HistogramSnapshot& snap) {
+        JsonValue row = JsonValue::Object();
+        row.Set("name", JsonValue::Str(name));
+        row.Set("run_type", JsonValue::Str("iteration"));
+        row.Set("iterations", JsonValue::Int(static_cast<int64_t>(snap.count)));
+        row.Set("real_time", JsonValue::Number(snap.Mean()));
+        row.Set("cpu_time", JsonValue::Number(snap.Mean()));
+        row.Set("time_unit", JsonValue::Str("us"));
+        row.Set("p50", JsonValue::Number(snap.Quantile(0.50)));
+        row.Set("p95", JsonValue::Number(snap.Quantile(0.95)));
+        row.Set("p99", JsonValue::Number(snap.Quantile(0.99)));
+        benchmarks.Append(std::move(row));
+        histograms.Append(HistogramJson(name, snap));
+      });
+  root.Set("benchmarks", std::move(benchmarks));
+
+  JsonValue counters = JsonValue::Array();
+  registry.VisitCounters([&](const std::string& name, uint64_t value) {
+    JsonValue c = JsonValue::Object();
+    c.Set("name", JsonValue::Str(name));
+    c.Set("value", JsonValue::Int(static_cast<int64_t>(value)));
+    counters.Append(std::move(c));
+  });
+  root.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Array();
+  registry.VisitGauges([&](const std::string& name, int64_t value) {
+    JsonValue g = JsonValue::Object();
+    g.Set("name", JsonValue::Str(name));
+    g.Set("value", JsonValue::Int(value));
+    gauges.Append(std::move(g));
+  });
+  root.Set("gauges", std::move(gauges));
+  root.Set("histograms", std::move(histograms));
+
+  JsonValue spans = JsonValue::Array();
+  for (const SpanRecord& span : tracer.Snapshot()) {
+    JsonValue s = JsonValue::Object();
+    s.Set("name", JsonValue::Str(span.name));
+    s.Set("detail", JsonValue::Str(span.detail));
+    s.Set("start_ns", JsonValue::Int(static_cast<int64_t>(span.start_ns)));
+    s.Set("duration_ns",
+          JsonValue::Int(static_cast<int64_t>(span.duration_ns)));
+    s.Set("depth", JsonValue::Int(span.depth));
+    s.Set("thread", JsonValue::Int(span.thread));
+    spans.Append(std::move(s));
+  }
+  root.Set("spans", std::move(spans));
+  root.Set("spans_dropped",
+           JsonValue::Int(static_cast<int64_t>(tracer.dropped())));
+  return root;
+}
+
+std::string MetricsSummary(const Registry& registry, const Tracer& tracer) {
+  std::string out;
+
+  TablePrinter scalars({"metric", "kind", "value"});
+  registry.VisitCounters([&](const std::string& name, uint64_t value) {
+    scalars.AddRow({name, "counter", std::to_string(value)});
+  });
+  registry.VisitGauges([&](const std::string& name, int64_t value) {
+    scalars.AddRow({name, "gauge", std::to_string(value)});
+  });
+  if (scalars.num_rows() > 0) {
+    out += scalars.ToString();
+  }
+
+  TablePrinter hists(
+      {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+  registry.VisitHistograms(
+      [&](const std::string& name, const HistogramSnapshot& snap) {
+        hists.AddRow({name, std::to_string(snap.count),
+                      FormatDouble(snap.Mean(), 1),
+                      FormatDouble(snap.Quantile(0.50), 1),
+                      FormatDouble(snap.Quantile(0.95), 1),
+                      FormatDouble(snap.Quantile(0.99), 1),
+                      std::to_string(snap.max)});
+      });
+  if (hists.num_rows() > 0) {
+    out += hists.ToString();
+  }
+
+  out += StringPrintf("spans: %zu buffered, %" PRIu64 " dropped\n",
+                      tracer.size(), tracer.dropped());
+  return out;
+}
+
+Status WriteMetricsJson(const std::string& path) {
+  if (path.empty()) return Status::OK();
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open metrics output: " + path);
+  }
+  file << MetricsToJson().Dump(2) << "\n";
+  if (!file.good()) {
+    return Status::IoError("failed writing metrics output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace midas

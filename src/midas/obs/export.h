@@ -1,0 +1,45 @@
+#ifndef MIDAS_OBS_EXPORT_H_
+#define MIDAS_OBS_EXPORT_H_
+
+#include <string>
+
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
+#include "midas/util/json.h"
+#include "midas/util/status.h"
+
+namespace midas {
+namespace obs {
+
+/// Serializes the registry + tracer into one JSON document:
+///
+///   {
+///     "context":    { "date", "exporter", "noop" },
+///     "benchmarks": [ { "name", "iterations", "real_time", "time_unit",
+///                       "p50", "p95", "p99" } ],   // one per histogram —
+///                       the same row shape google-benchmark writes to
+///                       BENCH_micro.json, so scripts/compare_bench.py can
+///                       consume either artifact
+///     "counters":   [ { "name", "value" } ],
+///     "gauges":     [ { "name", "value" } ],
+///     "histograms": [ { "name", "count", "sum", "min", "max", "mean",
+///                       "p50", "p95", "p99" } ],
+///     "spans":      [ { "name", "detail", "start_ns", "duration_ns",
+///                       "depth", "thread" } ],
+///     "spans_dropped": N
+///   }
+JsonValue MetricsToJson(const Registry& registry = Registry::Global(),
+                        const Tracer& tracer = Tracer::Global());
+
+/// Renders a human-readable summary (counters/gauges table + histogram
+/// table with count/mean/p50/p95/p99, values in the recorded unit).
+std::string MetricsSummary(const Registry& registry = Registry::Global(),
+                           const Tracer& tracer = Tracer::Global());
+
+/// Writes MetricsToJson to `path` (indent 2). Empty path is a no-op.
+Status WriteMetricsJson(const std::string& path);
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_EXPORT_H_

@@ -1,0 +1,177 @@
+#include "midas/obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace midas {
+namespace obs {
+
+namespace internal {
+
+size_t ShardIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id & (kObsShards - 1);
+}
+
+}  // namespace internal
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double HistogramSnapshot::Quantile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target sample (1-based), then walk the cumulative counts.
+  const double rank = p * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = seen + buckets[b];
+    if (static_cast<double>(next) >= rank) {
+      const uint64_t lower = Histogram::BucketLower(b);
+      if (b == 0) return 0.0;
+      const uint64_t width = lower;  // bucket b covers [lower, 2*lower)
+      const double into =
+          (rank - static_cast<double>(seen)) / static_cast<double>(buckets[b]);
+      double v = static_cast<double>(lower) + into * static_cast<double>(width);
+      // Clamp into the observed range so p=1.0 never exceeds the true max.
+      return std::min(v, static_cast<double>(max));
+    }
+    seen = next;
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  for (const auto& s : shards_) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  // min/max reconstructed at bucket resolution (lower bound of the first /
+  // last non-empty bucket): cheap, and plenty for p50/p95/p99 reporting.
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (snap.buckets[b] != 0) {
+      snap.min = BucketLower(b);
+      break;
+    }
+  }
+  for (size_t b = kNumBuckets; b-- > 0;) {
+    if (snap.buckets[b] != 0) {
+      // Exclusive upper bound of the bucket, minus one.
+      snap.max = b >= 64 ? ~uint64_t{0} : (uint64_t{1} << b) - 1;
+      break;
+    }
+  }
+  return snap;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::Global() {
+  // Leaked on purpose: metric pointers live in objects with static storage
+  // duration (function-local caches), so the registry must outlive them all.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+const Counter* Registry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void Registry::VisitCounters(
+    const std::function<void(const std::string&, uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) fn(name, counter->Value());
+}
+
+void Registry::VisitGauges(
+    const std::function<void(const std::string&, int64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, gauge] : gauges_) fn(name, gauge->Value());
+}
+
+void Registry::VisitHistograms(
+    const std::function<void(const std::string&, const HistogramSnapshot&)>&
+        fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, histogram] : histograms_) {
+    fn(name, histogram->Snapshot());
+  }
+}
+
+void Registry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace midas

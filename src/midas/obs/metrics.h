@@ -1,0 +1,208 @@
+#ifndef MIDAS_OBS_METRICS_H_
+#define MIDAS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace midas {
+namespace obs {
+
+/// Low-overhead process-wide metrics: counters, gauges, and log2-bucketed
+/// histograms with approximate quantiles, all addressed by name through a
+/// global Registry.
+///
+/// Design contract (what the pipeline's hot paths rely on):
+///   - Registration (Registry::Get*) allocates and takes a lock — do it once
+///     per object/construction, never per operation.
+///   - Every recording operation (Counter::Add, Gauge::Set, Histogram::
+///     Record) is lock-free, wait-free, and allocation-free: a single
+///     relaxed atomic RMW on a thread-sharded slot.
+///   - Instrumentation sites use the MIDAS_OBS_* macros from obs.h, which
+///     compile to nothing under -DMIDAS_OBS_NOOP.
+///
+/// Aggregation is relaxed: Value()/Snapshot() taken while writers are
+/// active may miss in-flight updates, but once writers quiesce (e.g. after
+/// ThreadPool::Wait) totals are exact — every test and exporter reads at a
+/// quiescent point.
+
+/// Number of per-thread shards for counters and histograms. Power of two.
+inline constexpr size_t kObsShards = 8;
+
+namespace internal {
+/// Stable per-thread shard index (assigned on first use, round-robin).
+size_t ShardIndex();
+}  // namespace internal
+
+/// Monotonic counter, sharded to keep concurrent Add()s off one cache line.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    shards_[internal::ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Exact once writers quiesce.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Test support: zeroes every shard.
+  void Reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  Slot shards_[kObsShards];
+};
+
+/// Last-writer-wins signed gauge with relative Add (queue depths, open-span
+/// counts). Not sharded: Add must be globally coherent for depth tracking.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  /// Monotonic maximum (e.g. high-watermark queue depth).
+  void SetMax(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Merged, immutable view of a histogram at one point in time.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  /// buckets[b] counts values v with bit_width(v) == b, i.e. bucket 0 is
+  /// exactly {0} and bucket b >= 1 covers [2^(b-1), 2^b).
+  std::vector<uint64_t> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Approximate quantile (0 <= p <= 1) by linear interpolation inside the
+  /// covering log2 bucket. Exact for bucket boundaries, <= 2x off inside.
+  double Quantile(double p) const;
+};
+
+/// Fixed-size log2-bucketed histogram of non-negative integer samples
+/// (durations in microseconds, batch sizes, ...). Record() is a relaxed
+/// atomic increment on a thread-sharded bucket — no locks, no allocation.
+class Histogram {
+ public:
+  /// 0 and the 64 possible bit widths of a uint64_t.
+  static constexpr size_t kNumBuckets = 65;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    Shard& s = shards_[internal::ShardIndex()];
+    s.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Total samples recorded. Exact once writers quiesce.
+  uint64_t Count() const;
+
+  /// Test support: zeroes every shard.
+  void Reset();
+
+  static size_t BucketOf(uint64_t value) {
+    return value == 0
+               ? 0
+               : static_cast<size_t>(64 - __builtin_clzll(value));
+  }
+  /// Inclusive lower bound of a bucket.
+  static uint64_t BucketLower(size_t bucket) {
+    return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kNumBuckets]{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+  Shard shards_[kObsShards];
+};
+
+/// Name -> metric map. Get* interns the metric on first use and returns a
+/// pointer that stays valid for the life of the process (the global
+/// registry is intentionally leaked, so statically-stored metric pointers
+/// never dangle during shutdown).
+class Registry {
+ public:
+  /// The process-wide registry used by all MIDAS_OBS_* macros.
+  static Registry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Lookup without creation; nullptr if the metric was never registered.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Visits every metric in name order (snapshot of the name set; values
+  /// read live).
+  void VisitCounters(
+      const std::function<void(const std::string&, uint64_t)>& fn) const;
+  void VisitGauges(
+      const std::function<void(const std::string&, int64_t)>& fn) const;
+  void VisitHistograms(const std::function<void(const std::string&,
+                                                const HistogramSnapshot&)>& fn)
+      const;
+
+  /// Test support: zeroes every value. Pointers handed out by Get* remain
+  /// valid (metrics are reset in place, never removed).
+  void ResetAllForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Monotonic nanosecond clock for span/latency stamps.
+uint64_t NowNanos();
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_METRICS_H_

@@ -1,0 +1,84 @@
+#include "midas/obs/trace.h"
+
+namespace midas {
+namespace obs {
+
+namespace {
+
+thread_local uint32_t tls_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Leaked like the Registry: spans may be recorded from objects destroyed
+  // after main() begins tearing down statics.
+  static Tracer* global = new Tracer();
+  return *global;
+}
+
+void Tracer::Record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (spans_.capacity() == 0) spans_.reserve(capacity_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char* name, std::string detail)
+    : name_(name),
+      detail_(std::move(detail)),
+      start_ns_(NowNanos()),
+      depth_(tls_span_depth++) {
+  Tracer::Global().open_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedSpan::~ScopedSpan() {
+  --tls_span_depth;
+  const uint64_t duration = NowNanos() - start_ns_;
+  Tracer& tracer = Tracer::Global();
+  tracer.open_.fetch_sub(1, std::memory_order_relaxed);
+
+  SpanRecord span;
+  span.name = name_;
+  span.detail = std::move(detail_);
+  span.start_ns = start_ns_;
+  span.duration_ns = duration;
+  span.depth = depth_;
+  span.thread = static_cast<uint32_t>(internal::ShardIndex());
+  tracer.Record(std::move(span));
+
+  // Aggregate per-category latency, usable even when the span buffer
+  // saturates. Registration interns "span.<name>" once per category.
+  static constexpr const char* kPrefix = "span.";
+  std::string hist_name;
+  hist_name.reserve(sizeof("span.") + std::char_traits<char>::length(name_));
+  hist_name += kPrefix;
+  hist_name += name_;
+  Registry::Global().GetHistogram(hist_name)->Record(duration / 1000);
+}
+
+}  // namespace obs
+}  // namespace midas

@@ -3,12 +3,24 @@
 #include <algorithm>
 #include <atomic>
 
+#include "midas/obs/obs.h"
+
 namespace midas {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
+  tasks_submitted_ = MIDAS_OBS_COUNTER("threadpool.tasks_submitted");
+  tasks_completed_ = MIDAS_OBS_COUNTER("threadpool.tasks_completed");
+  busy_ns_ = MIDAS_OBS_COUNTER("threadpool.busy_ns");
+  queue_depth_ = MIDAS_OBS_GAUGE("threadpool.queue_depth");
+  queue_depth_max_ = MIDAS_OBS_GAUGE("threadpool.queue_depth_max");
+  threads_ = MIDAS_OBS_GAUGE("threadpool.threads");
+  task_wait_us_ = MIDAS_OBS_HISTOGRAM("threadpool.task_wait_us");
+  task_run_us_ = MIDAS_OBS_HISTOGRAM("threadpool.task_run_us");
+  MIDAS_OBS_GAUGE_ADD(threads_, static_cast<int64_t>(num_threads));
+
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -22,14 +34,21 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (auto& worker : workers_) worker.join();
+  MIDAS_OBS_GAUGE_ADD(threads_, -static_cast<int64_t>(workers_.size()));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  int64_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), MIDAS_OBS_NOW_NS()});
     ++in_flight_;
+    depth = static_cast<int64_t>(queue_.size());
   }
+  (void)depth;  // unused in a MIDAS_OBS_NOOP build
+  MIDAS_OBS_ADD(tasks_submitted_, 1);
+  MIDAS_OBS_GAUGE_SET(queue_depth_, depth);
+  MIDAS_OBS_GAUGE_MAX(queue_depth_max_, depth);
   work_available_.notify_one();
 }
 
@@ -58,7 +77,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -69,8 +88,17 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      MIDAS_OBS_GAUGE_SET(queue_depth_, static_cast<int64_t>(queue_.size()));
     }
-    task();
+    const uint64_t start_ns = MIDAS_OBS_NOW_NS();
+    (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
+    MIDAS_OBS_RECORD(task_wait_us_, (start_ns - task.enqueue_ns) / 1000);
+    task.fn();
+    const uint64_t run_ns = MIDAS_OBS_NOW_NS() - start_ns;
+    (void)run_ns;
+    MIDAS_OBS_RECORD(task_run_us_, run_ns / 1000);
+    MIDAS_OBS_ADD(busy_ns_, run_ns);
+    MIDAS_OBS_ADD(tasks_completed_, 1);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

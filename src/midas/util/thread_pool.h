@@ -3,11 +3,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "midas/obs/metrics.h"
 
 namespace midas {
 
@@ -18,6 +21,17 @@ namespace midas {
 ///   ThreadPool pool(8);
 ///   for (auto& shard : shards) pool.Submit([&] { Process(shard); });
 ///   pool.Wait();  // barrier between framework rounds
+///
+/// Observability: every pool feeds the shared midas::obs metrics
+///   threadpool.tasks_submitted / .tasks_completed   (counters)
+///   threadpool.busy_ns                              (counter; utilization =
+///                                                    busy_ns / (threads ×
+///                                                    wall time))
+///   threadpool.queue_depth / .queue_depth_max       (gauges)
+///   threadpool.threads                              (gauge, live workers)
+///   threadpool.task_wait_us / .task_run_us          (histograms)
+/// Recording is lock-free relaxed atomics; a -DMIDAS_OBS_NOOP build
+/// compiles all of it out.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1; 0 is clamped to
@@ -44,15 +58,32 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
+  /// A queued task plus its enqueue stamp (for the wait-time histogram).
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+
+  /// Shared-registry metrics, resolved once at construction (null in a
+  /// noop build).
+  obs::Counter* tasks_submitted_ = nullptr;
+  obs::Counter* tasks_completed_ = nullptr;
+  obs::Counter* busy_ns_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* queue_depth_max_ = nullptr;
+  obs::Gauge* threads_ = nullptr;
+  obs::Histogram* task_wait_us_ = nullptr;
+  obs::Histogram* task_run_us_ = nullptr;
 };
 
 }  // namespace midas

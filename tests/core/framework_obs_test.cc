@@ -1,0 +1,148 @@
+// Verifies the framework's observability wiring: every shard gets exactly
+// one "framework.source" span (closed exactly once, including when the
+// detector throws), the open-span count returns to zero after Run, and a
+// throwing detector is counted + contained instead of tearing down the run.
+
+#include "midas/core/framework.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "midas/core/midas_alg.h"
+#include "midas/obs/export.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
+#include "midas/web/web_source.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+/// Delegates to MidasAlg except on sources whose URL contains `poison_`,
+/// where it throws — the framework must close that shard's span anyway and
+/// keep the round going.
+class ThrowingDetector : public SliceDetector {
+ public:
+  ThrowingDetector(const MidasOptions& options, std::string poison)
+      : alg_(options), poison_(std::move(poison)) {}
+
+  std::string name() const override { return "Throwing"; }
+
+  std::vector<DiscoveredSlice> Detect(
+      const SourceInput& input, const rdf::KnowledgeBase& kb) const override {
+    if (input.url.find(poison_) != std::string::npos) {
+      throw std::runtime_error("synthetic detector failure");
+    }
+    return alg_.Detect(input, kb);
+  }
+
+ private:
+  MidasAlg alg_;
+  std::string poison_;
+};
+
+class FrameworkObsTest : public ::testing::Test {
+ protected:
+  FrameworkObsTest()
+      : dict_(std::make_shared<rdf::Dictionary>()),
+        corpus_(dict_),
+        kb_(dict_) {
+    options_.cost_model = CostModel::RunningExample();
+  }
+
+  void SetUp() override {
+#ifdef MIDAS_OBS_NOOP
+    GTEST_SKIP() << "instrumentation compiled out";
+#endif
+    obs::Registry::Global().ResetAllForTest();
+    obs::Tracer::Global().Reset();
+  }
+
+  void FillCorpus() {
+    for (int p = 0; p < 4; ++p) {
+      for (int e = 0; e < 6; ++e) {
+        corpus_.AddFactRaw(
+            "http://a.com/sec" + std::to_string(p) + "/page.htm",
+            "e" + std::to_string(p) + "_" + std::to_string(e), "cat",
+            "rocket");
+      }
+    }
+  }
+
+  size_t CountSpans(const std::string& name) {
+    auto spans = obs::Tracer::Global().Snapshot();
+    return static_cast<size_t>(
+        std::count_if(spans.begin(), spans.end(),
+                      [&](const obs::SpanRecord& s) { return s.name == name; }));
+  }
+
+  std::shared_ptr<rdf::Dictionary> dict_;
+  web::Corpus corpus_;
+  rdf::KnowledgeBase kb_;
+  MidasOptions options_;
+};
+
+TEST_F(FrameworkObsTest, EverySourceSpanClosedExactlyOnce) {
+  FillCorpus();
+  MidasAlg alg(options_);
+  MidasFramework framework(&alg);
+  auto result = framework.Run(corpus_, kb_);
+
+  EXPECT_EQ(obs::Tracer::Global().open_spans(), 0);
+  EXPECT_EQ(CountSpans("framework.run"), 1u);
+  // One source span per processed shard, each closed exactly once.
+  EXPECT_EQ(CountSpans("framework.source"), result.stats.shards_processed);
+  EXPECT_EQ(CountSpans("framework.round"), result.stats.rounds);
+  EXPECT_EQ(
+      obs::Registry::Global().FindCounter("framework.runs")->Value(), 1u);
+  EXPECT_EQ(obs::Registry::Global()
+                .FindCounter("framework.detector_errors")
+                ->Value(),
+            0u);
+}
+
+TEST_F(FrameworkObsTest, ThrowingDetectorIsCountedAndSpansStillClose) {
+  FillCorpus();
+  ThrowingDetector detector(options_, "sec1");
+  MidasFramework framework(&detector);
+  auto result = framework.Run(corpus_, kb_);
+
+  // The poisoned shard's slices are dropped; the rest of the run survives.
+  EXPECT_FALSE(result.slices.empty());
+  for (const auto& s : result.slices) {
+    EXPECT_EQ(s.source_url.find("sec1"), std::string::npos);
+  }
+
+  const obs::Counter* errors =
+      obs::Registry::Global().FindCounter("framework.detector_errors");
+  ASSERT_NE(errors, nullptr);
+  // The sec1 page shard throws; ancestor shards containing "sec1" in the
+  // merged URL path do not exist (parents are /sec1 -> a.com), so the
+  // poison string hits the page and the section shard.
+  EXPECT_GE(errors->Value(), 1u);
+
+  // Every span still closed exactly once, error paths included.
+  EXPECT_EQ(obs::Tracer::Global().open_spans(), 0);
+  EXPECT_EQ(CountSpans("framework.source"), result.stats.shards_processed);
+}
+
+TEST_F(FrameworkObsTest, AblationModeEmitsSourceSpans) {
+  FillCorpus();
+  MidasAlg alg(options_);
+  FrameworkOptions fw;
+  fw.use_hierarchy_rounds = false;
+  MidasFramework framework(&alg, fw);
+  auto result = framework.Run(corpus_, kb_);
+
+  EXPECT_EQ(obs::Tracer::Global().open_spans(), 0);
+  EXPECT_EQ(CountSpans("framework.source"), result.stats.shards_processed);
+  EXPECT_EQ(CountSpans("framework.source"), corpus_.NumSources());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

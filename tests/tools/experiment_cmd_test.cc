@@ -1,0 +1,112 @@
+// End-to-end tests of the `experiment` subcommand: a synthetic corpus is
+// generated in-process, the requested methods run against it, and the
+// scores land in a table or JSON report. Also pins the --metrics_out
+// contract CI relies on: the written document carries framework spans,
+// hierarchy counters, and thread-pool histograms.
+
+#include "tools/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
+
+namespace midas {
+namespace tools {
+namespace {
+
+Status ParseInto(FlagParser* flags, std::vector<std::string> args) {
+  std::vector<char*> argv = {const_cast<char*>("midas")};
+  for (auto& a : args) argv.push_back(a.data());
+  return flags->Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class ExperimentCmdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics_ = ::testing::TempDir() + "/experiment_metrics.json";
+    obs::Registry::Global().ResetAllForTest();
+    obs::Tracer::Global().Reset();
+  }
+  void TearDown() override { std::remove(metrics_.c_str()); }
+
+  std::string metrics_;
+};
+
+TEST_F(ExperimentCmdTest, RunsAndPrintsScoresTable) {
+  FlagParser flags;
+  RegisterExperimentFlags(&flags);
+  ASSERT_TRUE(ParseInto(&flags, {"--num_sources=10", "--seed=7",
+                                 "--methods=midas,naive"})
+                  .ok());
+  std::ostringstream out;
+  Status status = RunExperiment(flags, out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.str().find("MIDAS"), std::string::npos);
+  EXPECT_NE(out.str().find("Naive"), std::string::npos);
+  EXPECT_NE(out.str().find("f-measure"), std::string::npos);
+}
+
+TEST_F(ExperimentCmdTest, JsonReportHasPerMethodRows) {
+  FlagParser flags;
+  RegisterExperimentFlags(&flags);
+  ASSERT_TRUE(ParseInto(&flags, {"--num_sources=10", "--methods=midas",
+                                 "--json"})
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunExperiment(flags, out).ok());
+  EXPECT_EQ(out.str()[0], '{');
+  EXPECT_NE(out.str().find("\"methods\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"f_measure\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"silver_slices\""), std::string::npos);
+}
+
+TEST_F(ExperimentCmdTest, RejectsUnknownMethod) {
+  FlagParser flags;
+  RegisterExperimentFlags(&flags);
+  ASSERT_TRUE(ParseInto(&flags, {"--methods=magic"}).ok());
+  std::ostringstream out;
+  EXPECT_EQ(RunExperiment(flags, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExperimentCmdTest, MetricsOutWritesPipelineDocument) {
+  FlagParser flags;
+  RegisterExperimentFlags(&flags);
+  ASSERT_TRUE(ParseInto(&flags, {"--num_sources=10", "--methods=midas",
+                                 "--metrics_out=" + metrics_,
+                                 "--metrics_summary"})
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunExperiment(flags, out).ok());
+
+  const std::string doc = ReadAll(metrics_);
+  ASSERT_FALSE(doc.empty());
+  // Always-present schema scaffolding (valid even in a noop build).
+  EXPECT_NE(doc.find("\"benchmarks\""), std::string::npos);
+  EXPECT_NE(doc.find("\"spans\""), std::string::npos);
+#ifndef MIDAS_OBS_NOOP
+  // The acceptance contract: per-source spans, per-level hierarchy
+  // counters, and thread-pool histograms all present in one document.
+  EXPECT_NE(doc.find("framework.source"), std::string::npos);
+  EXPECT_NE(doc.find("hierarchy.level."), std::string::npos);
+  EXPECT_NE(doc.find("threadpool.task_run_us"), std::string::npos);
+  // --metrics_summary printed the human-readable table after the scores.
+  EXPECT_NE(out.str().find("hierarchy.nodes_generated"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace midas

@@ -1,0 +1,112 @@
+// Pins the MIDAS_OBS_NOOP contract. This translation unit is compiled with
+// -DMIDAS_OBS_NOOP (set on the test target only — see tests/CMakeLists.txt)
+// regardless of how the library was built, so every MIDAS_OBS_* macro here
+// must expand to nothing: no allocations, no registry entries, no symbols
+// referenced. Allocations are counted by instrumenting this binary's global
+// operator new, exactly like profit_alloc_test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "midas/obs/obs.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<size_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace midas {
+namespace obs {
+namespace {
+
+#ifndef MIDAS_OBS_NOOP
+#error "obs_noop_test must be compiled with -DMIDAS_OBS_NOOP"
+#endif
+
+class AllocationGuard {
+ public:
+  AllocationGuard() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationGuard() { g_counting.store(false, std::memory_order_relaxed); }
+
+  size_t count() const {
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+TEST(ObsNoopTest, RegistrationMacrosYieldNull) {
+  Counter* c = MIDAS_OBS_COUNTER("noop.counter");
+  Gauge* g = MIDAS_OBS_GAUGE("noop.gauge");
+  Histogram* h = MIDAS_OBS_HISTOGRAM("noop.hist");
+  EXPECT_EQ(c, nullptr);
+  EXPECT_EQ(g, nullptr);
+  EXPECT_EQ(h, nullptr);
+  // Nothing was interned into the (still functional) registry.
+  EXPECT_EQ(Registry::Global().FindCounter("noop.counter"), nullptr);
+  EXPECT_EQ(Registry::Global().FindGauge("noop.gauge"), nullptr);
+  EXPECT_EQ(Registry::Global().FindHistogram("noop.hist"), nullptr);
+}
+
+TEST(ObsNoopTest, InstrumentationIsAllocationFree) {
+  // The mutation macros below discard their arguments at preprocessing,
+  // so these handles are "unused" in this (always-noop) translation unit.
+  [[maybe_unused]] Counter* c = MIDAS_OBS_COUNTER("noop.alloc.counter");
+  [[maybe_unused]] Gauge* g = MIDAS_OBS_GAUGE("noop.alloc.gauge");
+  [[maybe_unused]] Histogram* h = MIDAS_OBS_HISTOGRAM("noop.alloc.hist");
+
+  size_t allocations;
+  uint64_t now_sum = 0;
+  {
+    AllocationGuard guard;
+    for (int i = 0; i < 10000; ++i) {
+      MIDAS_OBS_ADD(c, 1);
+      MIDAS_OBS_GAUGE_SET(g, i);
+      MIDAS_OBS_GAUGE_ADD(g, 1);
+      MIDAS_OBS_GAUGE_MAX(g, i);
+      MIDAS_OBS_RECORD(h, static_cast<uint64_t>(i));
+      MIDAS_OBS_SPAN(span, "noop.span", "detail string that would allocate");
+      now_sum += MIDAS_OBS_NOW_NS();
+    }
+    allocations = guard.count();
+  }
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_EQ(now_sum, 0u);  // the noop clock is a constant 0
+}
+
+TEST(ObsNoopTest, SpanMacroRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Reset();
+  const int64_t open_before = tracer.open_spans();
+  {
+    MIDAS_OBS_SPAN(span, "noop.span.recorded");
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.open_spans(), open_before);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace midas

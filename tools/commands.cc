@@ -7,14 +7,17 @@
 #include "midas/baselines/greedy.h"
 #include "midas/baselines/naive.h"
 #include "midas/core/midas.h"
+#include "midas/eval/experiment.h"
 #include "midas/eval/metrics.h"
 #include "midas/eval/summary.h"
+#include "midas/obs/export.h"
 #include "midas/extract/cleaning.h"
 #include "midas/extract/dump_io.h"
 #include "midas/rdf/ntriples.h"
 #include "midas/synth/corpus_generator.h"
 #include "midas/synth/dataset_stats.h"
 #include "midas/util/json.h"
+#include "midas/util/logging.h"
 #include "midas/util/string_util.h"
 #include "midas/util/table_printer.h"
 
@@ -42,6 +45,21 @@ Status LoadKbFacts(const std::string& path, rdf::KnowledgeBase* kb,
   std::vector<rdf::Triple> facts;
   MIDAS_RETURN_IF_ERROR(rdf::LoadTsvFacts(path, dict, &facts));
   kb->AddAll(facts);
+  return Status::OK();
+}
+
+/// Registers the shared observability flags (discover + experiment).
+void RegisterMetricsFlags(FlagParser* flags) {
+  flags->AddString("metrics_out", "",
+                   "write the metrics/tracing JSON document here (optional)");
+  flags->AddBool("metrics_summary", false,
+                 "print a metrics summary after the run");
+}
+
+/// Honors --metrics_out / --metrics_summary after a command's work is done.
+Status EmitMetrics(const FlagParser& flags, std::ostream& out) {
+  MIDAS_RETURN_IF_ERROR(obs::WriteMetricsJson(flags.GetString("metrics_out")));
+  if (flags.GetBool("metrics_summary")) out << obs::MetricsSummary();
   return Status::OK();
 }
 
@@ -136,6 +154,7 @@ void RegisterDiscoverFlags(FlagParser* flags) {
                  "run the extraction-hygiene pass before discovery");
   flags->AddString("functional", "",
                    "comma-separated functional predicates for --clean");
+  RegisterMetricsFlags(flags);
 }
 
 Status RunDiscover(const FlagParser& flags, std::ostream& out) {
@@ -253,7 +272,7 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
       MIDAS_RETURN_IF_ERROR(core::SaveSlices(flags.GetString("out"),
                                              *dump.dict, result.slices));
     }
-    return Status::OK();
+    return EmitMetrics(flags, out);
   }
 
   out << "discovered " << result.slices.size() << " slices in "
@@ -279,7 +298,115 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
         core::SaveSlices(flags.GetString("out"), *dump.dict, result.slices));
     out << "saved full slice list to " << flags.GetString("out") << "\n";
   }
-  return Status::OK();
+  return EmitMetrics(flags, out);
+}
+
+void RegisterExperimentFlags(FlagParser* flags) {
+  flags->AddString("dataset", "slim-nell", "slim-nell|slim-reverb");
+  flags->AddInt64("num_sources", 40, "source count");
+  flags->AddInt64("seed", 11, "generator seed");
+  flags->AddString("methods", "midas",
+                   "comma-separated midas|greedy|aggcluster|naive");
+  flags->AddInt64("threads", 0, "framework threads (0 = hardware)");
+  flags->AddDouble("jaccard", 0.95, "silver-match equivalence threshold");
+  flags->AddDouble("f_p", 10.0, "per-slice training cost");
+  flags->AddDouble("f_c", 0.001, "per-fact crawling cost");
+  flags->AddDouble("f_d", 0.01, "per-fact de-duplication cost");
+  flags->AddDouble("f_v", 0.1, "per-new-fact validation cost");
+  flags->AddBool("json", false, "emit a JSON report instead of tables");
+  RegisterMetricsFlags(flags);
+}
+
+Status RunExperiment(const FlagParser& flags, std::ostream& out) {
+  const std::string dataset = flags.GetString("dataset");
+  bool open_ie;
+  if (dataset == "slim-nell") {
+    open_ie = false;
+  } else if (dataset == "slim-reverb") {
+    open_ie = true;
+  } else {
+    return Status::InvalidArgument("unknown --dataset: " + dataset);
+  }
+
+  const auto num_sources = static_cast<size_t>(flags.GetInt64("num_sources"));
+  const auto seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  auto data =
+      synth::GenerateCorpus(synth::SlimParams(open_ie, num_sources, seed));
+
+  core::CostModel cost{flags.GetDouble("f_p"), flags.GetDouble("f_c"),
+                       flags.GetDouble("f_d"), flags.GetDouble("f_v")};
+  eval::MethodSuite suite(cost);
+
+  // CLI tokens -> suite names.
+  std::vector<std::string> method_names;
+  for (std::string_view token :
+       SplitSkipEmpty(flags.GetString("methods"), ',')) {
+    if (token == "midas") {
+      method_names.emplace_back("MIDAS");
+    } else if (token == "greedy") {
+      method_names.emplace_back("Greedy");
+    } else if (token == "aggcluster") {
+      method_names.emplace_back("AggCluster");
+    } else if (token == "naive") {
+      method_names.emplace_back("Naive");
+    } else {
+      return Status::InvalidArgument("unknown method: " + std::string(token));
+    }
+  }
+  if (method_names.empty()) {
+    return Status::InvalidArgument("--methods must name at least one method");
+  }
+
+  const bool json = flags.GetBool("json");
+  const auto threads = static_cast<size_t>(flags.GetInt64("threads"));
+  const double jaccard = flags.GetDouble("jaccard");
+
+  if (!json) {
+    out << "experiment: " << dataset << ", " << data.corpus->NumFacts()
+        << " facts over " << data.corpus->NumSources() << " sources, "
+        << data.kb->size() << " KB facts, " << data.silver.slices.size()
+        << " silver slices\n";
+  }
+
+  JsonValue report = JsonValue::Object();
+  report.Set("dataset", JsonValue::Str(dataset));
+  report.Set("num_sources",
+             JsonValue::Int(static_cast<int64_t>(data.corpus->NumSources())));
+  report.Set("silver_slices",
+             JsonValue::Int(static_cast<int64_t>(data.silver.slices.size())));
+  JsonValue rows = JsonValue::Array();
+
+  TablePrinter table({"method", "slices", "precision", "recall", "f-measure",
+                      "seconds"});
+  for (const std::string& name : method_names) {
+    const eval::MethodSpec* spec = suite.Find(name);
+    MIDAS_CHECK(spec != nullptr);
+    core::FrameworkStats stats;
+    auto slices = eval::RunMethod(*spec, *data.corpus, *data.kb, &stats,
+                                  threads);
+    auto scores = eval::ScoreAgainstSilver(slices, data.silver, jaccard);
+    table.AddRow({name, std::to_string(slices.size()),
+                  FormatDouble(scores.precision, 3),
+                  FormatDouble(scores.recall, 3),
+                  FormatDouble(scores.f_measure, 3),
+                  FormatDouble(stats.seconds, 3)});
+    JsonValue row = JsonValue::Object();
+    row.Set("method", JsonValue::Str(name));
+    row.Set("slices", JsonValue::Int(static_cast<int64_t>(slices.size())));
+    row.Set("precision", JsonValue::Number(scores.precision));
+    row.Set("recall", JsonValue::Number(scores.recall));
+    row.Set("f_measure", JsonValue::Number(scores.f_measure));
+    row.Set("seconds", JsonValue::Number(stats.seconds));
+    rows.Append(std::move(row));
+  }
+  report.Set("methods", std::move(rows));
+
+  if (json) {
+    out << report.Dump(2) << "\n";
+  } else {
+    table.Print(out);
+  }
+  return EmitMetrics(flags, out);
 }
 
 void RegisterStatsFlags(FlagParser* flags) {

@@ -33,7 +33,24 @@ Status RunGenerate(const FlagParser& flags, std::ostream& out);
 ///   --out PATH       save the full slice list (optional)
 ///   --ranges         enable the numeric-range property extension
 ///   --f_p/--f_c/--f_d/--f_v   cost-model coefficients
+///   --metrics_out PATH   write the metrics/tracing JSON document here
+///   --metrics_summary    print the human-readable metrics summary
 Status RunDiscover(const FlagParser& flags, std::ostream& out);
+
+/// `midas experiment` (also the standalone `experiment` binary) — generate
+/// a slim synthetic corpus in memory, run the requested methods over it,
+/// score each against the generator's silver standard, and optionally dump
+/// the observability registry:
+///   --dataset slim-nell|slim-reverb
+///   --num_sources N  source count (default 40)
+///   --seed N
+///   --methods LIST   comma-separated midas|greedy|aggcluster|naive
+///   --threads N      framework threads (0 = hardware)
+///   --f_p/--f_c/--f_d/--f_v   cost-model coefficients
+///   --json           emit a JSON report instead of tables
+///   --metrics_out PATH   write the metrics/tracing JSON document here
+///   --metrics_summary    print the human-readable metrics summary
+Status RunExperiment(const FlagParser& flags, std::ostream& out);
 
 /// `midas stats` — dataset statistics of a dump (Fig. 7 columns):
 ///   --dump PATH      extraction dump TSV (required)
@@ -49,6 +66,7 @@ Status RunEvaluate(const FlagParser& flags, std::ostream& out);
 /// Registers the flags of each subcommand on a parser.
 void RegisterGenerateFlags(FlagParser* flags);
 void RegisterDiscoverFlags(FlagParser* flags);
+void RegisterExperimentFlags(FlagParser* flags);
 void RegisterStatsFlags(FlagParser* flags);
 void RegisterEvaluateFlags(FlagParser* flags);
 

@@ -1,0 +1,30 @@
+// Standalone `experiment` tool: generates a slim synthetic corpus, runs the
+// requested methods over it, scores them against the generator's silver
+// standard, and (with --metrics_out) dumps the observability registry —
+// counters, gauges, histograms with p50/p95/p99, and tracing spans — as one
+// JSON document. Equivalent to `midas experiment`; kept as its own binary so
+// CI and profiling harnesses can invoke it directly.
+//
+//   experiment --methods midas,greedy --metrics_out metrics.json
+//   experiment --dataset slim-reverb --num_sources 80 --metrics_summary
+
+#include <iostream>
+
+#include "tools/commands.h"
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  FlagParser flags;
+  tools::RegisterExperimentFlags(&flags);
+  Status parse = flags.Parse(argc, argv);
+  if (!parse.ok()) {
+    std::cerr << parse.ToString() << "\n" << flags.Usage("experiment");
+    return 2;
+  }
+  Status status = tools::RunExperiment(flags, std::cout);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,9 +1,10 @@
 // The `midas` command-line tool: slice discovery over extraction dumps.
 //
-//   midas generate --dataset slim-nell --dump dump.tsv --silver silver.tsv
-//   midas discover --dump dump.tsv --kb kb.tsv --out slices.tsv
-//   midas stats    --dump dump.tsv
-//   midas evaluate --slices slices.tsv --silver silver.tsv
+//   midas generate   --dataset slim-nell --dump dump.tsv --silver silver.tsv
+//   midas discover   --dump dump.tsv --kb kb.tsv --out slices.tsv
+//   midas experiment --methods midas,greedy --metrics_out metrics.json
+//   midas stats      --dump dump.tsv
+//   midas evaluate   --slices slices.tsv --silver silver.tsv
 //
 // Run any subcommand with a bad flag to see its usage.
 
@@ -21,6 +22,7 @@ void PrintTopLevelUsage() {
          "commands:\n"
          "  generate   produce a synthetic dataset (dump / KB / silver)\n"
          "  discover   run slice discovery over an extraction dump\n"
+         "  experiment run methods over a synthetic corpus, score vs silver\n"
          "  stats      dataset statistics of a dump\n"
          "  evaluate   score a slice file against a silver standard\n";
 }
@@ -43,6 +45,9 @@ int main(int argc, char** argv) {
   } else if (command == "discover") {
     tools::RegisterDiscoverFlags(&flags);
     run = tools::RunDiscover;
+  } else if (command == "experiment") {
+    tools::RegisterExperimentFlags(&flags);
+    run = tools::RunExperiment;
   } else if (command == "stats") {
     tools::RegisterStatsFlags(&flags);
     run = tools::RunStats;

@@ -1,15 +1,17 @@
 #include "midas/core/framework.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
-#include <map>
-#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "midas/core/consolidate.h"
+#include "midas/fault/fault.h"
 #include "midas/obs/obs.h"
+#include "midas/util/hash.h"
 #include "midas/util/logging.h"
 #include "midas/util/thread_pool.h"
 #include "midas/util/timer.h"
@@ -17,6 +19,22 @@
 
 namespace midas {
 namespace core {
+
+const char* SourceStatusName(SourceStatus status) {
+  switch (status) {
+    case SourceStatus::kOk:
+      return "ok";
+    case SourceStatus::kNoSlices:
+      return "no_slices";
+    case SourceStatus::kPartial:
+      return "partial";
+    case SourceStatus::kFailed:
+      return "failed";
+    case SourceStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -55,6 +73,15 @@ void NormalizeShardFacts(Shard* shard) {
   shard->run_begins.clear();
 }
 
+/// Outcome of one shard's detect-with-retry. The default (kCancelled,
+/// 0 attempts) is exactly the report for a shard the run never picked up.
+struct ShardOutcome {
+  std::vector<DiscoveredSlice> slices;
+  SourceStatus status = SourceStatus::kCancelled;
+  size_t attempts = 0;
+  std::string error;
+};
+
 }  // namespace
 
 MidasFramework::MidasFramework(const SliceDetector* detector,
@@ -78,47 +105,161 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
       MIDAS_OBS_HISTOGRAM("framework.merge_us");
   [[maybe_unused]] obs::Counter* detector_errors =
       MIDAS_OBS_COUNTER("framework.detector_errors");
+  [[maybe_unused]] obs::Counter* shard_retries_c =
+      MIDAS_OBS_COUNTER("framework.shard_retries");
+  [[maybe_unused]] obs::Counter* shards_failed_c =
+      MIDAS_OBS_COUNTER("framework.shards_failed");
+  [[maybe_unused]] obs::Counter* deadline_exp_c =
+      MIDAS_OBS_COUNTER("framework.deadline_expirations");
 
   Stopwatch watch;
   FrameworkResult result;
   ThreadPool pool(options_.num_threads);
-  std::mutex mu;
 
-  // Detect with a per-shard error boundary: a throwing detector drops that
-  // shard's slices (counted + logged) instead of tearing down the whole
-  // run — an uncaught exception in a pool task would std::terminate.
-  const auto detect = [&](const SourceInput& input) {
-    std::vector<DiscoveredSlice> out;
-    try {
-      out = detector_->Detect(input, kb);
-    } catch (const std::exception& e) {
-      MIDAS_OBS_ADD(detector_errors, 1);
-      MIDAS_LOG(Warning) << "detector failed on " << input.url << ": "
-                         << e.what() << "; dropping this shard's slices";
+  const auto run_cancelled = [this] {
+    return options_.cancel != nullptr && options_.cancel->Expired();
+  };
+
+  // Detect with a per-shard error boundary and bounded retry: a throwing
+  // detector is re-attempted up to max_retries times with exponential
+  // backoff; only when every attempt throws is the shard reported failed
+  // and its slices dropped — an uncaught exception in a pool task would
+  // std::terminate.
+  const auto detect = [&](SourceInput& input) {
+    ShardOutcome out;
+    const size_t max_attempts = options_.max_retries + 1;
+    for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (run_cancelled()) {
+        // Run budget beats retrying: report cancelled (attempts records how
+        // far we got) rather than burn more detector time.
+        return out;
+      }
+      if (attempt > 1) {
+        MIDAS_OBS_ADD(shard_retries_c, 1);
+        // The span measures the backoff wait for this retry.
+        MIDAS_OBS_SPAN(retry_span, "shard_retry", input.url);
+        // Exponential backoff with deterministic jitter: replays with the
+        // same run_seed sleep identically.
+        const uint64_t base = options_.retry_backoff_ms << (attempt - 2);
+        const uint64_t jitter =
+            base == 0 ? 0
+                      : HashMix(options_.run_seed ^ Fnv1a64(input.url) ^
+                                attempt) %
+                            (base + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(base + jitter));
+      }
+      out.attempts = attempt;
+      // Per-attempt budget, tightened by the whole-run deadline. A sticky
+      // run-level Cancel() with no deadline is still only observed at the
+      // boundaries above (the token cannot chain another token).
+      fault::CancelToken budget;
+      const fault::CancelToken* cancel = options_.cancel;
+      if (options_.source_deadline_ms > 0) {
+        budget.SetBudgetMs(options_.source_deadline_ms);
+        const uint64_t run_deadline =
+            options_.cancel != nullptr ? options_.cancel->deadline_ns() : 0;
+        if (run_deadline != 0 && run_deadline < budget.deadline_ns()) {
+          budget.SetDeadlineNs(run_deadline);
+        }
+        cancel = &budget;
+      }
+      input.cancel = cancel;
+      try {
+        MIDAS_FAULT_MAYBE_SLEEP(fault::kSiteSlowShard, input.url);
+        // Keyed by attempt too, so a rate < 1 site can clear on retry while
+        // rate = 1 models a permanently broken source.
+        MIDAS_FAULT_MAYBE_THROW(fault::kSiteDetector,
+                                input.url + "#" + std::to_string(attempt));
+        out.slices = detector_->Detect(input, kb);
+        input.cancel = nullptr;
+        // A recovered shard is indistinguishable from a clean one: the
+        // report's error field is non-empty iff the shard ultimately failed
+        // (attempts still records the retries).
+        out.error.clear();
+        if (cancel != nullptr && cancel->Expired()) {
+          // Best-so-far prefix; no retry — a fresh attempt would run out of
+          // the same budget before getting further.
+          MIDAS_OBS_ADD(deadline_exp_c, 1);
+          out.status = SourceStatus::kPartial;
+        } else {
+          out.status = out.slices.empty() ? SourceStatus::kNoSlices
+                                          : SourceStatus::kOk;
+        }
+        return out;
+      } catch (const std::exception& e) {
+        input.cancel = nullptr;
+        MIDAS_OBS_ADD(detector_errors, 1);
+        out.error = e.what();
+        MIDAS_LOG(Warning) << "detector failed on " << input.url
+                           << " (attempt " << attempt << "/" << max_attempts
+                           << "): " << e.what();
+      }
     }
+    MIDAS_OBS_ADD(shards_failed_c, 1);
+    out.status = SourceStatus::kFailed;
     return out;
+  };
+
+  // Folds one shard's outcome into the result's reports and stats
+  // (single-threaded: called only after each round's ParallelFor returns).
+  const auto record = [&](const std::string& url, const ShardOutcome& out) {
+    SourceReport report;
+    report.url = url;
+    report.status = out.status;
+    report.attempts = out.attempts;
+    report.error = out.error;
+    result.sources.push_back(std::move(report));
+    result.stats.detector_calls += out.attempts;
+    if (out.attempts > 1) result.stats.shard_retries += out.attempts - 1;
+    if (out.status == SourceStatus::kFailed) result.stats.shards_failed++;
+    if (out.status == SourceStatus::kPartial) {
+      result.stats.deadline_expirations++;
+    }
+    if (out.status == SourceStatus::kPartial ||
+        out.status == SourceStatus::kCancelled) {
+      result.partial = true;
+    }
+  };
+
+  const auto finish = [&] {
+    // Deterministic report order regardless of shard scheduling. Stable so
+    // duplicate URLs (possible in ablation mode) keep corpus order.
+    std::stable_sort(result.sources.begin(), result.sources.end(),
+                     [](const SourceReport& a, const SourceReport& b) {
+                       return a.url < b.url;
+                     });
+    SortByProfitDesc(&result.slices);
+    result.stats.seconds = watch.ElapsedSeconds();
   };
 
   if (!options_.use_hierarchy_rounds) {
     // Ablation mode: independent detection per explicit source, no rounds.
     const auto& sources = corpus.sources();
-    pool.ParallelFor(sources.size(), [&](size_t i) {
-      MIDAS_OBS_SPAN(source_span, "framework.source", sources[i].url);
-      const uint64_t start_ns = MIDAS_OBS_NOW_NS();
-      (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
-      SourceInput input;
-      input.url = sources[i].url;
-      input.facts = &sources[i].facts;
-      auto slices = detect(input);
-      MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
-      std::lock_guard<std::mutex> lock(mu);
-      result.stats.detector_calls++;
-      for (auto& s : slices) result.slices.push_back(std::move(s));
-    });
-    result.stats.shards_processed = sources.size();
+    std::vector<ShardOutcome> outcomes(sources.size());
+    std::vector<char> ran(sources.size(), 0);
+    pool.ParallelFor(
+        sources.size(),
+        [&](size_t i) {
+          MIDAS_OBS_SPAN(source_span, "framework.source", sources[i].url);
+          const uint64_t start_ns = MIDAS_OBS_NOW_NS();
+          (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
+          SourceInput input;
+          input.url = sources[i].url;
+          input.facts = &sources[i].facts;
+          outcomes[i] = detect(input);
+          ran[i] = 1;
+          MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
+        },
+        run_cancelled);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (ran[i]) result.stats.shards_processed++;
+      for (auto& s : outcomes[i].slices) {
+        result.slices.push_back(std::move(s));
+      }
+      record(sources[i].url, outcomes[i]);
+    }
     result.stats.rounds = 1;
-    SortByProfitDesc(&result.slices);
-    result.stats.seconds = watch.ElapsedSeconds();
+    finish();
     return result;
   }
 
@@ -157,37 +298,59 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
                    "depth=" + std::to_string(depth));
 
     std::vector<std::vector<DiscoveredSlice>> surviving(round.size());
-    pool.ParallelFor(round.size(), [&](size_t i) {
-      Shard& shard = round[i];
-      MIDAS_OBS_SPAN(source_span, "framework.source", shard.url);
-      const uint64_t start_ns = MIDAS_OBS_NOW_NS();
-      (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
-      // The same triple can be extracted from several child pages; the
-      // fact table requires a duplicate-free T_W.
-      NormalizeShardFacts(&shard);
-      MIDAS_OBS_RECORD(normalize_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
-      SourceInput input;
-      input.url = shard.url;
-      input.facts = &shard.facts;
-      for (const auto& cs : shard.child_slices) {
-        input.seeds.push_back(cs.properties);
-      }
-      auto detected = detect(input);
-      surviving[i] = ConsolidateSlices(std::move(detected),
-                                       std::move(shard.child_slices));
-      MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
-      std::lock_guard<std::mutex> lock(mu);
-      result.stats.detector_calls++;
-    });
-    result.stats.shards_processed += round.size();
+    std::vector<ShardOutcome> outcomes(round.size());
+    std::vector<char> ran(round.size(), 0);
+    pool.ParallelFor(
+        round.size(),
+        [&](size_t i) {
+          Shard& shard = round[i];
+          MIDAS_OBS_SPAN(source_span, "framework.source", shard.url);
+          const uint64_t start_ns = MIDAS_OBS_NOW_NS();
+          (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
+          // The same triple can be extracted from several child pages; the
+          // fact table requires a duplicate-free T_W.
+          NormalizeShardFacts(&shard);
+          MIDAS_OBS_RECORD(normalize_us,
+                           (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
+          SourceInput input;
+          input.url = shard.url;
+          input.facts = &shard.facts;
+          for (const auto& cs : shard.child_slices) {
+            input.seeds.push_back(cs.properties);
+          }
+          outcomes[i] = detect(input);
+          // A failed/cancelled shard contributes no new slices, but its
+          // children's tentative slices still win consolidation unopposed.
+          surviving[i] = ConsolidateSlices(std::move(outcomes[i].slices),
+                                           std::move(shard.child_slices));
+          ran[i] = 1;
+          MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
+        },
+        run_cancelled);
+
+    const bool cancelled_now = run_cancelled();
+    if (!cancelled_now) {
+      result.stats.shards_processed += round.size();
+    }
 
     const uint64_t merge_start_ns = MIDAS_OBS_NOW_NS();
     (void)merge_start_ns;  // unused in a MIDAS_OBS_NOOP build
-    // Export upward (or finalize at the domain level).
+    // Export upward (or finalize at the domain level). On a cancelled run
+    // nothing bubbles further: every surviving slice — including tentative
+    // child slices of shards never picked up — goes straight to the final
+    // set, so the caller still sees the best-so-far state.
     for (size_t i = 0; i < round.size(); ++i) {
       Shard& shard = round[i];
+      record(shard.url, outcomes[i]);
+      if (!ran[i]) {
+        for (auto& s : shard.child_slices) {
+          final_slices.push_back(std::move(s));
+        }
+        continue;
+      }
+      if (cancelled_now) result.stats.shards_processed++;
       result.stats.slices_considered += surviving[i].size();
-      if (depth == 0) {
+      if (depth == 0 || cancelled_now) {
         for (auto& s : surviving[i]) final_slices.push_back(std::move(s));
         continue;
       }
@@ -210,11 +373,23 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
       }
     }
     MIDAS_OBS_RECORD(merge_us, (MIDAS_OBS_NOW_NS() - merge_start_ns) / 1000);
+
+    if (cancelled_now) {
+      // Drain the untouched shallower frontier: report each planned shard
+      // cancelled and surface its children's tentative slices.
+      for (auto& entry : frontier) {
+        record(entry.first, ShardOutcome{});
+        for (auto& s : entry.second.child_slices) {
+          final_slices.push_back(std::move(s));
+        }
+      }
+      frontier.clear();
+      break;
+    }
   }
 
   result.slices = std::move(final_slices);
-  SortByProfitDesc(&result.slices);
-  result.stats.seconds = watch.ElapsedSeconds();
+  finish();
   return result;
 }
 

@@ -2,11 +2,13 @@
 #define MIDAS_CORE_FRAMEWORK_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "midas/core/slice_detector.h"
 #include "midas/core/types.h"
+#include "midas/fault/cancel.h"
 #include "midas/rdf/knowledge_base.h"
 #include "midas/web/web_source.h"
 
@@ -22,6 +24,30 @@ struct FrameworkOptions {
   /// explicit source independently — the paper's "naïve approach" of
   /// applying MIDASalg on every web source, kept for the ablation bench.
   bool use_hierarchy_rounds = true;
+
+  /// Per-source detection budget in milliseconds; 0 = unbounded. A shard
+  /// whose budget expires returns its best-so-far slices, is reported
+  /// kPartial, and is not retried (a retry would deterministically run out
+  /// of the same budget).
+  uint64_t source_deadline_ms = 0;
+
+  /// Retries after a shard's detector throws (total attempts = 1 + retries).
+  size_t max_retries = 2;
+
+  /// Base backoff before retry r (1-based): backoff_ms << (r-1), plus a
+  /// deterministic jitter in [0, base] derived from (run_seed, url, r).
+  uint64_t retry_backoff_ms = 5;
+
+  /// Seed for retry jitter (and anything else that wants run-scoped
+  /// determinism). Two runs with the same seed back off identically.
+  uint64_t run_seed = 0;
+
+  /// Optional whole-run cancel/deadline. Polled at shard boundaries: once
+  /// expired, queued shards are skipped (reported kCancelled) and the run
+  /// returns the slices consolidated so far with result.partial set. Also
+  /// tightens each shard's own token, so in-flight detection stops at the
+  /// next hierarchy level boundary. Null = unbounded. Must outlive Run.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Counters reported by a framework run.
@@ -30,7 +56,43 @@ struct FrameworkStats {
   size_t shards_processed = 0;
   size_t detector_calls = 0;
   size_t slices_considered = 0;  // tentative slices across rounds
+  size_t shard_retries = 0;      // detector re-attempts after a throw
+  size_t shards_failed = 0;      // shards whose every attempt threw
+  size_t deadline_expirations = 0;  // shards that ran out of budget
   double seconds = 0.0;
+};
+
+/// Terminal status of one source (= one shard) in a framework run.
+enum class SourceStatus {
+  /// Detection completed and produced at least one slice.
+  kOk,
+  /// Detection completed but selected no slices (a real outcome: nothing
+  /// in the source beat the cost side of the profit model). Distinct from
+  /// kFailed — the source was *looked at*, it just has nothing to offer.
+  kNoSlices,
+  /// The per-source budget expired; the reported slices are the detector's
+  /// best-so-far prefix (coarse hierarchy levels first).
+  kPartial,
+  /// Every detection attempt threw; the source contributed no new slices
+  /// (child-round slices still survive consolidation). `error` holds the
+  /// last attempt's message.
+  kFailed,
+  /// The whole-run cancel expired before this shard was picked up.
+  kCancelled,
+};
+
+/// Human-readable status name ("ok", "no_slices", ...), stable for logs,
+/// CLI output, and golden files.
+const char* SourceStatusName(SourceStatus status);
+
+/// Per-source outcome of a framework run.
+struct SourceReport {
+  std::string url;
+  SourceStatus status = SourceStatus::kOk;
+  /// Detection attempts made (0 for kCancelled shards never picked up).
+  size_t attempts = 0;
+  /// Last error message; empty unless status == kFailed.
+  std::string error;
 };
 
 /// Result of a framework run: the consolidated slice set across every web
@@ -39,6 +101,12 @@ struct FrameworkStats {
 struct FrameworkResult {
   std::vector<DiscoveredSlice> slices;
   FrameworkStats stats;
+  /// One report per shard the run planned (every URL that formed a shard,
+  /// including synthesized parent URLs), sorted by URL.
+  std::vector<SourceReport> sources;
+  /// True iff any shard was cut short (kPartial or kCancelled): `slices` is
+  /// a valid best-so-far set, not the full fixed point.
+  bool partial = false;
 };
 
 /// The MIDAS highly-parallelizable framework (paper §III-B, Fig. 6).

@@ -15,6 +15,7 @@ std::vector<DiscoveredSlice> MidasAlg::Detect(
   MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.seeds_in"), input.seeds.size());
   const std::vector<rdf::Triple>& facts = *input.facts;
   if (facts.empty()) return {};
+  if (input.cancel != nullptr && input.cancel->Expired()) return {};
 
   FactTable table(facts, options_.fact_table);
   ProfitContext profit(table, kb, options_.cost_model);
@@ -72,8 +73,10 @@ std::vector<DiscoveredSlice> MidasAlg::Detect(
   MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.seeds_unresolved"), seeds_unresolved);
   MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("alg.initial_sets"), initial_sets.size());
 
-  SliceHierarchy hierarchy(table, profit, initial_sets, options_.hierarchy);
-  std::vector<uint32_t> selected = Traverse(&hierarchy);
+  HierarchyOptions hopts = options_.hierarchy;
+  hopts.cancel = input.cancel;
+  SliceHierarchy hierarchy(table, profit, initial_sets, hopts);
+  std::vector<uint32_t> selected = Traverse(&hierarchy, input.cancel);
 
   std::vector<DiscoveredSlice> out;
   out.reserve(selected.size());
@@ -83,7 +86,8 @@ std::vector<DiscoveredSlice> MidasAlg::Detect(
   return out;
 }
 
-std::vector<uint32_t> MidasAlg::Traverse(SliceHierarchy* hierarchy) {
+std::vector<uint32_t> MidasAlg::Traverse(SliceHierarchy* hierarchy,
+                                         const fault::CancelToken* cancel) {
   std::vector<uint32_t> selected;
   ProfitContext::SetAccumulator acc(hierarchy->profit_context());
   // On dense tables the marginal-profit test runs word-wise over the node's
@@ -96,6 +100,9 @@ std::vector<uint32_t> MidasAlg::Traverse(SliceHierarchy* hierarchy) {
   uint64_t covered_skips = 0;
 
   for (size_t level = 1; level <= hierarchy->max_level(); ++level) {
+    // Coarse levels carry the most profit, so stopping here keeps the most
+    // valuable prefix of the greedy selection.
+    if (cancel != nullptr && cancel->Expired()) break;
     for (uint32_t idx : hierarchy->nodes_at_level(level)) {
       SliceNode& node = hierarchy->mutable_node(idx);
       if (node.removed) continue;

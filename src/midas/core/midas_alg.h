@@ -44,7 +44,12 @@ class MidasAlg : public SliceDetector {
   /// to fine), greedily adding valid uncovered slices whose addition
   /// improves the set profit, and covering their subtrees. Mutates covered
   /// flags. Returns the selected node indices in selection order.
-  static std::vector<uint32_t> Traverse(SliceHierarchy* hierarchy);
+  ///
+  /// `cancel` (optional) is polled at level boundaries: an expired budget
+  /// stops the walk and returns the slices selected so far (coarse levels
+  /// first, so the best-so-far set is the most valuable prefix).
+  static std::vector<uint32_t> Traverse(
+      SliceHierarchy* hierarchy, const fault::CancelToken* cancel = nullptr);
 
   /// Converts a hierarchy node into a reportable slice.
   static DiscoveredSlice MakeSlice(const SliceHierarchy& hierarchy,

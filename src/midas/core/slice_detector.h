@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "midas/core/types.h"
+#include "midas/fault/cancel.h"
 #include "midas/rdf/knowledge_base.h"
 #include "midas/rdf/triple.h"
 
@@ -26,6 +27,12 @@ struct SourceInput {
   /// catalog-independent form). Empty on the first framework round and in
   /// standalone use.
   std::vector<std::vector<PropertyPair>> seeds;
+
+  /// Optional cooperative deadline/cancel budget for this call. Detectors
+  /// that honor it (MidasAlg does, at hierarchy level boundaries) return
+  /// their best-so-far slices once it expires; the framework then flags the
+  /// source partial. Null = unbounded. Must outlive the call.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Interface of a single-source slice detection algorithm. The MIDAS

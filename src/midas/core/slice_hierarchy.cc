@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "midas/fault/fault.h"
 #include "midas/obs/obs.h"
 #include "midas/util/hash.h"
 #include "midas/util/logging.h"
@@ -210,6 +211,14 @@ void SliceHierarchy::Build(
 
   const size_t top_level = stats_.max_level;
   for (size_t level = top_level; level >= 1; --level) {
+    // Deadline check at the level boundary: every node minted so far is
+    // fully evaluated, so stopping here leaves a traversable (if unpruned)
+    // lattice — the best-so-far contract of docs/ROBUSTNESS.md.
+    if (options_.cancel != nullptr && options_.cancel->Expired()) {
+      stats_.partial = true;
+      MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.deadline_stops"), 1);
+      break;
+    }
     const uint64_t level_start_ns = MIDAS_OBS_NOW_NS();
     const uint64_t level_dedup_before = dedup_hits_;
     (void)level_start_ns;  // unused in a MIDAS_OBS_NOOP build
@@ -376,6 +385,11 @@ uint32_t SliceHierarchy::GetOrCreateNode(
     }
     return kInvalidIndex;
   }
+
+  // Fault site: a failed node allocation mid-construction, keyed by the
+  // prospective node index so the decision is stable per build shape.
+  MIDAS_FAULT_MAYBE_BAD_ALLOC(fault::kSiteAlloc,
+                              std::to_string(nodes_.size()));
 
   // Shell only: entity match and profit are deferred to EvaluatePending,
   // where the whole batch runs word-wise (and in parallel when large).

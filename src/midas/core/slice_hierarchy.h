@@ -10,6 +10,7 @@
 #include "midas/core/profit.h"
 #include "midas/core/small_vec.h"
 #include "midas/core/types.h"
+#include "midas/fault/cancel.h"
 #include "midas/util/thread_pool.h"
 
 namespace midas {
@@ -42,6 +43,13 @@ struct HierarchyOptions {
   /// below it the per-level batch runs inline (framework shards are mostly
   /// tiny, and pool startup would dominate).
   size_t parallel_min_batch = 2048;
+
+  /// Optional cooperative deadline/cancel budget. Checked at level
+  /// boundaries only (between the fully-evaluated per-level batches), so an
+  /// expiring budget never leaves half-evaluated nodes: construction stops
+  /// after the current level and HierarchyStats.partial is set. Null =
+  /// unbounded. Must outlive construction.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// One node of the slice lattice. A node is identified by its property set;
@@ -126,6 +134,10 @@ struct HierarchyStats {
   /// node for them (seeds deduplicating into existing nodes still count as
   /// initial slices even after the cap is hit).
   size_t seeds_dropped = 0;
+  /// The construction deadline expired: levels below the stop point were
+  /// generated + evaluated but not pruned, so the traversal still runs —
+  /// the result is best-so-far, not the full pruned lattice.
+  bool partial = false;
 };
 
 /// The bottom-up constructed, pruned slice hierarchy of one web source

@@ -62,21 +62,26 @@ std::vector<core::DiscoveredSlice> RunMethod(const MethodSpec& method,
                                              const rdf::KnowledgeBase& kb,
                                              core::FrameworkStats* stats,
                                              size_t num_threads) {
-  MIDAS_CHECK(method.detector != nullptr);
   core::FrameworkOptions options;
   options.num_threads = num_threads;
-  options.use_hierarchy_rounds = method.mode == RunMode::kFrameworkRounds;
-
-  core::MidasFramework framework(method.detector, options);
-  core::FrameworkResult result;
-  if (method.mode == RunMode::kPerDomain) {
-    web::Corpus by_domain = AggregateByDomain(corpus);
-    result = framework.Run(by_domain, kb);
-  } else {
-    result = framework.Run(corpus, kb);
-  }
+  core::FrameworkResult result =
+      RunMethodWithOptions(method, corpus, kb, options);
   if (stats != nullptr) *stats = result.stats;
   return std::move(result.slices);
+}
+
+core::FrameworkResult RunMethodWithOptions(const MethodSpec& method,
+                                           const web::Corpus& corpus,
+                                           const rdf::KnowledgeBase& kb,
+                                           core::FrameworkOptions options) {
+  MIDAS_CHECK(method.detector != nullptr);
+  options.use_hierarchy_rounds = method.mode == RunMode::kFrameworkRounds;
+  core::MidasFramework framework(method.detector, options);
+  if (method.mode == RunMode::kPerDomain) {
+    web::Corpus by_domain = AggregateByDomain(corpus);
+    return framework.Run(by_domain, kb);
+  }
+  return framework.Run(corpus, kb);
 }
 
 std::vector<CoverageRow> RunCoverageSweep(

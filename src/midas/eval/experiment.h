@@ -66,6 +66,15 @@ std::vector<core::DiscoveredSlice> RunMethod(
     const rdf::KnowledgeBase& kb, core::FrameworkStats* stats = nullptr,
     size_t num_threads = 0);
 
+/// As RunMethod, but takes the full framework options (deadlines, retry
+/// policy, run cancel) and returns the full result — per-source reports and
+/// the partial flag included. `options.use_hierarchy_rounds` is overridden
+/// from the method's RunMode.
+core::FrameworkResult RunMethodWithOptions(const MethodSpec& method,
+                                           const web::Corpus& corpus,
+                                           const rdf::KnowledgeBase& kb,
+                                           core::FrameworkOptions options);
+
 /// One row of the coverage-sweep experiment (paper Fig. 9).
 struct CoverageRow {
   double coverage = 0.0;

@@ -1,5 +1,6 @@
 #include "midas/extract/dump_io.h"
 
+#include "midas/fault/fault.h"
 #include "midas/util/string_util.h"
 #include "midas/util/tsv.h"
 #include "midas/web/url.h"
@@ -12,6 +13,11 @@ Status LoadDump(const std::string& path, ExtractionDump* dump) {
   rdf::Dictionary* dict = dump->dict.get();
   return TsvReadFile(
       path, [&](size_t row, const std::vector<std::string>& fields) {
+        if (MIDAS_FAULT_SHOULD_CORRUPT(fault::kSiteDumpRecord,
+                                       std::to_string(row))) {
+          return Status::Corruption(path + " row " + std::to_string(row) +
+                                    ": injected corrupt record");
+        }
         if (fields.size() != 5) {
           return Status::Corruption(path + " row " + std::to_string(row) +
                                     ": expected 5 fields, got " +

@@ -1,0 +1,72 @@
+#ifndef MIDAS_FAULT_CANCEL_H_
+#define MIDAS_FAULT_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace fault {
+
+/// Cooperative cancellation + deadline token threaded through the pipeline
+/// (Framework::Run → MidasAlg::Detect → SliceHierarchy level loops).
+///
+/// Semantics:
+///   - Cancel() is sticky and thread-safe; any observer sees Expired() true
+///     afterwards.
+///   - A deadline is an absolute obs::NowNanos() stamp; 0 means "none".
+///     Expired() is cancelled-or-past-deadline.
+///   - Checks are *cooperative*: the pipeline polls at coarse boundaries
+///     (per shard, per hierarchy level), so work already in flight finishes
+///     and results stay deterministic — an expired budget stops traversal
+///     at the next level boundary and the best-so-far slices are returned
+///     flagged partial (see docs/ROBUSTNESS.md).
+///
+/// The token is deliberately poll-only (no callbacks, no waiters): every
+/// consumer is a loop that already has a natural boundary to check at.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms an absolute deadline (obs::NowNanos() clock). 0 clears it.
+  void SetDeadlineNs(uint64_t deadline_ns) {
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `budget_ms` from now. 0 clears it.
+  void SetBudgetMs(uint64_t budget_ms) {
+    SetDeadlineNs(budget_ms == 0 ? 0
+                                 : obs::NowNanos() + budget_ms * 1'000'000);
+  }
+
+  /// Sticky cooperative cancel.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  uint64_t deadline_ns() const {
+    return deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the token is cancelled or its deadline has passed. This is
+  /// the single check every pipeline boundary uses.
+  bool Expired() const {
+    if (cancelled()) return true;
+    const uint64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && obs::NowNanos() >= d;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> deadline_ns_{0};
+};
+
+}  // namespace fault
+}  // namespace midas
+
+#endif  // MIDAS_FAULT_CANCEL_H_

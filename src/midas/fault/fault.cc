@@ -1,0 +1,187 @@
+#include "midas/fault/fault.h"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+#include "midas/util/hash.h"
+#include "midas/util/logging.h"
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace fault {
+
+namespace {
+
+/// Maps the per-(seed, site, key) hash to a uniform double in [0, 1). The
+/// inputs go through FNV + SplitMix finalization, so adjacent keys ("row 1",
+/// "row 2") decorrelate fully.
+double DecisionUniform(uint64_t seed, std::string_view site,
+                       std::string_view key) {
+  const uint64_t h =
+      HashMix(seed ^ HashMix(Fnv1a64(site)) ^ Fnv1a64(key));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  // Leaky singleton, same lifetime rationale as obs::Registry: pointers and
+  // references handed out never dangle during shutdown.
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::ParseSpec(std::string_view spec,
+                                std::vector<SiteSpec>* out) {
+  out->clear();
+  for (std::string_view clause : SplitSkipEmpty(spec, ';')) {
+    SiteSpec site;
+    bool have_site = false;
+    for (std::string_view param : SplitSkipEmpty(clause, ',')) {
+      param = Trim(param);
+      const size_t eq = param.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::InvalidArgument("fault spec: expected key=value, got '" +
+                                       std::string(param) + "'");
+      }
+      const std::string_view name = Trim(param.substr(0, eq));
+      const std::string_view value = Trim(param.substr(eq + 1));
+      if (name == "site") {
+        site.site = std::string(value);
+        have_site = !site.site.empty();
+      } else if (name == "rate") {
+        if (!ParseDouble(value, &site.rate) || site.rate < 0.0 ||
+            site.rate > 1.0) {
+          return Status::InvalidArgument("fault spec: bad rate '" +
+                                         std::string(value) + "'");
+        }
+      } else if (name == "seed") {
+        if (!ParseUint64(value, &site.seed)) {
+          return Status::InvalidArgument("fault spec: bad seed '" +
+                                         std::string(value) + "'");
+        }
+      } else if (name == "delay_ms") {
+        if (!ParseUint64(value, &site.delay_ms)) {
+          return Status::InvalidArgument("fault spec: bad delay_ms '" +
+                                         std::string(value) + "'");
+        }
+      } else if (name == "max_fires") {
+        if (!ParseUint64(value, &site.max_fires)) {
+          return Status::InvalidArgument("fault spec: bad max_fires '" +
+                                         std::string(value) + "'");
+        }
+      } else {
+        return Status::InvalidArgument("fault spec: unknown key '" +
+                                       std::string(name) + "'");
+      }
+    }
+    if (!have_site) {
+      return Status::InvalidArgument(
+          "fault spec: every clause needs site=<name> ('" +
+          std::string(clause) + "')");
+    }
+    out->push_back(std::move(site));
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::Configure(std::string_view spec) {
+  std::vector<SiteSpec> parsed;
+  MIDAS_RETURN_IF_ERROR(ParseSpec(spec, &parsed));
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  for (auto& s : parsed) {
+    auto armed = std::make_unique<ArmedSite>();
+    armed->spec = std::move(s);
+    sites_.push_back(std::move(armed));
+  }
+  armed_.store(!sites_.empty(), std::memory_order_release);
+  return Status::OK();
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  sites_.clear();
+}
+
+FaultInjector::ArmedSite* FaultInjector::Find(std::string_view site) {
+  for (auto& s : sites_) {
+    if (s->spec.site == site) return s.get();
+  }
+  return nullptr;
+}
+
+const FaultInjector::ArmedSite* FaultInjector::Find(
+    std::string_view site) const {
+  for (const auto& s : sites_) {
+    if (s->spec.site == site) return s.get();
+  }
+  return nullptr;
+}
+
+bool FaultInjector::ShouldFire(std::string_view site, std::string_view key) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ArmedSite* armed_site = Find(site);
+  if (armed_site == nullptr) return false;
+  const SiteSpec& spec = armed_site->spec;
+  if (spec.max_fires != 0 &&
+      armed_site->fires.load(std::memory_order_relaxed) >= spec.max_fires) {
+    return false;
+  }
+  if (DecisionUniform(spec.seed, site, key) >= spec.rate) return false;
+  armed_site->fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FaultInjector::delay_ms(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ArmedSite* armed_site = Find(site);
+  return armed_site == nullptr ? 0 : armed_site->spec.delay_ms;
+}
+
+uint64_t FaultInjector::fires(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ArmedSite* armed_site = Find(site);
+  return armed_site == nullptr
+             ? 0
+             : armed_site->fires.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& s : sites_) {
+    total += s->fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void FaultInjector::MaybeThrow(const char* site, std::string_view key) {
+  if (ShouldFire(site, key)) {
+    throw FaultInjected(std::string("injected fault '") + site + "' at " +
+                        std::string(key));
+  }
+}
+
+void FaultInjector::MaybeSleep(const char* site, std::string_view key) {
+  if (ShouldFire(site, key)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms(site)));
+  }
+}
+
+void FaultInjector::MaybeBadAlloc(const char* site, std::string_view key) {
+  if (ShouldFire(site, key)) throw std::bad_alloc();
+}
+
+ScopedFaultSpec::ScopedFaultSpec(std::string_view spec) {
+  const Status status = FaultInjector::Global().Configure(spec);
+  MIDAS_CHECK(status.ok());
+}
+
+ScopedFaultSpec::~ScopedFaultSpec() { FaultInjector::Global().Disarm(); }
+
+}  // namespace fault
+}  // namespace midas

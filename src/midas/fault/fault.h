@@ -1,0 +1,179 @@
+#ifndef MIDAS_FAULT_FAULT_H_
+#define MIDAS_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "midas/util/status.h"
+
+namespace midas {
+namespace fault {
+
+/// midas::fault — deterministic, seeded fault injection for robustness
+/// testing (plus the CancelToken deadline plumbing in cancel.h).
+///
+/// Injection sites are named call sites compiled into the pipeline behind
+/// the MIDAS_FAULT_INJECTION switch (CMake option of the same name; see the
+/// macros at the bottom). A site fires deterministically: the decision for
+/// (site, key) is a pure function of the armed spec's seed, the site name,
+/// and the per-occurrence key (a URL, a row number, a node index) — never
+/// of wall clock, thread schedule, or call order. The same spec over the
+/// same corpus therefore injects the same faults on every run, which is
+/// what lets the fault-matrix suite assert exact per-source outcomes.
+///
+/// Spec grammar (small on purpose; parsed by FaultInjector::Configure):
+///
+///   spec   := clause (';' clause)*
+///   clause := "site=" NAME (',' param)*
+///   param  := "rate=" FLOAT      fire probability per key, default 1.0
+///           | "seed=" UINT       decision seed, default 0
+///           | "delay_ms=" UINT   sleep length for kSiteSlowShard, default 25
+///           | "max_fires=" UINT  cap on fires (0 = unlimited), default 0
+///
+/// Example: "site=detector,rate=0.05,seed=42;site=slow_shard,delay_ms=10".
+inline constexpr char kSiteDetector[] = "detector";      // shard detector throw
+inline constexpr char kSiteSlowShard[] = "slow_shard";   // pre-detect sleep
+inline constexpr char kSiteAlloc[] = "alloc";            // hierarchy bad_alloc
+inline constexpr char kSiteDumpRecord[] = "dump_record"; // corrupt dump row
+
+/// One armed injection site.
+struct SiteSpec {
+  std::string site;
+  double rate = 1.0;
+  uint64_t seed = 0;
+  uint64_t delay_ms = 25;
+  uint64_t max_fires = 0;  // 0 = unlimited
+};
+
+/// The exception thrown by kSiteDetector / kSiteAlloc fires. Derives from
+/// std::runtime_error so the framework's existing per-shard exception
+/// boundary contains it like any real detector failure.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Process-wide injector. Disarmed by default: every ShouldFire is a single
+/// relaxed atomic load away from `false`. Configure/Disarm must not race
+/// with a pipeline run (tests arm before Run and disarm after); ShouldFire
+/// itself is thread-safe and may be called concurrently from pool workers.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Parses `spec` and arms it (replacing any previous spec). An empty
+  /// spec disarms. Returns InvalidArgument on grammar errors, leaving the
+  /// previous arming untouched.
+  Status Configure(std::string_view spec);
+
+  /// Disarms all sites and clears fire counts.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// True iff the fault at `site` keyed by `key` should fire. Counts the
+  /// fire when it does. Deterministic per (spec seed, site, key).
+  bool ShouldFire(std::string_view site, std::string_view key);
+
+  /// Armed delay for a site (kSiteSlowShard); 0 when the site is unarmed.
+  uint64_t delay_ms(std::string_view site) const;
+
+  /// Fires recorded for a site since the last Configure/Disarm.
+  uint64_t fires(std::string_view site) const;
+  uint64_t total_fires() const;
+
+  /// Macro backends (see bottom of this header).
+  void MaybeThrow(const char* site, std::string_view key);
+  void MaybeSleep(const char* site, std::string_view key);
+  void MaybeBadAlloc(const char* site, std::string_view key);
+
+  /// Spec parsing, exposed for tests and CLI validation.
+  static Status ParseSpec(std::string_view spec, std::vector<SiteSpec>* out);
+
+ private:
+  FaultInjector() = default;
+
+  struct ArmedSite {
+    SiteSpec spec;
+    std::atomic<uint64_t> fires{0};
+  };
+
+  ArmedSite* Find(std::string_view site);
+  const ArmedSite* Find(std::string_view site) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ArmedSite>> sites_;
+  std::atomic<bool> armed_{false};
+};
+
+/// RAII arming for tests: configures on construction, disarms on scope
+/// exit (construction CHECK-fails on a malformed spec — tests own their
+/// specs).
+class ScopedFaultSpec {
+ public:
+  explicit ScopedFaultSpec(std::string_view spec);
+  ~ScopedFaultSpec();
+  ScopedFaultSpec(const ScopedFaultSpec&) = delete;
+  ScopedFaultSpec& operator=(const ScopedFaultSpec&) = delete;
+};
+
+}  // namespace fault
+}  // namespace midas
+
+/// Injection-site macros. Compiled out entirely without
+/// -DMIDAS_FAULT_INJECTION (the CMake option of the same name): zero
+/// instructions at every site, no key expression evaluated. With the hooks
+/// compiled in but no spec armed, each site costs one relaxed atomic load.
+#ifdef MIDAS_FAULT_INJECTION
+
+/// Throws fault::FaultInjected when the armed site fires for `key`.
+#define MIDAS_FAULT_MAYBE_THROW(site, key)                            \
+  do {                                                                \
+    auto& _midas_fi = ::midas::fault::FaultInjector::Global();        \
+    if (_midas_fi.armed()) _midas_fi.MaybeThrow((site), (key));       \
+  } while (0)
+
+/// Sleeps the site's delay_ms when it fires for `key`.
+#define MIDAS_FAULT_MAYBE_SLEEP(site, key)                            \
+  do {                                                                \
+    auto& _midas_fi = ::midas::fault::FaultInjector::Global();        \
+    if (_midas_fi.armed()) _midas_fi.MaybeSleep((site), (key));       \
+  } while (0)
+
+/// Throws std::bad_alloc when the armed site fires for `key`.
+#define MIDAS_FAULT_MAYBE_BAD_ALLOC(site, key)                        \
+  do {                                                                \
+    auto& _midas_fi = ::midas::fault::FaultInjector::Global();        \
+    if (_midas_fi.armed()) _midas_fi.MaybeBadAlloc((site), (key));    \
+  } while (0)
+
+/// Expression: true when the armed site fires for `key` (callers corrupt /
+/// reject the record themselves). Short-circuits before evaluating `key`
+/// when disarmed.
+#define MIDAS_FAULT_SHOULD_CORRUPT(site, key)              \
+  (::midas::fault::FaultInjector::Global().armed() &&      \
+   ::midas::fault::FaultInjector::Global().ShouldFire((site), (key)))
+
+#else  // !MIDAS_FAULT_INJECTION
+
+#define MIDAS_FAULT_MAYBE_THROW(site, key) \
+  do {                                     \
+  } while (0)
+#define MIDAS_FAULT_MAYBE_SLEEP(site, key) \
+  do {                                     \
+  } while (0)
+#define MIDAS_FAULT_MAYBE_BAD_ALLOC(site, key) \
+  do {                                         \
+  } while (0)
+#define MIDAS_FAULT_SHOULD_CORRUPT(site, key) (false)
+
+#endif  // MIDAS_FAULT_INJECTION
+
+#endif  // MIDAS_FAULT_FAULT_H_

@@ -58,21 +58,30 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+  ParallelFor(n, fn, nullptr);
+}
+
+size_t ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                               const std::function<bool()>& cancelled) {
+  if (n == 0) return 0;
   size_t chunk = std::max<size_t>(1, n / (num_threads() * 4));
   std::atomic<size_t> next{0};
+  std::atomic<size_t> ran{0};
   size_t num_tasks = std::min(num_threads(), (n + chunk - 1) / chunk);
   for (size_t t = 0; t < num_tasks; ++t) {
-    Submit([&next, n, chunk, &fn] {
+    Submit([&next, &ran, n, chunk, &fn, &cancelled] {
       while (true) {
+        if (cancelled && cancelled()) break;
         size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= n) break;
         size_t end = std::min(n, begin + chunk);
         for (size_t i = begin; i < end; ++i) fn(i);
+        ran.fetch_add(end - begin, std::memory_order_relaxed);
       }
     });
   }
   Wait();
+  return ran.load(std::memory_order_relaxed);
 }
 
 void ThreadPool::WorkerLoop() {

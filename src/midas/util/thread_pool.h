@@ -55,6 +55,15 @@ class ThreadPool {
   /// Work is chunked to limit queue overhead.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Cancellable variant: once `cancelled()` first returns true, chunks not
+  /// yet claimed are skipped (indices already running finish normally — the
+  /// cancellation is cooperative, matching fault::CancelToken semantics).
+  /// The predicate is polled once per chunk claim, never per index. Returns
+  /// the number of indices that actually ran; == n when never cancelled.
+  /// A null predicate behaves exactly like the plain overload.
+  size_t ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                     const std::function<bool()>& cancelled);
+
   size_t num_threads() const { return workers_.size(); }
 
  private:

@@ -1,0 +1,35 @@
+// Shared helpers for tests that drive the CLI command library in-process.
+
+#ifndef MIDAS_TESTS_COMMON_CLI_HELPERS_H_
+#define MIDAS_TESTS_COMMON_CLI_HELPERS_H_
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "midas/util/flags.h"
+#include "midas/util/status.h"
+
+namespace midas {
+namespace tests {
+
+/// Parses `args` (sans argv[0]) into an already-registered FlagParser.
+inline Status ParseInto(FlagParser* flags, std::vector<std::string> args) {
+  std::vector<char*> argv = {const_cast<char*>("midas")};
+  for (auto& a : args) argv.push_back(a.data());
+  return flags->Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+/// Slurps a file; empty string when unreadable.
+inline std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace tests
+}  // namespace midas
+
+#endif  // MIDAS_TESTS_COMMON_CLI_HELPERS_H_

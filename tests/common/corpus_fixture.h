@@ -1,0 +1,124 @@
+// Shared corpus-generation fixtures for the test suite. The obs,
+// robustness, and property tests all need the same two corpora — a small
+// deterministic sectioned site and a seeded random fact table — plus a
+// detector that fails on demand; keeping them here means a fixture tweak
+// changes every consumer at once instead of drifting per test file.
+
+#ifndef MIDAS_TESTS_COMMON_CORPUS_FIXTURE_H_
+#define MIDAS_TESTS_COMMON_CORPUS_FIXTURE_H_
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "midas/core/fact_table.h"
+#include "midas/core/midas_alg.h"
+#include "midas/core/profit.h"
+#include "midas/core/slice_detector.h"
+#include "midas/rdf/dictionary.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/rdf/triple.h"
+#include "midas/util/random.h"
+#include "midas/web/web_source.h"
+
+namespace midas {
+namespace tests {
+
+/// Fills `corpus` with the canonical sectioned site: `sections` sections of
+/// `entities_per_section` entities each, every entity carrying one
+/// cat=rocket fact, pages at http://a.com/sec<p>/page.htm. Four URL depths
+/// (page -> section -> host -> root), so framework rounds, sharding, and
+/// consolidation all engage.
+inline void FillSectionedCorpus(web::Corpus* corpus, int sections = 4,
+                                int entities_per_section = 6) {
+  for (int p = 0; p < sections; ++p) {
+    for (int e = 0; e < entities_per_section; ++e) {
+      corpus->AddFactRaw("http://a.com/sec" + std::to_string(p) + "/page.htm",
+                         "e" + std::to_string(p) + "_" + std::to_string(e),
+                         "cat", "rocket");
+    }
+  }
+}
+
+/// Parameters of the seeded random fact table (defaults match the original
+/// hierarchy obs fixture: 60 entities x 4 predicates, fact density 0.7, KB
+/// density 0.4 over the drawn facts).
+struct RandomFactsParams {
+  uint64_t seed = 13;
+  size_t entities = 60;
+  size_t predicates = 4;
+  size_t values = 2;
+  double fact_density = 0.7;
+  double kb_density = 0.4;
+};
+
+/// Draws the random facts into `facts` and the KB subset into `kb`. Fully
+/// determined by `params.seed`.
+inline void FillRandomFacts(const RandomFactsParams& params,
+                            rdf::Dictionary* dict, rdf::KnowledgeBase* kb,
+                            std::vector<rdf::Triple>* facts) {
+  Rng rng(params.seed);
+  for (size_t e = 0; e < params.entities; ++e) {
+    rdf::TermId subj = dict->Intern("e" + std::to_string(e));
+    for (size_t p = 0; p < params.predicates; ++p) {
+      if (!rng.Bernoulli(params.fact_density)) continue;
+      rdf::Triple t(
+          subj, dict->Intern("p" + std::to_string(p)),
+          dict->Intern("v" + std::to_string(rng.Uniform(params.values))));
+      facts->push_back(t);
+      if (rng.Bernoulli(params.kb_density)) kb->Add(t);
+    }
+  }
+}
+
+/// A random fact table bundled with its profit context — the unit the
+/// hierarchy and profit-model tests actually consume.
+struct RandomTableFixture {
+  std::shared_ptr<rdf::Dictionary> dict =
+      std::make_shared<rdf::Dictionary>();
+  std::unique_ptr<rdf::KnowledgeBase> kb =
+      std::make_unique<rdf::KnowledgeBase>(dict);
+  std::vector<rdf::Triple> facts;
+  std::unique_ptr<core::FactTable> table;
+  std::unique_ptr<core::ProfitContext> profit;
+
+  explicit RandomTableFixture(const RandomFactsParams& params = {},
+                              core::CostModel cost_model =
+                                  core::CostModel::Default()) {
+    FillRandomFacts(params, dict.get(), kb.get(), &facts);
+    table = std::make_unique<core::FactTable>(facts);
+    profit = std::make_unique<core::ProfitContext>(*table, *kb, cost_model);
+  }
+};
+
+/// Delegates to MidasAlg except on sources whose URL contains `poison`,
+/// where it throws — the framework must contain the failure (close the
+/// shard's span, count the error, report the source failed) and keep the
+/// round going.
+class ThrowingDetector : public core::SliceDetector {
+ public:
+  ThrowingDetector(const core::MidasOptions& options, std::string poison)
+      : alg_(options), poison_(std::move(poison)) {}
+
+  std::string name() const override { return "Throwing"; }
+
+  std::vector<core::DiscoveredSlice> Detect(
+      const core::SourceInput& input,
+      const rdf::KnowledgeBase& kb) const override {
+    if (input.url.find(poison_) != std::string::npos) {
+      throw std::runtime_error("synthetic detector failure");
+    }
+    return alg_.Detect(input, kb);
+  }
+
+ private:
+  core::MidasAlg alg_;
+  std::string poison_;
+};
+
+}  // namespace tests
+}  // namespace midas
+
+#endif  // MIDAS_TESTS_COMMON_CORPUS_FIXTURE_H_

@@ -9,9 +9,9 @@
 
 #include <algorithm>
 #include <memory>
-#include <stdexcept>
 #include <string>
 
+#include "common/corpus_fixture.h"
 #include "midas/core/midas_alg.h"
 #include "midas/obs/export.h"
 #include "midas/obs/metrics.h"
@@ -22,28 +22,7 @@ namespace midas {
 namespace core {
 namespace {
 
-/// Delegates to MidasAlg except on sources whose URL contains `poison_`,
-/// where it throws — the framework must close that shard's span anyway and
-/// keep the round going.
-class ThrowingDetector : public SliceDetector {
- public:
-  ThrowingDetector(const MidasOptions& options, std::string poison)
-      : alg_(options), poison_(std::move(poison)) {}
-
-  std::string name() const override { return "Throwing"; }
-
-  std::vector<DiscoveredSlice> Detect(
-      const SourceInput& input, const rdf::KnowledgeBase& kb) const override {
-    if (input.url.find(poison_) != std::string::npos) {
-      throw std::runtime_error("synthetic detector failure");
-    }
-    return alg_.Detect(input, kb);
-  }
-
- private:
-  MidasAlg alg_;
-  std::string poison_;
-};
+using tests::ThrowingDetector;
 
 class FrameworkObsTest : public ::testing::Test {
  protected:
@@ -62,16 +41,7 @@ class FrameworkObsTest : public ::testing::Test {
     obs::Tracer::Global().Reset();
   }
 
-  void FillCorpus() {
-    for (int p = 0; p < 4; ++p) {
-      for (int e = 0; e < 6; ++e) {
-        corpus_.AddFactRaw(
-            "http://a.com/sec" + std::to_string(p) + "/page.htm",
-            "e" + std::to_string(p) + "_" + std::to_string(e), "cat",
-            "rocket");
-      }
-    }
-  }
+  void FillCorpus() { tests::FillSectionedCorpus(&corpus_); }
 
   size_t CountSpans(const std::string& name) {
     auto spans = obs::Tracer::Global().Snapshot();

@@ -11,11 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "common/corpus_fixture.h"
 #include "midas/core/fact_table.h"
 #include "midas/core/profit.h"
 #include "midas/obs/metrics.h"
 #include "midas/rdf/knowledge_base.h"
-#include "midas/util/random.h"
 
 namespace midas {
 namespace core {
@@ -35,31 +35,17 @@ class HierarchyObsTest : public ::testing::Test {
     obs::Registry::Global().ResetAllForTest();
   }
 
-  /// A small random source with overlapping property sets.
+  /// A small random source with overlapping property sets (the shared
+  /// seeded fixture; see tests/common/corpus_fixture.h).
   void BuildFixture() {
-    Rng rng(13);
-    for (size_t e = 0; e < 60; ++e) {
-      rdf::TermId subj = dict_->Intern("e" + std::to_string(e));
-      for (size_t p = 0; p < 4; ++p) {
-        if (!rng.Bernoulli(0.7)) continue;
-        rdf::Triple t(subj, dict_->Intern("p" + std::to_string(p)),
-                      dict_->Intern("v" + std::to_string(rng.Uniform(2))));
-        facts_.push_back(t);
-        if (rng.Bernoulli(0.4)) kb_->Add(t);
-      }
-    }
-    table_ = std::make_unique<FactTable>(facts_);
-    profit_ = std::make_unique<ProfitContext>(*table_, *kb_,
-                                              CostModel::Default());
+    fixture_ = std::make_unique<tests::RandomTableFixture>();
+    table_ = fixture_->table.get();
+    profit_ = fixture_->profit.get();
   }
 
-  std::shared_ptr<rdf::Dictionary> dict_ =
-      std::make_shared<rdf::Dictionary>();
-  std::unique_ptr<rdf::KnowledgeBase> kb_ =
-      std::make_unique<rdf::KnowledgeBase>(dict_);
-  std::vector<rdf::Triple> facts_;
-  std::unique_ptr<FactTable> table_;
-  std::unique_ptr<ProfitContext> profit_;
+  std::unique_ptr<tests::RandomTableFixture> fixture_;
+  FactTable* table_ = nullptr;
+  ProfitContext* profit_ = nullptr;
 };
 
 TEST_F(HierarchyObsTest, CountersMatchHierarchyStats) {

@@ -1,0 +1,152 @@
+// Property-based tests of the profit model over 200 seeded random fact
+// tables: the incremental SetAccumulator must agree bit-for-bit with the
+// from-scratch SetProfit at every prefix, DeltaIfAdd must predict the next
+// profit, and under a pure-gain cost model (all cost coefficients zero) the
+// marginal profit of a fixed candidate slice is monotone non-increasing as
+// the selected set grows (submodularity of coverage gain). A subset of the
+// seeds additionally builds the full hierarchy and re-checks the
+// lower-bound invariants on random inputs.
+
+#include "midas/core/profit.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/corpus_fixture.h"
+#include "midas/core/fact_table.h"
+#include "midas/core/slice_hierarchy.h"
+
+namespace midas {
+namespace core {
+namespace {
+
+constexpr int kNumSeeds = 200;
+
+/// Diversifies the table shape across seeds: 30..90 entities, 3..6
+/// predicates, fact/KB densities swept over a few bands.
+tests::RandomFactsParams ParamsForSeed(int seed) {
+  tests::RandomFactsParams params;
+  params.seed = static_cast<uint64_t>(seed);
+  params.entities = 30 + (seed * 7) % 61;
+  params.predicates = 3 + seed % 4;
+  params.values = 2 + seed % 2;
+  params.fact_density = 0.4 + 0.1 * (seed % 5);
+  params.kb_density = 0.2 + 0.15 * (seed % 4);
+  return params;
+}
+
+/// The natural slices of a table: one entity set per catalog property (its
+/// inverted list). Skips empty lists.
+std::vector<std::vector<EntityId>> PropertySlices(const FactTable& table) {
+  std::vector<std::vector<EntityId>> slices;
+  for (PropertyId p = 0; p < table.catalog().size(); ++p) {
+    if (!table.property_entities(p).empty()) {
+      slices.push_back(table.property_entities(p));
+    }
+  }
+  return slices;
+}
+
+TEST(ProfitPropertiesTest, AccumulatorMatchesFromScratchOnEveryPrefix) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    tests::RandomTableFixture fx(ParamsForSeed(seed));
+    const auto slices = PropertySlices(*fx.table);
+    ASSERT_FALSE(slices.empty());
+
+    ProfitContext::SetAccumulator acc(*fx.profit);
+    std::vector<const std::vector<EntityId>*> prefix;
+    std::set<EntityId> covered;
+    for (const auto& slice : slices) {
+      const double before = acc.Profit();
+      const double delta = acc.DeltaIfAdd(slice);
+      acc.Add(slice);
+      prefix.push_back(&slice);
+      covered.insert(slice.begin(), slice.end());
+
+      // Incremental == from-scratch (the class promises bit-identical
+      // profits from identical integral totals).
+      EXPECT_DOUBLE_EQ(acc.Profit(), fx.profit->SetProfit(prefix));
+      // DeltaIfAdd predicted the transition.
+      EXPECT_NEAR(acc.Profit(), before + delta, 1e-9);
+      // The aggregated totals are the union's totals, independently
+      // recomputed entity by entity.
+      uint64_t facts = 0, fresh = 0;
+      for (EntityId e : covered) {
+        facts += fx.profit->entity_fact_count(e);
+        fresh += fx.profit->entity_new_count(e);
+      }
+      EXPECT_EQ(acc.total_facts(), facts);
+      EXPECT_EQ(acc.total_new(), fresh);
+      EXPECT_EQ(acc.num_slices(), prefix.size());
+      for (EntityId e : covered) EXPECT_TRUE(acc.Covers(e));
+    }
+  }
+}
+
+TEST(ProfitPropertiesTest, PureGainMarginalProfitIsMonotoneNonIncreasing) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    tests::RandomTableFixture fx(ParamsForSeed(seed));
+    const auto slices = PropertySlices(*fx.table);
+    if (slices.size() < 2) continue;
+
+    // All cost coefficients zero: f(S) degenerates to the coverage gain
+    // G(S) = |union of new facts|, which is monotone and submodular.
+    ProfitContext gain(*fx.table, *fx.kb, CostModel{0.0, 0.0, 0.0, 0.0});
+    const std::vector<EntityId>& candidate = slices[0];
+    ProfitContext::SetAccumulator acc(gain);
+    double prev_delta = acc.DeltaIfAdd(candidate);
+    EXPECT_GE(prev_delta, 0.0);
+    for (size_t i = 1; i < slices.size(); ++i) {
+      acc.Add(slices[i]);
+      const double delta = acc.DeltaIfAdd(candidate);
+      // Growing the selected set can only shrink the candidate's marginal
+      // contribution.
+      EXPECT_LE(delta, prev_delta + 1e-9) << "after adding slice " << i;
+      EXPECT_GE(delta, 0.0);
+      prev_delta = delta;
+    }
+    // Once the candidate itself is in the set, its marginal gain is zero.
+    acc.Add(candidate);
+    EXPECT_DOUBLE_EQ(acc.DeltaIfAdd(candidate), 0.0);
+  }
+}
+
+TEST(ProfitPropertiesTest, HierarchyLowerBoundsHoldOnRandomTables) {
+  // Full hierarchy construction is the expensive part; a spread-out subset
+  // of the seeds exercises it against the same invariants the curated
+  // fixtures pin (invariants_test.cc).
+  for (int seed = 0; seed < kNumSeeds; seed += 25) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    tests::RandomTableFixture fx(ParamsForSeed(seed));
+    SliceHierarchy hierarchy(*fx.table, *fx.profit, HierarchyOptions());
+    const auto& nodes = hierarchy.nodes();
+    ASSERT_FALSE(nodes.empty());
+    for (uint32_t i = 0; i < nodes.size(); ++i) {
+      const SliceNode& node = nodes[i];
+      if (node.removed) continue;
+      EXPECT_GE(node.lb_profit, 0.0);
+      EXPECT_GE(node.lb_profit, node.profit - 1e-9);
+      if (node.lb_set.empty()) {
+        EXPECT_DOUBLE_EQ(node.lb_profit, 0.0);
+        continue;
+      }
+      std::vector<std::vector<EntityId>> lb_entities;
+      lb_entities.reserve(node.lb_set.size());
+      std::vector<const std::vector<EntityId>*> sets;
+      for (uint32_t s : node.lb_set) {
+        lb_entities.push_back(nodes[s].EntityVector());
+        sets.push_back(&lb_entities.back());
+      }
+      EXPECT_NEAR(node.lb_profit, fx.profit->SetProfit(sets), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace midas

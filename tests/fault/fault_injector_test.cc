@@ -1,0 +1,194 @@
+// Unit tests of the midas::fault subsystem: spec-grammar parsing, the
+// determinism contract (decisions are a pure function of seed/site/key),
+// fire counting and caps, RAII arming, and CancelToken semantics.
+
+#include "midas/fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "midas/fault/cancel.h"
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace fault {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(FaultInjectorTest, ParsesFullGrammar) {
+  std::vector<SiteSpec> specs;
+  ASSERT_TRUE(FaultInjector::ParseSpec(
+                  "site=detector,rate=0.05,seed=42;"
+                  "site=slow_shard,delay_ms=10,max_fires=3",
+                  &specs)
+                  .ok());
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].site, "detector");
+  EXPECT_DOUBLE_EQ(specs[0].rate, 0.05);
+  EXPECT_EQ(specs[0].seed, 42u);
+  EXPECT_EQ(specs[1].site, "slow_shard");
+  EXPECT_DOUBLE_EQ(specs[1].rate, 1.0);
+  EXPECT_EQ(specs[1].delay_ms, 10u);
+  EXPECT_EQ(specs[1].max_fires, 3u);
+}
+
+TEST_F(FaultInjectorTest, RejectsMalformedSpecs) {
+  std::vector<SiteSpec> specs;
+  // A clause must lead with site=.
+  EXPECT_FALSE(FaultInjector::ParseSpec("rate=0.5", &specs).ok());
+  // Unknown parameter.
+  EXPECT_FALSE(
+      FaultInjector::ParseSpec("site=detector,bogus=1", &specs).ok());
+  // Rate outside [0, 1].
+  EXPECT_FALSE(
+      FaultInjector::ParseSpec("site=detector,rate=1.5", &specs).ok());
+  // Non-numeric value.
+  EXPECT_FALSE(
+      FaultInjector::ParseSpec("site=detector,seed=abc", &specs).ok());
+}
+
+TEST_F(FaultInjectorTest, BadSpecLeavesPreviousArmingUntouched) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("site=detector,rate=1").ok());
+  EXPECT_FALSE(injector.Configure("site=detector,rate=nope").ok());
+  EXPECT_TRUE(injector.armed());
+  EXPECT_TRUE(injector.ShouldFire(kSiteDetector, "anything"));
+}
+
+TEST_F(FaultInjectorTest, EmptySpecDisarms) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("site=detector,rate=1").ok());
+  ASSERT_TRUE(injector.Configure("").ok());
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.ShouldFire(kSiteDetector, "anything"));
+}
+
+TEST_F(FaultInjectorTest, DecisionsAreDeterministicPerSeedSiteKey) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("site=detector,rate=0.5,seed=7").ok());
+  std::vector<bool> first;
+  for (int k = 0; k < 64; ++k) {
+    first.push_back(
+        injector.ShouldFire(kSiteDetector, "key" + std::to_string(k)));
+  }
+  // Re-arming the identical spec replays the identical decisions.
+  ASSERT_TRUE(injector.Configure("site=detector,rate=0.5,seed=7").ok());
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_EQ(injector.ShouldFire(kSiteDetector, "key" + std::to_string(k)),
+              first[k])
+        << "key" << k;
+  }
+  // A different seed gives a different (still ~rate-sized) decision set.
+  ASSERT_TRUE(injector.Configure("site=detector,rate=0.5,seed=8").ok());
+  int differing = 0;
+  for (int k = 0; k < 64; ++k) {
+    if (injector.ShouldFire(kSiteDetector, "key" + std::to_string(k)) !=
+        first[k]) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST_F(FaultInjectorTest, RateBoundsAreExact) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("site=detector,rate=1").ok());
+  for (int k = 0; k < 32; ++k) {
+    EXPECT_TRUE(injector.ShouldFire(kSiteDetector, std::to_string(k)));
+  }
+  ASSERT_TRUE(injector.Configure("site=detector,rate=0").ok());
+  for (int k = 0; k < 32; ++k) {
+    EXPECT_FALSE(injector.ShouldFire(kSiteDetector, std::to_string(k)));
+  }
+}
+
+TEST_F(FaultInjectorTest, ApproximatesConfiguredRate) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("site=detector,rate=0.25,seed=3").ok());
+  int fired = 0;
+  const int kKeys = 2000;
+  for (int k = 0; k < kKeys; ++k) {
+    if (injector.ShouldFire(kSiteDetector, "u" + std::to_string(k))) ++fired;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / kKeys, 0.25, 0.05);
+}
+
+TEST_F(FaultInjectorTest, MaxFiresCapsInjection) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("site=detector,rate=1,max_fires=3").ok());
+  int fired = 0;
+  for (int k = 0; k < 10; ++k) {
+    if (injector.ShouldFire(kSiteDetector, std::to_string(k))) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(injector.fires(kSiteDetector), 3u);
+  EXPECT_EQ(injector.total_fires(), 3u);
+}
+
+TEST_F(FaultInjectorTest, UnarmedSitesNeverFire) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("site=detector,rate=1").ok());
+  EXPECT_FALSE(injector.ShouldFire(kSiteAlloc, "42"));
+  EXPECT_EQ(injector.delay_ms(kSiteSlowShard), 0u);
+}
+
+TEST_F(FaultInjectorTest, MaybeThrowRaisesFaultInjected) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("site=detector,rate=1").ok());
+  EXPECT_THROW(injector.MaybeThrow(kSiteDetector, "http://a.com#1"),
+               FaultInjected);
+  ASSERT_TRUE(injector.Configure("site=alloc,rate=1").ok());
+  EXPECT_THROW(injector.MaybeBadAlloc(kSiteAlloc, "7"), std::bad_alloc);
+}
+
+TEST_F(FaultInjectorTest, ScopedSpecDisarmsOnExit) {
+  {
+    ScopedFaultSpec scoped("site=detector,rate=1");
+    EXPECT_TRUE(FaultInjector::Global().armed());
+  }
+  EXPECT_FALSE(FaultInjector::Global().armed());
+}
+
+TEST(CancelTokenTest, DefaultNeverExpires) {
+  CancelToken token;
+  EXPECT_FALSE(token.Expired());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.deadline_ns(), 0u);
+}
+
+TEST(CancelTokenTest, CancelIsSticky) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.Expired());
+}
+
+TEST(CancelTokenTest, DeadlineExpires) {
+  CancelToken token;
+  token.SetDeadlineNs(obs::NowNanos() + 1'000'000'000ull);
+  EXPECT_FALSE(token.Expired());
+  token.SetDeadlineNs(obs::NowNanos() - 1);
+  EXPECT_TRUE(token.Expired());
+  // Clearing the deadline un-expires (cancel was never set).
+  token.SetDeadlineNs(0);
+  EXPECT_FALSE(token.Expired());
+}
+
+TEST(CancelTokenTest, BudgetMsArmsRelativeDeadline) {
+  CancelToken token;
+  token.SetBudgetMs(1);
+  EXPECT_GT(token.deadline_ns(), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_TRUE(token.Expired());
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace midas

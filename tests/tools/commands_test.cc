@@ -11,15 +11,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/cli_helpers.h"
+
 namespace midas {
 namespace tools {
 namespace {
 
-Status ParseInto(FlagParser* flags, std::vector<std::string> args) {
-  std::vector<char*> argv = {const_cast<char*>("midas")};
-  for (auto& a : args) argv.push_back(a.data());
-  return flags->Parse(static_cast<int>(argv.size()), argv.data());
-}
+using tests::ParseInto;
 
 class CommandsTest : public ::testing::Test {
  protected:
@@ -178,6 +176,39 @@ TEST_F(CommandsTest, EvaluateJsonOutput) {
   ASSERT_TRUE(RunEvaluate(flags, out).ok());
   EXPECT_NE(out.str().find("\"f_measure\""), std::string::npos);
 }
+
+#ifdef MIDAS_FAULT_INJECTION
+TEST_F(CommandsTest, DiscoverReportsPartialWhenSourceDeadlineExpires) {
+  Generate();
+  FlagParser flags;
+  RegisterDiscoverFlags(&flags);
+  // Every shard sleeps past its 1 ms budget; the run must complete, flag
+  // itself partial, and count the expirations — through the CLI surface.
+  ASSERT_TRUE(
+      ParseInto(&flags, {"--dump=" + dump_, "--source_deadline_ms=1",
+                         "--fault_spec=site=slow_shard,delay_ms=5",
+                         "--json"})
+          .ok());
+  std::ostringstream out;
+  Status status = RunDiscover(flags, out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.str().find("\"partial\": true"), std::string::npos);
+  EXPECT_EQ(out.str().find("\"deadline_expirations\": 0,"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"status\": \"partial\""), std::string::npos);
+}
+
+TEST_F(CommandsTest, DiscoverRejectsMalformedFaultSpec) {
+  Generate();
+  FlagParser flags;
+  RegisterDiscoverFlags(&flags);
+  ASSERT_TRUE(ParseInto(&flags, {"--dump=" + dump_,
+                                 "--fault_spec=site=detector,rate=nope"})
+                  .ok());
+  std::ostringstream out;
+  EXPECT_EQ(RunDiscover(flags, out).code(), StatusCode::kInvalidArgument);
+}
+#endif  // MIDAS_FAULT_INJECTION
 
 TEST_F(CommandsTest, StatsPrintsCounts) {
   Generate();

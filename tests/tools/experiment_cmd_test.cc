@@ -9,9 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
+#include "common/cli_helpers.h"
 #include "midas/obs/metrics.h"
 #include "midas/obs/trace.h"
 
@@ -19,18 +19,8 @@ namespace midas {
 namespace tools {
 namespace {
 
-Status ParseInto(FlagParser* flags, std::vector<std::string> args) {
-  std::vector<char*> argv = {const_cast<char*>("midas")};
-  for (auto& a : args) argv.push_back(a.data());
-  return flags->Parse(static_cast<int>(argv.size()), argv.data());
-}
-
-std::string ReadAll(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
+using tests::ParseInto;
+using tests::ReadAll;
 
 class ExperimentCmdTest : public ::testing::Test {
  protected:

@@ -1,0 +1,114 @@
+// Golden end-to-end regression test for `midas experiment`: the full JSON
+// report (scores, slice counts, robustness counters, per-source reports)
+// for a fixed dataset/seed/thread-count is pinned against a checked-in
+// golden file. Any behavior change in generation, detection, consolidation,
+// scoring, or report shape shows up as a readable diff here.
+//
+// Updating the golden after an INTENDED change:
+//
+//   MIDAS_UPDATE_GOLDEN=1 ctest --test-dir build -R GoldenExperimentTest
+//
+// rewrites tests/golden/experiment_slim_nell.json with the current output
+// (the test passes and prints the rewritten path). Commit the new golden
+// together with the change that motivated it; review the diff first — an
+// unexplained score shift is a regression, not a golden refresh.
+//
+// Wall-clock timings are the one nondeterministic part of the report; the
+// comparison normalizes every "seconds" value to 0 on both sides.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/cli_helpers.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
+#include "tools/commands.h"
+
+#ifndef MIDAS_TEST_GOLDEN_DIR
+#error "MIDAS_TEST_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace midas {
+namespace tools {
+namespace {
+
+using tests::ParseInto;
+using tests::ReadAll;
+
+/// Replaces the value of every `"seconds":` line with 0, preserving
+/// indentation and the trailing comma — the only volatile field in the
+/// report.
+std::string NormalizeSeconds(const std::string& doc) {
+  std::istringstream in(doc);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t pos = line.find("\"seconds\":");
+    if (pos != std::string::npos) {
+      const bool comma = !line.empty() && line.back() == ',';
+      line = line.substr(0, pos) + "\"seconds\": 0" + (comma ? "," : "");
+    }
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+TEST(GoldenExperimentTest, JsonReportMatchesGolden) {
+  const std::string golden_path =
+      std::string(MIDAS_TEST_GOLDEN_DIR) + "/experiment_slim_nell.json";
+
+  FlagParser flags;
+  RegisterExperimentFlags(&flags);
+  ASSERT_TRUE(ParseInto(&flags, {"--dataset=slim-nell", "--num_sources=12",
+                                 "--seed=17", "--threads=2",
+                                 "--methods=midas,greedy,naive", "--json"})
+                  .ok());
+  obs::Registry::Global().ResetAllForTest();
+  obs::Tracer::Global().Reset();
+  std::ostringstream out;
+  Status status = RunExperiment(flags, out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const std::string actual = NormalizeSeconds(out.str());
+
+  if (std::getenv("MIDAS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream rewrite(golden_path, std::ios::trunc);
+    ASSERT_TRUE(rewrite.good()) << "cannot write " << golden_path;
+    rewrite << actual;
+    rewrite.close();
+    std::cout << "golden updated: " << golden_path << "\n";
+    return;
+  }
+
+  const std::string expected = ReadAll(golden_path);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden " << golden_path
+      << " — generate it with MIDAS_UPDATE_GOLDEN=1";
+  EXPECT_EQ(actual, NormalizeSeconds(expected))
+      << "report drifted from " << golden_path
+      << "; if the change is intended, refresh with MIDAS_UPDATE_GOLDEN=1";
+}
+
+/// The report must be reproducible run-to-run inside one process too —
+/// otherwise the golden would only pin the first execution.
+TEST(GoldenExperimentTest, BackToBackRunsAreBitIdentical) {
+  auto run = [] {
+    FlagParser flags;
+    RegisterExperimentFlags(&flags);
+    EXPECT_TRUE(ParseInto(&flags, {"--dataset=slim-nell", "--num_sources=12",
+                                   "--seed=17", "--threads=2",
+                                   "--methods=midas", "--json"})
+                    .ok());
+    std::ostringstream out;
+    EXPECT_TRUE(RunExperiment(flags, out).ok());
+    return NormalizeSeconds(out.str());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace midas

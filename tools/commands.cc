@@ -10,6 +10,7 @@
 #include "midas/eval/experiment.h"
 #include "midas/eval/metrics.h"
 #include "midas/eval/summary.h"
+#include "midas/fault/fault.h"
 #include "midas/obs/export.h"
 #include "midas/extract/cleaning.h"
 #include "midas/extract/dump_io.h"
@@ -61,6 +62,70 @@ Status EmitMetrics(const FlagParser& flags, std::ostream& out) {
   MIDAS_RETURN_IF_ERROR(obs::WriteMetricsJson(flags.GetString("metrics_out")));
   if (flags.GetBool("metrics_summary")) out << obs::MetricsSummary();
   return Status::OK();
+}
+
+/// Registers the shared robustness flags (discover + experiment).
+void RegisterRobustnessFlags(FlagParser* flags) {
+  flags->AddInt64("source_deadline_ms", 0,
+                  "per-source detection budget in ms (0 = unbounded); "
+                  "expired shards return best-so-far slices marked partial");
+  flags->AddInt64("max_retries", 2,
+                  "retries after a shard's detector throws");
+  flags->AddString("fault_spec", "",
+                   "arm deterministic fault injection, e.g. "
+                   "'site=detector,rate=0.05,seed=42' (sites only fire in a "
+                   "MIDAS_FAULT_INJECTION build; see docs/ROBUSTNESS.md)");
+}
+
+/// Applies the robustness flags to the framework options and arms the fault
+/// injector when --fault_spec is set (pair with a ScopedDisarm).
+Status ApplyRobustnessFlags(const FlagParser& flags,
+                            core::FrameworkOptions* options) {
+  options->source_deadline_ms =
+      static_cast<uint64_t>(flags.GetInt64("source_deadline_ms"));
+  options->max_retries = static_cast<size_t>(flags.GetInt64("max_retries"));
+  const std::string spec = flags.GetString("fault_spec");
+  if (!spec.empty()) {
+    MIDAS_RETURN_IF_ERROR(fault::FaultInjector::Global().Configure(spec));
+  }
+  return Status::OK();
+}
+
+/// Disarms the fault injector on scope exit (no-op when never armed), so a
+/// command cannot leak an armed spec into later work in the same process.
+struct ScopedDisarm {
+  ~ScopedDisarm() { fault::FaultInjector::Global().Disarm(); }
+};
+
+/// Writes the per-source robustness outcome of a run: a text summary of
+/// anything that did not complete cleanly, or the full `sources` array in
+/// JSON mode.
+void ReportSources(const core::FrameworkResult& result, bool json,
+                   JsonValue* report, std::ostream& out) {
+  if (json) {
+    report->Set("partial", JsonValue::Bool(result.partial));
+    JsonValue sources = JsonValue::Array();
+    for (const auto& sr : result.sources) {
+      JsonValue row = JsonValue::Object();
+      row.Set("url", JsonValue::Str(sr.url));
+      row.Set("status", JsonValue::Str(core::SourceStatusName(sr.status)));
+      row.Set("attempts", JsonValue::Int(static_cast<int64_t>(sr.attempts)));
+      if (!sr.error.empty()) row.Set("error", JsonValue::Str(sr.error));
+      sources.Append(std::move(row));
+    }
+    report->Set("sources", std::move(sources));
+    return;
+  }
+  if (result.partial) {
+    out << "NOTE: partial result — a deadline or cancellation cut the run "
+           "short; slices are best-so-far\n";
+  }
+  for (const auto& sr : result.sources) {
+    if (sr.status == core::SourceStatus::kFailed) {
+      out << "failed source: " << sr.url << " (" << sr.attempts
+          << " attempts): " << sr.error << "\n";
+    }
+  }
 }
 
 }  // namespace
@@ -154,6 +219,7 @@ void RegisterDiscoverFlags(FlagParser* flags) {
                  "run the extraction-hygiene pass before discovery");
   flags->AddString("functional", "",
                    "comma-separated functional predicates for --clean");
+  RegisterRobustnessFlags(flags);
   RegisterMetricsFlags(flags);
 }
 
@@ -235,6 +301,8 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
   framework_options.num_threads =
       static_cast<size_t>(flags.GetInt64("threads"));
   framework_options.use_hierarchy_rounds = hierarchy_rounds;
+  MIDAS_RETURN_IF_ERROR(ApplyRobustnessFlags(flags, &framework_options));
+  ScopedDisarm disarm;
   core::MidasFramework framework(detector.get(), framework_options);
   auto result = framework.Run(corpus, kb);
 
@@ -247,6 +315,14 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
                JsonValue::Int(static_cast<int64_t>(corpus.NumSources())));
     report.Set("kb_facts", JsonValue::Int(static_cast<int64_t>(kb.size())));
     report.Set("seconds", JsonValue::Number(result.stats.seconds));
+    report.Set("shards_failed",
+               JsonValue::Int(static_cast<int64_t>(result.stats.shards_failed)));
+    report.Set("shard_retries",
+               JsonValue::Int(static_cast<int64_t>(result.stats.shard_retries)));
+    report.Set("deadline_expirations",
+               JsonValue::Int(
+                   static_cast<int64_t>(result.stats.deadline_expirations)));
+    ReportSources(result, /*json=*/true, &report, out);
     JsonValue slices = JsonValue::Array();
     for (const auto& s : result.slices) {
       JsonValue row = JsonValue::Object();
@@ -278,8 +354,16 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
   out << "discovered " << result.slices.size() << " slices in "
       << FormatDouble(result.stats.seconds, 3) << "s ("
       << result.stats.detector_calls << " detector calls over "
-      << result.stats.rounds << " rounds)\n"
-      << eval::SummarizeSlices(result.slices).ToString();
+      << result.stats.rounds << " rounds";
+  if (result.stats.shard_retries > 0) {
+    out << ", " << result.stats.shard_retries << " retries";
+  }
+  if (result.stats.shards_failed > 0) {
+    out << ", " << result.stats.shards_failed << " sources failed";
+  }
+  out << ")\n";
+  ReportSources(result, /*json=*/false, nullptr, out);
+  out << eval::SummarizeSlices(result.slices).ToString();
 
   TablePrinter table({"#", "web source", "what to extract", "facts",
                       "new", "profit"});
@@ -314,6 +398,7 @@ void RegisterExperimentFlags(FlagParser* flags) {
   flags->AddDouble("f_d", 0.01, "per-fact de-duplication cost");
   flags->AddDouble("f_v", 0.1, "per-new-fact validation cost");
   flags->AddBool("json", false, "emit a JSON report instead of tables");
+  RegisterRobustnessFlags(flags);
   RegisterMetricsFlags(flags);
 }
 
@@ -376,27 +461,43 @@ Status RunExperiment(const FlagParser& flags, std::ostream& out) {
              JsonValue::Int(static_cast<int64_t>(data.silver.slices.size())));
   JsonValue rows = JsonValue::Array();
 
+  core::FrameworkOptions framework_options;
+  framework_options.num_threads = threads;
+  framework_options.run_seed = seed;
+  MIDAS_RETURN_IF_ERROR(ApplyRobustnessFlags(flags, &framework_options));
+  ScopedDisarm disarm;
+
   TablePrinter table({"method", "slices", "precision", "recall", "f-measure",
                       "seconds"});
   for (const std::string& name : method_names) {
     const eval::MethodSpec* spec = suite.Find(name);
     MIDAS_CHECK(spec != nullptr);
-    core::FrameworkStats stats;
-    auto slices = eval::RunMethod(*spec, *data.corpus, *data.kb, &stats,
-                                  threads);
-    auto scores = eval::ScoreAgainstSilver(slices, data.silver, jaccard);
-    table.AddRow({name, std::to_string(slices.size()),
+    auto result = eval::RunMethodWithOptions(*spec, *data.corpus, *data.kb,
+                                             framework_options);
+    auto scores =
+        eval::ScoreAgainstSilver(result.slices, data.silver, jaccard);
+    table.AddRow({name, std::to_string(result.slices.size()),
                   FormatDouble(scores.precision, 3),
                   FormatDouble(scores.recall, 3),
                   FormatDouble(scores.f_measure, 3),
-                  FormatDouble(stats.seconds, 3)});
+                  FormatDouble(result.stats.seconds, 3)});
+    if (!json) ReportSources(result, /*json=*/false, nullptr, out);
     JsonValue row = JsonValue::Object();
     row.Set("method", JsonValue::Str(name));
-    row.Set("slices", JsonValue::Int(static_cast<int64_t>(slices.size())));
+    row.Set("slices",
+            JsonValue::Int(static_cast<int64_t>(result.slices.size())));
     row.Set("precision", JsonValue::Number(scores.precision));
     row.Set("recall", JsonValue::Number(scores.recall));
     row.Set("f_measure", JsonValue::Number(scores.f_measure));
-    row.Set("seconds", JsonValue::Number(stats.seconds));
+    row.Set("seconds", JsonValue::Number(result.stats.seconds));
+    row.Set("shards_failed",
+            JsonValue::Int(static_cast<int64_t>(result.stats.shards_failed)));
+    row.Set("shard_retries",
+            JsonValue::Int(static_cast<int64_t>(result.stats.shard_retries)));
+    row.Set("deadline_expirations",
+            JsonValue::Int(
+                static_cast<int64_t>(result.stats.deadline_expirations)));
+    ReportSources(result, /*json=*/true, &row, out);
     rows.Append(std::move(row));
   }
   report.Set("methods", std::move(rows));

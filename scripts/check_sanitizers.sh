@@ -5,6 +5,9 @@
 #
 # Usage: scripts/check_sanitizers.sh [ctest-args...]
 #   e.g. scripts/check_sanitizers.sh -R bitset   # only the bitset tests
+#   e.g. scripts/check_sanitizers.sh -R "RecordLogTest|CheckpointResumeTest"
+#        # the tests/store/ durability suites (record-codec fuzz + the
+#        # kill-and-resume crash matrix)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -11,6 +11,7 @@
 #include "midas/core/consolidate.h"
 #include "midas/fault/fault.h"
 #include "midas/obs/obs.h"
+#include "midas/store/checkpoint.h"
 #include "midas/util/hash.h"
 #include "midas/util/logging.h"
 #include "midas/util/thread_pool.h"
@@ -80,7 +81,23 @@ struct ShardOutcome {
   SourceStatus status = SourceStatus::kCancelled;
   size_t attempts = 0;
   std::string error;
+  /// Restored from the checkpoint instead of detected this run.
+  bool resumed = false;
 };
+
+/// Binds a checkpoint to this run's inputs: seed, pipeline mode, and the
+/// corpus shape (per-source URL + fact count). A resume whose fingerprint
+/// differs is rejected rather than silently merging another run's results.
+uint64_t RunFingerprint(const web::Corpus& corpus,
+                        const FrameworkOptions& options) {
+  uint64_t fp = HashMix(options.run_seed);
+  fp = HashCombine(fp, options.use_hierarchy_rounds ? 1u : 0u);
+  for (const auto& source : corpus.sources()) {
+    fp = HashCombine(fp, Fnv1a64(source.url));
+    fp = HashCombine(fp, source.facts.size());
+  }
+  return HashMix(fp);
+}
 
 }  // namespace
 
@@ -119,6 +136,56 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
   const auto run_cancelled = [this] {
     return options_.cancel != nullptr && options_.cancel->Expired();
   };
+
+  // Checkpointing: restore completed sources from a previous (killed) run,
+  // then durably append each source this run finishes. The dictionary is
+  // read-only during Run, so serializing terms from pool-adjacent code is
+  // safe.
+  [[maybe_unused]] obs::Counter* ckpt_appends_c =
+      MIDAS_OBS_COUNTER("framework.checkpoint_appends");
+  [[maybe_unused]] obs::Counter* ckpt_errors_c =
+      MIDAS_OBS_COUNTER("framework.checkpoint_errors");
+  [[maybe_unused]] obs::Counter* resumed_c =
+      MIDAS_OBS_COUNTER("framework.sources_resumed");
+  store::CheckpointWriter ckpt_writer;
+  std::unordered_map<std::string, store::CheckpointEntry> resumed_entries;
+  bool checkpointing = false;
+  if (!options_.checkpoint_dir.empty()) {
+    const std::string ckpt_path =
+        options_.checkpoint_dir + "/" + store::kCheckpointFileName;
+    const uint64_t fingerprint = RunFingerprint(corpus, options_);
+    Status open_status;
+    if (options_.resume) {
+      StatusOr<store::CheckpointLoadResult> loaded =
+          store::LoadCheckpoint(ckpt_path, fingerprint, corpus.dict());
+      if (loaded.ok()) {
+        for (auto& entry : loaded->entries) {
+          std::string url = entry.url;
+          resumed_entries.insert_or_assign(std::move(url), std::move(entry));
+        }
+        open_status = ckpt_writer.OpenForAppend(ckpt_path, loaded->valid_bytes);
+      } else if (loaded.status().code() == StatusCode::kNotFound) {
+        // Nothing to resume from; behave like a fresh checkpointed run.
+        open_status = ckpt_writer.Create(ckpt_path, fingerprint);
+      } else {
+        // Wrong fingerprint/version or corrupt beyond the tail: resuming
+        // would merge results that don't belong to this run. Start over.
+        MIDAS_LOG(Warning) << "ignoring unusable checkpoint " << ckpt_path
+                           << ": " << loaded.status().ToString();
+        open_status = ckpt_writer.Create(ckpt_path, fingerprint);
+      }
+    } else {
+      open_status = ckpt_writer.Create(ckpt_path, fingerprint);
+    }
+    if (open_status.ok()) {
+      checkpointing = true;
+    } else {
+      MIDAS_LOG(Warning) << "checkpointing disabled: "
+                         << open_status.ToString();
+      result.stats.checkpoint_write_errors++;
+      MIDAS_OBS_ADD(ckpt_errors_c, 1);
+    }
+  }
 
   // Detect with a per-shard error boundary and bounded retry: a throwing
   // detector is re-attempted up to max_retries times with exponential
@@ -219,9 +286,54 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
         out.status == SourceStatus::kCancelled) {
       result.partial = true;
     }
+    if (out.resumed) {
+      result.stats.sources_resumed++;
+      MIDAS_OBS_ADD(resumed_c, 1);
+    }
+  };
+
+  // Durably appends one finished shard (single-threaded: called from the
+  // post-round fold). Resumed shards are already in the log; cancelled
+  // shards never enter it — a resumed run must re-attempt them, exactly as
+  // an uninterrupted run would have processed them. After a failed append
+  // the log's tail may be torn, so checkpointing shuts off for the rest of
+  // the run rather than bury further records behind unreadable bytes (a
+  // later --resume still recovers the valid prefix).
+  const auto checkpoint = [&](const std::string& url, const ShardOutcome& out,
+                              const std::vector<DiscoveredSlice>& slices) {
+    if (!checkpointing || out.resumed ||
+        out.status == SourceStatus::kCancelled) {
+      return;
+    }
+    store::CheckpointEntry entry;
+    entry.url = url;
+    entry.status = out.status;
+    entry.attempts = static_cast<uint32_t>(out.attempts);
+    entry.error = out.error;
+    entry.slices = slices;  // copied: the caller still moves them onward
+    const Status status = ckpt_writer.Append(entry, corpus.dict());
+    if (!status.ok()) {
+      MIDAS_LOG(Warning)
+          << "checkpoint append failed (checkpointing disabled for the rest "
+             "of the run): "
+          << status.ToString();
+      result.stats.checkpoint_write_errors++;
+      MIDAS_OBS_ADD(ckpt_errors_c, 1);
+      checkpointing = false;
+    } else {
+      MIDAS_OBS_ADD(ckpt_appends_c, 1);
+    }
   };
 
   const auto finish = [&] {
+    if (ckpt_writer.is_open()) {
+      const Status status = ckpt_writer.Close();
+      if (!status.ok()) {
+        MIDAS_LOG(Warning) << "checkpoint close failed: " << status.ToString();
+        result.stats.checkpoint_write_errors++;
+        MIDAS_OBS_ADD(ckpt_errors_c, 1);
+      }
+    }
     // Deterministic report order regardless of shard scheduling. Stable so
     // duplicate URLs (possible in ablation mode) keep corpus order.
     std::stable_sort(result.sources.begin(), result.sources.end(),
@@ -243,6 +355,21 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
           MIDAS_OBS_SPAN(source_span, "framework.source", sources[i].url);
           const uint64_t start_ns = MIDAS_OBS_NOW_NS();
           (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
+          const auto resumed_it = resumed_entries.find(sources[i].url);
+          if (resumed_it != resumed_entries.end()) {
+            // Already completed by the checkpointed run: restore the
+            // outcome bit-exactly instead of re-detecting. (Each shard
+            // touches only its own map entry, so the concurrent moves are
+            // safe.)
+            ShardOutcome& out = outcomes[i];
+            out.slices = std::move(resumed_it->second.slices);
+            out.status = resumed_it->second.status;
+            out.attempts = resumed_it->second.attempts;
+            out.error = resumed_it->second.error;
+            out.resumed = true;
+            ran[i] = 1;
+            return;
+          }
           SourceInput input;
           input.url = sources[i].url;
           input.facts = &sources[i].facts;
@@ -253,6 +380,7 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
         run_cancelled);
     for (size_t i = 0; i < sources.size(); ++i) {
       if (ran[i]) result.stats.shards_processed++;
+      checkpoint(sources[i].url, outcomes[i], outcomes[i].slices);
       for (auto& s : outcomes[i].slices) {
         result.slices.push_back(std::move(s));
       }
@@ -312,6 +440,23 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
           NormalizeShardFacts(&shard);
           MIDAS_OBS_RECORD(normalize_us,
                            (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
+          const auto resumed_it = resumed_entries.find(shard.url);
+          if (resumed_it != resumed_entries.end()) {
+            // Already completed by the checkpointed run. The entry stores
+            // this shard's *post-consolidation* surviving slices, so both
+            // detect and ConsolidateSlices are skipped; the normalized
+            // facts above still bubble to the parent deterministically.
+            // (Each shard touches only its own map entry, so the
+            // concurrent moves are safe.)
+            ShardOutcome& out = outcomes[i];
+            out.status = resumed_it->second.status;
+            out.attempts = resumed_it->second.attempts;
+            out.error = resumed_it->second.error;
+            out.resumed = true;
+            surviving[i] = std::move(resumed_it->second.slices);
+            ran[i] = 1;
+            return;
+          }
           SourceInput input;
           input.url = shard.url;
           input.facts = &shard.facts;
@@ -342,6 +487,9 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
     for (size_t i = 0; i < round.size(); ++i) {
       Shard& shard = round[i];
       record(shard.url, outcomes[i]);
+      // Checkpoint before the slices are moved onward (skips shards the
+      // run never picked up: their default outcome is kCancelled).
+      checkpoint(shard.url, outcomes[i], surviving[i]);
       if (!ran[i]) {
         for (auto& s : shard.child_slices) {
           final_slices.push_back(std::move(s));

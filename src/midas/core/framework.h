@@ -48,6 +48,19 @@ struct FrameworkOptions {
   /// tightens each shard's own token, so in-flight detection stops at the
   /// next hierarchy level boundary. Null = unbounded. Must outlive Run.
   const fault::CancelToken* cancel = nullptr;
+
+  /// Directory for the run's checkpoint log (store::kCheckpointFileName
+  /// inside it; the directory must exist). After each source finishes, its
+  /// report + surviving slices are appended durably, so a killed run can
+  /// continue where it stopped. Empty = no checkpointing.
+  std::string checkpoint_dir;
+
+  /// With checkpoint_dir set: load the existing checkpoint, skip sources
+  /// it already records (restoring their reports and slices bit-exactly),
+  /// and append the rest. A checkpoint from a different corpus/seed/mode
+  /// (fingerprint mismatch) or a corrupt one is discarded with a warning
+  /// and the run starts fresh. False = truncate any existing checkpoint.
+  bool resume = false;
 };
 
 /// Counters reported by a framework run.
@@ -59,6 +72,8 @@ struct FrameworkStats {
   size_t shard_retries = 0;      // detector re-attempts after a throw
   size_t shards_failed = 0;      // shards whose every attempt threw
   size_t deadline_expirations = 0;  // shards that ran out of budget
+  size_t sources_resumed = 0;    // shards restored from the checkpoint
+  size_t checkpoint_write_errors = 0;  // failed checkpoint appends
   double seconds = 0.0;
 };
 

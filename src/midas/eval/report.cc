@@ -1,7 +1,8 @@
 #include "midas/eval/report.h"
 
 #include <algorithm>
-#include <fstream>
+
+#include "midas/store/atomic_file.h"
 
 namespace midas {
 namespace eval {
@@ -58,12 +59,8 @@ JsonValue ExperimentReport::ToJson() const {
 }
 
 Status ExperimentReport::WriteTo(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << ToJson().Dump(2) << "\n";
-  out.flush();
-  if (!out) return Status::IoError("write error on " + path);
-  return Status::OK();
+  // Atomic replace: a crash mid-write can't leave a torn report behind.
+  return store::AtomicWriteFile(path, ToJson().Dump(2) + "\n");
 }
 
 JsonValue SlicesToJson(const std::vector<core::DiscoveredSlice>& slices,

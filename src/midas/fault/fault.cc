@@ -150,6 +150,23 @@ uint64_t FaultInjector::fires(std::string_view site) const {
              : armed_site->fires.load(std::memory_order_relaxed);
 }
 
+uint64_t FaultInjector::DrawOffset(std::string_view site,
+                                   std::string_view key,
+                                   uint64_t modulo) const {
+  if (modulo == 0) return 0;
+  uint64_t seed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const ArmedSite* armed_site = Find(site);
+    if (armed_site == nullptr) return 0;
+    seed = armed_site->spec.seed;
+  }
+  // Extra HashMix stage decorrelates the offset from the fire decision,
+  // which hashes the same (seed, site, key) triple.
+  return HashMix(HashMix(seed ^ HashMix(Fnv1a64(site)) ^ Fnv1a64(key))) %
+         modulo;
+}
+
 uint64_t FaultInjector::total_fires() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;

@@ -41,6 +41,8 @@ inline constexpr char kSiteDetector[] = "detector";      // shard detector throw
 inline constexpr char kSiteSlowShard[] = "slow_shard";   // pre-detect sleep
 inline constexpr char kSiteAlloc[] = "alloc";            // hierarchy bad_alloc
 inline constexpr char kSiteDumpRecord[] = "dump_record"; // corrupt dump row
+inline constexpr char kSiteIoWriteFail[] = "io_write_fail";  // ENOSPC-style Status
+inline constexpr char kSiteIoTornWrite[] = "io_torn_write";  // truncated write
 
 /// One armed injection site.
 struct SiteSpec {
@@ -88,6 +90,14 @@ class FaultInjector {
   /// Fires recorded for a site since the last Configure/Disarm.
   uint64_t fires(std::string_view site) const;
   uint64_t total_fires() const;
+
+  /// Deterministic draw in [0, modulo) from the armed site's seed and
+  /// `key`, on a hash stream independent of the fire decision. The torn-
+  /// write site uses this to pick the truncation byte offset, so replays
+  /// with the same spec tear at the same byte. Returns 0 when modulo == 0
+  /// or the site is unarmed.
+  uint64_t DrawOffset(std::string_view site, std::string_view key,
+                      uint64_t modulo) const;
 
   /// Macro backends (see bottom of this header).
   void MaybeThrow(const char* site, std::string_view key);

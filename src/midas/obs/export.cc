@@ -3,8 +3,8 @@
 #include <chrono>
 #include <cinttypes>
 #include <ctime>
-#include <fstream>
 
+#include "midas/store/atomic_file.h"
 #include "midas/util/string_util.h"
 #include "midas/util/table_printer.h"
 
@@ -147,15 +147,8 @@ std::string MetricsSummary(const Registry& registry, const Tracer& tracer) {
 
 Status WriteMetricsJson(const std::string& path) {
   if (path.empty()) return Status::OK();
-  std::ofstream file(path);
-  if (!file) {
-    return Status::IoError("cannot open metrics output: " + path);
-  }
-  file << MetricsToJson().Dump(2) << "\n";
-  if (!file.good()) {
-    return Status::IoError("failed writing metrics output: " + path);
-  }
-  return Status::OK();
+  // Atomic replace: scrapers never observe a partially written snapshot.
+  return store::AtomicWriteFile(path, MetricsToJson().Dump(2) + "\n");
 }
 
 }  // namespace obs

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "midas/store/atomic_file.h"
 #include "midas/util/string_util.h"
 #include "midas/util/tsv.h"
 
@@ -145,16 +146,14 @@ Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
 
 Status SaveNTriplesFile(const std::string& path, const Dictionary& dict,
                         const std::vector<Triple>& triples) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  // Atomic replace: a crash mid-write can't leave a torn triple file.
+  std::string contents;
   for (const Triple& t : triples) {
-    out << FormatNTriplesLine(dict.Term(t.subject), dict.Term(t.predicate),
-                              dict.Term(t.object))
-        << '\n';
+    contents += FormatNTriplesLine(dict.Term(t.subject), dict.Term(t.predicate),
+                                   dict.Term(t.object));
+    contents += '\n';
   }
-  out.flush();
-  if (!out) return Status::IoError("write error on " + path);
-  return Status::OK();
+  return store::AtomicWriteFile(path, contents);
 }
 
 Status LoadTsvFacts(const std::string& path, Dictionary* dict,

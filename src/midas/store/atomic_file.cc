@@ -1,0 +1,152 @@
+#include "midas/store/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "midas/fault/fault.h"
+#include "midas/obs/obs.h"
+
+namespace midas {
+namespace store {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/// write(2) with the mandatory partial-write / EINTR loop.
+Status WriteAll(int fd, const char* data, size_t len, const std::string& path) {
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write failed for", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+obs::Counter* AtomicWriteCounter() {
+  static obs::Counter* counter = MIDAS_OBS_COUNTER("store.atomic_writes");
+  return counter;
+}
+
+obs::Counter* AtomicWriteErrorCounter() {
+  static obs::Counter* counter = MIDAS_OBS_COUNTER("store.atomic_write_errors");
+  return counter;
+}
+
+}  // namespace
+
+std::string AtomicTempPath(const std::string& path) {
+  return path + ".tmp." + std::to_string(::getpid());
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("open for fsync failed for", path));
+  }
+  if (::fsync(fd) != 0) {
+    const Status status =
+        Status::IoError(ErrnoMessage("fsync failed for", path));
+    ::close(fd);
+    return status;
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError(ErrnoMessage("close after fsync failed for", path));
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  if (MIDAS_FAULT_SHOULD_CORRUPT(fault::kSiteIoWriteFail, path)) {
+    MIDAS_OBS_ADD(AtomicWriteErrorCounter(), 1);
+    return Status::IoError("injected io_write_fail (no space left on device) "
+                           "writing '" + path + "'");
+  }
+
+  const std::string tmp = AtomicTempPath(path);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    MIDAS_OBS_ADD(AtomicWriteErrorCounter(), 1);
+    return Status::IoError(ErrnoMessage("open failed for", tmp));
+  }
+
+  size_t write_len = contents.size();
+#ifdef MIDAS_FAULT_INJECTION
+  bool torn = false;
+  if (MIDAS_FAULT_SHOULD_CORRUPT(fault::kSiteIoTornWrite, path)) {
+    // Simulated crash mid-write: persist only a seeded prefix of the
+    // payload and never reach the rename, mirroring what a power cut
+    // between write(2) and rename(2) leaves behind.
+    write_len = fault::FaultInjector::Global().DrawOffset(
+        fault::kSiteIoTornWrite, path, contents.size() + 1);
+    torn = true;
+  }
+#endif
+
+  Status status = WriteAll(fd, contents.data(), write_len, tmp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IoError(ErrnoMessage("fsync failed for", tmp));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IoError(ErrnoMessage("close failed for", tmp));
+  }
+
+#ifdef MIDAS_FAULT_INJECTION
+  if (status.ok() && torn) {
+    // Leave the torn temp file behind as the crash state; destination
+    // untouched.
+    MIDAS_OBS_ADD(AtomicWriteErrorCounter(), 1);
+    return Status::IoError("injected io_torn_write after " +
+                           std::to_string(write_len) + "/" +
+                           std::to_string(contents.size()) + " bytes of '" +
+                           tmp + "'");
+  }
+#endif
+
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    MIDAS_OBS_ADD(AtomicWriteErrorCounter(), 1);
+    return status;
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_status =
+        Status::IoError(ErrnoMessage("rename failed for", tmp));
+    ::unlink(tmp.c_str());
+    MIDAS_OBS_ADD(AtomicWriteErrorCounter(), 1);
+    return rename_status;
+  }
+
+  // The rename is only durable once the parent directory's entry table is
+  // on disk.
+  status = FsyncPath(ParentDir(path));
+  if (!status.ok()) {
+    MIDAS_OBS_ADD(AtomicWriteErrorCounter(), 1);
+    return status;
+  }
+
+  MIDAS_OBS_ADD(AtomicWriteCounter(), 1);
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace midas

@@ -1,0 +1,54 @@
+#ifndef MIDAS_STORE_ATOMIC_FILE_H_
+#define MIDAS_STORE_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "midas/util/status.h"
+
+namespace midas {
+namespace store {
+
+/// midas::store — crash-safe durable I/O.
+///
+/// Every on-disk artifact the pipeline produces goes through one of two
+/// disciplines (the same ones production stores use; cf. ARIES-style
+/// logging and the fsync-ordering pitfalls cataloged by Pillai et al.):
+///
+///   * whole-file artifacts (TSV dumps, slice lists, reports, metrics)
+///     are written via AtomicWriteFile below — readers observe either the
+///     old file or the complete new file, never a torn prefix;
+///   * incremental run state (the framework checkpoint) goes through the
+///     length-prefixed, CRC-checked record log in record_log.h, whose
+///     reader recovers cleanly to the last valid record after a crash.
+
+/// The temp-file name AtomicWriteFile stages into: `path`.tmp.<pid>.
+/// Exposed so tests and cleanup tooling can find stranded temp files.
+std::string AtomicTempPath(const std::string& path);
+
+/// The directory containing `path` ("." when `path` has no slash).
+std::string ParentDir(const std::string& path);
+
+/// fsyncs `path` itself (a file or a directory). After creating, renaming,
+/// or deleting a directory entry, the *parent directory* must be fsynced
+/// for the entry to survive power loss.
+Status FsyncPath(const std::string& path);
+
+/// Atomically and durably replaces `path` with `contents`:
+///
+///   1. write everything to `path`.tmp.<pid>;
+///   2. fsync the temp file (data durable before the name swap);
+///   3. rename(2) over `path` — atomic on POSIX filesystems;
+///   4. fsync the parent directory (the new entry is durable).
+///
+/// On any failure the destination is untouched; the temp file is removed
+/// except after an injected torn write (fault site `io_torn_write`), where
+/// the truncated temp file is deliberately left behind as the simulated
+/// crash state. Fault site `io_write_fail` fails the call up front with an
+/// ENOSPC-style IoError. The parent directory must already exist.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+}  // namespace store
+}  // namespace midas
+
+#endif  // MIDAS_STORE_ATOMIC_FILE_H_

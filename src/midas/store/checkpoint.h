@@ -1,0 +1,109 @@
+#ifndef MIDAS_STORE_CHECKPOINT_H_
+#define MIDAS_STORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "midas/core/framework.h"
+#include "midas/core/types.h"
+#include "midas/rdf/dictionary.h"
+#include "midas/store/record_log.h"
+#include "midas/util/status.h"
+
+namespace midas {
+namespace store {
+
+/// Framework run checkpoint, layered on the CRC-framed record log
+/// (record_log.h). Header (this file) is in midas::store but the code
+/// compiles into midas_core: it serializes core::DiscoveredSlice, and
+/// store must stay below core in the library DAG.
+///
+/// Record payloads:
+///
+///   header := 'H' version:u32 fingerprint:u64       (always record 0)
+///   entry  := 'E' url status:u32 attempts:u32 error num_slices:u32 slice*
+///   slice  := source_url nprops:u32 (pred value)* nents:u32 term*
+///             nfacts:u32 (s p o)* num_facts:u64 num_new_facts:u64
+///             profit:u64 (IEEE-754 bit pattern)
+///
+/// All integers little-endian; every string is u32 length + bytes. Terms
+/// are serialized as dictionary *strings*, not TermIds — ids are assigned
+/// by interning order, which a resumed process replays but a checkpoint
+/// must not depend on. Profit travels as the exact double bit pattern
+/// (std::bit_cast), which is what makes a resumed run bit-identical to an
+/// uninterrupted one: no decimal round-trip ever touches the value.
+///
+/// The fingerprint binds a checkpoint to (run_seed, pipeline mode, corpus
+/// shape); a resume against different inputs rejects the file instead of
+/// silently merging stale results.
+
+/// File name of the checkpoint log inside --checkpoint_dir.
+inline constexpr char kCheckpointFileName[] = "checkpoint.midaslog";
+
+/// Current format version (the header's version field).
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// One completed source, as checkpointed after its shard finished: the
+/// post-consolidation surviving slices (what the framework would bubble to
+/// the parent or finalize) plus the report fields.
+struct CheckpointEntry {
+  std::string url;
+  core::SourceStatus status = core::SourceStatus::kOk;
+  uint32_t attempts = 0;
+  std::string error;
+  std::vector<core::DiscoveredSlice> slices;
+};
+
+/// Serializes the header / an entry into a record payload.
+std::string EncodeCheckpointHeader(uint64_t fingerprint);
+std::string EncodeCheckpointEntry(const CheckpointEntry& entry,
+                                  const rdf::Dictionary& dict);
+
+/// Parses an entry payload, re-interning term strings through `dict`
+/// lookups. Returns Corruption on malformed bytes or on a term the
+/// dictionary does not know (a corpus-mismatch symptom the fingerprint
+/// usually catches first).
+Status DecodeCheckpointEntry(std::string_view payload,
+                             const rdf::Dictionary& dict,
+                             CheckpointEntry* out);
+
+/// A loaded checkpoint: every fully-recorded source, plus where the valid
+/// prefix ends (pass to CheckpointWriter::OpenForAppend to resume the log,
+/// discarding any torn tail).
+struct CheckpointLoadResult {
+  std::vector<CheckpointEntry> entries;
+  uint64_t valid_bytes = 0;
+  bool tail_truncated = false;
+};
+
+/// Reads and validates the checkpoint at `path` against `fingerprint`.
+/// NotFound: no file. FailedPrecondition: wrong version or fingerprint (a
+/// checkpoint from a different run/corpus). Corruption: not a record log,
+/// or an undecodable *non-tail* record. A torn tail is recovered, not an
+/// error.
+StatusOr<CheckpointLoadResult> LoadCheckpoint(const std::string& path,
+                                              uint64_t fingerprint,
+                                              const rdf::Dictionary& dict);
+
+/// Appends checkpoint entries durably (fsync per append, via RecordWriter).
+class CheckpointWriter {
+ public:
+  /// Starts a fresh log: writes the header record.
+  Status Create(const std::string& path, uint64_t fingerprint);
+
+  /// Continues a loaded log, truncating to its valid prefix first.
+  Status OpenForAppend(const std::string& path, uint64_t valid_bytes);
+
+  Status Append(const CheckpointEntry& entry, const rdf::Dictionary& dict);
+  Status Close();
+  bool is_open() const { return writer_.is_open(); }
+
+ private:
+  RecordWriter writer_;
+};
+
+}  // namespace store
+}  // namespace midas
+
+#endif  // MIDAS_STORE_CHECKPOINT_H_

@@ -1,0 +1,49 @@
+#ifndef MIDAS_STORE_CRC32_H_
+#define MIDAS_STORE_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace midas {
+namespace store {
+
+/// Reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum
+/// gzip/zlib use. Table-driven software implementation; stable across
+/// platforms and runs, so it is safe inside on-disk record formats.
+/// CRC-32 detects every single-bit error and every burst up to 32 bits,
+/// which is exactly the torn/bit-flipped-tail detection the record log
+/// needs.
+inline constexpr std::array<uint32_t, 256> kCrc32Table = [] {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+/// CRC of `len` bytes, chained from `crc` (pass the previous return value
+/// to checksum data in pieces; start from 0).
+inline uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kCrc32Table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// CRC of a string view.
+inline uint32_t Crc32(std::string_view data, uint32_t crc = 0) {
+  return Crc32(data.data(), data.size(), crc);
+}
+
+}  // namespace store
+}  // namespace midas
+
+#endif  // MIDAS_STORE_CRC32_H_

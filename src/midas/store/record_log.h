@@ -1,0 +1,105 @@
+#ifndef MIDAS_STORE_RECORD_LOG_H_
+#define MIDAS_STORE_RECORD_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "midas/util/status.h"
+
+namespace midas {
+namespace store {
+
+/// Append-only record log with per-record CRC-32 framing.
+///
+/// On-disk layout:
+///
+///   file   := magic record*
+///   magic  := "MIDASLG1"                      (8 bytes)
+///   record := payload_len:u32le crc:u32le payload
+///
+/// where crc = Crc32(payload). Readers validate each record in turn and
+/// stop at the first frame whose length header runs past EOF or whose CRC
+/// mismatches — that prefix-recovery rule is what makes the format
+/// crash-safe: a process killed mid-append (or a disk that tears the tail
+/// sector) leaves a file whose valid prefix is exactly the records that
+/// were fully appended before the crash. The checkpoint log in
+/// checkpoint.h builds on this framing.
+
+/// Leading file magic; bumping the trailing digit versions the format.
+inline constexpr char kRecordLogMagic[] = "MIDASLG1";
+inline constexpr size_t kRecordLogMagicLen = 8;
+/// Bytes of framing per record (payload_len + crc).
+inline constexpr size_t kRecordHeaderLen = 8;
+/// Frames larger than this are treated as corruption, not allocation
+/// requests: a flipped bit in payload_len must not drive a 4 GB resize.
+inline constexpr uint32_t kMaxRecordPayload = 64u * 1024u * 1024u;
+
+/// What ReadRecordLog recovered from a log file.
+struct RecordReadResult {
+  /// Payloads of every valid record, in append order.
+  std::vector<std::string> records;
+  /// Length of the valid prefix (magic + intact records). Re-open the log
+  /// for appending with RecordWriter::OpenForAppend(path, valid_bytes) to
+  /// discard any torn tail.
+  uint64_t valid_bytes = 0;
+  /// True when bytes past valid_bytes were present but unreadable (torn
+  /// frame, CRC mismatch, oversized length).
+  bool tail_truncated = false;
+  /// Human-readable reason for the truncated tail; empty when clean.
+  std::string tail_error;
+};
+
+/// Reads and validates `path`. Returns NotFound when the file does not
+/// exist and Corruption when it is too short to hold the magic or starts
+/// with different bytes (not a record log at all). Any damage *after* a
+/// valid magic is recovered, not an error: the intact prefix comes back in
+/// `records` with tail_truncated set.
+StatusOr<RecordReadResult> ReadRecordLog(const std::string& path);
+
+/// Appends CRC-framed records to a log file, fsyncing after every append
+/// so each record is durable before the caller moves on (the checkpoint
+/// contract: a source is either fully recorded or not recorded).
+///
+/// Not thread-safe; callers serialize appends (the framework appends from
+/// the coordinating thread only).
+class RecordWriter {
+ public:
+  RecordWriter() = default;
+  ~RecordWriter();
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  /// Creates (or truncates) `path`, writes the magic, fsyncs file and
+  /// parent directory.
+  Status Create(const std::string& path);
+
+  /// Opens an existing log for appending, first truncating it to
+  /// `valid_bytes` (from ReadRecordLog) so a torn tail from a previous
+  /// crash is discarded before new records land after it.
+  Status OpenForAppend(const std::string& path, uint64_t valid_bytes);
+
+  /// Appends one framed record and fsyncs. Fault sites: `io_write_fail`
+  /// fails the append up front (log untouched); `io_torn_write` persists
+  /// only a seeded prefix of the frame — the simulated kill point the
+  /// crash-matrix suite replays. Keys are "<path>#<append index>" so a
+  /// spec can target the Nth append deterministically.
+  Status Append(std::string_view payload);
+
+  /// fsyncs and closes. Safe to call twice; the destructor closes without
+  /// surfacing errors (call Close to observe them).
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t appends_ = 0;
+};
+
+}  // namespace store
+}  // namespace midas
+
+#endif  // MIDAS_STORE_RECORD_LOG_H_

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "midas/store/atomic_file.h"
 #include "midas/util/string_util.h"
 
 namespace midas {
@@ -99,14 +100,13 @@ Status TsvReadFile(
 
 Status TsvWriteFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  // Staged through store::AtomicWriteFile: readers see the old file or the
+  // complete new one, never a torn prefix.
+  std::string contents;
   for (const auto& row : rows) {
-    out << TsvFormatRow(row);
+    contents += TsvFormatRow(row);
   }
-  out.flush();
-  if (!out) return Status::IoError("write error on " + path);
-  return Status::OK();
+  return store::AtomicWriteFile(path, contents);
 }
 
 }  // namespace midas

@@ -18,7 +18,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
+#include <sys/stat.h>
 #include <vector>
 
 #include "common/corpus_fixture.h"
@@ -26,6 +28,7 @@
 #include "midas/fault/fault.h"
 #include "midas/obs/metrics.h"
 #include "midas/obs/trace.h"
+#include "midas/store/checkpoint.h"
 #include "midas/util/timer.h"
 
 namespace midas {
@@ -39,12 +42,15 @@ uint64_t CounterValue(const std::string& name) {
 
 /// One matrix entry: a fault spec (may be empty), a per-source deadline,
 /// and whether a replay must reproduce the exact same result (true unless
-/// the entry depends on wall-clock deadlines).
+/// the entry depends on wall-clock deadlines). Entries with `checkpoint`
+/// set run with a checkpoint log, exercising the durable-append path under
+/// the armed faults (append failures must never change the run's result).
 struct MatrixConfig {
   const char* name;
   const char* spec;
   uint64_t deadline_ms;
   bool deterministic;
+  bool checkpoint = false;
 };
 
 const MatrixConfig kMatrix[] = {
@@ -80,6 +86,18 @@ const MatrixConfig kMatrix[] = {
      "site=detector,rate=0.2,seed=3;site=slow_shard,rate=0.3,delay_ms=2;"
      "site=alloc,rate=0.002,seed=3",
      40, false},
+    // Durable-I/O sites against the checkpoint log. Armed-at-rate-0 must be
+    // inert; every-append-fails must disable checkpointing without touching
+    // the run's result; torn appends leave a recoverable prefix (the resume
+    // contract is asserted in tests/store/checkpoint_resume_test.cc).
+    {"io_write_fail_rate0", "site=io_write_fail,rate=0,seed=1", 0, true, true},
+    {"io_torn_write_rate0", "site=io_torn_write,rate=0,seed=1", 0, true, true},
+    {"io_write_fail_all", "site=io_write_fail,rate=1,seed=2", 0, true, true},
+    {"io_torn_write_some", "site=io_torn_write,rate=0.3,seed=8", 0, true,
+     true},
+    {"io_plus_detector",
+     "site=io_write_fail,rate=0.5,seed=4;site=detector,rate=0.2,seed=4", 0,
+     true, true},
 };
 
 /// The per-source outcome digest a deterministic replay must reproduce.
@@ -133,6 +151,14 @@ class FaultMatrixTest : public ::testing::TestWithParam<MatrixConfig> {
     FrameworkOptions fw;
     fw.source_deadline_ms = config.deadline_ms;
     fw.retry_backoff_ms = 1;  // keep the matrix fast
+    if (config.checkpoint) {
+      // Fresh (non-resume) checkpointing each run so replays stay
+      // bit-identical: Create truncates whatever the previous run left.
+      const std::string dir =
+          ::testing::TempDir() + "/midas_fault_matrix_ckpt";
+      ::mkdir(dir.c_str(), 0755);
+      fw.checkpoint_dir = dir;
+    }
     MidasFramework framework(&alg, fw);
 
     if (config.spec[0] != '\0') {
@@ -189,6 +215,25 @@ TEST_P(FaultMatrixTest, CompletesWithAccurateReportsAndBalancedSpans) {
     for (const auto& s : result.slices) {
       EXPECT_NE(s.source_url, sr.url);
     }
+  }
+
+  if (config.checkpoint) {
+    // Fresh runs never resume, and whatever the io faults did to the log,
+    // the checkpoint log on disk is readable back to its last intact
+    // record (a torn append may leave tail garbage behind valid_bytes).
+    EXPECT_EQ(result.stats.sources_resumed, 0u);
+    const std::string log_path = ::testing::TempDir() +
+                                 "/midas_fault_matrix_ckpt/" +
+                                 store::kCheckpointFileName;
+    StatusOr<store::RecordReadResult> read = store::ReadRecordLog(log_path);
+    if (read.ok()) {
+      EXPECT_LE(read->records.size(), result.sources.size() + 1);
+    } else {
+      // Every append failed before the log was even created.
+      EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+      EXPECT_GT(result.stats.checkpoint_write_errors, 0u);
+    }
+    std::remove(log_path.c_str());
   }
 
 #ifndef MIDAS_OBS_NOOP

@@ -75,6 +75,14 @@ void RegisterRobustnessFlags(FlagParser* flags) {
                    "arm deterministic fault injection, e.g. "
                    "'site=detector,rate=0.05,seed=42' (sites only fire in a "
                    "MIDAS_FAULT_INJECTION build; see docs/ROBUSTNESS.md)");
+  flags->AddString("checkpoint_dir", "",
+                   "directory for the run's durable checkpoint log; each "
+                   "finished source is appended so a killed run can be "
+                   "continued with --resume (empty = no checkpointing)");
+  flags->AddBool("resume", false,
+                 "with --checkpoint_dir: skip sources the existing "
+                 "checkpoint already records and merge their results "
+                 "bit-identically");
 }
 
 /// Applies the robustness flags to the framework options and arms the fault
@@ -84,6 +92,11 @@ Status ApplyRobustnessFlags(const FlagParser& flags,
   options->source_deadline_ms =
       static_cast<uint64_t>(flags.GetInt64("source_deadline_ms"));
   options->max_retries = static_cast<size_t>(flags.GetInt64("max_retries"));
+  options->checkpoint_dir = flags.GetString("checkpoint_dir");
+  options->resume = flags.GetBool("resume");
+  if (options->resume && options->checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint_dir");
+  }
   const std::string spec = flags.GetString("fault_spec");
   if (!spec.empty()) {
     MIDAS_RETURN_IF_ERROR(fault::FaultInjector::Global().Configure(spec));
@@ -219,6 +232,10 @@ void RegisterDiscoverFlags(FlagParser* flags) {
                  "run the extraction-hygiene pass before discovery");
   flags->AddString("functional", "",
                    "comma-separated functional predicates for --clean");
+  flags->AddBool("strict_load", true,
+                 "abort on the first malformed dump row; with "
+                 "--strict_load=false malformed rows are quarantined "
+                 "(counted and skipped) instead");
   RegisterRobustnessFlags(flags);
   RegisterMetricsFlags(flags);
 }
@@ -229,7 +246,15 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
   }
 
   extract::ExtractionDump dump;
-  MIDAS_RETURN_IF_ERROR(extract::LoadDump(flags.GetString("dump"), &dump));
+  extract::LoadOptions load_options;
+  load_options.strict = flags.GetBool("strict_load");
+  extract::LoadStats load_stats;
+  MIDAS_RETURN_IF_ERROR(extract::LoadDump(flags.GetString("dump"),
+                                          load_options, &dump, &load_stats));
+  if (load_stats.rows_quarantined > 0 && !flags.GetBool("json")) {
+    out << "quarantined " << load_stats.rows_quarantined
+        << " malformed dump row(s)\n";
+  }
   if (flags.GetBool("clean")) {
     extract::CleaningOptions cleaning;
     for (std::string_view name :
@@ -314,6 +339,9 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
     report.Set("corpus_sources",
                JsonValue::Int(static_cast<int64_t>(corpus.NumSources())));
     report.Set("kb_facts", JsonValue::Int(static_cast<int64_t>(kb.size())));
+    report.Set("rows_quarantined",
+               JsonValue::Int(
+                   static_cast<int64_t>(load_stats.rows_quarantined)));
     report.Set("seconds", JsonValue::Number(result.stats.seconds));
     report.Set("shards_failed",
                JsonValue::Int(static_cast<int64_t>(result.stats.shards_failed)));

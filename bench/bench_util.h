@@ -25,6 +25,7 @@
 /// this header without the dependency.
 #define MIDAS_BENCHMARK_MAIN_WITH_JSON_ARTIFACT()                           \
   int main(int argc, char** argv) {                                         \
+    if (!::midas::bench::CheckReleaseBuild(argv[0])) return 1;              \
     std::vector<char*> args(argv, argv + argc);                             \
     std::string out_flag, fmt_flag;                                         \
     const char* json_path = std::getenv("MIDAS_BENCH_JSON");                \
@@ -36,6 +37,8 @@
     }                                                                       \
     int count = static_cast<int>(args.size());                              \
     ::benchmark::Initialize(&count, args.data());                           \
+    ::benchmark::AddCustomContext("midas_build_type",                       \
+                                  ::midas::bench::BuildTypeString());       \
     if (::benchmark::ReportUnrecognizedArguments(count, args.data())) {     \
       return 1;                                                             \
     }                                                                       \
@@ -46,6 +49,45 @@
 
 namespace midas {
 namespace bench {
+
+/// Build type of *this* binary (the google-benchmark context key
+/// library_build_type reports how the benchmark LIBRARY was compiled, which
+/// on prebuilt-library images says "debug" even for Release app builds).
+/// Recorded as the custom context key "midas_build_type";
+/// scripts/compare_bench.py keys its release gate on it.
+inline const char* BuildTypeString() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Debug-build numbers are noise: they land in JSON artifacts with
+/// library_build_type != "release" and poison cross-PR comparisons (the
+/// checked-in baselines are Release numbers). Refuses to run — returning
+/// false — unless MIDAS_ALLOW_DEBUG_BENCH is set, which downgrades the
+/// refusal to a warning for local spot checks. Release builds always pass.
+inline bool CheckReleaseBuild(const char* argv0) {
+#ifdef NDEBUG
+  (void)argv0;
+  return true;
+#else
+  const char* allow = std::getenv("MIDAS_ALLOW_DEBUG_BENCH");
+  if (allow != nullptr && *allow != '\0') {
+    std::cerr << "WARNING: " << argv0
+              << " is a debug build; timings are not comparable to the "
+                 "checked-in Release baselines.\n";
+    return true;
+  }
+  std::cerr << "ERROR: " << argv0
+            << " is a debug build. Benchmark numbers from debug builds are "
+               "meaningless against the Release baselines (BENCH_*.json). "
+               "Rebuild with -DCMAKE_BUILD_TYPE=Release, or set "
+               "MIDAS_ALLOW_DEBUG_BENCH=1 to run anyway.\n";
+  return false;
+#endif
+}
 
 /// Prints a section banner.
 inline void Banner(const std::string& title) {

@@ -17,10 +17,28 @@ import json
 import sys
 
 
-def load_benchmarks(path):
-    """Returns {name: time_ns} for aggregate-free benchmark rows."""
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def build_type(doc):
+    """The producing binary's build type ("" if absent).
+
+    Prefers the app-recorded midas_build_type context key: google-benchmark's
+    own library_build_type describes how the *library* was compiled, which on
+    images with a prebuilt debug benchmark library says "debug" even for
+    Release app builds. Artifacts written by bench/macro_scale.cc record
+    library_build_type from the app's NDEBUG directly.
+    """
+    context = doc.get("context", {})
+    return str(
+        context.get("midas_build_type", context.get("library_build_type", ""))
+    )
+
+
+def load_benchmarks(doc):
+    """Returns {name: time_ns} for aggregate-free benchmark rows."""
     out = {}
     for row in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repetitions); compare
@@ -45,10 +63,37 @@ def main():
         default=0.25,
         help="allowed fractional slowdown before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--allow-debug",
+        action="store_true",
+        help="compare even when a file was produced by a non-release build",
+    )
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    curr = load_benchmarks(args.current)
+    base_doc = load_doc(args.baseline)
+    curr_doc = load_doc(args.current)
+    # Debug-build timings are not comparable to Release baselines; a debug
+    # artifact sneaking into the comparison produces either phantom
+    # regressions or (worse) a debug baseline that everything "beats".
+    for path, doc in ((args.baseline, base_doc), (args.current, curr_doc)):
+        bt = build_type(doc)
+        if bt != "release":
+            msg = (
+                f"{path} was produced by a {bt or 'unknown'} build, "
+                "not release"
+            )
+            if args.allow_debug:
+                print(f"warning: {msg} (--allow-debug)", file=sys.stderr)
+            else:
+                print(
+                    f"error: {msg}; rerun from a Release build or pass "
+                    "--allow-debug",
+                    file=sys.stderr,
+                )
+                return 2
+
+    base = load_benchmarks(base_doc)
+    curr = load_benchmarks(curr_doc)
     if not base:
         print(f"error: no benchmarks found in {args.baseline}", file=sys.stderr)
         return 2

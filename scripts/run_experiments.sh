@@ -14,6 +14,17 @@ OUT_DIR="${2:-experiment_results}"
 cmake -B "$BUILD_DIR" -G Ninja
 cmake --build "$BUILD_DIR"
 
+# Benchmark timings from non-Release builds are not comparable to the
+# checked-in baselines (BENCH_*.json); refuse unless explicitly overridden.
+build_type="$(grep -E '^CMAKE_BUILD_TYPE:' "$BUILD_DIR/CMakeCache.txt" |
+  cut -d= -f2 || true)"
+if [[ "$build_type" != "Release" && "${MIDAS_ALLOW_DEBUG_BENCH:-}" != "1" ]]; then
+  echo "error: $BUILD_DIR is a '$build_type' build; benchmarks need Release." >&2
+  echo "Reconfigure with -DCMAKE_BUILD_TYPE=Release, or set" >&2
+  echo "MIDAS_ALLOW_DEBUG_BENCH=1 to run anyway." >&2
+  exit 1
+fi
+
 mkdir -p "$OUT_DIR"
 
 echo "== tests =="

@@ -1,0 +1,98 @@
+#include "midas/core/bitset_kernels.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace midas {
+namespace core {
+namespace kernels {
+
+namespace {
+
+uint64_t PortablePopcount(const uint64_t* w, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(w[i]));
+  }
+  return total;
+}
+
+uint64_t PortableAndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
+}
+
+uint64_t PortableAndNotCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & ~b[i]));
+  }
+  return total;
+}
+
+void PortableOrInto(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void PortableAndInto(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void PortableIntersectInto(uint64_t* dst, const uint64_t* const* sets,
+                           size_t num_sets, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t w = sets[0][i];
+    for (size_t k = 1; k < num_sets; ++k) w &= sets[k][i];
+    dst[i] = w;
+  }
+}
+
+const KernelTable kPortable = {
+    "portable",          PortablePopcount, PortableAndCount,
+    PortableAndNotCount, PortableOrInto,   PortableAndInto,
+    PortableIntersectInto,
+};
+
+/// Cached dispatch decision; null until the first Active() call (or a test
+/// override). Release/acquire so a table published by one thread is fully
+/// visible to others.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const KernelTable& PortableKernels() { return kPortable; }
+
+const KernelTable& Active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = Avx2Kernels();
+    if (table == nullptr) table = &kPortable;
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+bool ForceBackendForTest(const char* name) {
+  if (name == nullptr) {
+    g_active.store(nullptr, std::memory_order_release);
+    return true;
+  }
+  if (std::strcmp(name, "portable") == 0) {
+    g_active.store(&kPortable, std::memory_order_release);
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    const KernelTable* avx2 = Avx2Kernels();
+    if (avx2 == nullptr) return false;
+    g_active.store(avx2, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace kernels
+}  // namespace core
+}  // namespace midas

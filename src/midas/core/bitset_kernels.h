@@ -1,0 +1,68 @@
+#ifndef MIDAS_CORE_BITSET_KERNELS_H_
+#define MIDAS_CORE_BITSET_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace midas {
+namespace core {
+namespace kernels {
+
+/// Word-sweep kernels behind the EntityBitset algebra. Two providers exist:
+/// the portable scalar table (always available) and an AVX2 table compiled
+/// into its own translation unit with -mavx2 and selected at runtime via
+/// __builtin_cpu_supports. Both compute identical results — every operation
+/// is a commutative integral reduction or a pure word-wise map, so lane
+/// order cannot change any bit — which the differential suite pins by
+/// forcing each backend over the same hierarchies.
+///
+/// All pointers are to 64-bit word blocks of length `n`; none may be null
+/// for n > 0. Blocks need no particular alignment (the AVX2 table uses
+/// unaligned loads): EntityBitset hands out heap, inline, and arena blocks.
+struct KernelTable {
+  /// Provider name, "portable" or "avx2" (stable; tests key on it).
+  const char* name;
+
+  /// Σ popcount(w[i]).
+  uint64_t (*popcount)(const uint64_t* w, size_t n);
+  /// Σ popcount(a[i] & b[i]).
+  uint64_t (*and_count)(const uint64_t* a, const uint64_t* b, size_t n);
+  /// Σ popcount(a[i] & ~b[i]).
+  uint64_t (*andnot_count)(const uint64_t* a, const uint64_t* b, size_t n);
+  /// dst[i] |= src[i].
+  void (*or_into)(uint64_t* dst, const uint64_t* src, size_t n);
+  /// dst[i] &= src[i].
+  void (*and_into)(uint64_t* dst, const uint64_t* src, size_t n);
+  /// dst[i] = sets[0][i] & ... & sets[num_sets-1][i]; num_sets >= 1.
+  /// `dst` must not alias any of the input blocks.
+  void (*intersect_into)(uint64_t* dst, const uint64_t* const* sets,
+                         size_t num_sets, size_t n);
+};
+
+/// The scalar fallback table. Always valid.
+const KernelTable& PortableKernels();
+
+/// The AVX2 table, or null when the build lacks -mavx2 support or the CPU
+/// lacks AVX2.
+const KernelTable* Avx2Kernels();
+
+/// The dispatched table: AVX2 when available, portable otherwise. The
+/// decision is made once and cached; thread-safe.
+const KernelTable& Active();
+
+/// Test hook: pins Active() to the named backend ("portable" or "avx2"),
+/// or restores runtime detection when `name` is null. Returns false (and
+/// leaves the dispatch untouched) if the named backend is unavailable.
+/// Not thread-safe against concurrent kernel users; call between runs.
+bool ForceBackendForTest(const char* name);
+
+/// Blocks shorter than this stay on the callers' inline scalar loops: the
+/// dispatch indirection and vector setup only pay for themselves once a
+/// sweep covers a few cache lines (512+ entities).
+inline constexpr size_t kMinDispatchWords = 8;
+
+}  // namespace kernels
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_BITSET_KERNELS_H_

@@ -1,0 +1,150 @@
+// The AVX2 kernel provider. This translation unit — and only this one — is
+// compiled with -mavx2 (see CMakeLists.txt); every entry point is reached
+// strictly behind the __builtin_cpu_supports("avx2") check in Avx2Kernels,
+// so the binary stays runnable on pre-AVX2 hardware. When the compiler has
+// no -mavx2 (or the target is not x86-64) the provider degrades to null and
+// dispatch stays on the portable table.
+
+#include "midas/core/bitset_kernels.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace midas {
+namespace core {
+namespace kernels {
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+namespace {
+
+/// Per-byte popcount of a 256-bit lane (Muła's nibble-LUT shuffle).
+inline __m256i PopcountEpi8(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+/// Widens per-byte counts to four u64 lane sums (horizontal SAD against 0);
+/// lane sums never overflow since each step adds at most 32 * 8 = 256.
+inline __m256i LaneSums(__m256i v) {
+  return _mm256_sad_epu8(PopcountEpi8(v), _mm256_setzero_si256());
+}
+
+inline uint64_t HorizontalSum(__m256i acc) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+inline __m256i LoadWords(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void StoreWords(uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+uint64_t Avx2Popcount(const uint64_t* w, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(acc, LaneSums(LoadWords(w + i)));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(w[i]));
+  }
+  return total;
+}
+
+uint64_t Avx2AndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(LoadWords(a + i), LoadWords(b + i));
+    acc = _mm256_add_epi64(acc, LaneSums(v));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
+}
+
+uint64_t Avx2AndNotCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // andnot computes ~first & second, so b supplies the complement side.
+    const __m256i v = _mm256_andnot_si256(LoadWords(b + i), LoadWords(a + i));
+    acc = _mm256_add_epi64(acc, LaneSums(v));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & ~b[i]));
+  }
+  return total;
+}
+
+void Avx2OrInto(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    StoreWords(dst + i, _mm256_or_si256(LoadWords(dst + i), LoadWords(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void Avx2AndInto(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    StoreWords(dst + i,
+               _mm256_and_si256(LoadWords(dst + i), LoadWords(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void Avx2IntersectInto(uint64_t* dst, const uint64_t* const* sets,
+                       size_t num_sets, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = LoadWords(sets[0] + i);
+    for (size_t k = 1; k < num_sets; ++k) {
+      v = _mm256_and_si256(v, LoadWords(sets[k] + i));
+    }
+    StoreWords(dst + i, v);
+  }
+  for (; i < n; ++i) {
+    uint64_t w = sets[0][i];
+    for (size_t k = 1; k < num_sets; ++k) w &= sets[k][i];
+    dst[i] = w;
+  }
+}
+
+const KernelTable kAvx2 = {
+    "avx2",          Avx2Popcount, Avx2AndCount, Avx2AndNotCount,
+    Avx2OrInto,      Avx2AndInto,  Avx2IntersectInto,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Kernels() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &kAvx2 : nullptr;
+}
+
+#else  // !(__x86_64__ && __AVX2__)
+
+const KernelTable* Avx2Kernels() { return nullptr; }
+
+#endif
+
+}  // namespace kernels
+}  // namespace core
+}  // namespace midas

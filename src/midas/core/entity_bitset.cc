@@ -11,7 +11,7 @@ std::vector<EntityId> EntityBitset::ToVector() const {
 }
 
 void EntityBitset::AppendTo(std::vector<EntityId>* out) const {
-  for (size_t i = 0; i < words_.size(); ++i) {
+  for (size_t i = 0; i < num_words_; ++i) {
     uint64_t w = words_[i];
     while (w != 0) {
       unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));

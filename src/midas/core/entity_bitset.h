@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <vector>
 
-#include "midas/core/small_vec.h"
+#include "midas/core/bitset_kernels.h"
 #include "midas/core/types.h"
+#include "midas/core/word_arena.h"
+#include "midas/util/logging.h"
 
 namespace midas {
 namespace core {
@@ -16,7 +18,18 @@ namespace core {
 /// algebra (AND/OR/popcount) of the single-source hot path: a slice's
 /// entity set Π becomes one word block, intersection becomes word-wise AND,
 /// set-union profit becomes word-wise OR plus a popcount-driven totals
-/// sweep.
+/// sweep. Sweeps of kernels::kMinDispatchWords words or more run on the
+/// dispatched kernel table (AVX2 when the CPU has it) — bit-identical to
+/// the scalar loops by construction.
+///
+/// Storage is one of three modes, invisible to callers:
+///   - inline: universes up to 256 entities live in the object itself, so
+///     hierarchy nodes on small sources never touch the heap;
+///   - owned heap: the default beyond that;
+///   - arena: ResetIn() borrows a block from a WordArena (hierarchy node
+///     blocks); the bitset never frees it, the arena owner does.
+/// Copies always own their words; moves steal the block (or memcpy the
+/// inline words) and are noexcept.
 ///
 /// Invariant: bits at positions >= universe() are always zero, so Count()
 /// and word-wise comparisons never see garbage in the trailing word.
@@ -25,23 +38,63 @@ class EntityBitset {
   EntityBitset() = default;
   explicit EntityBitset(size_t universe) { Reset(universe); }
 
-  /// Resizes to `universe` bits and clears all of them.
+  EntityBitset(const EntityBitset& other) { CopyFrom(other); }
+  EntityBitset& operator=(const EntityBitset& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  EntityBitset(EntityBitset&& other) noexcept { StealFrom(&other); }
+  EntityBitset& operator=(EntityBitset&& other) noexcept {
+    if (this != &other) {
+      ReleaseStorage();
+      StealFrom(&other);
+    }
+    return *this;
+  }
+  ~EntityBitset() {
+    if (owns_heap_) delete[] words_;
+  }
+
+  /// Resizes to `universe` bits and clears all of them. Reuses the current
+  /// block when its capacity suffices (so arena-backed nodes stay on their
+  /// arena block).
   void Reset(size_t universe) {
+    const size_t words = NumWordsFor(universe);
+    EnsureCapacity(words);
     universe_ = universe;
-    words_.assign((universe + 63) / 64, 0);
+    num_words_ = words;
+    std::fill_n(words_, words, uint64_t{0});
+  }
+
+  /// Like Reset, but draws fresh storage from `arena` when the current
+  /// capacity is insufficient (instead of the heap). The arena owns the
+  /// block and must outlive every bitset borrowing from it.
+  void ResetIn(size_t universe, WordArena* arena) {
+    const size_t words = NumWordsFor(universe);
+    if (arena == nullptr || words <= capacity_) {
+      Reset(universe);
+      return;
+    }
+    if (owns_heap_) delete[] words_;
+    words_ = arena->Allocate(words);
+    capacity_ = words;
+    owns_heap_ = false;
+    universe_ = universe;
+    num_words_ = words;
+    std::fill_n(words_, words, uint64_t{0});
   }
 
   /// Clears all bits, keeping the universe.
-  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+  void ClearAll() { std::fill_n(words_, num_words_, uint64_t{0}); }
 
   /// Sets every bit in [0, universe).
   void FillAll() {
-    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    std::fill_n(words_, num_words_, ~uint64_t{0});
     MaskTail();
   }
 
   size_t universe() const { return universe_; }
-  size_t num_words() const { return words_.size(); }
+  size_t num_words() const { return num_words_; }
 
   void Set(EntityId e) { words_[e >> 6] |= uint64_t{1} << (e & 63); }
 
@@ -51,33 +104,50 @@ class EntityBitset {
 
   /// Popcount over all words.
   size_t Count() const {
+    if (num_words_ >= kernels::kMinDispatchWords) {
+      return static_cast<size_t>(kernels::Active().popcount(words_, num_words_));
+    }
     size_t n = 0;
-    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    for (size_t i = 0; i < num_words_; ++i) {
+      n += static_cast<size_t>(__builtin_popcountll(words_[i]));
+    }
     return n;
   }
 
   bool AnySet() const {
-    for (uint64_t w : words_) {
-      if (w != 0) return true;
+    for (size_t i = 0; i < num_words_; ++i) {
+      if (words_[i] != 0) return true;
     }
     return false;
   }
 
-  /// this |= other. Universes must match.
+  /// this |= other. Word counts must match (asserted in debug builds —
+  /// mismatched universes would silently index out of lockstep).
   void OrWith(const EntityBitset& other) {
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    MIDAS_DCHECK(num_words_ == other.num_words_)
+        << "EntityBitset::OrWith num_words mismatch: " << num_words_ << " vs "
+        << other.num_words_;
+    if (num_words_ >= kernels::kMinDispatchWords) {
+      kernels::Active().or_into(words_, other.words_, num_words_);
+      return;
+    }
+    for (size_t i = 0; i < num_words_; ++i) words_[i] |= other.words_[i];
   }
 
-  /// this &= other. Universes must match.
+  /// this &= other. Word counts must match (asserted in debug builds).
   void AndWith(const EntityBitset& other) {
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    MIDAS_DCHECK(num_words_ == other.num_words_)
+        << "EntityBitset::AndWith num_words mismatch: " << num_words_ << " vs "
+        << other.num_words_;
+    if (num_words_ >= kernels::kMinDispatchWords) {
+      kernels::Active().and_into(words_, other.words_, num_words_);
+      return;
+    }
+    for (size_t i = 0; i < num_words_; ++i) words_[i] &= other.words_[i];
   }
 
   /// this = other (word copy; resizes if needed).
-  void Assign(const EntityBitset& other) {
-    universe_ = other.universe_;
-    words_.assign(other.words_.begin(), other.words_.end());
-  }
+  void Assign(const EntityBitset& other) { CopyFrom(other); }
 
   /// this = {e : e in list}, over a fresh `universe`.
   void AssignList(const std::vector<EntityId>& list, size_t universe) {
@@ -87,8 +157,15 @@ class EntityBitset {
 
   /// |this & other| without materializing the intersection.
   static size_t CountAnd(const EntityBitset& a, const EntityBitset& b) {
+    MIDAS_DCHECK(a.num_words_ == b.num_words_)
+        << "EntityBitset::CountAnd num_words mismatch: " << a.num_words_
+        << " vs " << b.num_words_;
+    if (a.num_words_ >= kernels::kMinDispatchWords) {
+      return static_cast<size_t>(
+          kernels::Active().and_count(a.words_, b.words_, a.num_words_));
+    }
     size_t n = 0;
-    for (size_t i = 0; i < a.words_.size(); ++i) {
+    for (size_t i = 0; i < a.num_words_; ++i) {
       n += static_cast<size_t>(__builtin_popcountll(a.words_[i] & b.words_[i]));
     }
     return n;
@@ -96,8 +173,15 @@ class EntityBitset {
 
   /// |this & ~other| without materializing.
   static size_t CountAndNot(const EntityBitset& a, const EntityBitset& b) {
+    MIDAS_DCHECK(a.num_words_ == b.num_words_)
+        << "EntityBitset::CountAndNot num_words mismatch: " << a.num_words_
+        << " vs " << b.num_words_;
+    if (a.num_words_ >= kernels::kMinDispatchWords) {
+      return static_cast<size_t>(
+          kernels::Active().andnot_count(a.words_, b.words_, a.num_words_));
+    }
     size_t n = 0;
-    for (size_t i = 0; i < a.words_.size(); ++i) {
+    for (size_t i = 0; i < a.num_words_; ++i) {
       n += static_cast<size_t>(
           __builtin_popcountll(a.words_[i] & ~b.words_[i]));
     }
@@ -106,13 +190,14 @@ class EntityBitset {
 
   /// True iff the sets are identical.
   bool operator==(const EntityBitset& other) const {
-    return universe_ == other.universe_ && words_ == other.words_;
+    return universe_ == other.universe_ &&
+           std::equal(words_, words_ + num_words_, other.words_);
   }
 
   /// Invokes `fn(EntityId)` for every set bit, ascending.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (size_t i = 0; i < words_.size(); ++i) {
+    for (size_t i = 0; i < num_words_; ++i) {
       uint64_t w = words_[i];
       while (w != 0) {
         unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
@@ -130,22 +215,76 @@ class EntityBitset {
 
   /// Raw word access for fused kernels (see ProfitContext). Writers must
   /// preserve the trailing-word invariant (bits >= universe stay zero).
-  const uint64_t* words() const { return words_.data(); }
-  uint64_t* mutable_words() { return words_.data(); }
+  const uint64_t* words() const { return words_; }
+  uint64_t* mutable_words() { return words_; }
 
  private:
+  /// Inline storage covers universes up to 256 entities.
+  static constexpr size_t kInlineWords = 4;
+
+  static size_t NumWordsFor(size_t universe) { return (universe + 63) / 64; }
+
   /// Zeroes the bits at positions >= universe_ in the trailing word.
   void MaskTail() {
-    if (universe_ % 64 != 0 && !words_.empty()) {
-      words_.back() &= (uint64_t{1} << (universe_ % 64)) - 1;
+    if (universe_ % 64 != 0 && num_words_ > 0) {
+      words_[num_words_ - 1] &= (uint64_t{1} << (universe_ % 64)) - 1;
     }
   }
 
+  /// Grows to at least `words` capacity (owned heap). Contents are NOT
+  /// preserved — every caller refills the block.
+  void EnsureCapacity(size_t words) {
+    if (words <= capacity_) return;
+    uint64_t* fresh = new uint64_t[words];
+    if (owns_heap_) delete[] words_;
+    words_ = fresh;
+    capacity_ = words;
+    owns_heap_ = true;
+  }
+
+  /// Frees owned storage and falls back to the inline words.
+  void ReleaseStorage() {
+    if (owns_heap_) delete[] words_;
+    words_ = inline_;
+    capacity_ = kInlineWords;
+    owns_heap_ = false;
+  }
+
+  void CopyFrom(const EntityBitset& other) {
+    EnsureCapacity(other.num_words_);
+    universe_ = other.universe_;
+    num_words_ = other.num_words_;
+    std::copy_n(other.words_, num_words_, words_);
+  }
+
+  /// Adopts other's block (or copies its inline words) and leaves it empty.
+  /// *this must not own heap storage when called.
+  void StealFrom(EntityBitset* other) noexcept {
+    universe_ = other->universe_;
+    num_words_ = other->num_words_;
+    if (other->words_ == other->inline_) {
+      words_ = inline_;
+      capacity_ = kInlineWords;
+      owns_heap_ = false;
+      std::copy_n(other->inline_, kInlineWords, inline_);
+    } else {
+      words_ = other->words_;
+      capacity_ = other->capacity_;
+      owns_heap_ = other->owns_heap_;
+      other->words_ = other->inline_;
+      other->capacity_ = kInlineWords;
+      other->owns_heap_ = false;
+    }
+    other->universe_ = 0;
+    other->num_words_ = 0;
+  }
+
   size_t universe_ = 0;
-  /// Inline storage covers universes up to 256 entities — hierarchy nodes
-  /// on small sources carry their whole word block without touching the
-  /// heap.
-  SmallVec<uint64_t, 4> words_;
+  size_t num_words_ = 0;
+  size_t capacity_ = kInlineWords;
+  bool owns_heap_ = false;
+  uint64_t* words_ = inline_;
+  uint64_t inline_[kInlineWords];
 };
 
 }  // namespace core

@@ -92,6 +92,11 @@ uint64_t RunFingerprint(const web::Corpus& corpus,
                         const FrameworkOptions& options) {
   uint64_t fp = HashMix(options.run_seed);
   fp = HashCombine(fp, options.use_hierarchy_rounds ? 1u : 0u);
+  // Mixed only when set, so checkpoints from corpora without a content
+  // hash (TSV loads, in-memory corpora) keep their historical fingerprint.
+  if (options.corpus_fingerprint != 0) {
+    fp = HashCombine(fp, options.corpus_fingerprint);
+  }
   for (const auto& source : corpus.sources()) {
     fp = HashCombine(fp, Fnv1a64(source.url));
     fp = HashCombine(fp, source.facts.size());

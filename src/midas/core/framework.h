@@ -42,6 +42,13 @@ struct FrameworkOptions {
   /// determinism). Two runs with the same seed back off identically.
   uint64_t run_seed = 0;
 
+  /// Content hash of the corpus artifact the run was loaded from (the
+  /// MIDASCOL1 footer hash — see store/columnar.h). When nonzero it is
+  /// mixed into the checkpoint fingerprint, so a resume binds to the exact
+  /// columnar file bytes, not just the corpus shape. Zero (e.g. TSV loads)
+  /// keeps the shape-only fingerprint — existing checkpoints stay valid.
+  uint64_t corpus_fingerprint = 0;
+
   /// Optional whole-run cancel/deadline. Polled at shard boundaries: once
   /// expired, queued shards are skipped (reported kCancelled) and the run
   /// returns the slices consolidated so far with result.partial set. Also

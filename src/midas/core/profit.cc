@@ -1,5 +1,6 @@
 #include "midas/core/profit.h"
 
+#include "midas/core/bitset_kernels.h"
 #include "midas/obs/obs.h"
 
 namespace midas {
@@ -83,15 +84,30 @@ uint64_t ProfitContext::AndTotals(const EntityBitset& a, const EntityBitset& b,
 void ProfitContext::IntersectTotals(const uint64_t* const* sets,
                                     size_t num_sets, EntityBitset* out,
                                     uint64_t* facts, uint64_t* fresh) const {
-  out->Reset(table_.num_entities());
+  // Resize only on universe mismatch: every word is overwritten below, and
+  // arena-backed node blocks (see SliceHierarchy) must keep their storage.
+  if (out->universe() != table_.num_entities()) {
+    out->Reset(table_.num_entities());
+  }
   uint64_t* dst = out->mutable_words();
   const size_t num_words = out->num_words();
   uint64_t f = 0, n = 0;
-  for (size_t i = 0; i < num_words; ++i) {
-    uint64_t w = sets[0][i];
-    for (size_t k = 1; k < num_sets; ++k) w &= sets[k][i];
-    dst[i] = w;
-    AccumulateWord(w, i * 64, &f, &n);
+  if (num_words >= kernels::kMinDispatchWords) {
+    // Two passes on wide universes: the vectorized multi-AND writes the
+    // word block, then the scalar totals sweep reads it back — the same
+    // index-ordered integral sums as the fused loop, so profits stay
+    // bit-identical across kernel backends.
+    kernels::Active().intersect_into(dst, sets, num_sets, num_words);
+    for (size_t i = 0; i < num_words; ++i) {
+      AccumulateWord(dst[i], i * 64, &f, &n);
+    }
+  } else {
+    for (size_t i = 0; i < num_words; ++i) {
+      uint64_t w = sets[0][i];
+      for (size_t k = 1; k < num_sets; ++k) w &= sets[k][i];
+      dst[i] = w;
+      AccumulateWord(w, i * 64, &f, &n);
+    }
   }
   *facts = f;
   *fresh = n;

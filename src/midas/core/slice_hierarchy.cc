@@ -441,6 +441,15 @@ void SliceHierarchy::EvaluatePending() {
   if (pending_eval_.empty()) return;
   MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("hierarchy.profit_evals"),
                 pending_eval_.size());
+  if (table_.dense()) {
+    // Pre-size every pending node's word block from the arena before the
+    // evaluation fan-out: the bump allocator is not thread-safe, and
+    // pre-sized blocks let EvaluateNode's kernels write in place without
+    // allocating inside worker chunks.
+    for (uint32_t idx : pending_eval_) {
+      nodes_[idx].bits.ResetIn(table_.num_entities(), &arena_);
+    }
+  }
   ForChunks(pending_eval_.size(), [&](size_t, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) EvaluateNode(pending_eval_[i]);
   });

@@ -10,6 +10,7 @@
 #include "midas/core/profit.h"
 #include "midas/core/small_vec.h"
 #include "midas/core/types.h"
+#include "midas/core/word_arena.h"
 #include "midas/fault/cancel.h"
 #include "midas/util/thread_pool.h"
 
@@ -262,6 +263,10 @@ class SliceHierarchy {
   SetIndex set_index_;
   // Node shells awaiting evaluation (index order preserved).
   std::vector<uint32_t> pending_eval_;
+  /// Backing store for dense nodes' entity word blocks: one bump allocation
+  /// per level batch instead of one heap vector per node. Must outlive
+  /// nodes_ (never freed before the hierarchy itself).
+  WordArena arena_;
   std::unique_ptr<ThreadPool> pool_;
   size_t resolved_threads_ = 1;
   HierarchyStats stats_;

@@ -1,0 +1,67 @@
+#ifndef MIDAS_CORE_WORD_ARENA_H_
+#define MIDAS_CORE_WORD_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace midas {
+namespace core {
+
+/// Bump allocator for 64-bit word blocks. SliceHierarchy draws every dense
+/// node's entity word block from one of these instead of giving each node
+/// its own heap allocation: a level of N pending nodes over a U-entity
+/// universe costs N malloc calls under per-node vectors, but only
+/// ~N*U/64/kMinBlockWords block mallocs here — and the blocks stay
+/// contiguous in level-evaluation order, which is also the traversal's read
+/// order.
+///
+/// Blocks are owned by the arena and freed only when the arena dies;
+/// individual allocations are never returned. NOT thread-safe — callers
+/// allocate serially (see SliceHierarchy::EvaluatePending, which pre-sizes
+/// node blocks before fanning evaluation out to the pool).
+class WordArena {
+ public:
+  WordArena() = default;
+  WordArena(const WordArena&) = delete;
+  WordArena& operator=(const WordArena&) = delete;
+
+  /// Returns an uninitialized block of `num_words` words, valid until the
+  /// arena is destroyed.
+  uint64_t* Allocate(size_t num_words) {
+    if (num_words > remaining_) Refill(num_words);
+    uint64_t* block = cursor_;
+    cursor_ += num_words;
+    remaining_ -= num_words;
+    allocated_ += num_words;
+    return block;
+  }
+
+  /// Total words handed out (not counting slab slack).
+  size_t allocated_words() const { return allocated_; }
+  size_t num_slabs() const { return slabs_.size(); }
+
+ private:
+  /// 128 KiB slabs: large enough that even wide sources (tens of thousands
+  /// of entities) amortize dozens of node blocks per malloc.
+  static constexpr size_t kMinSlabWords = size_t{1} << 14;
+
+  void Refill(size_t num_words) {
+    const size_t slab_words = std::max(num_words, kMinSlabWords);
+    slabs_.push_back(std::make_unique<uint64_t[]>(slab_words));
+    cursor_ = slabs_.back().get();
+    remaining_ = slab_words;
+  }
+
+  std::vector<std::unique_ptr<uint64_t[]>> slabs_;
+  uint64_t* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t allocated_ = 0;
+};
+
+}  // namespace core
+}  // namespace midas
+
+#endif  // MIDAS_CORE_WORD_ARENA_H_

@@ -1,5 +1,6 @@
 #include "midas/extract/dump_io.h"
 
+#include "midas/extract/columnar_io.h"
 #include "midas/fault/fault.h"
 #include "midas/obs/obs.h"
 #include "midas/util/logging.h"
@@ -16,6 +17,12 @@ Status LoadDump(const std::string& path, ExtractionDump* dump) {
 
 Status LoadDump(const std::string& path, const LoadOptions& options,
                 ExtractionDump* dump, LoadStats* stats) {
+  // Format auto-detection: a MIDASCOL1 magic routes to the columnar
+  // reader. Strict/permissive does not apply there — the binary format is
+  // CRC-verified as a whole, so a damaged file always fails the load.
+  if (IsColumnarDump(path)) {
+    return LoadColumnarDump(path, dump, stats, /*fingerprint=*/nullptr);
+  }
   if (!dump->dict) dump->dict = std::make_shared<rdf::Dictionary>();
   rdf::Dictionary* dict = dump->dict.get();
   [[maybe_unused]] obs::Counter* quarantined_c =

@@ -6,19 +6,38 @@ namespace midas {
 namespace rdf {
 
 TermId Dictionary::Intern(std::string_view term) {
+  EnsureIndexed();
   auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   MIDAS_CHECK_LT(terms_.size(), kInvalidTermId) << "dictionary overflow";
   TermId id = static_cast<TermId>(terms_.size());
   terms_.emplace_back(term);
   index_.emplace(terms_.back(), id);
+  indexed_ = terms_.size();
   return id;
 }
 
 std::optional<TermId> Dictionary::Lookup(std::string_view term) const {
+  EnsureIndexed();
   auto it = index_.find(term);
   if (it == index_.end()) return std::nullopt;
   return it->second;
+}
+
+TermId Dictionary::AdoptUnchecked(std::string_view term) {
+  MIDAS_CHECK_LT(terms_.size(), kInvalidTermId) << "dictionary overflow";
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  return id;
+}
+
+void Dictionary::EnsureIndexed() const {
+  if (indexed_ == terms_.size()) return;
+  index_.reserve(terms_.size());
+  while (indexed_ < terms_.size()) {
+    index_.emplace(terms_[indexed_], static_cast<TermId>(indexed_));
+    ++indexed_;
+  }
 }
 
 size_t Dictionary::MemoryUsageBytes() const {

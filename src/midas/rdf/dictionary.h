@@ -36,6 +36,19 @@ class Dictionary {
   /// Returns the id for `term` if already interned.
   std::optional<TermId> Lookup(std::string_view term) const;
 
+  /// Bulk adoption for dictionary-encoded file loads: appends `term` under
+  /// the next dense id WITHOUT touching the lookup index. The caller
+  /// guarantees `term` is distinct from every term already present (the
+  /// columnar format stores each term once, so loaders satisfy this by
+  /// construction). The index catches up lazily on the next Intern/Lookup;
+  /// pure id-space pipelines never pay for the hashing at all.
+  TermId AdoptUnchecked(std::string_view term);
+
+  /// Pre-sizes the term table for `n` total terms. Bulk loaders call this
+  /// so AdoptUnchecked never pays for vector growth (the index is left
+  /// alone; it sizes itself if and when EnsureIndexed runs).
+  void Reserve(size_t n) { terms_.reserve(n); }
+
   /// Returns the string for an id. Requires id < size().
   const std::string& Term(TermId id) const { return terms_[id]; }
 
@@ -46,15 +59,22 @@ class Dictionary {
   size_t MemoryUsageBytes() const;
 
  private:
+  /// Indexes terms_[indexed_..size) — the tail AdoptUnchecked appended.
+  void EnsureIndexed() const;
+
   std::vector<std::string> terms_;
-  // Heterogeneous lookup so Lookup(string_view) does not allocate.
+  // Heterogeneous lookup so Lookup(string_view) does not allocate. Mutable
+  // with indexed_: the index is a lazily maintained cache over terms_, and
+  // Lookup (const) may have to catch it up after AdoptUnchecked.
   struct StringHash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const {
       return std::hash<std::string_view>{}(s);
     }
   };
-  std::unordered_map<std::string, TermId, StringHash, std::equal_to<>> index_;
+  mutable std::unordered_map<std::string, TermId, StringHash, std::equal_to<>>
+      index_;
+  mutable size_t indexed_ = 0;
 };
 
 }  // namespace rdf

@@ -2,8 +2,10 @@
 #define MIDAS_STORE_CRC32_H_
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace midas {
@@ -15,16 +17,28 @@ namespace store {
 /// CRC-32 detects every single-bit error and every burst up to 32 bits,
 /// which is exactly the torn/bit-flipped-tail detection the record log
 /// needs.
-inline constexpr std::array<uint32_t, 256> kCrc32Table = [] {
-  std::array<uint32_t, 256> table{};
+///
+/// kCrc32Tables[0] is the classic byte-at-a-time table; tables 1-7 extend
+/// it for the slice-by-8 kernel below (processing 8 input bytes per step —
+/// roughly 4x the bytewise throughput, which matters now that every
+/// columnar-dump load checksums whole mmap'd sections). The produced
+/// values are identical to the bytewise algorithm.
+inline constexpr std::array<std::array<uint32_t, 256>, 8> kCrc32Tables = [] {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (size_t t = 1; t < 8; ++t) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[t][i] =
+          tables[0][tables[t - 1][i] & 0xffu] ^ (tables[t - 1][i] >> 8);
+    }
+  }
+  return tables;
 }();
 
 /// CRC of `len` bytes, chained from `crc` (pass the previous return value
@@ -32,8 +46,24 @@ inline constexpr std::array<uint32_t, 256> kCrc32Table = [] {
 inline uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0) {
   const auto* bytes = static_cast<const unsigned char*>(data);
   crc = ~crc;
+  // Slice-by-8 consumes the two 32-bit halves in little-endian byte order;
+  // big-endian targets fall through to the bytewise loop.
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      uint32_t lo, hi;
+      std::memcpy(&lo, bytes, 4);
+      std::memcpy(&hi, bytes + 4, 4);
+      lo ^= crc;
+      crc = kCrc32Tables[7][lo & 0xffu] ^ kCrc32Tables[6][(lo >> 8) & 0xffu] ^
+            kCrc32Tables[5][(lo >> 16) & 0xffu] ^ kCrc32Tables[4][lo >> 24] ^
+            kCrc32Tables[3][hi & 0xffu] ^ kCrc32Tables[2][(hi >> 8) & 0xffu] ^
+            kCrc32Tables[1][(hi >> 16) & 0xffu] ^ kCrc32Tables[0][hi >> 24];
+      bytes += 8;
+      len -= 8;
+    }
+  }
   for (size_t i = 0; i < len; ++i) {
-    crc = kCrc32Table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    crc = kCrc32Tables[0][(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
   }
   return ~crc;
 }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "midas/extract/extraction.h"
+#include "midas/store/columnar.h"
 #include "midas/util/logging.h"
 #include "midas/util/string_util.h"
 #include "midas/web/url.h"
@@ -35,6 +37,47 @@ size_t UniformIn(Rng* rng, size_t lo, size_t hi) {
   return lo + rng->Uniform(hi - lo + 1);
 }
 
+// Long-tail junk categories for noisy (forum/news) content: loosely
+// related entities whose type assertions never form a profitable group.
+constexpr size_t kJunkCategories = 300;
+
+// Extraction salience: defining facts (category/group) live in titles
+// and infoboxes, so extractors recover them far more reliably.
+constexpr double kDefiningSalience = 3.0;
+
+/// Builds the vertical schemas. Shared by GenerateCorpus and the streaming
+/// generator; draws from `rng` in a fixed order, so GenerateCorpus's
+/// streams are unchanged by the factoring.
+std::vector<Vertical> BuildOntology(const CorpusGenParams& params, Rng* rng,
+                                    rdf::Dictionary* dict) {
+  rdf::TermId category_pred = dict->Intern("category");
+  rdf::TermId group_pred = dict->Intern("group");
+  std::vector<Vertical> verticals(params.num_verticals);
+  for (size_t v = 0; v < params.num_verticals; ++v) {
+    Vertical& vert = verticals[v];
+    vert.category_pred = category_pred;
+    vert.group_pred = group_pred;
+    vert.name_value = dict->Intern(StringPrintf("vertical_%zu", v));
+    size_t num_groups = UniformIn(rng, 3, 6);
+    for (size_t g = 0; g < num_groups; ++g) {
+      vert.group_values.push_back(
+          dict->Intern(StringPrintf("v%zu_group%zu", v, g)));
+    }
+    size_t num_attrs = UniformIn(rng, 2, 4);
+    vert.attr_values.resize(num_attrs);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      vert.attr_pred_names.push_back(StringPrintf("attr_%zu_%zu", v, a));
+      size_t pool = UniformIn(rng, 8, 20);
+      for (size_t i = 0; i < pool; ++i) {
+        vert.attr_values[a].push_back(
+            dict->Intern(StringPrintf("val_%zu_%zu_%zu", v, a, i)));
+      }
+    }
+    vert.label_pred = dict->Intern(StringPrintf("label_%zu", v));
+  }
+  return verticals;
+}
+
 }  // namespace
 
 GeneratedCorpus GenerateCorpus(const CorpusGenParams& params) {
@@ -47,31 +90,7 @@ GeneratedCorpus GenerateCorpus(const CorpusGenParams& params) {
   const bool open_ie = params.mode == CorpusMode::kOpenIe;
 
   // --- Ontology ------------------------------------------------------
-  rdf::TermId category_pred = dict.Intern("category");
-  rdf::TermId group_pred = dict.Intern("group");
-  std::vector<Vertical> verticals(params.num_verticals);
-  for (size_t v = 0; v < params.num_verticals; ++v) {
-    Vertical& vert = verticals[v];
-    vert.category_pred = category_pred;
-    vert.group_pred = group_pred;
-    vert.name_value = dict.Intern(StringPrintf("vertical_%zu", v));
-    size_t num_groups = UniformIn(&rng, 3, 6);
-    for (size_t g = 0; g < num_groups; ++g) {
-      vert.group_values.push_back(
-          dict.Intern(StringPrintf("v%zu_group%zu", v, g)));
-    }
-    size_t num_attrs = UniformIn(&rng, 2, 4);
-    vert.attr_values.resize(num_attrs);
-    for (size_t a = 0; a < num_attrs; ++a) {
-      vert.attr_pred_names.push_back(StringPrintf("attr_%zu_%zu", v, a));
-      size_t pool = UniformIn(&rng, 8, 20);
-      for (size_t i = 0; i < pool; ++i) {
-        vert.attr_values[a].push_back(
-            dict.Intern(StringPrintf("val_%zu_%zu_%zu", v, a, i)));
-      }
-    }
-    vert.label_pred = dict.Intern(StringPrintf("label_%zu", v));
-  }
+  std::vector<Vertical> verticals = BuildOntology(params, &rng, &dict);
 
   // --- True web content ------------------------------------------------
   std::vector<PageContent> pages;
@@ -83,14 +102,6 @@ GeneratedCorpus GenerateCorpus(const CorpusGenParams& params) {
     std::string description;
   };
   std::vector<SectionInfo> sections;
-
-  // Long-tail junk categories for noisy (forum/news) content: loosely
-  // related entities whose type assertions never form a profitable group.
-  constexpr size_t kJunkCategories = 300;
-
-  // Extraction salience: defining facts (category/group) live in titles
-  // and infoboxes, so extractors recover them far more reliably.
-  constexpr double kDefiningSalience = 3.0;
 
   size_t vertical_rr = 0;  // round-robin so a domain's sections differ
   size_t noisy_quota = 0;  // exact fractional assignment of noisy domains
@@ -295,6 +306,203 @@ GeneratedCorpus GenerateCorpus(const CorpusGenParams& params) {
   }
 
   return out;
+}
+
+Status StreamCorpusToColumnar(const CorpusGenParams& params,
+                              uint64_t target_records,
+                              const std::string& path,
+                              StreamedCorpusStats* stats,
+                              uint64_t max_records_per_shard) {
+  Rng rng(params.seed);
+  auto dict = std::make_shared<rdf::Dictionary>();
+  std::vector<Vertical> verticals = BuildOntology(params, &rng, dict.get());
+  extract::ExtractionSimulator simulator(params.extractor, dict.get());
+  // Unlike GenerateCorpus (which extracts after all content exists), the
+  // extraction RNG here interleaves with content generation page by page;
+  // forking keeps the two streams decorrelated.
+  Rng extract_rng = rng.Fork();
+
+  StreamedCorpusStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = StreamedCorpusStats();
+
+  const bool sharded = max_records_per_shard > 0;
+  const bool open_ie = params.mode == CorpusMode::kOpenIe;
+  std::unique_ptr<store::ColumnarWriter> writer;
+  std::unordered_map<std::string, uint32_t> url_code;
+  std::vector<const std::string*> urls;  // stable: points into url_code keys
+  uint64_t shard_records = 0;
+
+  const auto open_shard = [&] {
+    std::string shard_path =
+        sharded ? StringPrintf("%s.%05zu", path.c_str(),
+                               stats->shard_paths.size())
+                : path;
+    writer = std::make_unique<store::ColumnarWriter>(shard_path);
+    stats->shard_paths.push_back(std::move(shard_path));
+    url_code.clear();
+    urls.clear();
+    shard_records = 0;
+  };
+  const auto close_shard = [&]() -> Status {
+    Status status = writer->Finish(
+        dict->size(),
+        [&dict](size_t i) {
+          return std::string_view(dict->Term(static_cast<rdf::TermId>(i)));
+        },
+        urls.size(), [&urls](size_t i) { return std::string_view(*urls[i]); });
+    writer.reset();
+    return status;
+  };
+
+  // Degrades one page through the extraction pipeline and writes the
+  // surviving (post-threshold) records. The page is dropped right after —
+  // memory stays O(dictionary + one page).
+  std::vector<extract::ExtractedFact> extracted;
+  const auto emit_page = [&](const PageContent& page) {
+    extracted.clear();
+    simulator.ExtractPage(page, &extract_rng, &extracted);
+    for (const extract::ExtractedFact& f : extracted) {
+      if (!(f.confidence > params.confidence_threshold)) continue;
+      auto [it, inserted] =
+          url_code.try_emplace(f.url, static_cast<uint32_t>(urls.size()));
+      if (inserted) {
+        urls.push_back(&it->first);
+        stats->num_sources++;
+      }
+      writer->AddRecord(it->second, f.triple.subject, f.triple.predicate,
+                        f.triple.object, f.confidence);
+      stats->records_written++;
+      shard_records++;
+    }
+  };
+
+  open_shard();
+  size_t vertical_rr = 0;
+  size_t noisy_quota = 0;
+  for (size_t d = 0; stats->records_written < target_records; ++d) {
+    if (sharded && shard_records >= max_records_per_shard) {
+      MIDAS_RETURN_IF_ERROR(close_shard());
+      open_shard();
+    }
+    stats->num_domains++;
+    std::string host = StringPrintf("http://www.domain%zu.example.com", d);
+    size_t prev = noisy_quota;
+    noisy_quota = static_cast<size_t>(
+        std::floor(static_cast<double>(d + 1) * params.noisy_domain_fraction));
+    bool noisy = noisy_quota > prev;
+
+    size_t size_multiplier = 1;
+    if (params.skewed_large_domain && d == 0) {
+      size_multiplier = params.skew_factor;
+      noisy = false;
+    }
+
+    if (noisy) {
+      size_t num_pages = UniformIn(&rng, params.pages_per_section,
+                                   3 * params.pages_per_section) *
+                         std::max<size_t>(1, params.sections_per_domain);
+      for (size_t j = 0; j < num_pages; ++j) {
+        PageContent page;
+        page.url = host + StringPrintf("/post%zu.htm", j);
+        size_t num_entities =
+            UniformIn(&rng, 1, 2 * params.entities_per_page);
+        for (size_t k = 0; k < num_entities; ++k) {
+          rdf::TermId subject = dict->Intern(
+              StringPrintf("noise_d%zu_p%zu_e%zu", d, j, k));
+          const Vertical& vert = verticals[rng.Uniform(verticals.size())];
+          if (rng.Bernoulli(0.85)) {
+            page.facts.emplace_back(
+                subject, vert.category_pred,
+                dict->Intern(StringPrintf(
+                    "topic_%zu",
+                    static_cast<size_t>(rng.Uniform(kJunkCategories)))));
+          } else {
+            if (rng.Bernoulli(0.5)) {
+              page.facts.emplace_back(subject, vert.category_pred,
+                                      vert.name_value);
+            }
+            page.facts.emplace_back(
+                subject, vert.group_pred,
+                vert.group_values[rng.Uniform(vert.group_values.size())]);
+          }
+          for (size_t a = 0; a < vert.attr_pred_names.size(); ++a) {
+            if (!rng.Bernoulli(0.5)) continue;
+            std::string pred_name = vert.attr_pred_names[a];
+            if (open_ie && params.openie_paraphrases > 1) {
+              pred_name += StringPrintf(
+                  "_p%zu",
+                  static_cast<size_t>(rng.Uniform(params.openie_paraphrases)));
+            }
+            rdf::TermId value =
+                rng.Bernoulli(0.5)
+                    ? vert.attr_values[a][rng.Uniform(vert.attr_values[a].size())]
+                    : dict->Intern(StringPrintf(
+                          "mention_%llu",
+                          static_cast<unsigned long long>(rng.Next() %
+                                                          100000)));
+            page.facts.emplace_back(subject, dict->Intern(pred_name), value);
+          }
+        }
+        page.salience.assign(page.facts.size(), 1.0);
+        emit_page(page);
+      }
+      continue;
+    }
+
+    size_t num_sections =
+        UniformIn(&rng, 1, 2 * params.sections_per_domain) * size_multiplier;
+    for (size_t s = 0; s < num_sections; ++s) {
+      size_t vertical_index = vertical_rr++ % verticals.size();
+      const Vertical& vert = verticals[vertical_index];
+      rdf::TermId group_value =
+          vert.group_values[rng.Uniform(vert.group_values.size())];
+      std::string section_url = host + StringPrintf("/cat%zu", s);
+      size_t num_pages =
+          UniformIn(&rng, std::max<size_t>(2, params.pages_per_section / 2),
+                    params.pages_per_section * 3 / 2 + 1);
+      for (size_t j = 0; j < num_pages; ++j) {
+        PageContent page;
+        page.url = section_url + StringPrintf("/item%zu.htm", j);
+        size_t variant =
+            open_ie
+                ? rng.Uniform(std::max<size_t>(1, params.openie_paraphrases))
+                : 0;
+        size_t num_entities = UniformIn(
+            &rng, std::max<size_t>(1, params.entities_per_page / 2),
+            params.entities_per_page * 3 / 2 + 1);
+        for (size_t k = 0; k < num_entities; ++k) {
+          rdf::TermId subject = dict->Intern(
+              StringPrintf("ent_d%zu_s%zu_p%zu_e%zu", d, s, j, k));
+          page.facts.emplace_back(subject, vert.category_pred,
+                                  vert.name_value);
+          page.salience.push_back(kDefiningSalience);
+          page.facts.emplace_back(subject, vert.group_pred, group_value);
+          page.salience.push_back(kDefiningSalience);
+          for (size_t a = 0; a < vert.attr_pred_names.size(); ++a) {
+            if (!rng.Bernoulli(0.85)) continue;
+            std::string pred_name = vert.attr_pred_names[a];
+            if (open_ie && params.openie_paraphrases > 1) {
+              pred_name += StringPrintf("_p%zu", variant);
+            }
+            page.facts.emplace_back(
+                subject, dict->Intern(pred_name),
+                vert.attr_values[a][rng.Uniform(vert.attr_values[a].size())]);
+            page.salience.push_back(1.0);
+          }
+          if (rng.Bernoulli(0.5)) {
+            page.facts.emplace_back(
+                subject, vert.label_pred,
+                dict->Intern(StringPrintf("label_d%zu_s%zu_p%zu_e%zu", d, s,
+                                          j, k)));
+            page.salience.push_back(1.0);
+          }
+        }
+        emit_page(page);
+      }
+    }
+  }
+  return close_shard();
 }
 
 CorpusGenParams ReVerbLikeParams(double scale) {

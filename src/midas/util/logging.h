@@ -55,6 +55,17 @@ class LogMessage {
                                 __LINE__, /*fatal=*/true)                 \
       << "Check failed: " #condition " "
 
+/// Debug-only assertion: active when NDEBUG is not defined, compiled to
+/// nothing (condition unevaluated) in release builds. Use on hot paths
+/// where an always-on MIDAS_CHECK would cost; keep MIDAS_CHECK for cold
+/// invariants.
+#ifndef NDEBUG
+#define MIDAS_DCHECK(condition) MIDAS_CHECK(condition)
+#else
+#define MIDAS_DCHECK(condition) \
+  if (false) MIDAS_CHECK(condition)
+#endif
+
 #define MIDAS_CHECK_EQ(a, b) MIDAS_CHECK((a) == (b))
 #define MIDAS_CHECK_NE(a, b) MIDAS_CHECK((a) != (b))
 #define MIDAS_CHECK_LE(a, b) MIDAS_CHECK((a) <= (b))

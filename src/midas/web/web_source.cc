@@ -9,16 +9,29 @@ Corpus::Corpus(std::shared_ptr<rdf::Dictionary> dict)
     : dict_(dict ? std::move(dict) : std::make_shared<rdf::Dictionary>()) {}
 
 size_t Corpus::AddFact(const std::string& url, const rdf::Triple& triple) {
+  const size_t idx = AddSource(url);
+  AddFactToSource(idx, triple);
+  return idx;
+}
+
+size_t Corpus::AddSource(const std::string& url) {
   auto [it, inserted] = url_index_.try_emplace(url, sources_.size());
   if (inserted) {
     sources_.push_back(WebSource{url, {}});
     dedup_.emplace_back();
   }
-  size_t idx = it->second;
-  if (dedup_[idx].insert(triple).second) {
-    sources_[idx].facts.push_back(triple);
-  }
-  return idx;
+  return it->second;
+}
+
+bool Corpus::AddFactToSource(size_t index, const rdf::Triple& triple) {
+  if (!dedup_[index].insert(triple).second) return false;
+  sources_[index].facts.push_back(triple);
+  return true;
+}
+
+void Corpus::AppendFactToSourceUnchecked(size_t index,
+                                         const rdf::Triple& triple) {
+  sources_[index].facts.push_back(triple);
 }
 
 size_t Corpus::AddFactRaw(std::string_view url, std::string_view subject,

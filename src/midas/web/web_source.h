@@ -37,6 +37,22 @@ class Corpus {
   /// (url, triple) pairs are dropped. Returns the source index.
   size_t AddFact(const std::string& url, const rdf::Triple& triple);
 
+  /// Registers (or finds) the source for a normalized URL without adding a
+  /// fact; returns its index. The columnar fast path resolves each distinct
+  /// URL code once through this, then streams facts by index.
+  size_t AddSource(const std::string& url);
+
+  /// Adds `triple` to the source at `index` (from AddSource/AddFact), with
+  /// the same (url, triple) dedup as AddFact. Returns true if inserted.
+  bool AddFactToSource(size_t index, const rdf::Triple& triple);
+
+  /// Bulk adoption: appends `triple` to source `index` WITHOUT recording it
+  /// in the dedup set — the caller guarantees the (source, triple) pair is
+  /// new (the columnar loader dedups on raw codes before remapping). Later
+  /// AddFact calls on the same source may therefore re-insert triples
+  /// appended this way; bulk-loaded corpora are read-only discovery inputs.
+  void AppendFactToSourceUnchecked(size_t index, const rdf::Triple& triple);
+
   /// Convenience: interns terms and normalizes the URL.
   size_t AddFactRaw(std::string_view url, std::string_view subject,
                     std::string_view predicate, std::string_view object);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "midas/core/bitset_kernels.h"
 #include "midas/core/entity_bitset.h"
 #include "midas/core/fact_table.h"
 #include "midas/core/midas_alg.h"
@@ -239,6 +240,47 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<DiffParam>& info) {
       return std::string(info.param.name);
     });
+
+/// Runs end-to-end detection on wide tables (512+ entities, so the blocks
+/// clear kernels::kMinDispatchWords and the dispatched table actually
+/// executes) under a forced kernel backend.
+std::vector<std::vector<DiscoveredSlice>> DetectUnderBackend(
+    const char* backend, uint64_t seed) {
+  EXPECT_TRUE(kernels::ForceBackendForTest(backend)) << backend;
+  EXPECT_STREQ(kernels::Active().name, backend);
+  FactTableOptions dense_opts;
+  dense_opts.dense_index_min_entities = 0;
+  MidasOptions alg_opts;
+  alg_opts.fact_table = dense_opts;
+
+  Rng rng(seed);
+  std::vector<std::vector<DiscoveredSlice>> all;
+  for (int round = 0; round < 12; ++round) {
+    RandomSource src = MakeRandomSource(&rng, 520, 900);
+    SourceInput input;
+    input.url = "http://example.org/wide";
+    input.facts = &src.facts;
+    all.push_back(MidasAlg(alg_opts).Detect(input, *src.kb));
+  }
+  kernels::ForceBackendForTest(nullptr);
+  return all;
+}
+
+// The SIMD backend must be bit-identical to the portable one — every kernel
+// is an integral reduction or word-wise map, so there is no legitimate
+// source of divergence. Same seed, same tables, slice-for-slice equality.
+TEST(BitsetKernelBackendDifferentialTest, Avx2DetectionIsBitIdentical) {
+  if (kernels::Avx2Kernels() == nullptr) {
+    GTEST_SKIP() << "AVX2 unavailable on this machine";
+  }
+  const uint64_t seed = 0x51DEB00C;
+  const auto portable = DetectUnderBackend("portable", seed);
+  const auto avx2 = DetectUnderBackend("avx2", seed);
+  ASSERT_EQ(portable.size(), avx2.size());
+  for (size_t i = 0; i < portable.size(); ++i) {
+    ExpectSlicesIdentical(portable[i], avx2[i]);
+  }
+}
 
 }  // namespace
 }  // namespace core

@@ -1,0 +1,147 @@
+// Portable vs AVX2 kernel equivalence on randomized word blocks, plus the
+// dispatch/force-backend contract. Sizes sweep 0..~70 words to cover every
+// vector-width remainder (the AVX2 kernels process 4 words per lane-step
+// with a scalar tail).
+
+#include "midas/core/bitset_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "midas/util/random.h"
+
+namespace midas {
+namespace core {
+namespace kernels {
+namespace {
+
+std::vector<uint64_t> RandomWords(Rng* rng, size_t n) {
+  std::vector<uint64_t> words(n);
+  for (uint64_t& w : words) {
+    w = rng->Next();
+    // Mix in sparse and dense words so popcounts aren't all near 32.
+    const uint64_t shape = rng->Uniform(4);
+    if (shape == 0) w &= rng->Next();  // sparse
+    if (shape == 1) w |= rng->Next();  // dense
+    if (shape == 2 && rng->Bernoulli(0.2)) w = 0;
+  }
+  return words;
+}
+
+class BitsetKernelsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ForceBackendForTest(nullptr); }
+};
+
+TEST_F(BitsetKernelsTest, PortableTableIsAlwaysAvailable) {
+  EXPECT_STREQ(PortableKernels().name, "portable");
+  EXPECT_NE(PortableKernels().popcount, nullptr);
+}
+
+TEST_F(BitsetKernelsTest, ActiveIsOneOfTheProviders) {
+  const std::string active = Active().name;
+  if (Avx2Kernels() != nullptr) {
+    EXPECT_EQ(active, "avx2");  // dispatch prefers the vector table
+  } else {
+    EXPECT_EQ(active, "portable");
+  }
+}
+
+TEST_F(BitsetKernelsTest, ForceBackendPinsAndRestores) {
+  ASSERT_TRUE(ForceBackendForTest("portable"));
+  EXPECT_STREQ(Active().name, "portable");
+  if (Avx2Kernels() != nullptr) {
+    ASSERT_TRUE(ForceBackendForTest("avx2"));
+    EXPECT_STREQ(Active().name, "avx2");
+  } else {
+    EXPECT_FALSE(ForceBackendForTest("avx2"));
+    EXPECT_STREQ(Active().name, "portable");  // untouched on failure
+  }
+  EXPECT_FALSE(ForceBackendForTest("no-such-backend"));
+  ForceBackendForTest(nullptr);  // back to runtime detection
+  EXPECT_STREQ(Active().name,
+               Avx2Kernels() != nullptr ? "avx2" : "portable");
+}
+
+TEST_F(BitsetKernelsTest, Avx2MatchesPortableOnRandomBlocks) {
+  const KernelTable* avx2 = Avx2Kernels();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this machine";
+  const KernelTable& portable = PortableKernels();
+
+  Rng rng(0x5EED);
+  for (size_t n = 0; n <= 70; ++n) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const std::vector<uint64_t> a = RandomWords(&rng, n);
+      const std::vector<uint64_t> b = RandomWords(&rng, n);
+      const uint64_t* ap = n ? a.data() : nullptr;
+      const uint64_t* bp = n ? b.data() : nullptr;
+
+      EXPECT_EQ(portable.popcount(ap, n), avx2->popcount(ap, n))
+          << "popcount n=" << n;
+      EXPECT_EQ(portable.and_count(ap, bp, n), avx2->and_count(ap, bp, n))
+          << "and_count n=" << n;
+      EXPECT_EQ(portable.andnot_count(ap, bp, n),
+                avx2->andnot_count(ap, bp, n))
+          << "andnot_count n=" << n;
+
+      std::vector<uint64_t> dst_p = a, dst_v = a;
+      portable.or_into(n ? dst_p.data() : nullptr, bp, n);
+      avx2->or_into(n ? dst_v.data() : nullptr, bp, n);
+      EXPECT_EQ(dst_p, dst_v) << "or_into n=" << n;
+
+      dst_p = a;
+      dst_v = a;
+      portable.and_into(n ? dst_p.data() : nullptr, bp, n);
+      avx2->and_into(n ? dst_v.data() : nullptr, bp, n);
+      EXPECT_EQ(dst_p, dst_v) << "and_into n=" << n;
+    }
+  }
+}
+
+TEST_F(BitsetKernelsTest, Avx2IntersectMatchesPortable) {
+  const KernelTable* avx2 = Avx2Kernels();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this machine";
+  const KernelTable& portable = PortableKernels();
+
+  Rng rng(0xFACE);
+  for (size_t n : {size_t{1}, size_t{3}, size_t{8}, size_t{17}, size_t{64}}) {
+    for (size_t num_sets = 1; num_sets <= 5; ++num_sets) {
+      std::vector<std::vector<uint64_t>> sets;
+      std::vector<const uint64_t*> ptrs;
+      for (size_t s = 0; s < num_sets; ++s) {
+        sets.push_back(RandomWords(&rng, n));
+        ptrs.push_back(sets.back().data());
+      }
+      std::vector<uint64_t> dst_p(n, 0xAAu), dst_v(n, 0x55u);
+      portable.intersect_into(dst_p.data(), ptrs.data(), num_sets, n);
+      avx2->intersect_into(dst_v.data(), ptrs.data(), num_sets, n);
+      EXPECT_EQ(dst_p, dst_v) << "intersect n=" << n << " sets=" << num_sets;
+
+      // Reference: explicit scalar AND of all sets.
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t expect = sets[0][i];
+        for (size_t s = 1; s < num_sets; ++s) expect &= sets[s][i];
+        EXPECT_EQ(dst_p[i], expect);
+      }
+    }
+  }
+}
+
+TEST_F(BitsetKernelsTest, PopcountMatchesKnownValues) {
+  const std::vector<uint64_t> words = {0u, ~uint64_t{0}, 0x8000000000000001u,
+                                       0x5555555555555555u};
+  EXPECT_EQ(PortableKernels().popcount(words.data(), words.size()),
+            0u + 64u + 2u + 32u);
+  if (Avx2Kernels() != nullptr) {
+    EXPECT_EQ(Avx2Kernels()->popcount(words.data(), words.size()),
+              0u + 64u + 2u + 32u);
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace core
+}  // namespace midas

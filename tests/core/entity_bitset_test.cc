@@ -117,6 +117,93 @@ TEST(EntityBitsetTest, EqualityIncludesUniverse) {
   EXPECT_FALSE(a == b);
 }
 
+TEST(EntityBitsetTest, MoveStealsStorage) {
+  EntityBitset big(1000);
+  big.Set(999);
+  big.Set(0);
+  EntityBitset moved(std::move(big));
+  EXPECT_EQ(moved.universe(), 1000u);
+  EXPECT_TRUE(moved.Test(999));
+  EXPECT_EQ(moved.Count(), 2u);
+  EXPECT_EQ(big.universe(), 0u);  // NOLINT(bugprone-use-after-move): pinned
+
+  EntityBitset small(100);
+  small.Set(42);
+  EntityBitset target;
+  target = std::move(small);
+  EXPECT_TRUE(target.Test(42));
+  EXPECT_EQ(target.Count(), 1u);
+}
+
+TEST(EntityBitsetTest, ResetInDrawsFromArena) {
+  WordArena arena;
+  EntityBitset b;
+  b.ResetIn(1000, &arena);  // 16 words > inline capacity -> arena block
+  EXPECT_EQ(b.universe(), 1000u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_GT(arena.allocated_words(), 0u);
+  b.Set(999);
+  EXPECT_TRUE(b.Test(999));
+
+  // A later Reset to a smaller universe reuses the arena block in place —
+  // no heap allocation, arena usage unchanged.
+  const size_t used = arena.allocated_words();
+  b.Reset(500);
+  EXPECT_EQ(arena.allocated_words(), used);
+  EXPECT_EQ(b.Count(), 0u);
+
+  // Small universes fit inline; the arena is not consulted.
+  WordArena untouched;
+  EntityBitset small;
+  small.ResetIn(64, &untouched);
+  EXPECT_EQ(untouched.allocated_words(), 0u);
+  small.Set(63);
+  EXPECT_EQ(small.Count(), 1u);
+}
+
+TEST(EntityBitsetTest, ArenaBackedAlgebraMatchesHeapBacked) {
+  WordArena arena;
+  Rng rng(7);
+  const size_t universe = 777;
+  EntityBitset arena_a, heap_a(universe), arena_b, heap_b(universe);
+  arena_a.ResetIn(universe, &arena);
+  arena_b.ResetIn(universe, &arena);
+  for (size_t k = 0; k < 300; ++k) {
+    EntityId e = static_cast<EntityId>(rng.Uniform(universe));
+    arena_a.Set(e);
+    heap_a.Set(e);
+    EntityId f = static_cast<EntityId>(rng.Uniform(universe));
+    arena_b.Set(f);
+    heap_b.Set(f);
+  }
+  EXPECT_TRUE(arena_a == heap_a);
+  EXPECT_EQ(EntityBitset::CountAnd(arena_a, arena_b),
+            EntityBitset::CountAnd(heap_a, heap_b));
+  arena_a.OrWith(arena_b);
+  heap_a.OrWith(heap_b);
+  EXPECT_TRUE(arena_a == heap_a);
+  EXPECT_EQ(arena_a.Count(), heap_a.Count());
+}
+
+// Mismatched word counts are a programming error: the word sweeps index in
+// lockstep, so a silent mismatch would read/write out of bounds. Debug
+// builds must die; release builds compile the check out (pinned so the
+// guard is never accidentally weakened).
+TEST(EntityBitsetDeathTest, MismatchedWordCountsDieInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "MIDAS_DCHECK compiles out in release builds";
+#else
+  EntityBitset a(64), b(256);
+  a.Set(1);
+  b.Set(1);
+  EXPECT_DEATH(a.OrWith(b), "OrWith num_words mismatch");
+  EXPECT_DEATH(a.AndWith(b), "AndWith num_words mismatch");
+  EXPECT_DEATH(EntityBitset::CountAnd(a, b), "CountAnd num_words mismatch");
+  EXPECT_DEATH(EntityBitset::CountAndNot(a, b),
+               "CountAndNot num_words mismatch");
+#endif
+}
+
 TEST(EntityBitsetTest, RandomizedAgainstReferenceSet) {
   Rng rng(42);
   for (int round = 0; round < 50; ++round) {

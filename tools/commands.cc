@@ -13,6 +13,7 @@
 #include "midas/fault/fault.h"
 #include "midas/obs/export.h"
 #include "midas/extract/cleaning.h"
+#include "midas/extract/columnar_io.h"
 #include "midas/extract/dump_io.h"
 #include "midas/rdf/ntriples.h"
 #include "midas/synth/corpus_generator.h"
@@ -246,33 +247,47 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
   }
 
   extract::ExtractionDump dump;
-  extract::LoadOptions load_options;
-  load_options.strict = flags.GetBool("strict_load");
   extract::LoadStats load_stats;
-  MIDAS_RETURN_IF_ERROR(extract::LoadDump(flags.GetString("dump"),
-                                          load_options, &dump, &load_stats));
-  if (load_stats.rows_quarantined > 0 && !flags.GetBool("json")) {
-    out << "quarantined " << load_stats.rows_quarantined
-        << " malformed dump row(s)\n";
-  }
-  if (flags.GetBool("clean")) {
-    extract::CleaningOptions cleaning;
-    for (std::string_view name :
-         SplitSkipEmpty(flags.GetString("functional"), ',')) {
-      cleaning.functional_predicates.emplace_back(name);
+  web::Corpus corpus;
+  uint64_t corpus_fingerprint = 0;
+  const std::string dump_path = flags.GetString("dump");
+  if (extract::IsColumnarDump(dump_path) && !flags.GetBool("clean")) {
+    // Columnar fast path: build the confidence-filtered corpus straight
+    // from the mmap'd code arrays — no per-row materialization, and the
+    // file's content hash binds the checkpoint fingerprint. --clean needs
+    // row-level facts, so it takes the generic path below (LoadDump
+    // auto-detects the format there too).
+    MIDAS_RETURN_IF_ERROR(extract::LoadColumnarCorpus(
+        dump_path, flags.GetDouble("threshold"), /*dict=*/nullptr, &corpus,
+        &corpus_fingerprint));
+    dump.dict = corpus.shared_dict();
+  } else {
+    extract::LoadOptions load_options;
+    load_options.strict = flags.GetBool("strict_load");
+    MIDAS_RETURN_IF_ERROR(
+        extract::LoadDump(dump_path, load_options, &dump, &load_stats));
+    if (load_stats.rows_quarantined > 0 && !flags.GetBool("json")) {
+      out << "quarantined " << load_stats.rows_quarantined
+          << " malformed dump row(s)\n";
     }
-    auto clean_stats =
-        extract::CleanExtractions(cleaning, dump.dict.get(), &dump.facts);
-    if (!flags.GetBool("json")) {
-      out << "cleaning: " << clean_stats.input_records << " -> "
-          << clean_stats.output_records << " records ("
-          << clean_stats.duplicates_merged << " duplicates, "
-          << clean_stats.conflicts_resolved << " conflicts, "
-          << clean_stats.terms_normalized << " terms normalized)\n";
+    if (flags.GetBool("clean")) {
+      extract::CleaningOptions cleaning;
+      for (std::string_view name :
+           SplitSkipEmpty(flags.GetString("functional"), ',')) {
+        cleaning.functional_predicates.emplace_back(name);
+      }
+      auto clean_stats =
+          extract::CleanExtractions(cleaning, dump.dict.get(), &dump.facts);
+      if (!flags.GetBool("json")) {
+        out << "cleaning: " << clean_stats.input_records << " -> "
+            << clean_stats.output_records << " records ("
+            << clean_stats.duplicates_merged << " duplicates, "
+            << clean_stats.conflicts_resolved << " conflicts, "
+            << clean_stats.terms_normalized << " terms normalized)\n";
+      }
     }
+    corpus = extract::BuildCorpus(dump, flags.GetDouble("threshold"));
   }
-  web::Corpus corpus =
-      extract::BuildCorpus(dump, flags.GetDouble("threshold"));
 
   rdf::KnowledgeBase kb(dump.dict);
   if (!flags.GetString("kb").empty()) {
@@ -326,6 +341,7 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
   framework_options.num_threads =
       static_cast<size_t>(flags.GetInt64("threads"));
   framework_options.use_hierarchy_rounds = hierarchy_rounds;
+  framework_options.corpus_fingerprint = corpus_fingerprint;
   MIDAS_RETURN_IF_ERROR(ApplyRobustnessFlags(flags, &framework_options));
   ScopedDisarm disarm;
   core::MidasFramework framework(detector.get(), framework_options);
@@ -562,6 +578,41 @@ Status RunStats(const FlagParser& flags, std::ostream& out) {
                 FormatCount(corpus.NumDistinctSubjects()),
                 FormatCount(dump.facts.size())});
   table.Print(out);
+  return Status::OK();
+}
+
+void RegisterConvertFlags(FlagParser* flags) {
+  flags->AddString("in", "", "input dump, TSV or columnar (required)");
+  flags->AddString("out", "", "output path (required)");
+  flags->AddString("to", "auto",
+                   "output format: columnar|tsv|auto (auto converts to the "
+                   "opposite of the detected input format)");
+}
+
+Status RunConvert(const FlagParser& flags, std::ostream& out) {
+  const std::string in_path = flags.GetString("in");
+  const std::string out_path = flags.GetString("out");
+  if (in_path.empty() || out_path.empty()) {
+    return Status::InvalidArgument("--in and --out are required");
+  }
+  const bool in_columnar = extract::IsColumnarDump(in_path);
+  std::string to = flags.GetString("to");
+  if (to == "auto") to = in_columnar ? "tsv" : "columnar";
+  if (to != "tsv" && to != "columnar") {
+    return Status::InvalidArgument("unknown --to: " + to);
+  }
+  extract::ExtractionDump dump;
+  extract::LoadStats load_stats;
+  MIDAS_RETURN_IF_ERROR(
+      extract::LoadDump(in_path, extract::LoadOptions{}, &dump, &load_stats));
+  if (to == "columnar") {
+    MIDAS_RETURN_IF_ERROR(extract::SaveColumnarDump(out_path, dump));
+  } else {
+    MIDAS_RETURN_IF_ERROR(extract::SaveDump(out_path, dump));
+  }
+  out << "converted " << dump.facts.size() << " records: " << in_path << " ("
+      << (in_columnar ? "columnar" : "tsv") << ") -> " << out_path << " ("
+      << to << ")\n";
   return Status::OK();
 }
 

@@ -57,6 +57,14 @@ Status RunExperiment(const FlagParser& flags, std::ostream& out);
 ///   --threshold F    confidence threshold (default 0.7)
 Status RunStats(const FlagParser& flags, std::ostream& out);
 
+/// `midas convert` — convert an extraction dump between the TSV and the
+/// MIDASCOL1 columnar formats (docs/FORMATS.md). The input format is
+/// auto-detected by magic:
+///   --in PATH        input dump, TSV or columnar (required)
+///   --out PATH       output path (required)
+///   --to columnar|tsv|auto   output format (auto = opposite of input)
+Status RunConvert(const FlagParser& flags, std::ostream& out);
+
 /// `midas evaluate` — score a slice file against a silver-standard file:
 ///   --slices PATH    discovered slices (slice_io format, required)
 ///   --silver PATH    silver slices (slice_io format, required)
@@ -68,6 +76,7 @@ void RegisterGenerateFlags(FlagParser* flags);
 void RegisterDiscoverFlags(FlagParser* flags);
 void RegisterExperimentFlags(FlagParser* flags);
 void RegisterStatsFlags(FlagParser* flags);
+void RegisterConvertFlags(FlagParser* flags);
 void RegisterEvaluateFlags(FlagParser* flags);
 
 }  // namespace tools

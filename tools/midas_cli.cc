@@ -4,6 +4,7 @@
 //   midas discover   --dump dump.tsv --kb kb.tsv --out slices.tsv
 //   midas experiment --methods midas,greedy --metrics_out metrics.json
 //   midas stats      --dump dump.tsv
+//   midas convert    --in dump.tsv --out dump.midascol
 //   midas evaluate   --slices slices.tsv --silver silver.tsv
 //
 // Run any subcommand with a bad flag to see its usage.
@@ -24,6 +25,7 @@ void PrintTopLevelUsage() {
          "  discover   run slice discovery over an extraction dump\n"
          "  experiment run methods over a synthetic corpus, score vs silver\n"
          "  stats      dataset statistics of a dump\n"
+         "  convert    convert a dump between TSV and columnar formats\n"
          "  evaluate   score a slice file against a silver standard\n";
 }
 
@@ -51,6 +53,9 @@ int main(int argc, char** argv) {
   } else if (command == "stats") {
     tools::RegisterStatsFlags(&flags);
     run = tools::RunStats;
+  } else if (command == "convert") {
+    tools::RegisterConvertFlags(&flags);
+    run = tools::RunConvert;
   } else if (command == "evaluate") {
     tools::RegisterEvaluateFlags(&flags);
     run = tools::RunEvaluate;

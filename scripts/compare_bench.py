@@ -18,8 +18,23 @@ import sys
 
 
 def load_doc(path):
-    with open(path) as f:
-        return json.load(f)
+    """Parses a benchmark JSON file; exits 2 with a one-line actionable
+    message instead of a traceback when it is missing or unparsable."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(
+            f"error: baseline/current file {path!r} not found — generate it "
+            "with the bench binary (MIDAS_BENCH_JSON=... or --json) or check "
+            "the path"
+        )
+    except json.JSONDecodeError as e:
+        sys.exit(
+            f"error: {path!r} is not valid benchmark JSON ({e.msg} at line "
+            f"{e.lineno}) — regenerate it; a truncated file usually means "
+            "the bench run was interrupted"
+        )
 
 
 def build_type(doc):
@@ -99,6 +114,14 @@ def main():
         return 2
     if not curr:
         print(f"error: no benchmarks found in {args.current}", file=sys.stderr)
+        return 2
+    if not set(base) & set(curr):
+        print(
+            "error: no benchmark names shared between "
+            f"{args.baseline} and {args.current} — the baseline is for a "
+            "different suite; refresh it from a run of the same binary",
+            file=sys.stderr,
+        )
         return 2
 
     regressions = []

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# End-to-end smoke of `midas serve` (docs/SERVE.md): boot the daemon on a
+# synthetic corpus, drive discover -> ingest -> discover over real HTTP,
+# assert the delta is reflected incrementally (memo re-detects only the
+# touched ancestry), check /metricz parses, then verify graceful SIGTERM
+# drain — including with a request in flight.
+#
+# Usage: scripts/serve_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+MIDAS="$BUILD_DIR/tools/midas"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+# CI sets SERVE_SMOKE_LOG_DIR to salvage server logs as artifacts when the
+# smoke fails.
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  if [ -n "${SERVE_SMOKE_LOG_DIR:-}" ]; then
+    mkdir -p "$SERVE_SMOKE_LOG_DIR"
+    cp "$WORK"/*.log "$WORK"/*.json "$SERVE_SMOKE_LOG_DIR"/ 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+if [ ! -x "$MIDAS" ]; then
+  echo "error: $MIDAS not built — run: cmake --build $BUILD_DIR --target midas_cli" >&2
+  exit 2
+fi
+
+# Scrapes the ephemeral port from the "listening on HOST:PORT" line.
+wait_for_port() {
+  local log="$1"
+  for _ in $(seq 1 100); do
+    if grep -q "listening on" "$log"; then
+      sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$log" | head -1
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "error: server never printed its port; log follows" >&2
+  cat "$log" >&2
+  return 1
+}
+
+echo "== generate synthetic corpus"
+"$MIDAS" generate --dataset slim-nell --dump "$WORK/dump.tsv" \
+  --kb "$WORK/kb.tsv" --silver "$WORK/silver.tsv" > /dev/null
+
+echo "== boot midas serve"
+"$MIDAS" serve --corpus "$WORK/dump.tsv" --kb "$WORK/kb.tsv" --port 0 \
+  > "$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+PORT="$(wait_for_port "$WORK/serve.log")"
+BASE="http://127.0.0.1:$PORT"
+
+echo "== drive discover -> ingest -> discover on $BASE"
+curl -sf "$BASE/healthz" > "$WORK/healthz.json"
+curl -sf -X POST -d '{"cache":false}' "$BASE/discover" > "$WORK/cold.json"
+curl -sf -D "$WORK/hit.headers" -X POST -d '{}' "$BASE/discover" > /dev/null
+curl -sf -D "$WORK/hit2.headers" -X POST -d '{}' "$BASE/discover" > /dev/null
+curl -sf -X POST -d '{
+  "facts": [
+    {"url": "http://newsite.org/a/page1.html", "subject": "smoke0",
+     "predicate": "cat", "object": "rocket"},
+    {"url": "http://newsite.org/a/page1.html", "subject": "smoke1",
+     "predicate": "cat", "object": "rocket"}
+  ]}' "$BASE/ingest" > "$WORK/ingest.json"
+curl -sf -X POST -d '{"cache":false}' "$BASE/discover" > "$WORK/warm.json"
+curl -sf "$BASE/metricz" > "$WORK/metricz.json"
+
+python3 - "$WORK" <<'EOF'
+import json, sys
+work = sys.argv[1]
+load = lambda name: json.load(open(f"{work}/{name}"))
+
+healthz = load("healthz.json")
+assert healthz["status"] == "ok", healthz
+assert healthz["sources"] > 0 and healthz["facts"] > 0, healthz
+
+cold, ingest, warm = load("cold.json"), load("ingest.json"), load("warm.json")
+# Cold run detects everything.
+assert cold["stats"]["memo_misses"] == cold["stats"]["shards_processed"], cold["stats"]
+assert not cold["partial"], "cold run must complete"
+
+# The second identical cached query was a hit (headers checked below).
+assert ingest["added"] == 2, ingest
+assert ingest["touched_sources"] == ["http://newsite.org/a/page1.html"], ingest
+assert ingest["corpus_version"] == cold["corpus_version"] + 1, ingest
+
+# Warm run re-detects only the new page + its two URL ancestors; every
+# pre-existing source is served from the detection memo.
+assert warm["corpus_version"] == ingest["corpus_version"], warm
+assert warm["stats"]["memo_misses"] == 3, warm["stats"]
+assert warm["stats"]["memo_hits"] == cold["stats"]["shards_processed"], warm["stats"]
+assert warm["num_slices"] >= 1, warm
+
+# /metricz is valid JSON with the serve counters moving.
+metricz = load("metricz.json")
+counters = metricz.get("counters", metricz)
+flat = json.dumps(metricz)
+assert "serve.requests" in flat, "serve.requests counter missing from /metricz"
+print("smoke assertions passed: "
+      f"{cold['stats']['shards_processed']} shards cold, "
+      f"{warm['stats']['memo_hits']} memo hits warm")
+EOF
+
+grep -q "X-Midas-Cache: miss" "$WORK/hit.headers" \
+  || { echo "error: first cached discover was not a miss" >&2; exit 1; }
+grep -q "X-Midas-Cache: hit" "$WORK/hit2.headers" \
+  || { echo "error: repeat discover did not hit the result cache" >&2; exit 1; }
+
+echo "== graceful SIGTERM drain (idle)"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "error: server exited non-zero on SIGTERM" >&2; exit 1; }
+SERVER_PID=""
+grep -q "drained after" "$WORK/serve.log" \
+  || { echo "error: no drain line in server log" >&2; cat "$WORK/serve.log" >&2; exit 1; }
+
+echo "== graceful SIGTERM drain (request in flight)"
+# slow_shard makes the discover take a few seconds (capped by max_fires so
+# the script stays fast on small CI machines), so the SIGTERM provably
+# lands mid-request; the drain contract says the response still completes.
+"$MIDAS" serve --corpus "$WORK/dump.tsv" --port 0 \
+  --fault_spec "site=slow_shard,delay_ms=400,max_fires=20" \
+  > "$WORK/drain.log" 2>&1 &
+SERVER_PID=$!
+PORT="$(wait_for_port "$WORK/drain.log")"
+curl -sf -X POST -d '{"cache":false}' "http://127.0.0.1:$PORT/discover" \
+  > "$WORK/inflight.json" &
+CURL_PID=$!
+sleep 1
+kill -TERM "$SERVER_PID"
+wait "$CURL_PID" || { echo "error: in-flight request failed during drain" >&2; exit 1; }
+wait "$SERVER_PID" || { echo "error: server exited non-zero draining" >&2; exit 1; }
+SERVER_PID=""
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['num_slices'] >= 0" \
+  "$WORK/inflight.json"
+grep -q "drained after" "$WORK/drain.log" \
+  || { echo "error: no drain line after in-flight drain" >&2; cat "$WORK/drain.log" >&2; exit 1; }
+
+echo "serve smoke OK"

@@ -21,6 +21,53 @@
 namespace midas {
 namespace core {
 
+bool DetectionMemo::Lookup(const std::string& url, uint64_t fingerprint,
+                           Entry* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(url);
+  if (it == entries_.end() || it->second.fingerprint != fingerprint) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+void DetectionMemo::Update(const std::string& url, Entry entry) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.insert_or_assign(url, std::move(entry));
+}
+
+size_t DetectionMemo::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+void DetectionMemo::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.clear();
+}
+
+uint64_t DetectionMemo::ShardFingerprint(
+    uint64_t context, const std::vector<rdf::Triple>& facts,
+    const std::vector<std::vector<PropertyPair>>& seeds) {
+  uint64_t fp = HashMix(context ^ 0x6d69646173736572ULL);  // "midasser"
+  fp = HashCombine(fp, facts.size());
+  for (const auto& t : facts) {
+    fp = HashCombine(fp, HashMix(t.subject));
+    fp = HashCombine(fp, HashMix(t.predicate));
+    fp = HashCombine(fp, HashMix(t.object));
+  }
+  fp = HashCombine(fp, seeds.size());
+  for (const auto& seed : seeds) {
+    fp = HashCombine(fp, seed.size());
+    for (const auto& pair : seed) {
+      fp = HashCombine(fp, HashMix(pair.predicate));
+      fp = HashCombine(fp, HashMix(pair.value));
+    }
+  }
+  return HashMix(fp);
+}
+
 const char* SourceStatusName(SourceStatus status) {
   switch (status) {
     case SourceStatus::kOk:
@@ -83,6 +130,8 @@ struct ShardOutcome {
   std::string error;
   /// Restored from the checkpoint instead of detected this run.
   bool resumed = false;
+  /// Restored from the detection memo instead of detected this run.
+  bool memo_hit = false;
 };
 
 /// Binds a checkpoint to this run's inputs: seed, pipeline mode, and the
@@ -133,6 +182,10 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
       MIDAS_OBS_COUNTER("framework.shards_failed");
   [[maybe_unused]] obs::Counter* deadline_exp_c =
       MIDAS_OBS_COUNTER("framework.deadline_expirations");
+  [[maybe_unused]] obs::Counter* memo_hits_c =
+      MIDAS_OBS_COUNTER("framework.memo_hits");
+  [[maybe_unused]] obs::Counter* memo_misses_c =
+      MIDAS_OBS_COUNTER("framework.memo_misses");
 
   Stopwatch watch;
   FrameworkResult result;
@@ -295,6 +348,53 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
       result.stats.sources_resumed++;
       MIDAS_OBS_ADD(resumed_c, 1);
     }
+    if (out.memo_hit) {
+      result.stats.memo_hits++;
+      MIDAS_OBS_ADD(memo_hits_c, 1);
+    } else if (options_.memo != nullptr && !out.resumed && out.attempts > 0) {
+      // A shard the memo could not serve and the run actually detected.
+      result.stats.memo_misses++;
+      MIDAS_OBS_ADD(memo_misses_c, 1);
+    }
+  };
+
+  // Memo lookup shared by both run paths. On a hit the shard skips the
+  // Detect call and restores the memoized detector output bit-exactly; on a
+  // miss the caller stores the fingerprint for the post-round memo update.
+  const auto memo_lookup = [&](const std::string& url,
+                               const std::vector<rdf::Triple>& facts,
+                               const std::vector<std::vector<PropertyPair>>&
+                                   seeds,
+                               ShardOutcome* out, uint64_t* fingerprint) {
+    if (options_.memo == nullptr) return false;
+    *fingerprint =
+        DetectionMemo::ShardFingerprint(options_.memo_context, facts, seeds);
+    DetectionMemo::Entry entry;
+    if (!options_.memo->Lookup(url, *fingerprint, &entry)) return false;
+    out->slices = std::move(entry.slices);
+    out->status = entry.status;
+    out->attempts = entry.attempts;
+    out->error = entry.error;
+    out->memo_hit = true;
+    return true;
+  };
+
+  // Captures a freshly detected clean outcome for the post-round memo
+  // update (single-threaded writer; the copy happens in the parallel
+  // section before the slices are moved onward).
+  const auto memo_capture = [&](const ShardOutcome& out, uint64_t fingerprint,
+                                DetectionMemo::Entry* update, char* pending) {
+    if (options_.memo == nullptr || out.memo_hit || out.resumed) return;
+    if (out.status != SourceStatus::kOk &&
+        out.status != SourceStatus::kNoSlices) {
+      return;  // partial/failed/cancelled outcomes re-detect next run
+    }
+    update->fingerprint = fingerprint;
+    update->status = out.status;
+    update->attempts = out.attempts;
+    update->error = out.error;
+    update->slices = out.slices;
+    *pending = 1;
   };
 
   // Durably appends one finished shard (single-threaded: called from the
@@ -354,6 +454,9 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
     const auto& sources = corpus.sources();
     std::vector<ShardOutcome> outcomes(sources.size());
     std::vector<char> ran(sources.size(), 0);
+    std::vector<DetectionMemo::Entry> memo_updates(sources.size());
+    std::vector<char> memo_pending(sources.size(), 0);
+    static const std::vector<std::vector<PropertyPair>> kNoSeeds;
     pool.ParallelFor(
         sources.size(),
         [&](size_t i) {
@@ -375,10 +478,16 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
             ran[i] = 1;
             return;
           }
-          SourceInput input;
-          input.url = sources[i].url;
-          input.facts = &sources[i].facts;
-          outcomes[i] = detect(input);
+          uint64_t memo_fp = 0;
+          if (!memo_lookup(sources[i].url, sources[i].facts, kNoSeeds,
+                           &outcomes[i], &memo_fp)) {
+            SourceInput input;
+            input.url = sources[i].url;
+            input.facts = &sources[i].facts;
+            outcomes[i] = detect(input);
+            memo_capture(outcomes[i], memo_fp, &memo_updates[i],
+                         &memo_pending[i]);
+          }
           ran[i] = 1;
           MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
         },
@@ -386,6 +495,9 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
     for (size_t i = 0; i < sources.size(); ++i) {
       if (ran[i]) result.stats.shards_processed++;
       checkpoint(sources[i].url, outcomes[i], outcomes[i].slices);
+      if (memo_pending[i]) {
+        options_.memo->Update(sources[i].url, std::move(memo_updates[i]));
+      }
       for (auto& s : outcomes[i].slices) {
         result.slices.push_back(std::move(s));
       }
@@ -433,6 +545,8 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
     std::vector<std::vector<DiscoveredSlice>> surviving(round.size());
     std::vector<ShardOutcome> outcomes(round.size());
     std::vector<char> ran(round.size(), 0);
+    std::vector<DetectionMemo::Entry> memo_updates(round.size());
+    std::vector<char> memo_pending(round.size(), 0);
     pool.ParallelFor(
         round.size(),
         [&](size_t i) {
@@ -468,7 +582,17 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
           for (const auto& cs : shard.child_slices) {
             input.seeds.push_back(cs.properties);
           }
-          outcomes[i] = detect(input);
+          // Memoized detection: the fingerprint covers the normalized
+          // subtree facts AND the child seeds, so a hit implies the
+          // detector would have seen byte-identical inputs. Consolidation
+          // still runs against the live child slices either way.
+          uint64_t memo_fp = 0;
+          if (!memo_lookup(shard.url, shard.facts, input.seeds, &outcomes[i],
+                           &memo_fp)) {
+            outcomes[i] = detect(input);
+            memo_capture(outcomes[i], memo_fp, &memo_updates[i],
+                         &memo_pending[i]);
+          }
           // A failed/cancelled shard contributes no new slices, but its
           // children's tentative slices still win consolidation unopposed.
           surviving[i] = ConsolidateSlices(std::move(outcomes[i].slices),
@@ -495,6 +619,9 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
       // Checkpoint before the slices are moved onward (skips shards the
       // run never picked up: their default outcome is kCancelled).
       checkpoint(shard.url, outcomes[i], surviving[i]);
+      if (memo_pending[i]) {
+        options_.memo->Update(shard.url, std::move(memo_updates[i]));
+      }
       if (!ran[i]) {
         for (auto& s : shard.child_slices) {
           final_slices.push_back(std::move(s));

@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "midas/core/slice_detector.h"
@@ -14,6 +16,9 @@
 
 namespace midas {
 namespace core {
+
+// Defined below SourceStatus; FrameworkOptions only holds a pointer.
+class DetectionMemo;
 
 /// Options of the multi-source framework.
 struct FrameworkOptions {
@@ -68,6 +73,19 @@ struct FrameworkOptions {
   /// (fingerprint mismatch) or a corrupt one is discarded with a warning
   /// and the run starts fresh. False = truncate any existing checkpoint.
   bool resume = false;
+
+  /// Cross-run detection memo (see DetectionMemo below): shards whose
+  /// detector inputs are unchanged since the last memoized run skip the
+  /// Detect call and restore its output bit-exactly. Null = no memoization.
+  /// Must outlive Run; the checkpoint restore path takes precedence when
+  /// both are configured.
+  DetectionMemo* memo = nullptr;
+
+  /// Mixed into every memo fingerprint. Callers fold in whatever else the
+  /// detector output depends on besides the shard's facts and seeds — the
+  /// detector's cost model / algorithm identity and the KB contents — so
+  /// one memo can serve differently-configured runs without cross-talk.
+  uint64_t memo_context = 0;
 };
 
 /// Counters reported by a framework run.
@@ -81,6 +99,8 @@ struct FrameworkStats {
   size_t deadline_expirations = 0;  // shards that ran out of budget
   size_t sources_resumed = 0;    // shards restored from the checkpoint
   size_t checkpoint_write_errors = 0;  // failed checkpoint appends
+  size_t memo_hits = 0;          // shards restored from the detection memo
+  size_t memo_misses = 0;        // shards the memo had to re-detect
   double seconds = 0.0;
 };
 
@@ -106,6 +126,59 @@ enum class SourceStatus {
 /// Human-readable status name ("ok", "no_slices", ...), stable for logs,
 /// CLI output, and golden files.
 const char* SourceStatusName(SourceStatus status);
+
+/// In-memory per-source detection cache — the online analog of the durable
+/// checkpoint log. A long-lived owner (the `midas serve` daemon) keeps one
+/// memo across framework runs over an evolving corpus: each shard's
+/// detector output is stored under a fingerprint of everything the detector
+/// saw (normalized facts, child seeds, and the caller's memo_context), so
+/// the next run re-detects only shards whose inputs actually changed and
+/// restores the rest bit-identically. Ingesting a fact delta therefore
+/// marks exactly the affected sources (and their URL ancestors) stale — no
+/// explicit invalidation step exists or is needed.
+///
+/// Only clean terminal outcomes (kOk / kNoSlices) are memoized: partial,
+/// failed, and cancelled shards re-detect on the next run, matching the
+/// checkpoint log's contract.
+///
+/// Thread-safe: Lookup takes a shared lock (called concurrently from pool
+/// workers mid-round), Update an exclusive one (called from the framework's
+/// single-threaded post-round fold).
+class DetectionMemo {
+ public:
+  /// One memoized shard outcome. `slices` is the raw detector output
+  /// (pre-consolidation): consolidation always re-runs against the current
+  /// child slices, so a memo hit is exactly "skip the Detect call".
+  struct Entry {
+    uint64_t fingerprint = 0;
+    SourceStatus status = SourceStatus::kOk;
+    size_t attempts = 0;
+    std::string error;
+    std::vector<DiscoveredSlice> slices;
+  };
+
+  /// Copies the entry for `url` into `out` iff one exists with a matching
+  /// fingerprint. Returns false (and leaves `out` alone) otherwise.
+  bool Lookup(const std::string& url, uint64_t fingerprint, Entry* out) const;
+
+  /// Inserts or replaces the entry for `url`.
+  void Update(const std::string& url, Entry entry);
+
+  size_t size() const;
+  void Clear();
+
+  /// The fingerprint a framework run computes for one shard: the memoized
+  /// entry is reusable iff context, the normalized fact run, and the child
+  /// seeds all match. Exposed so tests and the serve layer can pin the
+  /// staleness contract.
+  static uint64_t ShardFingerprint(
+      uint64_t context, const std::vector<rdf::Triple>& facts,
+      const std::vector<std::vector<PropertyPair>>& seeds);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+};
 
 /// Per-source outcome of a framework run.
 struct SourceReport {

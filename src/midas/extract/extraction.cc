@@ -1,5 +1,9 @@
 #include "midas/extract/extraction.h"
 
+#include <set>
+
+#include "midas/web/url.h"
+
 namespace midas {
 namespace extract {
 
@@ -21,6 +25,32 @@ web::Corpus BuildCorpus(const ExtractionDump& dump, double threshold) {
     }
   }
   return corpus;
+}
+
+DeltaStats ApplyFactDelta(const std::vector<RawExtractedFact>& delta,
+                          double threshold, web::Corpus* corpus) {
+  DeltaStats stats;
+  std::set<std::string> touched;
+  rdf::Dictionary* dict = corpus->mutable_dict();
+  for (const auto& f : delta) {
+    if (!(f.confidence > threshold)) {
+      stats.below_threshold++;
+      continue;
+    }
+    std::string url = web::NormalizeUrl(f.url);
+    const size_t idx = corpus->AddSource(url);
+    const rdf::Triple triple(dict->Intern(f.subject),
+                             dict->Intern(f.predicate),
+                             dict->Intern(f.object));
+    if (corpus->AddFactToSource(idx, triple)) {
+      stats.added++;
+      touched.insert(std::move(url));
+    } else {
+      stats.duplicates++;
+    }
+  }
+  stats.touched_urls.assign(touched.begin(), touched.end());
+  return stats;
 }
 
 }  // namespace extract

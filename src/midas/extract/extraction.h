@@ -44,6 +44,39 @@ std::vector<ExtractedFact> FilterByConfidence(
 /// extraction records. Duplicate (url, triple) pairs collapse.
 web::Corpus BuildCorpus(const ExtractionDump& dump, double threshold);
 
+/// One extraction record with un-interned terms — the wire form an online
+/// ingest delivers (the serve daemon's /ingest body) before the corpus
+/// dictionary has seen it.
+struct RawExtractedFact {
+  std::string url;
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  double confidence = 1.0;
+};
+
+/// Outcome of applying one ingest delta to a live corpus.
+struct DeltaStats {
+  /// Facts actually inserted.
+  size_t added = 0;
+  /// (url, triple) pairs the corpus already had.
+  size_t duplicates = 0;
+  /// Records dropped by the confidence filter (confidence <= threshold,
+  /// matching FilterByConfidence).
+  size_t below_threshold = 0;
+  /// Normalized URLs that gained at least one fact, sorted and unique —
+  /// exactly the sources a subsequent framework run must re-detect.
+  std::vector<std::string> touched_urls;
+};
+
+/// Applies extraction records to a live corpus in place: normalizes each
+/// URL, interns the terms (the dictionary only grows, so existing term ids
+/// — and with them any detection memo — stay valid), and drops duplicates
+/// and low-confidence records. The corpus dedup index must be consistent:
+/// call Corpus::RebuildDedupIndex once after a bulk columnar load.
+DeltaStats ApplyFactDelta(const std::vector<RawExtractedFact>& delta,
+                          double threshold, web::Corpus* corpus);
+
 }  // namespace extract
 }  // namespace midas
 

@@ -43,6 +43,8 @@ inline constexpr char kSiteAlloc[] = "alloc";            // hierarchy bad_alloc
 inline constexpr char kSiteDumpRecord[] = "dump_record"; // corrupt dump row
 inline constexpr char kSiteIoWriteFail[] = "io_write_fail";  // ENOSPC-style Status
 inline constexpr char kSiteIoTornWrite[] = "io_torn_write";  // truncated write
+inline constexpr char kSiteServeAccept[] = "serve_accept";   // drop new conns
+inline constexpr char kSiteServeRead[] = "serve_read";       // torn socket read
 
 /// One armed injection site.
 struct SiteSpec {

@@ -1,0 +1,340 @@
+#include "midas/serve/discovery_service.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "midas/baselines/agg_cluster.h"
+#include "midas/baselines/greedy.h"
+#include "midas/baselines/naive.h"
+#include "midas/core/midas.h"
+#include "midas/obs/export.h"
+#include "midas/util/hash.h"
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace serve {
+
+namespace {
+
+/// Everything a /discover body can configure. Defaults match the
+/// `midas discover` CLI flags.
+struct DiscoverOptions {
+  std::string method = "midas";
+  core::CostModel cost{10.0, 0.001, 0.01, 0.1};
+  int64_t top_k = 20;  // 0 = all slices
+  uint64_t deadline_ms = 0;
+  bool use_cache = true;
+};
+
+Status ParseDiscoverOptions(const std::string& body, DiscoverOptions* out) {
+  if (Trim(body).empty()) return Status::OK();  // all defaults
+  JsonValue parsed;
+  MIDAS_RETURN_IF_ERROR(JsonValue::Parse(body, &parsed));
+  if (!parsed.IsObject()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  if (const JsonValue* v = parsed.Get("method")) {
+    out->method = v->AsString("midas");
+  }
+  if (out->method != "midas" && out->method != "greedy" &&
+      out->method != "aggcluster" && out->method != "naive") {
+    return Status::InvalidArgument("unknown method: " + out->method);
+  }
+  if (const JsonValue* v = parsed.Get("f_p")) out->cost.f_p = v->AsDouble();
+  if (const JsonValue* v = parsed.Get("f_c")) out->cost.f_c = v->AsDouble();
+  if (const JsonValue* v = parsed.Get("f_d")) out->cost.f_d = v->AsDouble();
+  if (const JsonValue* v = parsed.Get("f_v")) out->cost.f_v = v->AsDouble();
+  if (const JsonValue* v = parsed.Get("top_k")) out->top_k = v->AsInt(20);
+  if (out->top_k < 0) {
+    return Status::InvalidArgument("top_k must be >= 0");
+  }
+  if (const JsonValue* v = parsed.Get("deadline_ms")) {
+    const int64_t ms = v->AsInt(0);
+    if (ms < 0) return Status::InvalidArgument("deadline_ms must be >= 0");
+    out->deadline_ms = static_cast<uint64_t>(ms);
+  }
+  if (const JsonValue* v = parsed.Get("cache")) {
+    out->use_cache = v->AsBool(true);
+  }
+  return Status::OK();
+}
+
+/// The cache-key fragment for one option set. Deliberately excludes
+/// deadline_ms: a *complete* result is identical under any deadline (and
+/// partial results are never cached), so queries differing only in budget
+/// share an entry.
+std::string CanonicalOptions(const DiscoverOptions& options) {
+  return StringPrintf("method=%s;f_p=%.17g;f_c=%.17g;f_d=%.17g;f_v=%.17g;"
+                      "top_k=%lld",
+                      options.method.c_str(), options.cost.f_p,
+                      options.cost.f_c, options.cost.f_d, options.cost.f_v,
+                      static_cast<long long>(options.top_k));
+}
+
+/// Binds the memo to the detector identity: same corpus + same fingerprint
+/// context => the detector would produce identical output. KB size is a
+/// cheap stand-in for KB content — the daemon never mutates the KB, so it
+/// only guards against constructing the service with a different KB.
+uint64_t MemoContext(const DiscoverOptions& options, size_t kb_size) {
+  uint64_t h = Fnv1a64(options.method);
+  const auto fold_double = [&h](double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    h = HashCombine(h, bits);
+  };
+  fold_double(options.cost.f_p);
+  fold_double(options.cost.f_c);
+  fold_double(options.cost.f_d);
+  fold_double(options.cost.f_v);
+  return HashCombine(h, kb_size);
+}
+
+/// Strips the query string: "/discover?x=1" routes as "/discover".
+std::string_view PathOf(const std::string& target) {
+  const size_t q = target.find('?');
+  return std::string_view(target).substr(0, q);
+}
+
+}  // namespace
+
+DiscoveryService::DiscoveryService(web::Corpus corpus, rdf::KnowledgeBase kb,
+                                   DiscoveryServiceOptions options)
+    : options_(options),
+      corpus_(std::move(corpus)),
+      kb_(std::move(kb)),
+      cache_(options.cache_capacity) {
+  // Bulk (columnar) loads skip the dedup sets; ingest needs them.
+  corpus_.RebuildDedupIndex();
+}
+
+uint64_t DiscoveryService::corpus_version() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return corpus_version_;
+}
+
+HttpResponse DiscoveryService::Handle(const HttpRequest& request,
+                                      const fault::CancelToken& cancel) {
+  const std::string_view path = PathOf(request.target);
+  if (path == "/discover") {
+    if (request.method != "POST") {
+      return HttpResponse::Error(405, "POST /discover");
+    }
+    return HandleDiscover(request, cancel);
+  }
+  if (path == "/ingest") {
+    if (request.method != "POST") {
+      return HttpResponse::Error(405, "POST /ingest");
+    }
+    return HandleIngest(request);
+  }
+  if (path == "/healthz") {
+    if (request.method != "GET") return HttpResponse::Error(405, "GET /healthz");
+    return HandleHealthz();
+  }
+  if (path == "/metricz") {
+    if (request.method != "GET") return HttpResponse::Error(405, "GET /metricz");
+    return HttpResponse::Json(200, obs::MetricsToJson());
+  }
+  return HttpResponse::Error(404, "no such endpoint");
+}
+
+HttpResponse DiscoveryService::HandleDiscover(const HttpRequest& request,
+                                              const fault::CancelToken& cancel) {
+  DiscoverOptions opts;
+  if (Status status = ParseDiscoverOptions(request.body, &opts);
+      !status.ok()) {
+    return HttpResponse::Error(400, status.message());
+  }
+
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  const uint64_t version = corpus_version_;
+  const std::string cache_key =
+      std::to_string(version) + "|" + CanonicalOptions(opts);
+  if (opts.use_cache) {
+    std::string cached;
+    if (cache_.Lookup(cache_key, &cached)) {
+      HttpResponse response;
+      response.status = 200;
+      response.SetHeader("Content-Type", "application/json");
+      response.SetHeader("X-Midas-Cache", "hit");
+      response.body = std::move(cached);
+      return response;
+    }
+  }
+
+  // A body deadline can only tighten the server-level one. The framework
+  // polls a single token, so fold both deadlines into a local token when
+  // the request brings its own.
+  fault::CancelToken local_cancel;
+  const fault::CancelToken* effective = &cancel;
+  if (opts.deadline_ms > 0) {
+    local_cancel.SetBudgetMs(opts.deadline_ms);
+    const uint64_t server_deadline = cancel.deadline_ns();
+    if (server_deadline != 0 &&
+        server_deadline < local_cancel.deadline_ns()) {
+      local_cancel.SetDeadlineNs(server_deadline);
+    }
+    effective = &local_cancel;
+  }
+
+  core::MidasOptions midas_options;
+  midas_options.cost_model = opts.cost;
+  std::unique_ptr<core::SliceDetector> detector;
+  bool hierarchy_rounds = true;
+  if (opts.method == "midas") {
+    detector = std::make_unique<core::MidasAlg>(midas_options);
+  } else if (opts.method == "greedy") {
+    detector = std::make_unique<baselines::GreedyDetector>(opts.cost);
+  } else if (opts.method == "aggcluster") {
+    baselines::AggClusterOptions agg;
+    agg.cost_model = opts.cost;
+    detector = std::make_unique<baselines::AggClusterDetector>(agg);
+    hierarchy_rounds = false;
+  } else {
+    detector = std::make_unique<baselines::NaiveDetector>(opts.cost);
+    hierarchy_rounds = false;
+  }
+
+  core::FrameworkOptions framework_options;
+  framework_options.num_threads = options_.num_threads;
+  framework_options.use_hierarchy_rounds = hierarchy_rounds;
+  framework_options.cancel = effective;
+  framework_options.memo = &memo_;
+  framework_options.memo_context = MemoContext(opts, kb_.size());
+  core::MidasFramework framework(detector.get(), framework_options);
+  const core::FrameworkResult result = framework.Run(corpus_, kb_);
+
+  JsonValue report = JsonValue::Object();
+  report.Set("corpus_version", JsonValue::Int(static_cast<int64_t>(version)));
+  report.Set("method", JsonValue::Str(opts.method));
+  report.Set("partial", JsonValue::Bool(result.partial));
+  JsonValue stats = JsonValue::Object();
+  stats.Set("detector_calls",
+            JsonValue::Int(static_cast<int64_t>(result.stats.detector_calls)));
+  stats.Set("shards_processed",
+            JsonValue::Int(
+                static_cast<int64_t>(result.stats.shards_processed)));
+  stats.Set("memo_hits",
+            JsonValue::Int(static_cast<int64_t>(result.stats.memo_hits)));
+  stats.Set("memo_misses",
+            JsonValue::Int(static_cast<int64_t>(result.stats.memo_misses)));
+  stats.Set("rounds",
+            JsonValue::Int(static_cast<int64_t>(result.stats.rounds)));
+  stats.Set("seconds", JsonValue::Number(result.stats.seconds));
+  report.Set("stats", std::move(stats));
+  report.Set("num_slices",
+             JsonValue::Int(static_cast<int64_t>(result.slices.size())));
+  JsonValue slices = JsonValue::Array();
+  const size_t limit = opts.top_k == 0
+                           ? result.slices.size()
+                           : std::min(result.slices.size(),
+                                      static_cast<size_t>(opts.top_k));
+  const rdf::Dictionary& dict = corpus_.dict();
+  for (size_t i = 0; i < limit; ++i) {
+    const auto& s = result.slices[i];
+    JsonValue row = JsonValue::Object();
+    row.Set("source_url", JsonValue::Str(s.source_url));
+    row.Set("description", JsonValue::Str(s.Description(dict)));
+    JsonValue props = JsonValue::Array();
+    for (const auto& p : s.properties) {
+      JsonValue prop = JsonValue::Object();
+      prop.Set("predicate", JsonValue::Str(dict.Term(p.predicate)));
+      prop.Set("value", JsonValue::Str(dict.Term(p.value)));
+      props.Append(std::move(prop));
+    }
+    row.Set("properties", std::move(props));
+    row.Set("num_facts", JsonValue::Int(static_cast<int64_t>(s.num_facts)));
+    row.Set("num_new_facts",
+            JsonValue::Int(static_cast<int64_t>(s.num_new_facts)));
+    row.Set("profit", JsonValue::Number(s.profit));
+    slices.Append(std::move(row));
+  }
+  report.Set("slices", std::move(slices));
+
+  HttpResponse response = HttpResponse::Json(200, report);
+  // Partial (deadline-cut) results are real answers but must never be
+  // cached: a later identical query deserves the full run.
+  if (opts.use_cache && !result.partial) {
+    cache_.Insert(cache_key, response.body);
+  }
+  response.SetHeader("X-Midas-Cache", result.partial ? "skip" : "miss");
+  return response;
+}
+
+HttpResponse DiscoveryService::HandleIngest(const HttpRequest& request) {
+  JsonValue parsed;
+  if (Status status = JsonValue::Parse(request.body, &parsed); !status.ok()) {
+    return HttpResponse::Error(400, status.message());
+  }
+  const JsonValue* facts = parsed.Get("facts");
+  if (facts == nullptr || !facts->IsArray()) {
+    return HttpResponse::Error(400, "body must have a \"facts\" array");
+  }
+  std::vector<extract::RawExtractedFact> delta;
+  delta.reserve(facts->size());
+  for (size_t i = 0; i < facts->size(); ++i) {
+    const JsonValue& row = facts->at(i);
+    const JsonValue* url = row.Get("url");
+    const JsonValue* subject = row.Get("subject");
+    const JsonValue* predicate = row.Get("predicate");
+    const JsonValue* object = row.Get("object");
+    if (url == nullptr || !url->IsString() || subject == nullptr ||
+        !subject->IsString() || predicate == nullptr ||
+        !predicate->IsString() || object == nullptr || !object->IsString()) {
+      return HttpResponse::Error(
+          400, StringPrintf("facts[%zu] needs string url/subject/predicate/"
+                            "object",
+                            i));
+    }
+    extract::RawExtractedFact fact;
+    fact.url = url->AsString();
+    fact.subject = subject->AsString();
+    fact.predicate = predicate->AsString();
+    fact.object = object->AsString();
+    if (const JsonValue* c = row.Get("confidence")) {
+      fact.confidence = c->AsDouble(1.0);
+    }
+    delta.push_back(std::move(fact));
+  }
+
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  const extract::DeltaStats stats = extract::ApplyFactDelta(
+      delta, options_.confidence_threshold, &corpus_);
+  if (stats.added > 0) corpus_version_++;
+
+  JsonValue report = JsonValue::Object();
+  report.Set("added", JsonValue::Int(static_cast<int64_t>(stats.added)));
+  report.Set("duplicates",
+             JsonValue::Int(static_cast<int64_t>(stats.duplicates)));
+  report.Set("below_threshold",
+             JsonValue::Int(static_cast<int64_t>(stats.below_threshold)));
+  JsonValue touched = JsonValue::Array();
+  for (const auto& url : stats.touched_urls) {
+    touched.Append(JsonValue::Str(url));
+  }
+  report.Set("touched_sources", std::move(touched));
+  report.Set("corpus_version",
+             JsonValue::Int(static_cast<int64_t>(corpus_version_)));
+  return HttpResponse::Json(200, report);
+}
+
+HttpResponse DiscoveryService::HandleHealthz() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  JsonValue body = JsonValue::Object();
+  body.Set("status", JsonValue::Str("ok"));
+  body.Set("corpus_version",
+           JsonValue::Int(static_cast<int64_t>(corpus_version_)));
+  body.Set("sources",
+           JsonValue::Int(static_cast<int64_t>(corpus_.NumSources())));
+  body.Set("facts", JsonValue::Int(static_cast<int64_t>(corpus_.NumFacts())));
+  body.Set("kb_facts", JsonValue::Int(static_cast<int64_t>(kb_.size())));
+  body.Set("memo_entries",
+           JsonValue::Int(static_cast<int64_t>(memo_.size())));
+  return HttpResponse::Json(200, body);
+}
+
+}  // namespace serve
+}  // namespace midas

@@ -1,0 +1,90 @@
+#ifndef MIDAS_SERVE_DISCOVERY_SERVICE_H_
+#define MIDAS_SERVE_DISCOVERY_SERVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+
+#include "midas/core/framework.h"
+#include "midas/extract/extraction.h"
+#include "midas/fault/cancel.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/serve/http_server.h"
+#include "midas/serve/result_cache.h"
+#include "midas/web/web_source.h"
+
+namespace midas {
+namespace serve {
+
+/// Options for DiscoveryService.
+struct DiscoveryServiceOptions {
+  /// Confidence filter applied to ingested fact deltas (matches the
+  /// threshold the corpus was loaded with).
+  double confidence_threshold = 0.7;
+  /// Framework threads per /discover run; 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Default per-request budget in ms (0 = unbounded); a request body's
+  /// "deadline_ms" can only tighten it further.
+  uint64_t default_deadline_ms = 0;
+  /// Result-cache entries; 0 disables the cache.
+  size_t cache_capacity = 64;
+};
+
+/// The daemon's brain: owns a loaded corpus + KB and answers the four
+/// endpoints of the `midas serve` API (see docs/SERVE.md):
+///
+///   POST /discover  options JSON -> slices JSON. Runs the framework over
+///                   the live corpus; served from the LRU result cache when
+///                   (corpus version, canonical options) was seen before.
+///   POST /ingest    fact-delta JSON -> stats JSON. Applies new extraction
+///                   records in place and bumps the corpus version. Only
+///                   the touched sources (and their URL ancestors) lose
+///                   their DetectionMemo validity — the fingerprints of
+///                   everything else still match, so the next /discover
+///                   re-detects exactly the stale part of the hierarchy.
+///   GET  /healthz   liveness + corpus shape.
+///   GET  /metricz   the obs registry as JSON.
+///
+/// Concurrency: /discover holds the state lock shared (any number run
+/// concurrently; the DetectionMemo and ResultCache lock themselves),
+/// /ingest holds it exclusive, so a delta is never applied mid-run.
+class DiscoveryService {
+ public:
+  /// Takes ownership of the corpus and KB (they must share a dictionary).
+  /// Rebuilds the corpus dedup index, so bulk-loaded corpora ingest
+  /// correctly.
+  DiscoveryService(web::Corpus corpus, rdf::KnowledgeBase kb,
+                   DiscoveryServiceOptions options = {});
+
+  /// The HttpServer handler. Thread-safe.
+  HttpResponse Handle(const HttpRequest& request,
+                      const fault::CancelToken& cancel);
+
+  /// Monotonic corpus state id; bumped whenever an ingest adds facts.
+  uint64_t corpus_version() const;
+
+  const ResultCache& cache() const { return cache_; }
+  const core::DetectionMemo& memo() const { return memo_; }
+
+ private:
+  HttpResponse HandleDiscover(const HttpRequest& request,
+                              const fault::CancelToken& cancel);
+  HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleHealthz() const;
+
+  const DiscoveryServiceOptions options_;
+
+  mutable std::shared_mutex state_mu_;
+  web::Corpus corpus_;
+  rdf::KnowledgeBase kb_;
+  uint64_t corpus_version_ = 1;
+
+  core::DetectionMemo memo_;
+  ResultCache cache_;
+};
+
+}  // namespace serve
+}  // namespace midas
+
+#endif  // MIDAS_SERVE_DISCOVERY_SERVICE_H_

@@ -1,0 +1,641 @@
+#include "midas/serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+
+#include "midas/fault/fault.h"
+#include "midas/obs/obs.h"
+#include "midas/util/logging.h"
+#include "midas/util/string_util.h"
+
+namespace midas {
+namespace serve {
+
+namespace {
+
+// epoll user-data ids for the two non-connection fds.
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = UINT64_MAX;
+
+bool IsTokenChar(char c) {
+  // RFC 9110 token characters, enough to reject framing garbage.
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+      (c >= '0' && c <= '9')) {
+    return true;
+  }
+  return std::strchr("!#$%&'*+-.^_`|~", c) != nullptr;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* conn = FindHeader("connection");
+  if (version == "HTTP/1.0") {
+    return conn != nullptr && ToLower(*conn) == "keep-alive";
+  }
+  return conn == nullptr || ToLower(*conn) != "close";
+}
+
+void HttpResponse::SetHeader(std::string_view name, std::string_view value) {
+  for (auto& [key, existing] : headers) {
+    if (key == name) {
+      existing = std::string(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::string(name), std::string(value));
+}
+
+HttpResponse HttpResponse::Json(int status, const JsonValue& value) {
+  HttpResponse response;
+  response.status = status;
+  response.SetHeader("Content-Type", "application/json");
+  response.body = value.Dump();
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse HttpResponse::Error(int status, std::string_view message) {
+  JsonValue body = JsonValue::Object();
+  body.Set("error", JsonValue::Str(message));
+  return Json(status, body);
+}
+
+std::string_view StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpParser::HttpParser() : HttpParser(Limits()) {}
+
+HttpParser::HttpParser(Limits limits) : limits_(limits) {}
+
+void HttpParser::Feed(std::string_view data) {
+  if (failed_) return;
+  buffer_.append(data);
+}
+
+HttpParser::Result HttpParser::Fail(int status, std::string message) {
+  failed_ = true;
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return Result::kError;
+}
+
+HttpParser::Result HttpParser::Next(HttpRequest* out) {
+  if (failed_) return Result::kError;
+  // RFC 9112 §2.2: ignore empty line(s) before the request line.
+  size_t start = 0;
+  while (buffer_.compare(start, 2, "\r\n") == 0) start += 2;
+  if (start > 0) buffer_.erase(0, start);
+  if (buffer_.empty()) return Result::kNeedMore;
+
+  const size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return Fail(431, "header section exceeds " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    return Result::kNeedMore;
+  }
+  if (header_end + 4 > limits_.max_header_bytes) {
+    return Fail(431, "header section exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  // Request line.
+  HttpRequest request;
+  const std::string_view head(buffer_.data(), header_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line = head.substr(0, line_end);
+  {
+    const size_t sp1 = request_line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return Fail(400, "malformed request line");
+    }
+    request.method = std::string(request_line.substr(0, sp1));
+    request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    request.version = std::string(request_line.substr(sp2 + 1));
+  }
+  if (request.method.empty() || request.target.empty()) {
+    return Fail(400, "malformed request line");
+  }
+  for (char c : request.method) {
+    if (!IsTokenChar(c)) return Fail(400, "invalid method token");
+  }
+  if (request.target[0] != '/' && request.target != "*") {
+    return Fail(400, "request target must be origin-form");
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return Fail(400, "unsupported HTTP version");
+  }
+
+  // Header fields.
+  uint64_t content_length = 0;
+  bool saw_content_length = false;
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) return Fail(400, "empty header line");
+    if (line[0] == ' ' || line[0] == '\t') {
+      return Fail(400, "obsolete header folding");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header field");
+    }
+    const std::string_view raw_name = line.substr(0, colon);
+    for (char c : raw_name) {
+      if (!IsTokenChar(c)) return Fail(400, "invalid header name");
+    }
+    std::string name = ToLower(raw_name);
+    std::string value(Trim(line.substr(colon + 1)));
+    if (name == "content-length") {
+      uint64_t parsed = 0;
+      if (!ParseUint64(value, &parsed)) {
+        return Fail(400, "invalid content-length");
+      }
+      if (saw_content_length && parsed != content_length) {
+        return Fail(400, "conflicting content-length");
+      }
+      saw_content_length = true;
+      content_length = parsed;
+    } else if (name == "transfer-encoding") {
+      return Fail(501, "transfer-encoding is not supported");
+    }
+    request.headers.emplace_back(std::move(name), std::move(value));
+  }
+  if (content_length > limits_.max_body_bytes) {
+    return Fail(413, "body exceeds " +
+                         std::to_string(limits_.max_body_bytes) + " bytes");
+  }
+
+  const size_t total = header_end + 4 + content_length;
+  if (buffer_.size() < total) return Result::kNeedMore;
+  request.body = buffer_.substr(header_end + 4, content_length);
+  buffer_.erase(0, total);
+  *out = std::move(request);
+  return Result::kRequest;
+}
+
+/// Per-connection state, owned by the event-loop thread.
+struct HttpServer::Connection {
+  int fd = -1;
+  HttpParser parser;
+  /// Parsed requests not yet started (pipelining queue; at most one
+  /// request per connection executes at a time so responses stay in
+  /// request order without reordering machinery).
+  std::deque<HttpRequest> pending;
+  /// Serialized-but-unsent response bytes.
+  std::string out;
+  size_t out_offset = 0;
+  bool busy = false;              // a request is running on the pool
+  bool close_after_flush = false; // close once `out` drains
+  bool read_closed = false;       // peer sent EOF (or read error)
+  bool want_write = false;        // EPOLLOUT currently registered
+  bool aborted = false;           // fd torn down while busy
+  uint64_t read_seq = 0;          // per-read fault-injection key
+};
+
+HttpServer::HttpServer(HttpServerOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Shutdown(); }
+
+Status HttpServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (wake_fd_ < 0 || epoll_fd_ < 0) {
+    return Status::Internal("eventfd/epoll_create1 failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::ShutdownAsync() {
+  // Async-signal-safe: one relaxed store + one write(2).
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void HttpServer::Wait() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!joined_ && loop_thread_.joinable()) {
+    loop_thread_.join();
+    joined_ = true;
+  }
+}
+
+void HttpServer::Shutdown() {
+  if (!started_.load()) return;
+  ShutdownAsync();
+  Wait();
+  // The loop only exits once every connection is gone, which implies every
+  // handler task has completed — the pool can be torn down safely.
+  pool_.reset();
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+}
+
+void HttpServer::EventLoop() {
+  epoll_event events[64];
+  while (!loop_done_) {
+    const int n = epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      MIDAS_LOG(Warning) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenId) {
+        AcceptNew();
+      } else if (id == kWakeId) {
+        uint64_t drained = 0;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+      } else {
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          auto it = connections_.find(id);
+          if (it != connections_.end()) {
+            it->second->read_closed = true;
+            if (!it->second->busy && it->second->pending.empty()) {
+              CloseConnection(id);
+              continue;
+            }
+          }
+        }
+        if (events[i].events & EPOLLIN) HandleReadable(id);
+        if (events[i].events & EPOLLOUT) HandleWritable(id);
+      }
+    }
+    if (shutdown_requested_.load(std::memory_order_relaxed) && !draining_) {
+      draining_ = true;
+      if (listen_fd_ >= 0) {
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // Idle connections close now; busy ones finish their request,
+      // flush, then close (close_after_flush set on completion).
+      std::vector<uint64_t> idle;
+      for (auto& [id, conn] : connections_) {
+        if (!conn->busy && conn->pending.empty() &&
+            conn->out_offset >= conn->out.size()) {
+          idle.push_back(id);
+        }
+      }
+      for (uint64_t id : idle) CloseConnection(id);
+    }
+    MaybeFinishDrain();
+  }
+  loop_done_ = true;
+}
+
+void HttpServer::MaybeFinishDrain() {
+  if (draining_ && connections_.empty()) loop_done_ = true;
+}
+
+void HttpServer::AcceptNew() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error
+    if (MIDAS_FAULT_SHOULD_CORRUPT(fault::kSiteServeAccept,
+                                   std::to_string(next_conn_id_))) {
+      close(fd);  // simulated accept-side drop; client sees a reset
+      ++next_conn_id_;
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("serve.connections_accepted"), 1);
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->parser = HttpParser(options_.limits);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    connections_.emplace(id, std::move(conn));
+  }
+}
+
+void HttpServer::HandleReadable(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->fd < 0) return;
+  char buf[4096];
+  while (true) {
+    size_t want = sizeof(buf);
+    if (MIDAS_FAULT_SHOULD_CORRUPT(
+            fault::kSiteServeRead,
+            std::to_string(conn_id) + ":" + std::to_string(conn->read_seq))) {
+      want = 1;  // torn read: deliver one byte, re-enter via level trigger
+    }
+    conn->read_seq++;
+    const ssize_t n = read(conn->fd, buf, want);
+    if (n > 0) {
+      conn->parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (want == 1) break;  // let the loop breathe between torn bytes
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn->read_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn->read_closed = true;  // ECONNRESET and friends
+    break;
+  }
+  DispatchParsed(conn_id, conn);
+  // Re-find: DispatchParsed may have closed the connection.
+  it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  conn = it->second.get();
+  if (conn->read_closed && !conn->busy && conn->pending.empty() &&
+      conn->out_offset >= conn->out.size()) {
+    CloseConnection(conn_id);
+  }
+}
+
+void HttpServer::DispatchParsed(uint64_t conn_id, Connection* conn) {
+  HttpRequest request;
+  while (true) {
+    const HttpParser::Result result = conn->parser.Next(&request);
+    if (result == HttpParser::Result::kNeedMore) break;
+    if (result == HttpParser::Result::kError) {
+      // A framing error poisons the byte stream: answer once and close.
+      if (!conn->close_after_flush) {
+        EnqueueResponse(conn_id, conn,
+                        HttpResponse::Error(conn->parser.error_status(),
+                                            conn->parser.error_message()),
+                        /*keep_alive=*/false);
+        FlushWrites(conn_id);
+      }
+      return;
+    }
+    conn->pending.push_back(std::move(request));
+  }
+  // Start at most one request; the rest stay queued for completion time.
+  while (!conn->busy && !conn->pending.empty()) {
+    HttpRequest next = std::move(conn->pending.front());
+    conn->pending.pop_front();
+    if (inflight_ >= options_.max_inflight) {
+      EnqueueResponse(conn_id, conn,
+                      HttpResponse::Error(503, "server is at max_inflight"),
+                      next.keep_alive());
+      FlushWrites(conn_id);
+      auto it = connections_.find(conn_id);
+      if (it == connections_.end()) return;  // flushed + closed
+      continue;
+    }
+    StartRequest(conn_id, conn, std::move(next));
+  }
+}
+
+void HttpServer::StartRequest(uint64_t conn_id, Connection* conn,
+                              HttpRequest request) {
+  conn->busy = true;
+  inflight_++;
+  const uint64_t deadline_ms = options_.request_deadline_ms;
+  pool_->Submit([this, conn_id, deadline_ms,
+                 request = std::move(request)]() mutable {
+    fault::CancelToken cancel;
+    if (deadline_ms > 0) cancel.SetBudgetMs(deadline_ms);
+    Completion done;
+    done.conn_id = conn_id;
+    done.keep_alive = request.keep_alive();
+    try {
+      done.response = handler_(request, cancel);
+    } catch (const std::exception& e) {
+      done.response = HttpResponse::Error(500, e.what());
+    } catch (...) {
+      done.response = HttpResponse::Error(500, "unknown handler error");
+    }
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(std::move(done));
+    }
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  });
+}
+
+void HttpServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (auto& completion : batch) {
+    auto it = connections_.find(completion.conn_id);
+    MIDAS_CHECK(it != connections_.end());
+    Connection* conn = it->second.get();
+    conn->busy = false;
+    MIDAS_CHECK(inflight_ > 0);
+    inflight_--;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("serve.requests"), 1);
+    if (conn->aborted) {
+      // Peer tore the socket down mid-request; nothing to write to.
+      CloseConnection(completion.conn_id);
+      continue;
+    }
+    EnqueueResponse(completion.conn_id, conn, completion.response,
+                    completion.keep_alive);
+    FlushWrites(completion.conn_id);
+    it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) continue;
+    conn = it->second.get();
+    // Pipelined successor (or drain-time closure for idle conns).
+    DispatchParsed(completion.conn_id, conn);
+    it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) continue;
+    conn = it->second.get();
+    if (draining_ && !conn->busy && conn->pending.empty()) {
+      conn->close_after_flush = true;
+      FlushWrites(completion.conn_id);
+    }
+  }
+}
+
+void HttpServer::EnqueueResponse(uint64_t conn_id, Connection* conn,
+                                 const HttpResponse& response,
+                                 bool keep_alive) {
+  (void)conn_id;
+  if (draining_) keep_alive = false;
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     std::string(StatusReason(response.status)) + "\r\n";
+  bool have_type = false;
+  for (const auto& [name, value] : response.headers) {
+    head += name;
+    head += ": ";
+    head += value;
+    head += "\r\n";
+    if (ToLower(name) == "content-type") have_type = true;
+  }
+  if (!have_type && !response.body.empty()) {
+    head += "Content-Type: text/plain\r\n";
+  }
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  head += "\r\n";
+  conn->out += head;
+  conn->out += response.body;
+  if (!keep_alive) conn->close_after_flush = true;
+}
+
+void HttpServer::FlushWrites(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->fd < 0) return;
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n = write(conn->fd, conn->out.data() + conn->out_offset,
+                            conn->out.size() - conn->out_offset);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.u64 = conn_id;
+        epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      return;
+    }
+    // EPIPE/ECONNRESET: the peer is gone, drop the connection.
+    CloseConnection(conn_id);
+    return;
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn_id;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+  if (conn->close_after_flush) CloseConnection(conn_id);
+}
+
+void HttpServer::HandleWritable(uint64_t conn_id) { FlushWrites(conn_id); }
+
+void HttpServer::CloseConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    close(conn->fd);
+    conn->fd = -1;
+  }
+  if (conn->busy) {
+    // A handler still runs for this connection; keep the record so its
+    // completion can settle the inflight accounting, then erase.
+    conn->aborted = true;
+    return;
+  }
+  connections_.erase(it);
+}
+
+}  // namespace serve
+}  // namespace midas

@@ -1,0 +1,232 @@
+#ifndef MIDAS_SERVE_HTTP_SERVER_H_
+#define MIDAS_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "midas/fault/cancel.h"
+#include "midas/util/json.h"
+#include "midas/util/status.h"
+#include "midas/util/thread_pool.h"
+
+namespace midas {
+namespace serve {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased at parse time
+/// (field names are case-insensitive per RFC 9112); values keep their bytes.
+struct HttpRequest {
+  std::string method;   // as sent ("GET", "POST", ...)
+  std::string target;   // origin-form request target ("/discover")
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header value for a (lower-case) name; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// HTTP/1.1 defaults to keep-alive unless "Connection: close";
+  /// HTTP/1.0 defaults to close unless "Connection: keep-alive".
+  bool keep_alive() const;
+};
+
+/// One response. The server adds Content-Length and Connection itself.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  void SetHeader(std::string_view name, std::string_view value);
+
+  /// application/json response from a JsonValue.
+  static HttpResponse Json(int status, const JsonValue& value);
+
+  /// JSON error envelope: {"error": message}.
+  static HttpResponse Error(int status, std::string_view message);
+};
+
+/// Standard reason phrase for a status code ("OK", "Bad Request", ...).
+std::string_view StatusReason(int status);
+
+/// Incremental HTTP/1.1 request parser. Feed() appends raw socket bytes in
+/// arbitrary-sized chunks (a torn read may split anywhere, mid-line or
+/// mid-escape); Next() yields complete requests one at a time, so pipelined
+/// requests buffered in one read surface in order.
+///
+/// Hardened against hostile input: header section and body are capped
+/// (431 / 413), malformed framing is a terminal 400, and unsupported
+/// transfer framing (chunked) is a terminal 501. After kError the parser
+/// stays in the error state — the connection must be torn down.
+class HttpParser {
+ public:
+  struct Limits {
+    /// Cap on the request line + header section, bytes.
+    size_t max_header_bytes = 16 * 1024;
+    /// Cap on Content-Length, bytes.
+    size_t max_body_bytes = 4 * 1024 * 1024;
+  };
+
+  enum class Result {
+    kNeedMore,  // no complete request buffered yet
+    kRequest,   // one request parsed into *out
+    kError,     // terminal; see error_status()/error_message()
+  };
+
+  HttpParser();
+  explicit HttpParser(Limits limits);
+
+  /// Appends raw bytes from the socket.
+  void Feed(std::string_view data);
+
+  /// Attempts to parse the next buffered request.
+  Result Next(HttpRequest* out);
+
+  /// HTTP status to answer with after kError (400, 413, 431, or 501).
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Bytes currently buffered (tests pin that consumed requests leave
+  /// pipelined remainders behind).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  Result Fail(int status, std::string message);
+
+  Limits limits_;
+  std::string buffer_;
+  bool failed_ = false;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+/// Options for HttpServer.
+struct HttpServerOptions {
+  /// Listen address; loopback by default (the daemon is an internal tool,
+  /// exposing it wider is an explicit operator decision).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Handler threads; 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Cap on requests executing concurrently across all connections;
+  /// excess requests are answered 503 without touching the handler.
+  size_t max_inflight = 64;
+  /// Per-request budget in ms; 0 = unbounded. The handler's CancelToken
+  /// expires after this long, and cooperative handlers return partial
+  /// results (the service layer marks them uncacheable).
+  uint64_t request_deadline_ms = 0;
+  HttpParser::Limits limits;
+};
+
+/// Minimal epoll HTTP/1.1 server: one event-loop thread owns every socket,
+/// handlers run on an internal ThreadPool, completions wake the loop via an
+/// eventfd. Zero dependencies beyond the kernel.
+///
+/// Lifecycle: Start() binds + spawns the loop; Shutdown() drains gracefully
+/// (stop accepting, let in-flight requests finish, flush their responses,
+/// then close) and joins; ShutdownAsync() is the async-signal-safe trigger
+/// for SIGTERM handlers (a single eventfd write); Wait() blocks until the
+/// loop exits.
+///
+/// Fault sites (see fault.h): `serve_accept` drops freshly accepted
+/// connections, `serve_read` truncates socket reads to one byte — the
+/// deterministic torn-read harness for the parser.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&,
+                                             const fault::CancelToken&)>;
+
+  /// `handler` runs on pool threads and must be thread-safe.
+  HttpServer(HttpServerOptions options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the event loop. InvalidArgument for a bad
+  /// address, Internal for socket errors (port in use, ...).
+  Status Start();
+
+  /// Bound port (after Start); useful with options.port == 0.
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain, then join. Idempotent.
+  void Shutdown();
+
+  /// Async-signal-safe shutdown trigger: sets a flag and writes the
+  /// eventfd. Safe to call from a signal handler; pair with Wait().
+  void ShutdownAsync();
+
+  /// Blocks until the event loop has exited (after ShutdownAsync).
+  void Wait();
+
+  /// Requests fully processed (responses written). For tests.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  void EventLoop();
+  void AcceptNew();
+  void HandleReadable(uint64_t conn_id);
+  void HandleWritable(uint64_t conn_id);
+  void DispatchParsed(uint64_t conn_id, Connection* conn);
+  void StartRequest(uint64_t conn_id, Connection* conn, HttpRequest request);
+  void EnqueueResponse(uint64_t conn_id, Connection* conn,
+                       const HttpResponse& response, bool keep_alive);
+  void DrainCompletions();
+  void FlushWrites(uint64_t conn_id);
+  void CloseConnection(uint64_t conn_id);
+  void MaybeFinishDrain();
+
+  HttpServerOptions options_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread loop_thread_;
+
+  // Event-loop-owned state (no lock needed).
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+  size_t inflight_ = 0;
+  bool draining_ = false;
+  bool loop_done_ = false;
+
+  // Worker → loop completion queue.
+  struct Completion {
+    uint64_t conn_id = 0;
+    HttpResponse response;
+    bool keep_alive = true;
+  };
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  std::mutex lifecycle_mu_;
+  bool joined_ = false;
+};
+
+}  // namespace serve
+}  // namespace midas
+
+#endif  // MIDAS_SERVE_HTTP_SERVER_H_

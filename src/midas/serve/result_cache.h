@@ -1,0 +1,55 @@
+#ifndef MIDAS_SERVE_RESULT_CACHE_H_
+#define MIDAS_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace midas {
+namespace serve {
+
+/// Small thread-safe LRU for serialized /discover responses.
+///
+/// Keys are (corpus_version, canonical options) pairs folded into one
+/// string by the service layer. Invalidation is by unreachability: every
+/// ingest bumps corpus_version, so keys from older corpus states are never
+/// looked up again and age out of the LRU naturally — there is no explicit
+/// flush, and per-source granularity lives in the DetectionMemo instead.
+class ResultCache {
+ public:
+  /// Keeps at most `capacity` entries; 0 disables caching entirely.
+  explicit ResultCache(size_t capacity);
+
+  /// Copies the cached body for `key` into `out`; promotes the entry.
+  bool Lookup(const std::string& key, std::string* out);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when full. The service layer must never Insert partial
+  /// (deadline-cut) results — a later identical query must re-run them.
+  void Insert(const std::string& key, std::string body);
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string body;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace serve
+}  // namespace midas
+
+#endif  // MIDAS_SERVE_RESULT_CACHE_H_

@@ -1,6 +1,8 @@
 #include "midas/util/json.h"
 
+#include <cctype>
 #include <cmath>
+#include <cstdint>
 
 #include "midas/util/logging.h"
 #include "midas/util/string_util.h"
@@ -69,6 +71,332 @@ size_t JsonValue::size() const {
   if (kind_ == Kind::kArray) return array_.size();
   if (kind_ == Kind::kObject) return object_.size();
   return 0;
+}
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool JsonValue::AsBool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::AsDouble(double fallback) const {
+  if (kind_ == Kind::kNumber) return number_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  return fallback;
+}
+
+int64_t JsonValue::AsInt(int64_t fallback) const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kNumber) return static_cast<int64_t>(number_);
+  return fallback;
+}
+
+std::string JsonValue::AsString(std::string_view fallback) const {
+  return kind_ == Kind::kString ? string_ : std::string(fallback);
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view. Tracks a byte cursor
+/// for error messages and a depth counter against hostile nesting.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Run(JsonValue* out) {
+    MIDAS_RETURN_IF_ERROR(ParseValue(out, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing content after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseLiteral(std::string_view word, JsonValue value,
+                      JsonValue* out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  /// Appends `code` (a Unicode scalar value) to `out` as UTF-8.
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume the backslash
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          MIDAS_RETURN_IF_ERROR(ParseHex4(&code));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              uint32_t low = 0;
+              MIDAS_RETURN_IF_ERROR(ParseHex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Fail("unpaired surrogate in \\u escape");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Fail("unpaired surrogate in \\u escape");
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Fail("unpaired surrogate in \\u escape");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Fail("unknown escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    bool is_integer = true;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text_[pos_]))) {
+      return Fail("invalid number");
+    }
+    // Leading zero may not be followed by more digits.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return Fail("leading zero in number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      is_integer = false;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("digit expected after '.'");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("digit expected in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (is_integer) {
+      int64_t value = 0;
+      if (ParseInt64(token, &value)) {
+        *out = JsonValue::Int(value);
+        return Status::OK();
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double value = 0;
+    if (!ParseDouble(token, &value)) return Fail("unparsable number");
+    *out = JsonValue::Number(value);
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null(), out);
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false), out);
+      case '"': {
+        std::string s;
+        MIDAS_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::Str(s);
+        return Status::OK();
+      }
+      case '[': {
+        ++pos_;
+        JsonValue array = JsonValue::Array();
+        SkipWhitespace();
+        if (Consume(']')) {
+          *out = std::move(array);
+          return Status::OK();
+        }
+        while (true) {
+          JsonValue element;
+          MIDAS_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+          array.Append(std::move(element));
+          SkipWhitespace();
+          if (Consume(']')) break;
+          if (!Consume(',')) return Fail("expected ',' or ']'");
+        }
+        *out = std::move(array);
+        return Status::OK();
+      }
+      case '{': {
+        ++pos_;
+        JsonValue object = JsonValue::Object();
+        SkipWhitespace();
+        if (Consume('}')) {
+          *out = std::move(object);
+          return Status::OK();
+        }
+        while (true) {
+          SkipWhitespace();
+          std::string key;
+          MIDAS_RETURN_IF_ERROR(ParseString(&key));
+          SkipWhitespace();
+          if (!Consume(':')) return Fail("expected ':'");
+          JsonValue value;
+          MIDAS_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+          object.Set(key, std::move(value));
+          SkipWhitespace();
+          if (Consume('}')) break;
+          if (!Consume(',')) return Fail("expected ',' or '}'");
+        }
+        *out = std::move(object);
+        return Status::OK();
+      }
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status JsonValue::Parse(std::string_view text, JsonValue* out) {
+  return JsonParser(text).Run(out);
 }
 
 std::string JsonValue::Escape(std::string_view s) {

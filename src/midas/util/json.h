@@ -8,12 +8,15 @@
 #include <utility>
 #include <vector>
 
+#include "midas/util/status.h"
+
 namespace midas {
 
-/// A minimal JSON value builder/serializer — enough for machine-readable
-/// experiment artifacts (slice lists, metric reports) without an external
-/// dependency. Build values with the static factories, serialize with
-/// Dump(). No parser: the repository only *emits* JSON.
+/// A minimal JSON value builder/parser/serializer — enough for
+/// machine-readable experiment artifacts (slice lists, metric reports) and
+/// the `midas serve` request bodies without an external dependency. Build
+/// values with the static factories, serialize with Dump(), parse with
+/// Parse().
 ///
 ///   JsonValue report = JsonValue::Object();
 ///   report.Set("method", JsonValue::Str("MIDAS"));
@@ -22,6 +25,10 @@ namespace midas {
 ///   rows.Append(JsonValue::Number(1));
 ///   report.Set("rows", std::move(rows));
 ///   std::string text = report.Dump(/*indent=*/2);
+///
+///   JsonValue parsed;
+///   Status s = JsonValue::Parse(text, &parsed);
+///   double p = parsed.Get("precision")->AsDouble(0.0);
 class JsonValue {
  public:
   /// Factories.
@@ -33,17 +40,53 @@ class JsonValue {
   static JsonValue Array();
   static JsonValue Object();
 
+  /// Parses a complete JSON document into `out`. Strict: the whole input
+  /// must be one JSON value plus optional trailing whitespace (no comments,
+  /// no trailing commas). \uXXXX escapes (including surrogate pairs) decode
+  /// to UTF-8. Numbers without '.', exponent, or int64 overflow parse as
+  /// Int, everything else as Number. Nesting is capped at 128 levels so a
+  /// hostile request body cannot blow the stack. Returns InvalidArgument
+  /// with a byte offset on malformed input.
+  static Status Parse(std::string_view text, JsonValue* out);
+
   /// Object member set (replaces an existing key). Requires IsObject().
   void Set(std::string_view key, JsonValue value);
 
   /// Array append. Requires IsArray().
   void Append(JsonValue value);
 
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsBool() const { return kind_ == Kind::kBool; }
+  /// True for both floating-point and integer numbers.
+  bool IsNumber() const {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInt;
+  }
+  bool IsString() const { return kind_ == Kind::kString; }
   bool IsObject() const { return kind_ == Kind::kObject; }
   bool IsArray() const { return kind_ == Kind::kArray; }
 
   /// Number of members/elements; 0 for scalars.
   size_t size() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(std::string_view key) const;
+
+  /// Array element access; requires IsArray() and i < size().
+  const JsonValue& at(size_t i) const { return array_[i]; }
+
+  /// Object member access by index (insertion order); requires IsObject()
+  /// and i < size().
+  const std::pair<std::string, JsonValue>& member(size_t i) const {
+    return object_[i];
+  }
+
+  /// Scalar accessors with fallback defaults (never abort: a request body
+  /// with the wrong type for a field degrades to the default).
+  bool AsBool(bool fallback = false) const;
+  double AsDouble(double fallback = 0.0) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+  const std::string& AsString() const { return string_; }
+  std::string AsString(std::string_view fallback) const;
 
   /// Serializes; `indent` == 0 gives compact one-line output.
   std::string Dump(int indent = 0) const;

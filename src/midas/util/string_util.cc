@@ -96,6 +96,21 @@ bool ParseUint64(std::string_view s, uint64_t* out) {
   return true;
 }
 
+bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  const bool negative = s.front() == '-';
+  if (negative) s.remove_prefix(1);
+  uint64_t magnitude = 0;
+  if (!ParseUint64(s, &magnitude)) return false;
+  const uint64_t limit = negative
+                             ? static_cast<uint64_t>(INT64_MAX) + 1
+                             : static_cast<uint64_t>(INT64_MAX);
+  if (magnitude > limit) return false;
+  *out = negative ? -static_cast<int64_t>(magnitude - 1) - 1
+                  : static_cast<int64_t>(magnitude);
+  return true;
+}
+
 bool ParseDouble(std::string_view s, double* out) {
   if (s.empty()) return false;
   std::string buf(s);

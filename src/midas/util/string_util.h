@@ -36,6 +36,10 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// overflow.
 bool ParseUint64(std::string_view s, uint64_t* out);
 
+/// Parses a signed integer (optional leading '-'); returns false on any
+/// non-digit or int64 overflow.
+bool ParseInt64(std::string_view s, int64_t* out);
+
 /// Parses a double via strtod semantics; returns false unless the whole
 /// string is consumed.
 bool ParseDouble(std::string_view s, double* out);

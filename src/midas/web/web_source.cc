@@ -42,6 +42,14 @@ size_t Corpus::AddFactRaw(std::string_view url, std::string_view subject,
                              dict_->Intern(object)));
 }
 
+void Corpus::RebuildDedupIndex() {
+  dedup_.assign(sources_.size(), {});
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    dedup_[i].reserve(sources_[i].facts.size());
+    for (const auto& t : sources_[i].facts) dedup_[i].insert(t);
+  }
+}
+
 const WebSource* Corpus::FindSource(std::string_view url) const {
   auto it = url_index_.find(std::string(url));
   if (it == url_index_.end()) return nullptr;

@@ -57,6 +57,13 @@ class Corpus {
   size_t AddFactRaw(std::string_view url, std::string_view subject,
                     std::string_view predicate, std::string_view object);
 
+  /// Rebuilds the per-source dedup sets from the stored facts. Required
+  /// once after a bulk load (AppendFactToSourceUnchecked bypasses the
+  /// sets) before the corpus can accept further AddFact* calls with
+  /// correct duplicate detection — the serve daemon's ingest path depends
+  /// on this.
+  void RebuildDedupIndex();
+
   /// All sources, insertion order of first fact.
   const std::vector<WebSource>& sources() const { return sources_; }
   std::vector<WebSource>& mutable_sources() { return sources_; }

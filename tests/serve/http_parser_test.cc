@@ -1,0 +1,205 @@
+// Fuzz-style hardening suite for the incremental HTTP/1.1 request parser:
+// every request must parse identically no matter where torn reads split the
+// byte stream, pipelined requests must surface in order, and hostile
+// framing must map to the right 4xx/5xx status.
+
+#include "midas/serve/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace midas {
+namespace serve {
+namespace {
+
+constexpr char kSimpleGet[] = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+constexpr char kPost[] =
+    "POST /discover HTTP/1.1\r\n"
+    "Host: x\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: 11\r\n"
+    "\r\n"
+    "{\"a\":true}\n";
+
+TEST(HttpParserTest, ParsesSimpleRequest) {
+  HttpParser parser;
+  parser.Feed(kSimpleGet);
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("host"), "x");
+  EXPECT_TRUE(request.body.empty());
+  EXPECT_TRUE(request.keep_alive());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+  EXPECT_EQ(parser.Next(&request), HttpParser::Result::kNeedMore);
+}
+
+TEST(HttpParserTest, HeaderNamesAreCaseInsensitive) {
+  HttpParser parser;
+  parser.Feed(
+      "POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\nX-Custom: A B\r\n\r\nok");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kRequest);
+  EXPECT_EQ(request.body, "ok");
+  ASSERT_NE(request.FindHeader("x-custom"), nullptr);
+  EXPECT_EQ(*request.FindHeader("x-custom"), "A B");
+}
+
+TEST(HttpParserTest, SplitAtEveryByteBoundary) {
+  // The incremental contract: feeding [0,i) then [i,n) must yield exactly
+  // the same request for every split point, including splits inside the
+  // request line, a header name, the CRLFCRLF terminator, and the body.
+  const std::string raw = kPost;
+  for (size_t split = 0; split <= raw.size(); ++split) {
+    HttpParser parser;
+    HttpRequest request;
+    parser.Feed(raw.substr(0, split));
+    const auto first = parser.Next(&request);
+    if (split < raw.size()) {
+      ASSERT_EQ(first, HttpParser::Result::kNeedMore) << "split=" << split;
+      parser.Feed(raw.substr(split));
+      ASSERT_EQ(parser.Next(&request), HttpParser::Result::kRequest)
+          << "split=" << split;
+    } else {
+      ASSERT_EQ(first, HttpParser::Result::kRequest);
+    }
+    EXPECT_EQ(request.method, "POST");
+    EXPECT_EQ(request.target, "/discover");
+    EXPECT_EQ(request.body, "{\"a\":true}\n");
+    EXPECT_EQ(parser.buffered_bytes(), 0u) << "split=" << split;
+  }
+}
+
+TEST(HttpParserTest, OneByteAtATime) {
+  const std::string raw = std::string(kPost) + kSimpleGet;
+  HttpParser parser;
+  std::vector<HttpRequest> requests;
+  for (char c : raw) {
+    parser.Feed(std::string_view(&c, 1));
+    HttpRequest request;
+    while (parser.Next(&request) == HttpParser::Result::kRequest) {
+      requests.push_back(request);
+    }
+  }
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].method, "POST");
+  EXPECT_EQ(requests[1].method, "GET");
+}
+
+TEST(HttpParserTest, PipelinedRequestsSurfaceInOrder) {
+  HttpParser parser;
+  parser.Feed(std::string(kSimpleGet) + kPost + kSimpleGet);
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kRequest);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "{\"a\":true}\n");
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(parser.Next(&request), HttpParser::Result::kNeedMore);
+}
+
+TEST(HttpParserTest, OversizedHeadersAre431) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 128;
+  HttpParser parser(limits);
+  // Terminated header section over the limit.
+  parser.Feed("GET / HTTP/1.1\r\nX-Big: " + std::string(200, 'a') +
+              "\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+
+  // Unterminated growth must also trip the limit, not buffer forever.
+  HttpParser slow(limits);
+  slow.Feed("GET / HTTP/1.1\r\nX-Big: " + std::string(200, 'a'));
+  ASSERT_EQ(slow.Next(&request), HttpParser::Result::kError);
+  EXPECT_EQ(slow.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413) {
+  HttpParser::Limits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser(limits);
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, ChunkedTransferIs501) {
+  HttpParser parser;
+  parser.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, MalformedFramingIs400) {
+  const char* bad[] = {
+      "GARBAGE\r\n\r\n",                          // no spaces
+      "GET /x HTTP/1.1 extra\r\n\r\n",            // 4 request-line parts
+      "GET /x HTTP/2\r\n\r\n",                    // unsupported version
+      "G@T /x HTTP/1.1\r\n\r\n",                  // bad method token
+      "GET x HTTP/1.1\r\n\r\n",                   // target not origin-form
+      "GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n",   // header without ':'
+      "GET /x HTTP/1.1\r\n: empty\r\n\r\n",       // empty header name
+      "GET /x HTTP/1.1\r\nA: 1\r\n  folded\r\n\r\n",  // obs-fold
+      "POST /x HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+      "POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+  };
+  for (const char* raw : bad) {
+    HttpParser parser;
+    parser.Feed(raw);
+    HttpRequest request;
+    ASSERT_EQ(parser.Next(&request), HttpParser::Result::kError) << raw;
+    EXPECT_EQ(parser.error_status(), 400) << raw;
+    // Terminal: stays failed even with more (valid) bytes.
+    parser.Feed(kSimpleGet);
+    EXPECT_EQ(parser.Next(&request), HttpParser::Result::kError) << raw;
+  }
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  const auto parse = [](const std::string& raw) {
+    HttpParser parser;
+    parser.Feed(raw);
+    HttpRequest request;
+    EXPECT_EQ(parser.Next(&request), HttpParser::Result::kRequest);
+    return request;
+  };
+  EXPECT_TRUE(parse("GET / HTTP/1.1\r\n\r\n").keep_alive());
+  EXPECT_FALSE(
+      parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+  EXPECT_FALSE(
+      parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").keep_alive());
+  EXPECT_FALSE(parse("GET / HTTP/1.0\r\n\r\n").keep_alive());
+  EXPECT_TRUE(
+      parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive());
+}
+
+TEST(HttpParserTest, IgnoresLeadingEmptyLines) {
+  HttpParser parser;
+  parser.Feed(std::string("\r\n\r\n") + kSimpleGet);
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kRequest);
+  EXPECT_EQ(request.target, "/healthz");
+}
+
+TEST(HttpParserTest, ZeroLengthBodyPost) {
+  HttpParser parser;
+  parser.Feed("POST /ingest HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Result::kRequest);
+  EXPECT_TRUE(request.body.empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace midas

@@ -1,0 +1,419 @@
+// End-to-end exercises of the epoll HTTP server over real loopback
+// sockets: keep-alive, pipelining, torn client writes, backpressure
+// (max_inflight -> 503), graceful drain with an in-flight request, and the
+// serve_read / serve_accept fault sites.
+
+#include "midas/serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "midas/fault/fault.h"
+
+namespace midas {
+namespace serve {
+namespace {
+
+/// Minimal blocking test client: connect, write raw bytes, read one
+/// response (Content-Length framed).
+class RawClient {
+ public:
+  explicit RawClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << "connect failed: " << errno;
+  }
+  ~RawClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  void Send(std::string_view data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      ASSERT_GT(n, 0) << "write failed: " << errno;
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  /// Sends one byte at a time with a tiny pause — the client-side torn
+  /// write that forces the server parser through every split point.
+  void SendSlowly(std::string_view data) {
+    for (char c : data) {
+      Send(std::string_view(&c, 1));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  /// Reads one full response; "" on EOF/error before the head completes.
+  /// Buffers across calls — pipelined responses arriving in one read are
+  /// handed out one at a time.
+  std::string ReadResponse() {
+    char chunk[4096];
+    while (true) {
+      size_t head_end = buf_.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        head_end += 4;
+        const size_t content_length =
+            ParseContentLength(buf_.substr(0, head_end));
+        if (buf_.size() >= head_end + content_length) {
+          std::string response = buf_.substr(0, head_end + content_length);
+          buf_.erase(0, head_end + content_length);
+          return response;
+        }
+      }
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Reads until EOF (for Connection: close responses / server shutdown).
+  std::string ReadAll() {
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(fd_, chunk, sizeof(chunk))) > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string all = std::move(buf_);
+    buf_.clear();
+    return all;
+  }
+
+ private:
+  static size_t ParseContentLength(const std::string& head) {
+    std::string lower;
+    lower.reserve(head.size());
+    for (char c : head) {
+      lower += static_cast<char>(
+          c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+    }
+    const size_t pos = lower.find("content-length:");
+    if (pos == std::string::npos) return 0;
+    return static_cast<size_t>(
+        std::strtoull(lower.c_str() + pos + 15, nullptr, 10));
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+int StatusOf(const std::string& response) {
+  // "HTTP/1.1 200 OK\r\n..."
+  if (response.size() < 12) return -1;
+  return std::atoi(response.c_str() + 9);
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+HttpServerOptions TestOptions() {
+  HttpServerOptions options;
+  options.port = 0;  // ephemeral
+  options.num_threads = 4;
+  return options;
+}
+
+HttpResponse EchoHandler(const HttpRequest& request,
+                         const fault::CancelToken&) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = request.method + " " + request.target + "|" + request.body;
+  return response;
+}
+
+TEST(HttpServerTest, ServesSimpleGet) {
+  HttpServer server(TestOptions(), EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  RawClient client(server.port());
+  client.Send("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  const std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_EQ(BodyOf(response), "GET /healthz|");
+  server.Shutdown();
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpServerTest, KeepAliveServesSequentialRequests) {
+  HttpServer server(TestOptions(), EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient client(server.port());
+  for (int i = 0; i < 3; ++i) {
+    client.Send("POST /r HTTP/1.1\r\nContent-Length: 1\r\n\r\n" +
+                std::to_string(i));
+    const std::string response = client.ReadResponse();
+    ASSERT_EQ(StatusOf(response), 200) << "request " << i;
+    EXPECT_EQ(BodyOf(response), "POST /r|" + std::to_string(i));
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.requests_served(), 3u);
+}
+
+TEST(HttpServerTest, TornClientWritesStillParse) {
+  HttpServer server(TestOptions(), EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient client(server.port());
+  client.SendSlowly("POST /torn HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  const std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_EQ(BodyOf(response), "POST /torn|hello");
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, PipelinedRequestsAnsweredInOrder) {
+  HttpServer server(TestOptions(), EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient client(server.port());
+  client.Send(
+      "GET /one HTTP/1.1\r\n\r\n"
+      "GET /two HTTP/1.1\r\n\r\n"
+      "GET /three HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(BodyOf(client.ReadResponse()), "GET /one|");
+  EXPECT_EQ(BodyOf(client.ReadResponse()), "GET /two|");
+  EXPECT_EQ(BodyOf(client.ReadResponse()), "GET /three|");
+  server.Shutdown();
+  EXPECT_EQ(server.requests_served(), 3u);
+}
+
+TEST(HttpServerTest, MalformedRequestGets400AndClose) {
+  HttpServer server(TestOptions(), EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient client(server.port());
+  client.Send("NOT A REQUEST LINE AT ALL\r\n\r\n");
+  const std::string response = client.ReadAll();  // server must close
+  EXPECT_EQ(StatusOf(response), 400);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, OversizedHeadersGet431) {
+  HttpServerOptions options = TestOptions();
+  options.limits.max_header_bytes = 256;
+  HttpServer server(options, EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient client(server.port());
+  client.Send("GET / HTTP/1.1\r\nX-Big: " + std::string(1024, 'a') +
+              "\r\n\r\n");
+  EXPECT_EQ(StatusOf(client.ReadAll()), 431);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, ThrowingHandlerBecomes500) {
+  HttpServer server(TestOptions(),
+                    [](const HttpRequest&,
+                       const fault::CancelToken&) -> HttpResponse {
+                      throw std::runtime_error("boom");
+                    });
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient client(server.port());
+  client.Send("GET / HTTP/1.1\r\n\r\n");
+  const std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 500);
+  // Connection survives a handler exception; a second request still works.
+  client.Send("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(StatusOf(client.ReadResponse()), 500);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, MaxInflightRejectsWith503) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+
+  HttpServerOptions options = TestOptions();
+  options.max_inflight = 1;
+  HttpServer server(options, [&](const HttpRequest&,
+                                 const fault::CancelToken&) {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    HttpResponse response;
+    response.body = "slow";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient blocker(server.port());
+  blocker.Send("GET /slow HTTP/1.1\r\n\r\n");
+  // Wait until the handler actually holds the single in-flight slot.
+  while (entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  RawClient rejected(server.port());
+  rejected.Send("GET /fast HTTP/1.1\r\n\r\n");
+  const std::string overload = rejected.ReadResponse();
+  EXPECT_EQ(StatusOf(overload), 503);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(BodyOf(blocker.ReadResponse()), "slow");
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, GracefulShutdownCompletesInflightRequest) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+
+  HttpServer server(TestOptions(), [&](const HttpRequest&,
+                                       const fault::CancelToken&) {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    HttpResponse response;
+    response.body = "drained";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  RawClient client(port);
+  client.Send("GET /slow HTTP/1.1\r\n\r\n");
+  while (entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Trigger the drain while the request is in flight, then release the
+  // handler. The response must still arrive, then the connection closes.
+  server.ShutdownAsync();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  const std::string response = client.ReadAll();
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_EQ(BodyOf(response), "drained");
+  server.Wait();
+  server.Shutdown();
+  EXPECT_EQ(server.requests_served(), 1u);
+
+  // The listener is gone: new connections fail.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_NE(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(fd);
+}
+
+TEST(HttpServerTest, ShutdownIsIdempotentAndStartFailsOnBusyPort) {
+  HttpServer server(TestOptions(), EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpServerOptions clash = TestOptions();
+  clash.port = server.port();
+  HttpServer dup(clash, EchoHandler);
+  EXPECT_FALSE(dup.Start().ok());
+
+  server.Shutdown();
+  server.Shutdown();  // second call is a no-op
+}
+
+TEST(HttpServerTest, RequestDeadlineExpiresCancelToken) {
+  HttpServerOptions options = TestOptions();
+  options.request_deadline_ms = 10;
+  HttpServer server(options, [](const HttpRequest&,
+                                const fault::CancelToken& cancel) {
+    // Cooperative handler: poll the token like the framework does.
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!cancel.Expired() &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    HttpResponse response;
+    response.body = cancel.Expired() ? "expired" : "never";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient client(server.port());
+  client.Send("GET /deadline HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(BodyOf(client.ReadResponse()), "expired");
+  server.Shutdown();
+}
+
+#ifdef MIDAS_FAULT_INJECTION
+
+TEST(HttpServerTest, ServeReadFaultTearsReadsButRequestsStillParse) {
+  // serve_read truncates every socket read to one byte: the parser sees
+  // the worst-case torn stream. Requests must still come out whole.
+  fault::ScopedFaultSpec spec("site=serve_read");
+  HttpServer server(TestOptions(), EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient client(server.port());
+  client.Send("POST /fault HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd");
+  const std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_EQ(BodyOf(response), "POST /fault|abcd");
+  EXPECT_GT(fault::FaultInjector::Global().fires(fault::kSiteServeRead), 0u);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, ServeAcceptFaultDropsConnections) {
+  fault::ScopedFaultSpec spec("site=serve_accept");
+  HttpServer server(TestOptions(), EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient client(server.port());
+  client.Send("GET / HTTP/1.1\r\n\r\n");
+  // The server accepted then immediately closed the connection: no bytes.
+  EXPECT_EQ(client.ReadAll(), "");
+  EXPECT_GT(fault::FaultInjector::Global().fires(fault::kSiteServeAccept),
+            0u);
+  server.Shutdown();
+  EXPECT_EQ(server.requests_served(), 0u);
+}
+
+#endif  // MIDAS_FAULT_INJECTION
+
+}  // namespace
+}  // namespace serve
+}  // namespace midas

@@ -1,0 +1,81 @@
+#include "midas/serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace midas {
+namespace serve {
+namespace {
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(4);
+  std::string body;
+  EXPECT_FALSE(cache.Lookup("k", &body));
+  cache.Insert("k", "payload");
+  ASSERT_TRUE(cache.Lookup("k", &body));
+  EXPECT_EQ(body, "payload");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.Insert("a", "1");
+  cache.Insert("b", "2");
+  std::string body;
+  // Touch "a" so "b" becomes the LRU victim.
+  ASSERT_TRUE(cache.Lookup("a", &body));
+  cache.Insert("c", "3");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup("a", &body));
+  EXPECT_FALSE(cache.Lookup("b", &body));
+  EXPECT_TRUE(cache.Lookup("c", &body));
+}
+
+TEST(ResultCacheTest, InsertEvictionOrderWithoutLookups) {
+  ResultCache cache(2);
+  cache.Insert("a", "1");
+  cache.Insert("b", "2");
+  cache.Insert("c", "3");  // evicts "a", the oldest insert
+  std::string body;
+  EXPECT_FALSE(cache.Lookup("a", &body));
+  EXPECT_TRUE(cache.Lookup("b", &body));
+  EXPECT_TRUE(cache.Lookup("c", &body));
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesBodyAndRecency) {
+  ResultCache cache(2);
+  cache.Insert("a", "old");
+  cache.Insert("b", "2");
+  cache.Insert("a", "new");  // refresh, no growth
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert("c", "3");  // "b" is now LRU
+  std::string body;
+  ASSERT_TRUE(cache.Lookup("a", &body));
+  EXPECT_EQ(body, "new");
+  EXPECT_FALSE(cache.Lookup("b", &body));
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Insert("k", "payload");
+  std::string body;
+  EXPECT_FALSE(cache.Lookup("k", &body));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, CapacityOne) {
+  ResultCache cache(1);
+  cache.Insert("a", "1");
+  cache.Insert("b", "2");
+  std::string body;
+  EXPECT_FALSE(cache.Lookup("a", &body));
+  ASSERT_TRUE(cache.Lookup("b", &body));
+  EXPECT_EQ(body, "2");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace midas

@@ -71,5 +71,126 @@ TEST(JsonTest, KeysKeepInsertionOrder) {
   EXPECT_EQ(obj.Dump(), "{\"z\":1,\"a\":2}");
 }
 
+JsonValue ParseOk(std::string_view text) {
+  JsonValue out;
+  Status status = JsonValue::Parse(text, &out);
+  EXPECT_TRUE(status.ok()) << text << ": " << status.ToString();
+  return out;
+}
+
+Status ParseErr(std::string_view text) {
+  JsonValue out;
+  Status status = JsonValue::Parse(text, &out);
+  EXPECT_FALSE(status.ok()) << "accepted: " << text;
+  return status;
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseOk("null").IsNull());
+  EXPECT_TRUE(ParseOk("true").AsBool());
+  EXPECT_FALSE(ParseOk("false").AsBool(true));
+  EXPECT_EQ(ParseOk("-42").AsInt(), -42);
+  EXPECT_DOUBLE_EQ(ParseOk("0.5").AsDouble(), 0.5);
+  EXPECT_EQ(ParseOk("\"hi\"").AsString(), "hi");
+  EXPECT_EQ(ParseOk("  17  ").AsInt(), 17);
+}
+
+TEST(JsonParseTest, IntVersusNumber) {
+  // No '.', exponent, or overflow => Int; otherwise Number.
+  JsonValue v = ParseOk("9223372036854775807");
+  EXPECT_EQ(v.AsInt(), INT64_MAX);
+  EXPECT_EQ(v.Dump(), "9223372036854775807");
+  EXPECT_EQ(ParseOk("-9223372036854775808").AsInt(), INT64_MIN);
+  // One past int64 range falls back to double.
+  EXPECT_DOUBLE_EQ(ParseOk("9223372036854775808").AsDouble(),
+                   9223372036854775808.0);
+  EXPECT_DOUBLE_EQ(ParseOk("1e3").AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(ParseOk("-2.5E-1").AsDouble(), -0.25);
+}
+
+TEST(JsonParseTest, Containers) {
+  JsonValue v = ParseOk("{\"a\":[1,2,{\"b\":null}],\"c\":\"d\"}");
+  ASSERT_TRUE(v.IsObject());
+  const JsonValue* a = v.Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(0).AsInt(), 1);
+  EXPECT_TRUE(a->at(2).Get("b")->IsNull());
+  EXPECT_EQ(v.Get("c")->AsString(), "d");
+  EXPECT_EQ(v.Get("missing"), nullptr);
+  EXPECT_TRUE(ParseOk("[]").IsArray());
+  EXPECT_EQ(ParseOk("{}").size(), 0u);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(ParseOk("\"a\\\"b\\\\c\\nd\\te\\u0041\"").AsString(),
+            "a\"b\\c\nd\teA");
+  // 2- and 3-byte UTF-8 from \u escapes.
+  EXPECT_EQ(ParseOk("\"\\u00e9\"").AsString(), "\xc3\xa9");
+  EXPECT_EQ(ParseOk("\"\\u20ac\"").AsString(), "\xe2\x82\xac");
+  // Surrogate pair -> U+1F600 (4-byte UTF-8).
+  EXPECT_EQ(ParseOk("\"\\ud83d\\ude00\"").AsString(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, RoundTripsItsOwnDump) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::Str("MIDAS \"quoted\" \n"));
+  obj.Set("count", JsonValue::Int(-3));
+  obj.Set("ratio", JsonValue::Number(0.25));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Bool(true));
+  arr.Append(JsonValue::Null());
+  obj.Set("items", std::move(arr));
+  const std::string compact = obj.Dump();
+  EXPECT_EQ(ParseOk(compact).Dump(), compact);
+  EXPECT_EQ(ParseOk(obj.Dump(2)).Dump(), compact);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  ParseErr("");
+  ParseErr("{");
+  ParseErr("[1,]");
+  ParseErr("{\"a\":1,}");
+  ParseErr("{\"a\" 1}");
+  ParseErr("nul");
+  ParseErr("'single'");
+  ParseErr("\"unterminated");
+  ParseErr("\"bad escape \\x\"");
+  ParseErr("\"half surrogate \\ud83d\"");
+  ParseErr("01");      // leading zero
+  ParseErr("1.");      // no fraction digits
+  ParseErr("+1");      // no leading plus
+  ParseErr("1 2");     // trailing garbage
+  ParseErr("{}extra");
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffset) {
+  const Status status = ParseErr("{\"a\": nope}");
+  EXPECT_NE(status.message().find("byte"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(JsonParseTest, NestingDepthIsCapped) {
+  // 128 levels parse; 200 must be rejected, not blow the stack.
+  std::string ok(127, '[');
+  ok += "1";
+  ok.append(127, ']');
+  ParseOk(ok);
+  std::string deep(200, '[');
+  deep += "1";
+  deep.append(200, ']');
+  ParseErr(deep);
+}
+
+TEST(JsonParseTest, TypedAccessorFallbacks) {
+  JsonValue v = ParseOk("{\"s\":\"x\",\"n\":2.5}");
+  EXPECT_EQ(v.Get("s")->AsInt(7), 7);
+  EXPECT_EQ(v.Get("n")->AsInt(7), 2);  // numeric coercion truncates
+  EXPECT_EQ(v.Get("s")->AsString("fallback"), "x");
+  EXPECT_EQ(v.Get("n")->AsString("fallback"), "fallback");
+  EXPECT_FALSE(v.Get("s")->AsBool(false));
+}
+
 }  // namespace
 }  // namespace midas

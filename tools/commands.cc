@@ -1,5 +1,6 @@
 #include "tools/commands.h"
 
+#include <csignal>
 #include <memory>
 #include <ostream>
 
@@ -16,6 +17,8 @@
 #include "midas/extract/columnar_io.h"
 #include "midas/extract/dump_io.h"
 #include "midas/rdf/ntriples.h"
+#include "midas/serve/discovery_service.h"
+#include "midas/serve/http_server.h"
 #include "midas/synth/corpus_generator.h"
 #include "midas/synth/dataset_stats.h"
 #include "midas/util/json.h"
@@ -666,6 +669,126 @@ Status RunEvaluate(const FlagParser& flags, std::ostream& out) {
                 FormatDouble(scores.recall, 3),
                 FormatDouble(scores.f_measure, 3)});
   table.Print(out);
+  return Status::OK();
+}
+
+void RegisterServeFlags(FlagParser* flags) {
+  flags->AddString("corpus", "",
+                   "extraction dump to serve, TSV or columnar (required)");
+  flags->AddString("kb", "", "KB facts TSV (optional; empty KB if not)");
+  flags->AddDouble("threshold", 0.7,
+                   "confidence threshold for the load and for ingested "
+                   "deltas");
+  flags->AddInt64("port", 8080, "listen port (0 = ephemeral, printed)");
+  flags->AddString("bind", "127.0.0.1", "listen address");
+  flags->AddInt64("threads", 0, "framework threads per request (0 = "
+                                "hardware)");
+  flags->AddInt64("max_inflight", 64,
+                  "concurrent request cap; excess answered 503");
+  flags->AddInt64("request_deadline_ms", 0,
+                  "per-request budget in ms (0 = unbounded)");
+  flags->AddInt64("cache_capacity", 64,
+                  "result-cache entries (0 disables caching)");
+  flags->AddString("fault_spec", "",
+                   "arm deterministic fault injection, e.g. "
+                   "'site=serve_read,rate=1' or 'site=slow_shard,"
+                   "delay_ms=100' (MIDAS_FAULT_INJECTION builds only)");
+}
+
+namespace {
+
+// SIGTERM/SIGINT delivery target; ShutdownAsync is async-signal-safe.
+serve::HttpServer* g_serving = nullptr;
+
+void HandleServeSignal(int) {
+  if (g_serving != nullptr) g_serving->ShutdownAsync();
+}
+
+}  // namespace
+
+Status RunServe(const FlagParser& flags, std::ostream& out) {
+  const std::string corpus_path = flags.GetString("corpus");
+  if (corpus_path.empty()) {
+    return Status::InvalidArgument("--corpus is required");
+  }
+  const int64_t port = flags.GetInt64("port");
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("--port out of range");
+  }
+
+  const std::string spec = flags.GetString("fault_spec");
+  if (!spec.empty()) {
+    MIDAS_RETURN_IF_ERROR(fault::FaultInjector::Global().Configure(spec));
+  }
+  ScopedDisarm disarm;
+
+  // Load exactly as `midas discover` would: columnar fast path when the
+  // magic matches, row-level TSV otherwise.
+  const double threshold = flags.GetDouble("threshold");
+  web::Corpus corpus;
+  std::shared_ptr<rdf::Dictionary> dict;
+  if (extract::IsColumnarDump(corpus_path)) {
+    uint64_t corpus_fingerprint = 0;
+    MIDAS_RETURN_IF_ERROR(extract::LoadColumnarCorpus(
+        corpus_path, threshold, /*dict=*/nullptr, &corpus,
+        &corpus_fingerprint));
+    dict = corpus.shared_dict();
+  } else {
+    extract::ExtractionDump dump;
+    MIDAS_RETURN_IF_ERROR(extract::LoadDump(corpus_path, &dump));
+    corpus = extract::BuildCorpus(dump, threshold);
+    dict = dump.dict;
+  }
+  rdf::KnowledgeBase kb(dict);
+  if (!flags.GetString("kb").empty()) {
+    MIDAS_RETURN_IF_ERROR(LoadKbFacts(flags.GetString("kb"), &kb,
+                                      dict.get()));
+  }
+  out << "corpus: " << corpus.NumFacts() << " facts over "
+      << corpus.NumSources() << " sources; KB: " << kb.size() << " facts\n";
+
+  serve::DiscoveryServiceOptions service_options;
+  service_options.confidence_threshold = threshold;
+  service_options.num_threads =
+      static_cast<size_t>(flags.GetInt64("threads"));
+  service_options.default_deadline_ms =
+      static_cast<uint64_t>(flags.GetInt64("request_deadline_ms"));
+  service_options.cache_capacity =
+      static_cast<size_t>(flags.GetInt64("cache_capacity"));
+  serve::DiscoveryService service(std::move(corpus), std::move(kb),
+                                  service_options);
+
+  serve::HttpServerOptions server_options;
+  server_options.bind_address = flags.GetString("bind");
+  server_options.port = static_cast<uint16_t>(port);
+  server_options.max_inflight =
+      static_cast<size_t>(flags.GetInt64("max_inflight"));
+  server_options.request_deadline_ms = service_options.default_deadline_ms;
+  serve::HttpServer server(
+      server_options,
+      [&service](const serve::HttpRequest& request,
+                 const fault::CancelToken& cancel) {
+        return service.Handle(request, cancel);
+      });
+  MIDAS_RETURN_IF_ERROR(server.Start());
+
+  g_serving = &server;
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGINT, HandleServeSignal);
+
+  // The smoke script scrapes this line for the ephemeral port; keep the
+  // shape stable and flush before blocking.
+  out << "listening on " << server_options.bind_address << ":"
+      << server.port() << "\n";
+  out.flush();
+
+  server.Wait();  // until SIGTERM/SIGINT → graceful drain
+  server.Shutdown();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serving = nullptr;
+
+  out << "drained after " << server.requests_served() << " request(s)\n";
   return Status::OK();
 }
 

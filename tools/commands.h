@@ -71,6 +71,21 @@ Status RunConvert(const FlagParser& flags, std::ostream& out);
 ///   --jaccard F      equivalence threshold (default 0.95)
 Status RunEvaluate(const FlagParser& flags, std::ostream& out);
 
+/// `midas serve` — the online slice-discovery daemon (docs/SERVE.md):
+///   --corpus PATH    extraction dump, TSV or columnar (required)
+///   --kb PATH        knowledge-base facts TSV (optional; empty KB if not)
+///   --threshold F    confidence threshold for load AND ingest (default 0.7)
+///   --port N         listen port (default 8080; 0 = ephemeral, printed)
+///   --bind ADDR      listen address (default 127.0.0.1)
+///   --threads N      framework threads per request (0 = hardware)
+///   --max_inflight N concurrent request cap; excess answered 503
+///   --request_deadline_ms N   per-request budget (0 = unbounded)
+///   --cache_capacity N        result-cache entries (0 disables)
+///   --fault_spec SPEC         arm fault injection (serve_accept/serve_read)
+/// Serves POST /discover, POST /ingest, GET /healthz, GET /metricz until
+/// SIGTERM/SIGINT, then drains in-flight requests and exits 0.
+Status RunServe(const FlagParser& flags, std::ostream& out);
+
 /// Registers the flags of each subcommand on a parser.
 void RegisterGenerateFlags(FlagParser* flags);
 void RegisterDiscoverFlags(FlagParser* flags);
@@ -78,6 +93,7 @@ void RegisterExperimentFlags(FlagParser* flags);
 void RegisterStatsFlags(FlagParser* flags);
 void RegisterConvertFlags(FlagParser* flags);
 void RegisterEvaluateFlags(FlagParser* flags);
+void RegisterServeFlags(FlagParser* flags);
 
 }  // namespace tools
 }  // namespace midas

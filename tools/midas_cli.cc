@@ -6,6 +6,7 @@
 //   midas stats      --dump dump.tsv
 //   midas convert    --in dump.tsv --out dump.midascol
 //   midas evaluate   --slices slices.tsv --silver silver.tsv
+//   midas serve      --corpus dump.tsv --port 8080
 //
 // Run any subcommand with a bad flag to see its usage.
 
@@ -26,7 +27,8 @@ void PrintTopLevelUsage() {
          "  experiment run methods over a synthetic corpus, score vs silver\n"
          "  stats      dataset statistics of a dump\n"
          "  convert    convert a dump between TSV and columnar formats\n"
-         "  evaluate   score a slice file against a silver standard\n";
+         "  evaluate   score a slice file against a silver standard\n"
+         "  serve      online slice-discovery daemon (HTTP, docs/SERVE.md)\n";
 }
 
 }  // namespace
@@ -59,6 +61,9 @@ int main(int argc, char** argv) {
   } else if (command == "evaluate") {
     tools::RegisterEvaluateFlags(&flags);
     run = tools::RunEvaluate;
+  } else if (command == "serve") {
+    tools::RegisterServeFlags(&flags);
+    run = tools::RunServe;
   } else {
     std::cerr << "unknown command: " << command << "\n";
     PrintTopLevelUsage();

@@ -131,7 +131,20 @@ PORT="$(wait_for_port "$WORK/drain.log")"
 curl -sf -X POST -d '{"cache":false}' "http://127.0.0.1:$PORT/discover" \
   > "$WORK/inflight.json" &
 CURL_PID=$!
-sleep 1
+# Readiness poll, not a fixed sleep: SIGTERM only once the server's
+# serve.requests_inflight gauge shows the discover is actually in flight.
+# The /metricz probe counts itself, so in-flight discover + probe == 2.
+for _ in $(seq 1 200); do
+  if curl -sf "http://127.0.0.1:$PORT/metricz" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+inflight = {g["name"]: g["value"] for g in m.get("gauges", [])}
+sys.exit(0 if inflight.get("serve.requests_inflight", 0) >= 2 else 1)
+'; then
+    break
+  fi
+  sleep 0.05
+done
 kill -TERM "$SERVER_PID"
 wait "$CURL_PID" || { echo "error: in-flight request failed during drain" >&2; exit 1; }
 wait "$SERVER_PID" || { echo "error: server exited non-zero draining" >&2; exit 1; }

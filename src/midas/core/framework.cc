@@ -134,11 +134,46 @@ struct ShardOutcome {
   bool memo_hit = false;
 };
 
-/// Binds a checkpoint to this run's inputs: seed, pipeline mode, and the
-/// corpus shape (per-source URL + fact count). A resume whose fingerprint
-/// differs is rejected rather than silently merging another run's results.
-uint64_t RunFingerprint(const web::Corpus& corpus,
-                        const FrameworkOptions& options) {
+/// Projects the per-shard detection knobs out of the run's options — the
+/// same values whether the shard runs here or in a dist worker.
+ShardDetectOptions DetectOptionsFrom(const FrameworkOptions& options) {
+  ShardDetectOptions detect;
+  detect.source_deadline_ms = options.source_deadline_ms;
+  detect.max_retries = options.max_retries;
+  detect.retry_backoff_ms = options.retry_backoff_ms;
+  detect.run_seed = options.run_seed;
+  detect.run_cancel = options.cancel;
+  return detect;
+}
+
+// Registry handles for DetectShardWithRetry, resolved once per process (the
+// registry resets counters in place, so the pointers survive test resets).
+obs::Counter* DetectorErrorsCounter() {
+  static obs::Counter* counter =
+      MIDAS_OBS_COUNTER("framework.detector_errors");
+  return counter;
+}
+
+obs::Counter* ShardRetriesCounter() {
+  static obs::Counter* counter = MIDAS_OBS_COUNTER("framework.shard_retries");
+  return counter;
+}
+
+obs::Counter* ShardsFailedCounter() {
+  static obs::Counter* counter = MIDAS_OBS_COUNTER("framework.shards_failed");
+  return counter;
+}
+
+obs::Counter* DeadlineExpirationsCounter() {
+  static obs::Counter* counter =
+      MIDAS_OBS_COUNTER("framework.deadline_expirations");
+  return counter;
+}
+
+}  // namespace
+
+uint64_t ComputeRunFingerprint(const web::Corpus& corpus,
+                               const FrameworkOptions& options) {
   uint64_t fp = HashMix(options.run_seed);
   fp = HashCombine(fp, options.use_hierarchy_rounds ? 1u : 0u);
   // Mixed only when set, so checkpoints from corpora without a content
@@ -153,7 +188,143 @@ uint64_t RunFingerprint(const web::Corpus& corpus,
   return HashMix(fp);
 }
 
-}  // namespace
+ShardDetectResult DetectShardWithRetry(const SliceDetector& detector,
+                                       const rdf::KnowledgeBase& kb,
+                                       SourceInput* input,
+                                       const ShardDetectOptions& options) {
+  // Resolved up front (not at first use) so the counters exist in the
+  // registry — and in /metricz — even on runs that never error or retry.
+  [[maybe_unused]] obs::Counter* detector_errors = DetectorErrorsCounter();
+  [[maybe_unused]] obs::Counter* shard_retries = ShardRetriesCounter();
+  [[maybe_unused]] obs::Counter* shards_failed = ShardsFailedCounter();
+  [[maybe_unused]] obs::Counter* deadline_expirations =
+      DeadlineExpirationsCounter();
+  ShardDetectResult out;
+  const auto run_cancelled = [&options] {
+    return options.run_cancel != nullptr && options.run_cancel->Expired();
+  };
+  const size_t max_attempts = options.max_retries + 1;
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (run_cancelled()) {
+      // Run budget beats retrying: report cancelled (attempts records how
+      // far we got) rather than burn more detector time.
+      return out;
+    }
+    if (attempt > 1) {
+      MIDAS_OBS_ADD(shard_retries, 1);
+      // The span measures the backoff wait for this retry.
+      MIDAS_OBS_SPAN(retry_span, "shard_retry", input->url);
+      // Exponential backoff with deterministic jitter: replays with the
+      // same run_seed sleep identically.
+      const uint64_t base = options.retry_backoff_ms << (attempt - 2);
+      const uint64_t jitter =
+          base == 0
+              ? 0
+              : HashMix(options.run_seed ^ Fnv1a64(input->url) ^ attempt) %
+                    (base + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(base + jitter));
+    }
+    out.attempts = attempt;
+    // Per-attempt budget, tightened by the whole-run deadline. A sticky
+    // run-level Cancel() with no deadline is still only observed at the
+    // boundaries above (the token cannot chain another token).
+    fault::CancelToken budget;
+    const fault::CancelToken* cancel = options.run_cancel;
+    if (options.source_deadline_ms > 0) {
+      budget.SetBudgetMs(options.source_deadline_ms);
+      const uint64_t run_deadline =
+          options.run_cancel != nullptr ? options.run_cancel->deadline_ns()
+                                        : 0;
+      if (run_deadline != 0 && run_deadline < budget.deadline_ns()) {
+        budget.SetDeadlineNs(run_deadline);
+      }
+      cancel = &budget;
+    }
+    input->cancel = cancel;
+    try {
+      MIDAS_FAULT_MAYBE_SLEEP(fault::kSiteSlowShard, input->url);
+      // Keyed by attempt too, so a rate < 1 site can clear on retry while
+      // rate = 1 models a permanently broken source.
+      MIDAS_FAULT_MAYBE_THROW(fault::kSiteDetector,
+                              input->url + "#" + std::to_string(attempt));
+      out.slices = detector.Detect(*input, kb);
+      input->cancel = nullptr;
+      // A recovered shard is indistinguishable from a clean one: the
+      // report's error field is non-empty iff the shard ultimately failed
+      // (attempts still records the retries).
+      out.error.clear();
+      if (cancel != nullptr && cancel->Expired()) {
+        // Best-so-far prefix; no retry — a fresh attempt would run out of
+        // the same budget before getting further.
+        MIDAS_OBS_ADD(deadline_expirations, 1);
+        out.status = SourceStatus::kPartial;
+      } else {
+        out.status = out.slices.empty() ? SourceStatus::kNoSlices
+                                        : SourceStatus::kOk;
+      }
+      return out;
+    } catch (const std::exception& e) {
+      input->cancel = nullptr;
+      MIDAS_OBS_ADD(detector_errors, 1);
+      out.error = e.what();
+      MIDAS_LOG(Warning) << "detector failed on " << input->url << " (attempt "
+                         << attempt << "/" << max_attempts
+                         << "): " << e.what();
+    }
+  }
+  MIDAS_OBS_ADD(shards_failed, 1);
+  out.status = SourceStatus::kFailed;
+  return out;
+}
+
+void InProcessShardExecutor::ExecuteRound(
+    const ShardExecutionContext& ctx, std::vector<ShardTask>* tasks,
+    std::vector<ShardTaskResult>* results) {
+  [[maybe_unused]] obs::Histogram* shard_us =
+      MIDAS_OBS_HISTOGRAM("framework.shard_us");
+  const auto cancelled = [&ctx] {
+    return ctx.cancel != nullptr && ctx.cancel->Expired();
+  };
+  const auto run_task = [&](size_t i) {
+    ShardTask& task = (*tasks)[i];
+    if (task.facts == nullptr) return;
+    ShardTaskResult& res = (*results)[i];
+    MIDAS_OBS_SPAN(source_span, "framework.source", task.url);
+    const uint64_t start_ns = MIDAS_OBS_NOW_NS();
+    (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
+    SourceInput input;
+    input.url = task.url;
+    input.facts = task.facts;
+    if (task.consolidate) {
+      for (const auto& cs : task.child_slices) {
+        input.seeds.push_back(cs.properties);
+      }
+    }
+    ShardDetectResult detected =
+        DetectShardWithRetry(*ctx.detector, *ctx.kb, &input, ctx.detect);
+    res.status = detected.status;
+    res.attempts = detected.attempts;
+    res.error = std::move(detected.error);
+    if (task.want_raw) {
+      res.raw_slices = detected.slices;
+      res.has_raw = true;
+    }
+    res.surviving = task.consolidate
+                        ? ConsolidateSlices(std::move(detected.slices),
+                                            std::move(task.child_slices))
+                        : std::move(detected.slices);
+    res.ran = true;
+    MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
+  };
+  if (ctx.pool != nullptr) {
+    ctx.pool->ParallelFor(tasks->size(), run_task, cancelled);
+    return;
+  }
+  for (size_t i = 0; i < tasks->size(); ++i) {
+    if (cancelled()) break;
+    run_task(i);
+  }
+}
 
 MidasFramework::MidasFramework(const SliceDetector* detector,
                                FrameworkOptions options)
@@ -174,14 +345,6 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
       MIDAS_OBS_HISTOGRAM("framework.normalize_us");
   [[maybe_unused]] obs::Histogram* merge_us =
       MIDAS_OBS_HISTOGRAM("framework.merge_us");
-  [[maybe_unused]] obs::Counter* detector_errors =
-      MIDAS_OBS_COUNTER("framework.detector_errors");
-  [[maybe_unused]] obs::Counter* shard_retries_c =
-      MIDAS_OBS_COUNTER("framework.shard_retries");
-  [[maybe_unused]] obs::Counter* shards_failed_c =
-      MIDAS_OBS_COUNTER("framework.shards_failed");
-  [[maybe_unused]] obs::Counter* deadline_exp_c =
-      MIDAS_OBS_COUNTER("framework.deadline_expirations");
   [[maybe_unused]] obs::Counter* memo_hits_c =
       MIDAS_OBS_COUNTER("framework.memo_hits");
   [[maybe_unused]] obs::Counter* memo_misses_c =
@@ -211,7 +374,7 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
   if (!options_.checkpoint_dir.empty()) {
     const std::string ckpt_path =
         options_.checkpoint_dir + "/" + store::kCheckpointFileName;
-    const uint64_t fingerprint = RunFingerprint(corpus, options_);
+    const uint64_t fingerprint = ComputeRunFingerprint(corpus, options_);
     Status open_status;
     if (options_.resume) {
       StatusOr<store::CheckpointLoadResult> loaded =
@@ -245,83 +408,17 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
     }
   }
 
-  // Detect with a per-shard error boundary and bounded retry: a throwing
-  // detector is re-attempted up to max_retries times with exponential
-  // backoff; only when every attempt throws is the shard reported failed
-  // and its slices dropped — an uncaught exception in a pool task would
-  // std::terminate.
+  // Detect with a per-shard error boundary and bounded retry (see
+  // DetectShardWithRetry — an uncaught exception in a pool task would
+  // std::terminate).
   const auto detect = [&](SourceInput& input) {
+    ShardDetectResult detected = DetectShardWithRetry(
+        *detector_, kb, &input, DetectOptionsFrom(options_));
     ShardOutcome out;
-    const size_t max_attempts = options_.max_retries + 1;
-    for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
-      if (run_cancelled()) {
-        // Run budget beats retrying: report cancelled (attempts records how
-        // far we got) rather than burn more detector time.
-        return out;
-      }
-      if (attempt > 1) {
-        MIDAS_OBS_ADD(shard_retries_c, 1);
-        // The span measures the backoff wait for this retry.
-        MIDAS_OBS_SPAN(retry_span, "shard_retry", input.url);
-        // Exponential backoff with deterministic jitter: replays with the
-        // same run_seed sleep identically.
-        const uint64_t base = options_.retry_backoff_ms << (attempt - 2);
-        const uint64_t jitter =
-            base == 0 ? 0
-                      : HashMix(options_.run_seed ^ Fnv1a64(input.url) ^
-                                attempt) %
-                            (base + 1);
-        std::this_thread::sleep_for(std::chrono::milliseconds(base + jitter));
-      }
-      out.attempts = attempt;
-      // Per-attempt budget, tightened by the whole-run deadline. A sticky
-      // run-level Cancel() with no deadline is still only observed at the
-      // boundaries above (the token cannot chain another token).
-      fault::CancelToken budget;
-      const fault::CancelToken* cancel = options_.cancel;
-      if (options_.source_deadline_ms > 0) {
-        budget.SetBudgetMs(options_.source_deadline_ms);
-        const uint64_t run_deadline =
-            options_.cancel != nullptr ? options_.cancel->deadline_ns() : 0;
-        if (run_deadline != 0 && run_deadline < budget.deadline_ns()) {
-          budget.SetDeadlineNs(run_deadline);
-        }
-        cancel = &budget;
-      }
-      input.cancel = cancel;
-      try {
-        MIDAS_FAULT_MAYBE_SLEEP(fault::kSiteSlowShard, input.url);
-        // Keyed by attempt too, so a rate < 1 site can clear on retry while
-        // rate = 1 models a permanently broken source.
-        MIDAS_FAULT_MAYBE_THROW(fault::kSiteDetector,
-                                input.url + "#" + std::to_string(attempt));
-        out.slices = detector_->Detect(input, kb);
-        input.cancel = nullptr;
-        // A recovered shard is indistinguishable from a clean one: the
-        // report's error field is non-empty iff the shard ultimately failed
-        // (attempts still records the retries).
-        out.error.clear();
-        if (cancel != nullptr && cancel->Expired()) {
-          // Best-so-far prefix; no retry — a fresh attempt would run out of
-          // the same budget before getting further.
-          MIDAS_OBS_ADD(deadline_exp_c, 1);
-          out.status = SourceStatus::kPartial;
-        } else {
-          out.status = out.slices.empty() ? SourceStatus::kNoSlices
-                                          : SourceStatus::kOk;
-        }
-        return out;
-      } catch (const std::exception& e) {
-        input.cancel = nullptr;
-        MIDAS_OBS_ADD(detector_errors, 1);
-        out.error = e.what();
-        MIDAS_LOG(Warning) << "detector failed on " << input.url
-                           << " (attempt " << attempt << "/" << max_attempts
-                           << "): " << e.what();
-      }
-    }
-    MIDAS_OBS_ADD(shards_failed_c, 1);
-    out.status = SourceStatus::kFailed;
+    out.slices = std::move(detected.slices);
+    out.status = detected.status;
+    out.attempts = detected.attempts;
+    out.error = std::move(detected.error);
     return out;
   };
 
@@ -457,41 +554,101 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
     std::vector<DetectionMemo::Entry> memo_updates(sources.size());
     std::vector<char> memo_pending(sources.size(), 0);
     static const std::vector<std::vector<PropertyPair>> kNoSeeds;
-    pool.ParallelFor(
-        sources.size(),
-        [&](size_t i) {
-          MIDAS_OBS_SPAN(source_span, "framework.source", sources[i].url);
-          const uint64_t start_ns = MIDAS_OBS_NOW_NS();
-          (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
-          const auto resumed_it = resumed_entries.find(sources[i].url);
-          if (resumed_it != resumed_entries.end()) {
-            // Already completed by the checkpointed run: restore the
-            // outcome bit-exactly instead of re-detecting. (Each shard
-            // touches only its own map entry, so the concurrent moves are
-            // safe.)
-            ShardOutcome& out = outcomes[i];
-            out.slices = std::move(resumed_it->second.slices);
-            out.status = resumed_it->second.status;
-            out.attempts = resumed_it->second.attempts;
-            out.error = resumed_it->second.error;
-            out.resumed = true;
+    if (options_.executor == nullptr) {
+      pool.ParallelFor(
+          sources.size(),
+          [&](size_t i) {
+            MIDAS_OBS_SPAN(source_span, "framework.source", sources[i].url);
+            const uint64_t start_ns = MIDAS_OBS_NOW_NS();
+            (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
+            const auto resumed_it = resumed_entries.find(sources[i].url);
+            if (resumed_it != resumed_entries.end()) {
+              // Already completed by the checkpointed run: restore the
+              // outcome bit-exactly instead of re-detecting. (Each shard
+              // touches only its own map entry, so the concurrent moves are
+              // safe.)
+              ShardOutcome& out = outcomes[i];
+              out.slices = std::move(resumed_it->second.slices);
+              out.status = resumed_it->second.status;
+              out.attempts = resumed_it->second.attempts;
+              out.error = resumed_it->second.error;
+              out.resumed = true;
+              ran[i] = 1;
+              return;
+            }
+            uint64_t memo_fp = 0;
+            if (!memo_lookup(sources[i].url, sources[i].facts, kNoSeeds,
+                             &outcomes[i], &memo_fp)) {
+              SourceInput input;
+              input.url = sources[i].url;
+              input.facts = &sources[i].facts;
+              outcomes[i] = detect(input);
+              memo_capture(outcomes[i], memo_fp, &memo_updates[i],
+                           &memo_pending[i]);
+            }
             ran[i] = 1;
-            return;
-          }
-          uint64_t memo_fp = 0;
-          if (!memo_lookup(sources[i].url, sources[i].facts, kNoSeeds,
-                           &outcomes[i], &memo_fp)) {
-            SourceInput input;
-            input.url = sources[i].url;
-            input.facts = &sources[i].facts;
-            outcomes[i] = detect(input);
-            memo_capture(outcomes[i], memo_fp, &memo_updates[i],
-                         &memo_pending[i]);
-          }
-          ran[i] = 1;
-          MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
-        },
-        run_cancelled);
+            MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
+          },
+          run_cancelled);
+    } else {
+      // Executor path: restore checkpointed/memoized sources here, hand
+      // the rest to the pluggable executor, then map its results back so
+      // the fold below is identical for both paths.
+      std::vector<ShardTask> tasks(sources.size());
+      std::vector<uint64_t> memo_fps(sources.size(), 0);
+      pool.ParallelFor(
+          sources.size(),
+          [&](size_t i) {
+            const auto resumed_it = resumed_entries.find(sources[i].url);
+            if (resumed_it != resumed_entries.end()) {
+              MIDAS_OBS_SPAN(source_span, "framework.source", sources[i].url);
+              ShardOutcome& out = outcomes[i];
+              out.slices = std::move(resumed_it->second.slices);
+              out.status = resumed_it->second.status;
+              out.attempts = resumed_it->second.attempts;
+              out.error = resumed_it->second.error;
+              out.resumed = true;
+              ran[i] = 1;
+              return;
+            }
+            if (memo_lookup(sources[i].url, sources[i].facts, kNoSeeds,
+                            &outcomes[i], &memo_fps[i])) {
+              MIDAS_OBS_SPAN(source_span, "framework.source", sources[i].url);
+              ran[i] = 1;
+              return;
+            }
+            tasks[i].url = sources[i].url;
+            tasks[i].facts = &sources[i].facts;
+            tasks[i].want_raw = options_.memo != nullptr;
+          },
+          run_cancelled);
+      std::vector<ShardTaskResult> task_results(sources.size());
+      ShardExecutionContext ctx;
+      ctx.detector = detector_;
+      ctx.kb = &kb;
+      ctx.pool = &pool;
+      ctx.detect = DetectOptionsFrom(options_);
+      ctx.cancel = options_.cancel;
+      options_.executor->ExecuteRound(ctx, &tasks, &task_results);
+      for (size_t i = 0; i < sources.size(); ++i) {
+        ShardTaskResult& res = task_results[i];
+        if (!res.ran) continue;
+        ShardOutcome& out = outcomes[i];
+        out.status = res.status;
+        out.attempts = res.attempts;
+        out.error = std::move(res.error);
+        out.slices = std::move(res.surviving);
+        if (res.has_raw) {
+          ShardOutcome raw;
+          raw.slices = std::move(res.raw_slices);
+          raw.status = out.status;
+          raw.attempts = out.attempts;
+          raw.error = out.error;
+          memo_capture(raw, memo_fps[i], &memo_updates[i], &memo_pending[i]);
+        }
+        ran[i] = 1;
+      }
+    }
     for (size_t i = 0; i < sources.size(); ++i) {
       if (ran[i]) result.stats.shards_processed++;
       checkpoint(sources[i].url, outcomes[i], outcomes[i].slices);
@@ -547,60 +704,145 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
     std::vector<char> ran(round.size(), 0);
     std::vector<DetectionMemo::Entry> memo_updates(round.size());
     std::vector<char> memo_pending(round.size(), 0);
-    pool.ParallelFor(
-        round.size(),
-        [&](size_t i) {
-          Shard& shard = round[i];
-          MIDAS_OBS_SPAN(source_span, "framework.source", shard.url);
-          const uint64_t start_ns = MIDAS_OBS_NOW_NS();
-          (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
-          // The same triple can be extracted from several child pages; the
-          // fact table requires a duplicate-free T_W.
-          NormalizeShardFacts(&shard);
-          MIDAS_OBS_RECORD(normalize_us,
-                           (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
-          const auto resumed_it = resumed_entries.find(shard.url);
-          if (resumed_it != resumed_entries.end()) {
-            // Already completed by the checkpointed run. The entry stores
-            // this shard's *post-consolidation* surviving slices, so both
-            // detect and ConsolidateSlices are skipped; the normalized
-            // facts above still bubble to the parent deterministically.
-            // (Each shard touches only its own map entry, so the
-            // concurrent moves are safe.)
-            ShardOutcome& out = outcomes[i];
-            out.status = resumed_it->second.status;
-            out.attempts = resumed_it->second.attempts;
-            out.error = resumed_it->second.error;
-            out.resumed = true;
-            surviving[i] = std::move(resumed_it->second.slices);
+    if (options_.executor == nullptr) {
+      pool.ParallelFor(
+          round.size(),
+          [&](size_t i) {
+            Shard& shard = round[i];
+            MIDAS_OBS_SPAN(source_span, "framework.source", shard.url);
+            const uint64_t start_ns = MIDAS_OBS_NOW_NS();
+            (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
+            // The same triple can be extracted from several child pages;
+            // the fact table requires a duplicate-free T_W.
+            NormalizeShardFacts(&shard);
+            MIDAS_OBS_RECORD(normalize_us,
+                             (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
+            const auto resumed_it = resumed_entries.find(shard.url);
+            if (resumed_it != resumed_entries.end()) {
+              // Already completed by the checkpointed run. The entry stores
+              // this shard's *post-consolidation* surviving slices, so both
+              // detect and ConsolidateSlices are skipped; the normalized
+              // facts above still bubble to the parent deterministically.
+              // (Each shard touches only its own map entry, so the
+              // concurrent moves are safe.)
+              ShardOutcome& out = outcomes[i];
+              out.status = resumed_it->second.status;
+              out.attempts = resumed_it->second.attempts;
+              out.error = resumed_it->second.error;
+              out.resumed = true;
+              surviving[i] = std::move(resumed_it->second.slices);
+              ran[i] = 1;
+              return;
+            }
+            SourceInput input;
+            input.url = shard.url;
+            input.facts = &shard.facts;
+            for (const auto& cs : shard.child_slices) {
+              input.seeds.push_back(cs.properties);
+            }
+            // Memoized detection: the fingerprint covers the normalized
+            // subtree facts AND the child seeds, so a hit implies the
+            // detector would have seen byte-identical inputs. Consolidation
+            // still runs against the live child slices either way.
+            uint64_t memo_fp = 0;
+            if (!memo_lookup(shard.url, shard.facts, input.seeds,
+                             &outcomes[i], &memo_fp)) {
+              outcomes[i] = detect(input);
+              memo_capture(outcomes[i], memo_fp, &memo_updates[i],
+                           &memo_pending[i]);
+            }
+            // A failed/cancelled shard contributes no new slices, but its
+            // children's tentative slices still win consolidation unopposed.
+            surviving[i] = ConsolidateSlices(std::move(outcomes[i].slices),
+                                             std::move(shard.child_slices));
             ran[i] = 1;
-            return;
+            MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
+          },
+          run_cancelled);
+    } else {
+      // Executor path: prepare every shard (normalize + restore from the
+      // checkpoint/memo) on the pool, hand the remainder to the pluggable
+      // executor as ShardTasks, then map its results back so the fold
+      // below is identical for both paths.
+      std::vector<ShardTask> tasks(round.size());
+      std::vector<uint64_t> memo_fps(round.size(), 0);
+      pool.ParallelFor(
+          round.size(),
+          [&](size_t i) {
+            Shard& shard = round[i];
+            const uint64_t start_ns = MIDAS_OBS_NOW_NS();
+            (void)start_ns;  // unused in a MIDAS_OBS_NOOP build
+            NormalizeShardFacts(&shard);
+            MIDAS_OBS_RECORD(normalize_us,
+                             (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
+            const auto resumed_it = resumed_entries.find(shard.url);
+            if (resumed_it != resumed_entries.end()) {
+              MIDAS_OBS_SPAN(source_span, "framework.source", shard.url);
+              ShardOutcome& out = outcomes[i];
+              out.status = resumed_it->second.status;
+              out.attempts = resumed_it->second.attempts;
+              out.error = resumed_it->second.error;
+              out.resumed = true;
+              surviving[i] = std::move(resumed_it->second.slices);
+              ran[i] = 1;
+              return;
+            }
+            std::vector<std::vector<PropertyPair>> seeds;
+            seeds.reserve(shard.child_slices.size());
+            for (const auto& cs : shard.child_slices) {
+              seeds.push_back(cs.properties);
+            }
+            if (memo_lookup(shard.url, shard.facts, seeds, &outcomes[i],
+                            &memo_fps[i])) {
+              MIDAS_OBS_SPAN(source_span, "framework.source", shard.url);
+              surviving[i] = ConsolidateSlices(std::move(outcomes[i].slices),
+                                               std::move(shard.child_slices));
+              ran[i] = 1;
+              return;
+            }
+            ShardTask& task = tasks[i];
+            task.url = shard.url;
+            task.facts = &shard.facts;
+            task.child_slices = std::move(shard.child_slices);
+            task.consolidate = true;
+            task.want_raw = options_.memo != nullptr;
+          },
+          run_cancelled);
+      std::vector<ShardTaskResult> task_results(round.size());
+      ShardExecutionContext ctx;
+      ctx.detector = detector_;
+      ctx.kb = &kb;
+      ctx.pool = &pool;
+      ctx.detect = DetectOptionsFrom(options_);
+      ctx.cancel = options_.cancel;
+      options_.executor->ExecuteRound(ctx, &tasks, &task_results);
+      for (size_t i = 0; i < round.size(); ++i) {
+        ShardTaskResult& res = task_results[i];
+        if (!res.ran) {
+          // Hand the children's tentative slices back to the shard: a task
+          // the executor never ran surfaces them as best-so-far results in
+          // the fold, exactly like a shard the pool never picked up.
+          if (tasks[i].facts != nullptr) {
+            round[i].child_slices = std::move(tasks[i].child_slices);
           }
-          SourceInput input;
-          input.url = shard.url;
-          input.facts = &shard.facts;
-          for (const auto& cs : shard.child_slices) {
-            input.seeds.push_back(cs.properties);
-          }
-          // Memoized detection: the fingerprint covers the normalized
-          // subtree facts AND the child seeds, so a hit implies the
-          // detector would have seen byte-identical inputs. Consolidation
-          // still runs against the live child slices either way.
-          uint64_t memo_fp = 0;
-          if (!memo_lookup(shard.url, shard.facts, input.seeds, &outcomes[i],
-                           &memo_fp)) {
-            outcomes[i] = detect(input);
-            memo_capture(outcomes[i], memo_fp, &memo_updates[i],
-                         &memo_pending[i]);
-          }
-          // A failed/cancelled shard contributes no new slices, but its
-          // children's tentative slices still win consolidation unopposed.
-          surviving[i] = ConsolidateSlices(std::move(outcomes[i].slices),
-                                           std::move(shard.child_slices));
-          ran[i] = 1;
-          MIDAS_OBS_RECORD(shard_us, (MIDAS_OBS_NOW_NS() - start_ns) / 1000);
-        },
-        run_cancelled);
+          continue;
+        }
+        ShardOutcome& out = outcomes[i];
+        out.status = res.status;
+        out.attempts = res.attempts;
+        out.error = std::move(res.error);
+        if (res.has_raw) {
+          ShardOutcome raw;
+          raw.slices = std::move(res.raw_slices);
+          raw.status = out.status;
+          raw.attempts = out.attempts;
+          raw.error = out.error;
+          memo_capture(raw, memo_fps[i], &memo_updates[i], &memo_pending[i]);
+        }
+        surviving[i] = std::move(res.surviving);
+        ran[i] = 1;
+      }
+    }
 
     const bool cancelled_now = run_cancelled();
     if (!cancelled_now) {

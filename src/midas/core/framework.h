@@ -15,10 +15,14 @@
 #include "midas/web/web_source.h"
 
 namespace midas {
+
+class ThreadPool;
+
 namespace core {
 
 // Defined below SourceStatus; FrameworkOptions only holds a pointer.
 class DetectionMemo;
+class ShardExecutor;
 
 /// Options of the multi-source framework.
 struct FrameworkOptions {
@@ -86,6 +90,14 @@ struct FrameworkOptions {
   /// detector's cost model / algorithm identity and the KB contents — so
   /// one memo can serve differently-configured runs without cross-talk.
   uint64_t memo_context = 0;
+
+  /// Pluggable round executor (see ShardExecutor below). Null keeps the
+  /// built-in in-process path: detect + consolidate on the run's thread
+  /// pool. A non-null executor (e.g. dist::DistCoordinator) receives each
+  /// round's non-restored shards as ShardTasks and returns their outcomes;
+  /// checkpointing, resume, memoization, and the post-round merge stay on
+  /// the framework side either way. Must outlive Run.
+  ShardExecutor* executor = nullptr;
 };
 
 /// Counters reported by a framework run.
@@ -126,6 +138,125 @@ enum class SourceStatus {
 /// Human-readable status name ("ok", "no_slices", ...), stable for logs,
 /// CLI output, and golden files.
 const char* SourceStatusName(SourceStatus status);
+
+/// The subset of FrameworkOptions one shard's detect-with-retry loop needs.
+/// A distributed worker runs the same loop out of process; keeping the knobs
+/// in one struct is what makes "same options ⇒ bit-identical retry/fault
+/// behavior" checkable (fault keys are `url#attempt`, jitter derives from
+/// run_seed — neither depends on which process runs the shard).
+struct ShardDetectOptions {
+  /// See the FrameworkOptions fields of the same names.
+  uint64_t source_deadline_ms = 0;
+  size_t max_retries = 2;
+  uint64_t retry_backoff_ms = 5;
+  uint64_t run_seed = 0;
+  /// Whole-run cancel: polled between attempts and folded into the
+  /// per-attempt budget. Null = unbounded (a remote worker's default — the
+  /// coordinator owns the run budget and simply stops assigning).
+  const fault::CancelToken* run_cancel = nullptr;
+};
+
+/// Outcome of DetectShardWithRetry. The default (kCancelled, 0 attempts) is
+/// exactly the report for a shard the run never picked up.
+struct ShardDetectResult {
+  std::vector<DiscoveredSlice> slices;
+  SourceStatus status = SourceStatus::kCancelled;
+  size_t attempts = 0;
+  std::string error;
+};
+
+/// Runs the detector on one shard with a per-shard error boundary and
+/// bounded retry: a throwing detector is re-attempted up to max_retries
+/// times with exponential backoff + deterministic jitter; only when every
+/// attempt throws is the shard reported kFailed. A shard whose per-attempt
+/// budget expires returns its best-so-far slices as kPartial and is not
+/// retried. This is THE per-shard execution path — the in-process framework
+/// and the dist worker both call it, which is what pins their bit-identity.
+/// `input->cancel` is overwritten per attempt and cleared on return.
+ShardDetectResult DetectShardWithRetry(const SliceDetector& detector,
+                                       const rdf::KnowledgeBase& kb,
+                                       SourceInput* input,
+                                       const ShardDetectOptions& options);
+
+/// One shard of one round, as handed to a ShardExecutor. Tasks are indexed
+/// like the round: results[i] answers tasks[i].
+struct ShardTask {
+  std::string url;
+  /// Normalized (sorted + deduped) subtree facts. Null marks a task the
+  /// executor must NOT run — the framework already restored this shard from
+  /// the checkpoint or memo, or the run was cancelled before the shard was
+  /// prepared. The executor leaves its result untouched (ran = false).
+  const std::vector<rdf::Triple>* facts = nullptr;
+  /// Tentative slices exported by children rounds. Their properties are the
+  /// detector's seeds (in order). An executor may consume them for tasks it
+  /// runs, but must leave them intact on tasks it does not run: the
+  /// framework surfaces them as best-so-far results for skipped shards.
+  std::vector<DiscoveredSlice> child_slices;
+  /// Hierarchy mode: run ConsolidateSlices(detected, child_slices) and
+  /// return the survivors. Ablation mode (false): return raw detector
+  /// output and ignore child_slices.
+  bool consolidate = false;
+  /// Also return the raw pre-consolidation detector output (for the
+  /// detection memo). Executors that cannot provide it (a remote worker
+  /// only ships survivors) leave has_raw false and the framework simply
+  /// skips memoizing that shard.
+  bool want_raw = false;
+};
+
+/// Executor-side outcome of one ShardTask.
+struct ShardTaskResult {
+  SourceStatus status = SourceStatus::kCancelled;
+  size_t attempts = 0;
+  std::string error;
+  /// Post-consolidation survivors (== raw detector output when
+  /// task.consolidate was false).
+  std::vector<DiscoveredSlice> surviving;
+  /// Raw detector output, iff task.want_raw and has_raw.
+  std::vector<DiscoveredSlice> raw_slices;
+  bool has_raw = false;
+  /// True iff the executor actually processed the task. False for null-fact
+  /// tasks and tasks abandoned when ctx.cancel expired.
+  bool ran = false;
+};
+
+/// Everything an executor may need from the run: the framework's detector
+/// and KB (in-process execution), the run's thread pool, the per-shard
+/// detect options, and the whole-run cancel. Stateless executors (the
+/// default in-process one) use all of it; a distributed coordinator ignores
+/// detector/kb/pool — its workers own their own — and polls only cancel.
+struct ShardExecutionContext {
+  const SliceDetector* detector = nullptr;
+  const rdf::KnowledgeBase* kb = nullptr;
+  ThreadPool* pool = nullptr;
+  ShardDetectOptions detect;
+  const fault::CancelToken* cancel = nullptr;
+};
+
+/// Pluggable "run one round of shards" strategy (FrameworkOptions::
+/// executor). The framework keeps everything stateful — sharding,
+/// normalization, checkpoint/resume, memo, merge, reporting — and delegates
+/// only the embarrassingly parallel middle: detect (+ consolidate) each
+/// prepared task. Contract: results->size() == tasks->size() on entry;
+/// fill results[i] and set ran for every task processed; stop early (leave
+/// ran = false) once ctx.cancel expires; never touch null-fact tasks.
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+  virtual void ExecuteRound(const ShardExecutionContext& ctx,
+                            std::vector<ShardTask>* tasks,
+                            std::vector<ShardTaskResult>* results) = 0;
+};
+
+/// The built-in strategy, factored behind the ShardExecutor seam: detect
+/// with retry + consolidate on the run's thread pool. A framework run with
+/// this executor is bit-identical to one with executor == nullptr (the
+/// inlined fast path); dist tests pin both against DistCoordinator.
+class InProcessShardExecutor : public ShardExecutor {
+ public:
+  void ExecuteRound(const ShardExecutionContext& ctx,
+                    std::vector<ShardTask>* tasks,
+                    std::vector<ShardTaskResult>* results) override;
+};
 
 /// In-memory per-source detection cache — the online analog of the durable
 /// checkpoint log. A long-lived owner (the `midas serve` daemon) keeps one
@@ -203,6 +334,14 @@ struct FrameworkResult {
   /// a valid best-so-far set, not the full fixed point.
   bool partial = false;
 };
+
+/// Fingerprint binding a run to its inputs: seed, pipeline mode, and the
+/// corpus shape (per-source URL + fact count; content hash when available).
+/// The checkpoint ledger stores it so a resume rejects another run's
+/// results, and the dist handshake exchanges it so a coordinator rejects a
+/// worker that loaded a different corpus or options.
+uint64_t ComputeRunFingerprint(const web::Corpus& corpus,
+                               const FrameworkOptions& options);
 
 /// The MIDAS highly-parallelizable framework (paper §III-B, Fig. 6).
 ///

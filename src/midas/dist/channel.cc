@@ -1,0 +1,204 @@
+#include "midas/dist/channel.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "midas/fault/fault.h"
+
+namespace midas {
+namespace dist {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& label) {
+  return what + " (peer " + label + "): " + std::strerror(errno);
+}
+
+Status WriteAll(int fd, const char* data, size_t len,
+                const std::string& label) {
+  size_t written = 0;
+  while (written < len) {
+    // MSG_NOSIGNAL: a peer that died between poll and write must surface as
+    // EPIPE — a routine worker-loss signal for the coordinator — not as a
+    // process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data + written, len - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write failed", label));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FrameChannel::FrameChannel(int fd, std::string label)
+    : fd_(fd), label_(std::move(label)) {}
+
+FrameChannel::~FrameChannel() { CloseFd(); }
+
+FrameChannel::FrameChannel(FrameChannel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      label_(std::move(other.label_)),
+      frames_sent_(other.frames_sent_),
+      peer_closed_(other.peer_closed_),
+      decoder_(std::move(other.decoder_)) {}
+
+FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
+  if (this != &other) {
+    CloseFd();
+    fd_ = std::exchange(other.fd_, -1);
+    label_ = std::move(other.label_);
+    frames_sent_ = other.frames_sent_;
+    peer_closed_ = other.peer_closed_;
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+void FrameChannel::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status FrameChannel::SetNonBlocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(ErrnoMessage("fcntl failed", label_));
+  }
+  return Status::OK();
+}
+
+Status FrameChannel::SendMagic() {
+  if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+  return WriteAll(fd_, store::kRecordLogMagic, store::kRecordLogMagicLen,
+                  label_);
+}
+
+Status FrameChannel::WriteFrame(std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+  if (payload.size() > store::kMaxRecordPayload) {
+    return Status::InvalidArgument("frame payload too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  const std::string frame = store::EncodeRecordFrame(payload);
+  const std::string key = label_ + "#" + std::to_string(frames_sent_);
+  ++frames_sent_;
+
+#ifdef MIDAS_FAULT_INJECTION
+  if (MIDAS_FAULT_SHOULD_CORRUPT(fault::kSiteSocketTorn, key)) {
+    // Peer-death mid-send: deliver a seeded prefix of the frame, then sever
+    // the connection. DrawOffset never returns frame.size(), so the peer
+    // always observes either a torn frame or an EOF inside this frame.
+    const uint64_t prefix = fault::FaultInjector::Global().DrawOffset(
+        fault::kSiteSocketTorn, key, frame.size());
+    (void)WriteAll(fd_, frame.data(), static_cast<size_t>(prefix), label_);
+    ::shutdown(fd_, SHUT_RDWR);
+    return Status::IoError("injected socket_torn after " +
+                           std::to_string(prefix) + "/" +
+                           std::to_string(frame.size()) + " bytes to " +
+                           label_);
+  }
+#endif
+
+  return WriteAll(fd_, frame.data(), frame.size(), label_);
+}
+
+FrameChannel::Read FrameChannel::ReadAvailable(std::string* error) {
+  if (fd_ < 0) {
+    *error = "channel closed";
+    return Read::kError;
+  }
+  bool got_bytes = false;
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      got_bytes = true;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      return Read::kEof;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return got_bytes ? Read::kFrame : Read::kNeedMore;
+    }
+    // ECONNRESET is a peer death, same as EOF for reassignment purposes,
+    // but surfaced distinctly so the coordinator can count it.
+    *error = ErrnoMessage("read failed", label_);
+    return Read::kError;
+  }
+}
+
+FrameChannel::Read FrameChannel::PopFrame(std::string* payload,
+                                          std::string* error) {
+  switch (decoder_.Pop(payload, error)) {
+    case store::RecordStreamDecoder::Next::kFrame:
+      return Read::kFrame;
+    case store::RecordStreamDecoder::Next::kCorrupt:
+      return Read::kCorrupt;
+    case store::RecordStreamDecoder::Next::kNeedMore:
+      break;
+  }
+  if (peer_closed_) {
+    if (decoder_.buffered_bytes() > 0) {
+      // Bytes past the last complete frame with no more coming: the peer
+      // died mid-send.
+      *error = "peer " + label_ + " closed with a torn frame buffered";
+      return Read::kCorrupt;
+    }
+    return Read::kEof;
+  }
+  return Read::kNeedMore;
+}
+
+FrameChannel::Read FrameChannel::WaitForFrame(int timeout_ms,
+                                              std::string* payload,
+                                              std::string* error) {
+  for (;;) {
+    // Drain buffered frames before touching the socket.
+    const Read popped = PopFrame(payload, error);
+    if (popped != Read::kNeedMore) return popped;
+
+    struct pollfd pfd = {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      *error = ErrnoMessage("poll failed", label_);
+      return Read::kError;
+    }
+    if (rc == 0) return Read::kTimeout;
+
+    char buf[16 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      continue;  // PopFrame turns this into kEof or kCorrupt.
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    *error = ErrnoMessage("read failed", label_);
+    return Read::kError;
+  }
+}
+
+}  // namespace dist
+}  // namespace midas

@@ -1,0 +1,93 @@
+#ifndef MIDAS_DIST_CHANNEL_H_
+#define MIDAS_DIST_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "midas/store/record_log.h"
+#include "midas/util/status.h"
+
+namespace midas {
+namespace dist {
+
+/// One direction-agnostic end of a dist connection: a file descriptor plus
+/// the MIDASLG1 stream state for the bytes arriving on it. Each side calls
+/// SendMagic() once after connecting, then exchanges CRC-framed records
+/// (store::EncodeRecordFrame) whose payloads are wire.h messages.
+///
+/// The channel owns the fd and closes it on destruction. Move-only.
+///
+/// Reading has two modes matching the two process roles:
+///  - the coordinator multiplexes many channels with poll(2) and calls
+///    ReadAvailable() on POLLIN (fds set non-blocking via SetNonBlocking),
+///    then drains complete frames with PopFrame();
+///  - a worker owns a single blocking fd and calls WaitForFrame(), which
+///    polls, reads, and pops in one step.
+class FrameChannel {
+ public:
+  FrameChannel() = default;
+  /// Takes ownership of `fd`. `label` names the peer in errors and in the
+  /// socket_torn fault key ("<label>#<frame index>").
+  FrameChannel(int fd, std::string label);
+  ~FrameChannel();
+  FrameChannel(FrameChannel&& other) noexcept;
+  FrameChannel& operator=(FrameChannel&& other) noexcept;
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  const std::string& label() const { return label_; }
+
+  /// Puts the fd in non-blocking mode (coordinator side).
+  Status SetNonBlocking();
+
+  /// Writes the 8-byte MIDASLG1 stream magic. Call once, before any frame.
+  Status SendMagic();
+
+  /// Frames `payload` and writes it. The kSiteSocketTorn fault site tears
+  /// the write at a seeded byte offset and severs the connection, modeling
+  /// a peer dying mid-send; the caller sees IoError, the peer a torn frame
+  /// or clean EOF at a frame boundary.
+  Status WriteFrame(std::string_view payload);
+
+  /// Outcome of a read-side step.
+  enum class Read {
+    kFrame,     // *payload holds one complete record payload
+    kNeedMore,  // nothing complete buffered (ReadAvailable: and no EOF yet)
+    kTimeout,   // WaitForFrame: deadline expired with no complete frame
+    kEof,       // peer closed cleanly at a frame boundary
+    kCorrupt,   // stream unrecoverable (bad magic/CRC, torn tail at EOF)
+    kError,     // transport error; *error holds details
+  };
+
+  /// Non-blocking drain: reads whatever the socket has buffered (requires
+  /// SetNonBlocking). Returns kNeedMore when the socket is merely empty;
+  /// kEof records that the peer closed (complete frames already buffered
+  /// can still be popped — PopFrame reports kEof only once drained).
+  Read ReadAvailable(std::string* error);
+
+  /// Pops the next complete frame from buffered bytes without touching the
+  /// socket. kEof only after the peer closed AND the buffer is drained; a
+  /// close with a partial frame buffered is kCorrupt (torn frame).
+  Read PopFrame(std::string* payload, std::string* error);
+
+  /// Blocking receive for the single-channel worker loop: polls the fd up
+  /// to `timeout_ms` (-1 = forever), reads, and returns the next frame.
+  Read WaitForFrame(int timeout_ms, std::string* payload, std::string* error);
+
+ private:
+  void CloseFd();
+
+  int fd_ = -1;
+  std::string label_;
+  uint64_t frames_sent_ = 0;
+  bool peer_closed_ = false;
+  store::RecordStreamDecoder decoder_;
+};
+
+}  // namespace dist
+}  // namespace midas
+
+#endif  // MIDAS_DIST_CHANNEL_H_

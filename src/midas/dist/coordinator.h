@@ -1,0 +1,164 @@
+#ifndef MIDAS_DIST_COORDINATOR_H_
+#define MIDAS_DIST_COORDINATOR_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "midas/core/framework.h"
+#include "midas/dist/channel.h"
+#include "midas/rdf/dictionary.h"
+#include "midas/util/status.h"
+
+namespace midas {
+namespace dist {
+
+/// Multi-process execution for the MIDAS framework (the repo's stand-in for
+/// the paper's MapReduce deployment, one level up from the thread pool).
+///
+/// DistCoordinator is a core::ShardExecutor: the framework keeps ownership
+/// of sharding, normalization, the checkpoint ledger, memoization, and the
+/// post-round merge, and delegates each round's prepared tasks here. The
+/// coordinator hands every task to a worker process as one WorkAssign over
+/// a unix-domain socket and maps WorkResults back — so a distributed run
+/// flows through the exact consolidate/merge/report code a single-process
+/// run does, which is what the bit-identity tests pin.
+///
+/// Failure contract:
+///  - A worker that dies (EOF, ECONNRESET, torn frame, failed write) loses
+///    its in-flight unit; the unit is re-queued with its assignment count
+///    bumped. After max_unit_assignments losses the unit is reported
+///    kFailed ("worker lost"), surviving = its child slices (exactly what
+///    the in-process path yields when every detect attempt fails).
+///  - Self-forked workers are respawned (up to worker_respawn_limit) so a
+///    crash matrix that kills every worker still completes.
+///  - Completed units are never re-run: results are applied by unit index,
+///    and the framework checkpoints them into the ledger as usual, so a
+///    killed-then-restarted *coordinator* resumes from the ledger without
+///    re-detecting (the framework's existing resume path).
+struct DistOptions {
+  /// Self-fork mode: fork this many workers over socketpair(2). Each child
+  /// runs worker_main(fd) and must _exit. Zero = external mode.
+  size_t num_workers = 0;
+  std::function<void(int fd)> worker_main;
+
+  /// External mode: accept workers on this unix-socket path until
+  /// min_workers have said Hello (within accept_timeout_ms). Workers that
+  /// connect later still join the pool mid-run.
+  std::string listen_path;
+  size_t min_workers = 1;
+  int accept_timeout_ms = 30'000;
+
+  /// Expected Hello fingerprint (core::ComputeRunFingerprint). Nonzero:
+  /// a worker announcing a different fingerprint is rejected — it loaded a
+  /// different corpus/seed and its results could not be bit-identical.
+  uint64_t fingerprint = 0;
+
+  /// Re-assignments before a unit is abandoned as kFailed.
+  uint32_t max_unit_assignments = 3;
+
+  /// Self-fork mode: replacement workers forked after losses.
+  size_t worker_respawn_limit = 8;
+
+  /// Poll granularity of the round loop (also bounds how often heartbeats
+  /// and respawns are serviced).
+  int poll_interval_ms = 200;
+
+  /// Test hook, called after each WorkResult is applied with the total
+  /// number of completed units this round. The kill-a-worker crash matrix
+  /// uses it to SIGKILL a worker after exactly m completed units.
+  std::function<void(size_t units_done)> on_unit_done;
+};
+
+class DistCoordinator : public core::ShardExecutor {
+ public:
+  /// `dict` is the run's dictionary (shared with corpus + KB); must outlive
+  /// the coordinator.
+  DistCoordinator(const rdf::Dictionary* dict, DistOptions options);
+  ~DistCoordinator() override;
+
+  /// Forks workers (self-fork mode) or binds listen_path and waits for
+  /// min_workers Hellos (external mode).
+  Status Start();
+
+  /// Sends Shutdown to every live worker, closes channels, reaps children.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  void ExecuteRound(const core::ShardExecutionContext& ctx,
+                    std::vector<core::ShardTask>* tasks,
+                    std::vector<core::ShardTaskResult>* results) override;
+
+  /// Live self-forked worker pids, in worker order (crash-matrix tests
+  /// pick a victim from here).
+  std::vector<pid_t> worker_pids() const;
+
+  size_t live_workers() const;
+
+  /// Mirror of the dist.* counters for direct assertions.
+  struct Stats {
+    uint64_t assigns = 0;
+    uint64_t results = 0;
+    uint64_t reassigns = 0;
+    uint64_t worker_losses = 0;
+    uint64_t respawns = 0;
+    uint64_t units_failed = 0;
+    uint64_t heartbeats = 0;
+    uint64_t rejected_workers = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Worker {
+    FrameChannel channel;
+    pid_t pid = -1;  // -1: external worker
+    bool hello_ok = false;
+    int64_t inflight_unit = -1;  // -1: idle
+    size_t id = 0;
+  };
+
+  Status ForkWorker();
+  Status AcceptPending(std::string* error);
+  /// One poll sweep: accepts pending external workers, drains readable
+  /// channels, dispatches their frames. tasks/results may be null outside a
+  /// round (Start's Hello wait) — WorkResults are a protocol violation then.
+  void PollOnce(std::vector<core::ShardTask>* tasks,
+                std::vector<core::ShardTaskResult>* results, int timeout_ms);
+  /// Handles one decoded frame from workers_[widx]. Returns false when the
+  /// worker was lost/rejected (stop draining its buffer).
+  bool DispatchFrame(size_t widx, const std::string& payload,
+                     std::vector<core::ShardTask>* tasks,
+                     std::vector<core::ShardTaskResult>* results);
+  /// Marks a worker dead: requeues its in-flight unit, reaps the child,
+  /// respawns a replacement when allowed.
+  void LoseWorker(size_t widx, const std::string& why);
+  void FailUnit(size_t unit, const std::string& why,
+                std::vector<core::ShardTask>* tasks,
+                std::vector<core::ShardTaskResult>* results);
+
+  const rdf::Dictionary* dict_;
+  DistOptions options_;
+  // unique_ptr slots: Worker objects stay address-stable while respawns
+  // push_back into the vector mid-sweep.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  int listen_fd_ = -1;
+  size_t next_worker_id_ = 0;
+  size_t respawns_used_ = 0;
+  bool started_ = false;
+  Stats stats_;
+
+  // Round-scoped state (valid only inside ExecuteRound).
+  std::vector<size_t> queue_;               // units awaiting (re-)assignment
+  std::vector<uint32_t> unit_assignment_;   // times each unit was handed out
+  size_t units_done_ = 0;
+  size_t units_remaining_ = 0;
+};
+
+}  // namespace dist
+}  // namespace midas
+
+#endif  // MIDAS_DIST_COORDINATOR_H_

@@ -1,0 +1,118 @@
+#include "midas/dist/worker.h"
+
+#include <unistd.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "midas/core/consolidate.h"
+#include "midas/dist/channel.h"
+#include "midas/dist/wire.h"
+#include "midas/fault/fault.h"
+#include "midas/obs/obs.h"
+#include "midas/util/logging.h"
+
+namespace midas {
+namespace dist {
+
+namespace {
+
+obs::Counter* UnitsCounter() {
+  static obs::Counter* c = MIDAS_OBS_COUNTER("dist.worker_units");
+  return c;
+}
+
+}  // namespace
+
+Status RunWorkerLoop(int fd, const WorkerConfig& config) {
+  if (config.detector == nullptr || config.kb == nullptr ||
+      config.dict == nullptr) {
+    ::close(fd);
+    return Status::InvalidArgument("WorkerConfig missing detector/kb/dict");
+  }
+  FrameChannel channel(fd, "coordinator");
+  MIDAS_RETURN_IF_ERROR(channel.SendMagic());
+  HelloMsg hello;
+  hello.fingerprint = config.fingerprint;
+  MIDAS_RETURN_IF_ERROR(channel.WriteFrame(EncodeHello(hello)));
+
+  uint64_t units_completed = 0;
+  const int timeout_ms =
+      config.heartbeat_interval_ms > 0 ? config.heartbeat_interval_ms : -1;
+  for (;;) {
+    std::string payload;
+    std::string error;
+    switch (channel.WaitForFrame(timeout_ms, &payload, &error)) {
+      case FrameChannel::Read::kTimeout: {
+        HeartbeatMsg beat;
+        beat.units_completed = units_completed;
+        MIDAS_RETURN_IF_ERROR(channel.WriteFrame(EncodeHeartbeat(beat)));
+        continue;
+      }
+      case FrameChannel::Read::kEof:
+        // Coordinator went away (or released us): a clean exit.
+        return Status::OK();
+      case FrameChannel::Read::kCorrupt:
+        return Status::Corruption("worker channel corrupt: " + error);
+      case FrameChannel::Read::kError:
+        return Status::IoError("worker channel error: " + error);
+      case FrameChannel::Read::kNeedMore:
+        continue;  // not produced by WaitForFrame; defensive
+      case FrameChannel::Read::kFrame:
+        break;
+    }
+
+    const StatusOr<MessageKind> kind = PeekKind(payload);
+    if (!kind.ok()) return kind.status();
+    if (*kind == MessageKind::kShutdown) return Status::OK();
+    if (*kind != MessageKind::kWorkAssign) {
+      return Status::Corruption("unexpected worker-bound message kind");
+    }
+
+    WorkAssignMsg assign;
+    MIDAS_RETURN_IF_ERROR(DecodeWorkAssign(payload, *config.dict, &assign));
+
+    // Machine-loss injection point: keyed by (url, assignment) so the
+    // crash matrix can kill exactly the first execution of a unit and let
+    // its re-assignment complete. _exit models SIGKILL — no unwinding, no
+    // result frame, the coordinator just sees EOF.
+#ifdef MIDAS_FAULT_INJECTION
+    if (MIDAS_FAULT_SHOULD_CORRUPT(
+            fault::kSiteWorkerCrash,
+            assign.url + "#" + std::to_string(assign.assignment))) {
+      MIDAS_LOG(Warning) << "dist: injected worker_crash on " << assign.url
+                         << " (assignment " << assign.assignment << ")";
+      ::_exit(137);
+    }
+#endif
+
+    core::SourceInput input;
+    input.url = assign.url;
+    input.facts = &assign.facts;
+    if (assign.consolidate) {
+      for (const auto& cs : assign.child_slices) {
+        input.seeds.push_back(cs.properties);
+      }
+    }
+    core::ShardDetectResult detected = core::DetectShardWithRetry(
+        *config.detector, *config.kb, &input, config.detect);
+
+    WorkResultMsg result;
+    result.unit = assign.unit;
+    result.status = detected.status;
+    result.attempts = static_cast<uint32_t>(detected.attempts);
+    result.error = std::move(detected.error);
+    result.slices =
+        assign.consolidate
+            ? core::ConsolidateSlices(std::move(detected.slices),
+                                      std::move(assign.child_slices))
+            : std::move(detected.slices);
+    MIDAS_RETURN_IF_ERROR(channel.WriteFrame(EncodeWorkResult(result, *config.dict)));
+    ++units_completed;
+    MIDAS_OBS_ADD(UnitsCounter(), 1);
+  }
+}
+
+}  // namespace dist
+}  // namespace midas

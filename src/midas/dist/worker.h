@@ -1,0 +1,49 @@
+#ifndef MIDAS_DIST_WORKER_H_
+#define MIDAS_DIST_WORKER_H_
+
+#include <cstdint>
+
+#include "midas/core/framework.h"
+#include "midas/core/slice_detector.h"
+#include "midas/rdf/dictionary.h"
+#include "midas/rdf/knowledge_base.h"
+#include "midas/util/status.h"
+
+namespace midas {
+namespace dist {
+
+/// Everything a worker process needs to execute WorkAssigns. The detector,
+/// KB, and dictionary must be built from the *same corpus and flags* as the
+/// coordinator's (a self-forked worker inherits them; an external worker
+/// reloads them) — the Hello fingerprint is how the coordinator checks.
+struct WorkerConfig {
+  const core::SliceDetector* detector = nullptr;
+  const rdf::KnowledgeBase* kb = nullptr;
+  const rdf::Dictionary* dict = nullptr;
+  /// Per-shard retry/deadline knobs; must match the coordinator's run so
+  /// outcomes are bit-identical to in-process execution.
+  core::ShardDetectOptions detect;
+  /// Announced in Hello; core::ComputeRunFingerprint of the loaded run.
+  uint64_t fingerprint = 0;
+  /// Heartbeat cadence while idle (ms); 0 disables heartbeats.
+  int heartbeat_interval_ms = 1000;
+};
+
+/// Runs the worker side of the dist protocol on `fd` (a connected unix
+/// socket; ownership is taken) until Shutdown or EOF. Every WorkAssign runs
+/// through core::DetectShardWithRetry — the same per-shard path the
+/// in-process executor uses, which is what pins worker results bit-identical
+/// to a single-process run.
+///
+/// The kSiteWorkerCrash fault site fires per (url, assignment) and _exits
+/// the process mid-unit, modeling a machine loss for the crash matrix; the
+/// re-assigned attempt carries a different key, so it completes.
+///
+/// Returns OK on a clean Shutdown/EOF; an error Status on a torn or
+/// corrupt channel.
+Status RunWorkerLoop(int fd, const WorkerConfig& config);
+
+}  // namespace dist
+}  // namespace midas
+
+#endif  // MIDAS_DIST_WORKER_H_

@@ -45,6 +45,8 @@ inline constexpr char kSiteIoWriteFail[] = "io_write_fail";  // ENOSPC-style Sta
 inline constexpr char kSiteIoTornWrite[] = "io_torn_write";  // truncated write
 inline constexpr char kSiteServeAccept[] = "serve_accept";   // drop new conns
 inline constexpr char kSiteServeRead[] = "serve_read";       // torn socket read
+inline constexpr char kSiteWorkerCrash[] = "worker_crash";   // dist worker _exit
+inline constexpr char kSiteSocketTorn[] = "socket_torn";     // dist frame torn mid-write
 
 /// One armed injection site.
 struct SiteSpec {

@@ -491,6 +491,10 @@ void HttpServer::StartRequest(uint64_t conn_id, Connection* conn,
                               HttpRequest request) {
   conn->busy = true;
   inflight_++;
+  // Gauge mirror of inflight_, so /metricz readers (and the smoke test's
+  // drain-readiness poll) can see when a request is actually in flight.
+  MIDAS_OBS_GAUGE_SET(MIDAS_OBS_GAUGE("serve.requests_inflight"),
+                      static_cast<int64_t>(inflight_));
   const uint64_t deadline_ms = options_.request_deadline_ms;
   pool_->Submit([this, conn_id, deadline_ms,
                  request = std::move(request)]() mutable {
@@ -528,6 +532,8 @@ void HttpServer::DrainCompletions() {
     conn->busy = false;
     MIDAS_CHECK(inflight_ > 0);
     inflight_--;
+    MIDAS_OBS_GAUGE_SET(MIDAS_OBS_GAUGE("serve.requests_inflight"),
+                        static_cast<int64_t>(inflight_));
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     MIDAS_OBS_ADD(MIDAS_OBS_COUNTER("serve.requests"), 1);
     if (conn->aborted) {

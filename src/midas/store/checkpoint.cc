@@ -80,6 +80,8 @@ class Cursor {
 
   bool AtEnd() const { return pos_ == data_.size(); }
 
+  size_t remaining() const { return data_.size() - pos_; }
+
  private:
   std::string_view data_;
   size_t pos_ = 0;
@@ -91,6 +93,77 @@ bool ReadTerm(Cursor* cur, const rdf::Dictionary& dict, rdf::TermId* id,
   const std::optional<rdf::TermId> found = dict.Lookup(*scratch);
   if (!found.has_value()) return false;
   *id = *found;
+  return true;
+}
+
+void AppendSlice(std::string* payload, const core::DiscoveredSlice& slice,
+                 const rdf::Dictionary& dict) {
+  AppendStr(payload, slice.source_url);
+  AppendU32(payload, static_cast<uint32_t>(slice.properties.size()));
+  for (const core::PropertyPair& prop : slice.properties) {
+    AppendTerm(payload, prop.predicate, dict);
+    AppendTerm(payload, prop.value, dict);
+  }
+  AppendU32(payload, static_cast<uint32_t>(slice.entities.size()));
+  for (const rdf::TermId entity : slice.entities) {
+    AppendTerm(payload, entity, dict);
+  }
+  AppendU32(payload, static_cast<uint32_t>(slice.facts.size()));
+  for (const rdf::Triple& fact : slice.facts) {
+    AppendTerm(payload, fact.subject, dict);
+    AppendTerm(payload, fact.predicate, dict);
+    AppendTerm(payload, fact.object, dict);
+  }
+  AppendU64(payload, slice.num_facts);
+  AppendU64(payload, slice.num_new_facts);
+  // Exact bit pattern: the restored profit compares == to the original.
+  AppendU64(payload, std::bit_cast<uint64_t>(slice.profit));
+}
+
+/// Guards a decoded element count against the bytes actually present
+/// (min_bytes per element) before any resize: a corrupt count field must
+/// fail the decode, not drive a multi-gigabyte allocation. Wire-message
+/// payloads are fuzzed pre-CRC, so decoders cannot rely on framing alone.
+bool PlausibleCount(const Cursor& cur, uint32_t count, size_t min_bytes) {
+  return count <= cur.remaining() / min_bytes;
+}
+
+bool ReadSlice(Cursor* cur, const rdf::Dictionary& dict,
+               core::DiscoveredSlice* slice, std::string* scratch) {
+  if (!cur->ReadStr(&slice->source_url)) return false;
+  uint32_t count = 0;
+  if (!cur->ReadU32(&count) || !PlausibleCount(*cur, count, 8)) return false;
+  slice->properties.resize(count);
+  for (auto& prop : slice->properties) {
+    if (!ReadTerm(cur, dict, &prop.predicate, scratch) ||
+        !ReadTerm(cur, dict, &prop.value, scratch)) {
+      return false;
+    }
+  }
+  if (!cur->ReadU32(&count) || !PlausibleCount(*cur, count, 4)) return false;
+  slice->entities.resize(count);
+  for (auto& entity : slice->entities) {
+    if (!ReadTerm(cur, dict, &entity, scratch)) return false;
+  }
+  if (!cur->ReadU32(&count) || !PlausibleCount(*cur, count, 12)) return false;
+  slice->facts.resize(count);
+  for (auto& fact : slice->facts) {
+    if (!ReadTerm(cur, dict, &fact.subject, scratch) ||
+        !ReadTerm(cur, dict, &fact.predicate, scratch) ||
+        !ReadTerm(cur, dict, &fact.object, scratch)) {
+      return false;
+    }
+  }
+  uint64_t num_facts = 0;
+  uint64_t num_new_facts = 0;
+  uint64_t profit_bits = 0;
+  if (!cur->ReadU64(&num_facts) || !cur->ReadU64(&num_new_facts) ||
+      !cur->ReadU64(&profit_bits)) {
+    return false;
+  }
+  slice->num_facts = static_cast<size_t>(num_facts);
+  slice->num_new_facts = static_cast<size_t>(num_new_facts);
+  slice->profit = std::bit_cast<double>(profit_bits);
   return true;
 }
 
@@ -114,28 +187,38 @@ std::string EncodeCheckpointEntry(const CheckpointEntry& entry,
   AppendStr(&payload, entry.error);
   AppendU32(&payload, static_cast<uint32_t>(entry.slices.size()));
   for (const core::DiscoveredSlice& slice : entry.slices) {
-    AppendStr(&payload, slice.source_url);
-    AppendU32(&payload, static_cast<uint32_t>(slice.properties.size()));
-    for (const core::PropertyPair& prop : slice.properties) {
-      AppendTerm(&payload, prop.predicate, dict);
-      AppendTerm(&payload, prop.value, dict);
-    }
-    AppendU32(&payload, static_cast<uint32_t>(slice.entities.size()));
-    for (const rdf::TermId entity : slice.entities) {
-      AppendTerm(&payload, entity, dict);
-    }
-    AppendU32(&payload, static_cast<uint32_t>(slice.facts.size()));
-    for (const rdf::Triple& fact : slice.facts) {
-      AppendTerm(&payload, fact.subject, dict);
-      AppendTerm(&payload, fact.predicate, dict);
-      AppendTerm(&payload, fact.object, dict);
-    }
-    AppendU64(&payload, slice.num_facts);
-    AppendU64(&payload, slice.num_new_facts);
-    // Exact bit pattern: the resumed profit compares == to the original.
-    AppendU64(&payload, std::bit_cast<uint64_t>(slice.profit));
+    AppendSlice(&payload, slice, dict);
   }
   return payload;
+}
+
+std::string EncodeSliceList(const std::vector<core::DiscoveredSlice>& slices,
+                            const rdf::Dictionary& dict) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(slices.size()));
+  for (const core::DiscoveredSlice& slice : slices) {
+    AppendSlice(&payload, slice, dict);
+  }
+  return payload;
+}
+
+Status DecodeSliceList(std::string_view payload, const rdf::Dictionary& dict,
+                       std::vector<core::DiscoveredSlice>* out) {
+  const Status corrupt = Status::Corruption("malformed slice list");
+  Cursor cur(payload);
+  uint32_t num_slices = 0;
+  if (!cur.ReadU32(&num_slices) || !PlausibleCount(cur, num_slices, 4)) {
+    return corrupt;
+  }
+  out->clear();
+  std::string scratch;
+  for (uint32_t i = 0; i < num_slices; ++i) {
+    core::DiscoveredSlice slice;
+    if (!ReadSlice(&cur, dict, &slice, &scratch)) return corrupt;
+    out->push_back(std::move(slice));
+  }
+  if (!cur.AtEnd()) return corrupt;
+  return Status::OK();
 }
 
 Status DecodeCheckpointEntry(std::string_view payload,
@@ -156,45 +239,14 @@ Status DecodeCheckpointEntry(std::string_view payload,
   }
   out->status = static_cast<core::SourceStatus>(status);
   uint32_t num_slices = 0;
-  if (!cur.ReadU32(&num_slices)) return corrupt;
+  if (!cur.ReadU32(&num_slices) || !PlausibleCount(cur, num_slices, 4)) {
+    return corrupt;
+  }
   std::string scratch;
   out->slices.reserve(num_slices);
   for (uint32_t i = 0; i < num_slices; ++i) {
     core::DiscoveredSlice slice;
-    if (!cur.ReadStr(&slice.source_url)) return corrupt;
-    uint32_t count = 0;
-    if (!cur.ReadU32(&count)) return corrupt;
-    slice.properties.resize(count);
-    for (auto& prop : slice.properties) {
-      if (!ReadTerm(&cur, dict, &prop.predicate, &scratch) ||
-          !ReadTerm(&cur, dict, &prop.value, &scratch)) {
-        return corrupt;
-      }
-    }
-    if (!cur.ReadU32(&count)) return corrupt;
-    slice.entities.resize(count);
-    for (auto& entity : slice.entities) {
-      if (!ReadTerm(&cur, dict, &entity, &scratch)) return corrupt;
-    }
-    if (!cur.ReadU32(&count)) return corrupt;
-    slice.facts.resize(count);
-    for (auto& fact : slice.facts) {
-      if (!ReadTerm(&cur, dict, &fact.subject, &scratch) ||
-          !ReadTerm(&cur, dict, &fact.predicate, &scratch) ||
-          !ReadTerm(&cur, dict, &fact.object, &scratch)) {
-        return corrupt;
-      }
-    }
-    uint64_t num_facts = 0;
-    uint64_t num_new_facts = 0;
-    uint64_t profit_bits = 0;
-    if (!cur.ReadU64(&num_facts) || !cur.ReadU64(&num_new_facts) ||
-        !cur.ReadU64(&profit_bits)) {
-      return corrupt;
-    }
-    slice.num_facts = static_cast<size_t>(num_facts);
-    slice.num_new_facts = static_cast<size_t>(num_new_facts);
-    slice.profit = std::bit_cast<double>(profit_bits);
+    if (!ReadSlice(&cur, dict, &slice, &scratch)) return corrupt;
     out->slices.push_back(std::move(slice));
   }
   if (!cur.AtEnd()) return corrupt;

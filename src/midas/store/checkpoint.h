@@ -60,6 +60,19 @@ std::string EncodeCheckpointHeader(uint64_t fingerprint);
 std::string EncodeCheckpointEntry(const CheckpointEntry& entry,
                                   const rdf::Dictionary& dict);
 
+/// Serializes a bare slice list (num_slices:u32 slice*) with the same slice
+/// codec the entry format uses — terms as dictionary strings, profit as the
+/// exact IEEE bit pattern. The dist wire protocol nests these blobs inside
+/// WorkAssign/WorkResult messages so slices cross process boundaries with
+/// the bit-exactness the checkpoint already guarantees.
+std::string EncodeSliceList(const std::vector<core::DiscoveredSlice>& slices,
+                            const rdf::Dictionary& dict);
+
+/// Inverse of EncodeSliceList. Returns Corruption on malformed bytes or on
+/// a term `dict` does not know (the sender loaded a different corpus).
+Status DecodeSliceList(std::string_view payload, const rdf::Dictionary& dict,
+                       std::vector<core::DiscoveredSlice>* out);
+
 /// Parses an entry payload, re-interning term strings through `dict`
 /// lookups. Returns Corruption on malformed bytes or on a term the
 /// dictionary does not know (a corpus-mismatch symptom the fingerprint

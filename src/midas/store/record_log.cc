@@ -122,6 +122,65 @@ StatusOr<RecordReadResult> ReadRecordLog(const std::string& path) {
   return result;
 }
 
+std::string EncodeRecordFrame(std::string_view payload) {
+  std::string frame(kRecordHeaderLen + payload.size(), '\0');
+  EncodeU32Le(static_cast<uint32_t>(payload.size()), frame.data());
+  EncodeU32Le(Crc32(payload), frame.data() + 4);
+  std::memcpy(frame.data() + kRecordHeaderLen, payload.data(), payload.size());
+  return frame;
+}
+
+void RecordStreamDecoder::Feed(std::string_view bytes) {
+  if (corrupt_) return;
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // doesn't grow its buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+RecordStreamDecoder::Next RecordStreamDecoder::Pop(std::string* payload,
+                                                   std::string* error) {
+  if (corrupt_) {
+    *error = corrupt_error_;
+    return Next::kCorrupt;
+  }
+  const auto fail = [&](std::string why) {
+    corrupt_ = true;
+    corrupt_error_ = std::move(why);
+    *error = corrupt_error_;
+    return Next::kCorrupt;
+  };
+  if (!magic_done_) {
+    if (buf_.size() - pos_ < kRecordLogMagicLen) return Next::kNeedMore;
+    if (std::memcmp(buf_.data() + pos_, kRecordLogMagic, kRecordLogMagicLen) !=
+        0) {
+      return fail("bad stream magic");
+    }
+    pos_ += kRecordLogMagicLen;
+    magic_done_ = true;
+  }
+  if (buf_.size() - pos_ < kRecordHeaderLen) return Next::kNeedMore;
+  const uint32_t payload_len = DecodeU32Le(buf_.data() + pos_);
+  const uint32_t crc = DecodeU32Le(buf_.data() + pos_ + 4);
+  if (payload_len > kMaxRecordPayload) {
+    return fail("implausible frame length " + std::to_string(payload_len));
+  }
+  if (buf_.size() - pos_ - kRecordHeaderLen < payload_len) {
+    return Next::kNeedMore;
+  }
+  const std::string_view body(buf_.data() + pos_ + kRecordHeaderLen,
+                              payload_len);
+  if (Crc32(body) != crc) {
+    return fail("frame crc mismatch");
+  }
+  payload->assign(body.data(), body.size());
+  pos_ += kRecordHeaderLen + payload_len;
+  return Next::kFrame;
+}
+
 RecordWriter::~RecordWriter() {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -215,10 +274,7 @@ Status RecordWriter::Append(std::string_view payload) {
         path_ + "'");
   }
 
-  std::string frame(kRecordHeaderLen + payload.size(), '\0');
-  EncodeU32Le(static_cast<uint32_t>(payload.size()), frame.data());
-  EncodeU32Le(Crc32(payload), frame.data() + 4);
-  std::memcpy(frame.data() + kRecordHeaderLen, payload.data(), payload.size());
+  const std::string frame = EncodeRecordFrame(payload);
 
   size_t write_len = frame.size();
 #ifdef MIDAS_FAULT_INJECTION

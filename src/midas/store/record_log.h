@@ -58,6 +58,48 @@ struct RecordReadResult {
 /// `records` with tail_truncated set.
 StatusOr<RecordReadResult> ReadRecordLog(const std::string& path);
 
+/// Serializes one framed record (payload_len + crc + payload) exactly as
+/// RecordWriter::Append lays it down on disk. The dist wire protocol
+/// streams the same frames over a socket, so the durable format and the
+/// wire format stay one codec.
+std::string EncodeRecordFrame(std::string_view payload);
+
+/// Incremental, torn-read-safe decoder for a record-log byte stream
+/// (magic, then frames) arriving in arbitrary chunks — the socket-side
+/// counterpart of ReadRecordLog's prefix recovery. Feed bytes as they
+/// arrive; Pop yields complete payloads in order. A bad magic, implausible
+/// length, or CRC mismatch makes the stream permanently corrupt: unlike a
+/// file tail, a live stream cannot be truncated-and-resumed, so the caller
+/// drops the connection.
+class RecordStreamDecoder {
+ public:
+  enum class Next {
+    kFrame,     // *payload holds the next complete record
+    kNeedMore,  // no complete frame buffered yet
+    kCorrupt,   // stream broken; *error says why (sticky)
+  };
+
+  /// Buffers `bytes`; cheap to call with any chunking, byte-at-a-time
+  /// included.
+  void Feed(std::string_view bytes);
+
+  /// Pops the next complete frame, if any.
+  Next Pop(std::string* payload, std::string* error);
+
+  /// True once the full 8-byte magic has been read and matched.
+  bool magic_ok() const { return magic_done_; }
+
+  /// Bytes buffered but not yet consumed by Pop.
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+  bool magic_done_ = false;
+  bool corrupt_ = false;
+  std::string corrupt_error_;
+};
+
 /// Appends CRC-framed records to a log file, fsyncing after every append
 /// so each record is durable before the caller moves on (the checkpoint
 /// contract: a source is either fully recorded or not recorded).

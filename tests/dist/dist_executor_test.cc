@@ -1,0 +1,258 @@
+// Bit-identity acceptance for multi-process execution (ISSUE 8 tentpole):
+// a DistCoordinator with N forked workers (N in {1, 4}) must produce
+// slices, profits (exact bit patterns), and per-source reports identical
+// to the in-process framework on the same seed — in hierarchy mode, in the
+// per-source ablation, and under an injected flaky detector. Also pins the
+// InProcessShardExecutor seam against the inlined path, worker fingerprint
+// rejection, idle heartbeats, and Start()'s argument validation.
+
+#include "midas/dist/coordinator.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "dist/dist_test_util.h"
+#include "midas/core/framework.h"
+#include "midas/dist/channel.h"
+#include "midas/dist/wire.h"
+#include "midas/fault/fault.h"
+
+namespace midas {
+namespace dist {
+namespace {
+
+using tests::Digest;
+using tests::DistHarness;
+using tests::RunDigest;
+
+core::FrameworkOptions BaseOptions(bool hierarchy = true) {
+  core::FrameworkOptions fw;
+  fw.use_hierarchy_rounds = hierarchy;
+  fw.run_seed = 17;
+  return fw;
+}
+
+class DistExecutorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(DistExecutorTest, InProcessExecutorMatchesInlinedPath) {
+  const RunDigest inlined = Digest(DistHarness().RunBaseline(BaseOptions()));
+  core::InProcessShardExecutor executor;
+  core::FrameworkOptions fw = BaseOptions();
+  fw.executor = &executor;
+  EXPECT_EQ(Digest(DistHarness().RunBaseline(fw)), inlined);
+
+  const RunDigest ablation =
+      Digest(DistHarness().RunBaseline(BaseOptions(false)));
+  core::FrameworkOptions fw_flat = BaseOptions(false);
+  fw_flat.executor = &executor;
+  EXPECT_EQ(Digest(DistHarness().RunBaseline(fw_flat)), ablation);
+}
+
+TEST_F(DistExecutorTest, OneWorkerBitIdenticalToInProcess) {
+  const core::FrameworkResult baseline =
+      DistHarness().RunBaseline(BaseOptions());
+  DistHarness harness;
+  DistOptions dopts;
+  dopts.num_workers = 1;
+  const DistHarness::DistRun run = harness.RunDist(BaseOptions(), dopts);
+  ASSERT_TRUE(run.start_status.ok()) << run.start_status.ToString();
+  EXPECT_EQ(Digest(run.result), Digest(baseline));
+  EXPECT_EQ(run.result.stats.shards_processed,
+            baseline.stats.shards_processed);
+  EXPECT_EQ(run.stats.results, baseline.stats.shards_processed);
+  EXPECT_EQ(run.stats.assigns, run.stats.results);
+  EXPECT_EQ(run.stats.worker_losses, 0u);
+  EXPECT_EQ(run.stats.units_failed, 0u);
+}
+
+TEST_F(DistExecutorTest, FourWorkersBitIdenticalToInProcess) {
+  const RunDigest baseline = Digest(DistHarness().RunBaseline(BaseOptions()));
+  DistHarness harness;
+  DistOptions dopts;
+  dopts.num_workers = 4;
+  const DistHarness::DistRun run = harness.RunDist(BaseOptions(), dopts);
+  ASSERT_TRUE(run.start_status.ok()) << run.start_status.ToString();
+  EXPECT_EQ(Digest(run.result), baseline);
+  EXPECT_EQ(run.stats.worker_losses, 0u);
+}
+
+TEST_F(DistExecutorTest, AblationModeBitIdenticalToInProcess) {
+  const RunDigest baseline =
+      Digest(DistHarness().RunBaseline(BaseOptions(false)));
+  DistHarness harness;
+  DistOptions dopts;
+  dopts.num_workers = 4;
+  const DistHarness::DistRun run = harness.RunDist(BaseOptions(false), dopts);
+  ASSERT_TRUE(run.start_status.ok()) << run.start_status.ToString();
+  EXPECT_EQ(Digest(run.result), baseline);
+}
+
+#ifdef MIDAS_FAULT_INJECTION
+// The retry/failure path must distribute bit-identically too: detector
+// throws are keyed `url#attempt` and jitter derives from run_seed, so a
+// worker process makes exactly the decisions the in-process pool would.
+// Reports (status, attempts, error text) are part of the digest.
+TEST_F(DistExecutorTest, FlakyDetectorParity) {
+  const char kSpec[] = "site=detector,rate=0.3,seed=42";
+  RunDigest baseline;
+  {
+    fault::ScopedFaultSpec armed(kSpec);
+    core::FrameworkOptions fw = BaseOptions();
+    fw.retry_backoff_ms = 0;
+    baseline = Digest(DistHarness().RunBaseline(fw));
+  }
+  {
+    // Armed BEFORE Start(): forked workers inherit the armed spec.
+    fault::ScopedFaultSpec armed(kSpec);
+    DistHarness harness;
+    DistOptions dopts;
+    dopts.num_workers = 4;
+    core::FrameworkOptions fw = BaseOptions();
+    fw.retry_backoff_ms = 0;
+    const DistHarness::DistRun run = harness.RunDist(fw, dopts);
+    ASSERT_TRUE(run.start_status.ok()) << run.start_status.ToString();
+    EXPECT_EQ(Digest(run.result), baseline);
+  }
+}
+#endif  // MIDAS_FAULT_INJECTION
+
+// An idle worker announces liveness between assignments; the coordinator
+// counts the beats. One unit and two workers guarantees an idle worker
+// while the other detects (slowed so beats have time to land).
+#ifdef MIDAS_FAULT_INJECTION
+TEST_F(DistExecutorTest, IdleWorkersHeartbeat) {
+  fault::ScopedFaultSpec slow("site=slow_shard,rate=1,delay_ms=150");
+  DistHarness harness([](web::Corpus* corpus) {
+    for (int i = 0; i < 4; ++i) {
+      corpus->AddFactRaw("http://one.com/p.htm", "e" + std::to_string(i),
+                         "cat", "rocket");
+    }
+  });
+  core::FrameworkOptions fw = BaseOptions(false);
+  DistOptions dopts;
+  dopts.num_workers = 2;
+  dopts.poll_interval_ms = 5;
+  const DistHarness::DistRun run =
+      harness.RunDist(fw, dopts, nullptr, /*heartbeat_ms=*/5);
+  ASSERT_TRUE(run.start_status.ok()) << run.start_status.ToString();
+  EXPECT_GE(run.stats.heartbeats, 1u);
+  EXPECT_EQ(run.stats.units_failed, 0u);
+}
+#endif  // MIDAS_FAULT_INJECTION
+
+TEST_F(DistExecutorTest, StartValidatesOptions) {
+  rdf::Dictionary dict;
+  {
+    DistCoordinator coordinator(&dict, DistOptions{});
+    const Status status = coordinator.Start();
+    EXPECT_FALSE(status.ok());  // neither self-fork nor external configured
+  }
+  {
+    DistOptions dopts;
+    dopts.num_workers = 2;  // but no worker_main
+    DistCoordinator coordinator(&dict, dopts);
+    EXPECT_FALSE(coordinator.Start().ok());
+  }
+  {
+    DistOptions dopts;
+    dopts.listen_path = "/tmp/nonexistent-dir-midas-test/x.sock";
+    dopts.accept_timeout_ms = 50;
+    DistCoordinator coordinator(&dict, dopts);
+    EXPECT_FALSE(coordinator.Start().ok());  // bind fails
+  }
+}
+
+TEST_F(DistExecutorTest, ExternalStartTimesOutWithoutWorkers) {
+  rdf::Dictionary dict;
+  DistOptions dopts;
+  dopts.listen_path = ::testing::TempDir() + "/midas_dist_timeout.sock";
+  dopts.min_workers = 1;
+  dopts.accept_timeout_ms = 100;
+  DistCoordinator coordinator(&dict, dopts);
+  const Status status = coordinator.Start();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("timed out"), std::string::npos);
+}
+
+// External mode: a worker whose Hello announces the wrong fingerprint (it
+// loaded a different corpus/seed) is sent Shutdown and never joins; a
+// correct worker connecting afterwards satisfies min_workers.
+TEST_F(DistExecutorTest, FingerprintMismatchRejectsWorker) {
+  const std::string sock_path =
+      ::testing::TempDir() + "/midas_dist_reject.sock";
+  rdf::Dictionary dict;
+  DistOptions dopts;
+  dopts.listen_path = sock_path;
+  dopts.min_workers = 1;
+  dopts.accept_timeout_ms = 10'000;
+  dopts.fingerprint = 0xfeedface;
+  DistCoordinator coordinator(&dict, dopts);
+
+  const auto connect_client = [&sock_path]() {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, sock_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // The coordinator may not have bound yet; retry briefly.
+    for (int i = 0; i < 100; ++i) {
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return fd;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "could not connect to " << sock_path;
+    return fd;
+  };
+
+  std::thread clients([&] {
+    // Impostor first.
+    {
+      FrameChannel channel(connect_client(), "impostor");
+      ASSERT_TRUE(channel.SendMagic().ok());
+      HelloMsg hello;
+      hello.fingerprint = 0xbad;
+      ASSERT_TRUE(channel.WriteFrame(EncodeHello(hello)).ok());
+      std::string payload, error;
+      const FrameChannel::Read read =
+          channel.WaitForFrame(5000, &payload, &error);
+      // Shutdown frame, or EOF if the close raced the frame.
+      if (read == FrameChannel::Read::kFrame) {
+        EXPECT_EQ(*PeekKind(payload), MessageKind::kShutdown);
+      } else {
+        EXPECT_EQ(read, FrameChannel::Read::kEof);
+      }
+    }
+    // Then the genuine worker; hold the connection until released.
+    FrameChannel channel(connect_client(), "genuine");
+    ASSERT_TRUE(channel.SendMagic().ok());
+    HelloMsg hello;
+    hello.fingerprint = 0xfeedface;
+    ASSERT_TRUE(channel.WriteFrame(EncodeHello(hello)).ok());
+    std::string payload, error;
+    (void)channel.WaitForFrame(10'000, &payload, &error);  // Shutdown/EOF
+  });
+
+  const Status status = coordinator.Start();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(coordinator.stats().rejected_workers, 1u);
+  EXPECT_EQ(coordinator.live_workers(), 1u);
+  coordinator.Shutdown();
+  clients.join();
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace midas

@@ -1,0 +1,252 @@
+// Socket-level tests of dist::FrameChannel (ISSUE 8 satellite): framed
+// messages over a real socketpair, torn reads at EVERY byte split point
+// decoding identically, clean-EOF vs torn-frame-at-EOF classification, bad
+// stream magic, blocking-read timeouts, and the socket_torn fault site.
+
+#include "midas/dist/channel.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "midas/fault/fault.h"
+#include "midas/store/record_log.h"
+
+namespace midas {
+namespace dist {
+namespace {
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  // Channels take fd ownership; the dtor must not double-close.
+  int Take(int i) {
+    const int fd = fds[i];
+    fds[i] = -1;
+    return fd;
+  }
+};
+
+void WriteRaw(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    ASSERT_GT(n, 0);
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Drains everything currently available plus the stream's end state.
+/// Returns the popped payloads; sets *end to the terminal Read outcome
+/// (kEof or kCorrupt) once the peer has closed.
+std::vector<std::string> DrainToEnd(FrameChannel* rx,
+                                    FrameChannel::Read* end) {
+  std::vector<std::string> payloads;
+  std::string error;
+  for (;;) {
+    const FrameChannel::Read read = rx->ReadAvailable(&error);
+    if (read == FrameChannel::Read::kError) {
+      *end = read;
+      return payloads;
+    }
+    for (;;) {
+      std::string payload;
+      const FrameChannel::Read popped = rx->PopFrame(&payload, &error);
+      if (popped == FrameChannel::Read::kFrame) {
+        payloads.push_back(std::move(payload));
+        continue;
+      }
+      if (popped == FrameChannel::Read::kNeedMore) break;
+      *end = popped;  // kEof or kCorrupt
+      return payloads;
+    }
+  }
+}
+
+TEST(FrameChannelTest, RoundtripsFramesBothDirections) {
+  SocketPair sp;
+  FrameChannel a(sp.Take(0), "a");
+  FrameChannel b(sp.Take(1), "b");
+  ASSERT_TRUE(a.SendMagic().ok());
+  ASSERT_TRUE(b.SendMagic().ok());
+  ASSERT_TRUE(a.WriteFrame("ping").ok());
+  ASSERT_TRUE(b.WriteFrame("pong").ok());
+  ASSERT_TRUE(a.WriteFrame(std::string(100000, 'x')).ok());
+
+  std::string payload, error;
+  ASSERT_EQ(b.WaitForFrame(1000, &payload, &error), FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, "ping");
+  ASSERT_EQ(b.WaitForFrame(1000, &payload, &error), FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, std::string(100000, 'x'));
+  ASSERT_EQ(a.WaitForFrame(1000, &payload, &error), FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, "pong");
+}
+
+TEST(FrameChannelTest, WaitForFrameTimesOutWithoutData) {
+  SocketPair sp;
+  FrameChannel a(sp.Take(0), "a");
+  FrameChannel b(sp.Take(1), "b");
+  ASSERT_TRUE(a.SendMagic().ok());
+  std::string payload, error;
+  EXPECT_EQ(b.WaitForFrame(20, &payload, &error),
+            FrameChannel::Read::kTimeout);
+}
+
+// The coordinator reads whatever byte prefix the kernel delivers: every
+// possible split of the stream into two raw writes must decode to exactly
+// the same frames.
+TEST(FrameChannelTest, EveryByteSplitPointDecodesIdentically) {
+  const std::string p1 = "first frame payload";
+  const std::string p2 = std::string(300, 'z') + "tail";
+  std::string bytes(store::kRecordLogMagic, store::kRecordLogMagicLen);
+  bytes += store::EncodeRecordFrame(p1);
+  bytes += store::EncodeRecordFrame(p2);
+
+  for (size_t split = 0; split <= bytes.size(); ++split) {
+    SocketPair sp;
+    const int tx = sp.Take(1);
+    FrameChannel rx(sp.Take(0), "rx");
+    ASSERT_TRUE(rx.SetNonBlocking().ok());
+    WriteRaw(tx, bytes.substr(0, split));
+
+    // First half: whatever is complete so far, never an error.
+    std::string error;
+    std::vector<std::string> got;
+    const FrameChannel::Read first = rx.ReadAvailable(&error);
+    ASSERT_NE(first, FrameChannel::Read::kError) << "split " << split;
+    for (;;) {
+      std::string payload;
+      const FrameChannel::Read popped = rx.PopFrame(&payload, &error);
+      if (popped != FrameChannel::Read::kFrame) {
+        ASSERT_EQ(popped, FrameChannel::Read::kNeedMore)
+            << "split " << split << ": " << error;
+        break;
+      }
+      got.push_back(std::move(payload));
+    }
+
+    WriteRaw(tx, bytes.substr(split));
+    ::close(tx);
+    FrameChannel::Read end = FrameChannel::Read::kNeedMore;
+    for (std::string& payload : DrainToEnd(&rx, &end)) {
+      got.push_back(std::move(payload));
+    }
+    EXPECT_EQ(end, FrameChannel::Read::kEof) << "split " << split;
+    ASSERT_EQ(got.size(), 2u) << "split " << split;
+    EXPECT_EQ(got[0], p1);
+    EXPECT_EQ(got[1], p2);
+  }
+}
+
+TEST(FrameChannelTest, CleanCloseAtFrameBoundaryIsEof) {
+  SocketPair sp;
+  const int tx = sp.Take(1);
+  FrameChannel rx(sp.Take(0), "rx");
+  ASSERT_TRUE(rx.SetNonBlocking().ok());
+  std::string bytes(store::kRecordLogMagic, store::kRecordLogMagicLen);
+  bytes += store::EncodeRecordFrame("only");
+  WriteRaw(tx, bytes);
+  ::close(tx);
+
+  FrameChannel::Read end = FrameChannel::Read::kNeedMore;
+  const std::vector<std::string> got = DrainToEnd(&rx, &end);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "only");
+  EXPECT_EQ(end, FrameChannel::Read::kEof);
+}
+
+// A peer that dies mid-frame leaves a torn tail: that is corruption, not a
+// clean EOF — the coordinator must treat the worker as lost, not released.
+TEST(FrameChannelTest, TornFrameAtEofIsCorrupt) {
+  std::string bytes(store::kRecordLogMagic, store::kRecordLogMagicLen);
+  bytes += store::EncodeRecordFrame("complete");
+  bytes += store::EncodeRecordFrame("torn away");
+  // Re-check at every torn tail length of the second frame.
+  const size_t boundary = store::kRecordLogMagicLen +
+                          store::kRecordHeaderLen + std::string("complete").size();
+  for (size_t cut = boundary + 1; cut < bytes.size(); ++cut) {
+    SocketPair sp;
+    const int tx = sp.Take(1);
+    FrameChannel rx(sp.Take(0), "rx");
+    ASSERT_TRUE(rx.SetNonBlocking().ok());
+    WriteRaw(tx, bytes.substr(0, cut));
+    ::close(tx);
+    FrameChannel::Read end = FrameChannel::Read::kNeedMore;
+    const std::vector<std::string> got = DrainToEnd(&rx, &end);
+    ASSERT_EQ(got.size(), 1u) << "cut " << cut;
+    EXPECT_EQ(got[0], "complete");
+    EXPECT_EQ(end, FrameChannel::Read::kCorrupt) << "cut " << cut;
+  }
+}
+
+TEST(FrameChannelTest, BadMagicIsCorrupt) {
+  SocketPair sp;
+  const int tx = sp.Take(1);
+  FrameChannel rx(sp.Take(0), "rx");
+  ASSERT_TRUE(rx.SetNonBlocking().ok());
+  std::string bytes(store::kRecordLogMagic, store::kRecordLogMagicLen);
+  bytes[0] = 'X';
+  bytes += store::EncodeRecordFrame("whatever");
+  WriteRaw(tx, bytes);
+  ::close(tx);
+  FrameChannel::Read end = FrameChannel::Read::kNeedMore;
+  const std::vector<std::string> got = DrainToEnd(&rx, &end);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(end, FrameChannel::Read::kCorrupt);
+}
+
+TEST(FrameChannelTest, CorruptedCrcSurfacesAsCorrupt) {
+  std::string bytes(store::kRecordLogMagic, store::kRecordLogMagicLen);
+  std::string frame = store::EncodeRecordFrame("payload bytes here");
+  frame[frame.size() - 1] = static_cast<char>(frame[frame.size() - 1] ^ 0x01);
+  bytes += frame;
+  SocketPair sp;
+  const int tx = sp.Take(1);
+  FrameChannel rx(sp.Take(0), "rx");
+  ASSERT_TRUE(rx.SetNonBlocking().ok());
+  WriteRaw(tx, bytes);
+  ::close(tx);
+  FrameChannel::Read end = FrameChannel::Read::kNeedMore;
+  const std::vector<std::string> got = DrainToEnd(&rx, &end);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(end, FrameChannel::Read::kCorrupt);
+}
+
+#ifdef MIDAS_FAULT_INJECTION
+// The socket_torn site models this process dying mid-send: the writer gets
+// an IoError and the connection is severed, so the peer observes either a
+// torn frame (kCorrupt) or a clean EOF when the tear landed on a boundary.
+TEST(FrameChannelTest, SocketTornFaultSeversTheConnection) {
+  SocketPair sp;
+  FrameChannel tx(sp.Take(1), "victim");
+  FrameChannel rx(sp.Take(0), "rx");
+  ASSERT_TRUE(rx.SetNonBlocking().ok());
+  ASSERT_TRUE(tx.SendMagic().ok());
+  ASSERT_TRUE(tx.WriteFrame("delivered intact").ok());
+
+  fault::ScopedFaultSpec armed("site=socket_torn,rate=1,seed=3");
+  const Status torn = tx.WriteFrame("torn mid-write");
+  ASSERT_FALSE(torn.ok());
+  EXPECT_NE(torn.message().find("socket_torn"), std::string::npos)
+      << torn.ToString();
+
+  FrameChannel::Read end = FrameChannel::Read::kNeedMore;
+  const std::vector<std::string> got = DrainToEnd(&rx, &end);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "delivered intact");
+  EXPECT_TRUE(end == FrameChannel::Read::kCorrupt ||
+              end == FrameChannel::Read::kEof);
+}
+#endif  // MIDAS_FAULT_INJECTION
+
+}  // namespace
+}  // namespace dist
+}  // namespace midas

@@ -316,8 +316,21 @@ TEST(HttpServerTest, GracefulShutdownCompletesInflightRequest) {
 
   // Trigger the drain while the request is in flight, then release the
   // handler. The response must still arrive, then the connection closes.
+  // Readiness, not a timed sleep: drain start closes the listener, so poll
+  // until a fresh connect is refused before releasing the handler.
   server.ShutdownAsync();
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 5000; ++i) {
+    int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in probe_addr{};
+    probe_addr.sin_family = AF_INET;
+    probe_addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &probe_addr.sin_addr);
+    const int rc = ::connect(
+        probe, reinterpret_cast<sockaddr*>(&probe_addr), sizeof(probe_addr));
+    ::close(probe);
+    if (rc != 0) break;  // listener gone: the drain has begun
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   {
     std::lock_guard<std::mutex> lock(mu);
     release = true;

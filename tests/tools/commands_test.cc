@@ -10,8 +10,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/cli_helpers.h"
+#include "midas/obs/obs.h"
 
 namespace midas {
 namespace tools {
@@ -47,6 +50,37 @@ class CommandsTest : public ::testing::Test {
     Status status = RunGenerate(flags, out);
     ASSERT_TRUE(status.ok()) << status.ToString();
     EXPECT_NE(out.str().find("extraction records"), std::string::npos);
+  }
+
+  // Runs `discover --json` on the generated dump with extra flags and
+  // returns the report text.
+  std::string DiscoverJson(const std::vector<std::string>& extra) {
+    FlagParser flags;
+    RegisterDiscoverFlags(&flags);
+    std::vector<std::string> args = {"--dump=" + dump_, "--kb=" + kb_,
+                                     "--json"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    if (!ParseInto(&flags, args).ok()) {
+      ADD_FAILURE() << "flag parse failed";
+      return "";
+    }
+    std::ostringstream out;
+    const Status status = RunDiscover(flags, out);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return out.str();
+  }
+
+  // Drops the wall-clock line so reports from separate runs compare equal.
+  static std::string StripSeconds(const std::string& json) {
+    std::string out;
+    std::istringstream in(json);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"seconds\"") != std::string::npos) continue;
+      out += line;
+      out += '\n';
+    }
+    return out;
   }
 
   std::string dir_, dump_, kb_, silver_, slices_;
@@ -132,6 +166,36 @@ TEST_F(CommandsTest, DiscoverRejectsUnknownMethod) {
   std::ostringstream out;
   EXPECT_EQ(RunDiscover(flags, out).code(), StatusCode::kInvalidArgument);
 }
+
+// The --workers path must be byte-for-byte the in-process run (modulo the
+// wall-clock "seconds" line of the JSON report).
+TEST_F(CommandsTest, DiscoverWithWorkersMatchesInProcessJson) {
+  Generate();
+  const std::string in_process = DiscoverJson({});
+  const std::string dist = DiscoverJson({"--workers=2"});
+  EXPECT_EQ(StripSeconds(in_process), StripSeconds(dist));
+}
+
+#ifdef MIDAS_FAULT_INJECTION
+// Regression: respawned workers fork from inside framework.Run, long after
+// the coordinator-setup scope has returned — the worker_main closure must
+// not reference anything on that dead stack frame. A seeded worker_crash
+// forces losses + respawns; the healed run must still match in-process.
+TEST_F(CommandsTest, DiscoverWorkersHealCrashesBitIdentical) {
+  Generate();
+  const std::string in_process = DiscoverJson({});
+  obs::Counter* losses = MIDAS_OBS_COUNTER("dist.worker_losses");
+  const uint64_t losses_before = losses->Value();
+  const std::string healed = DiscoverJson(
+      {"--workers=2", "--worker_respawn_limit=64",
+       "--fault_spec=site=worker_crash,rate=0.02,seed=5"});
+  // The seeded crash site must actually have killed workers — otherwise
+  // this asserts nothing about the respawn path.
+  EXPECT_GT(losses->Value(), losses_before);
+  EXPECT_EQ(StripSeconds(in_process), StripSeconds(healed));
+  EXPECT_NE(healed.find("\"shards_failed\": 0"), std::string::npos);
+}
+#endif  // MIDAS_FAULT_INJECTION
 
 TEST_F(CommandsTest, DiscoverWithRangesFlag) {
   Generate();

@@ -1,6 +1,12 @@
 #include "tools/commands.h"
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
+#include <cstring>
 #include <memory>
 #include <ostream>
 
@@ -8,6 +14,8 @@
 #include "midas/baselines/greedy.h"
 #include "midas/baselines/naive.h"
 #include "midas/core/midas.h"
+#include "midas/dist/coordinator.h"
+#include "midas/dist/worker.h"
 #include "midas/eval/experiment.h"
 #include "midas/eval/metrics.h"
 #include "midas/eval/summary.h"
@@ -240,19 +248,41 @@ void RegisterDiscoverFlags(FlagParser* flags) {
                  "abort on the first malformed dump row; with "
                  "--strict_load=false malformed rows are quarantined "
                  "(counted and skipped) instead");
+  flags->AddInt64("workers", 0,
+                  "run detection in N self-forked worker processes instead "
+                  "of in-process threads (0 = in-process; results are "
+                  "bit-identical either way; docs/DISTRIBUTED.md)");
+  flags->AddInt64("worker_respawn_limit", 8,
+                  "total replacement workers the coordinator may fork after "
+                  "crashes before lost units are abandoned");
   RegisterRobustnessFlags(flags);
   RegisterMetricsFlags(flags);
 }
 
-Status RunDiscover(const FlagParser& flags, std::ostream& out) {
-  if (flags.GetString("dump").empty()) {
-    return Status::InvalidArgument("--dump is required");
-  }
-
-  extract::ExtractionDump dump;
+/// Corpus + KB + detector built from the shared discover-style flags.
+/// `midas discover`, `midas coordinator`, and `midas worker` all construct
+/// their run through this one function: a worker whose setup differed from
+/// its coordinator's could not produce bit-identical shard results (the
+/// Hello fingerprint would catch the corpus-shape part of such a drift).
+struct DiscoverSetup {
+  extract::ExtractionDump dump;  // holds the shared dictionary
   extract::LoadStats load_stats;
   web::Corpus corpus;
   uint64_t corpus_fingerprint = 0;
+  std::unique_ptr<rdf::KnowledgeBase> kb;
+  core::CostModel cost;
+  std::unique_ptr<core::NumericRangeIndex> ranges;
+  std::unique_ptr<core::SliceDetector> detector;
+  bool hierarchy_rounds = true;
+};
+
+Status BuildDiscoverSetup(const FlagParser& flags, std::ostream& out,
+                          DiscoverSetup* setup) {
+  if (flags.GetString("dump").empty()) {
+    return Status::InvalidArgument("--dump is required");
+  }
+  const bool json = flags.GetBool("json");
+
   const std::string dump_path = flags.GetString("dump");
   if (extract::IsColumnarDump(dump_path) && !flags.GetBool("clean")) {
     // Columnar fast path: build the confidence-filtered corpus straight
@@ -261,16 +291,17 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
     // row-level facts, so it takes the generic path below (LoadDump
     // auto-detects the format there too).
     MIDAS_RETURN_IF_ERROR(extract::LoadColumnarCorpus(
-        dump_path, flags.GetDouble("threshold"), /*dict=*/nullptr, &corpus,
-        &corpus_fingerprint));
-    dump.dict = corpus.shared_dict();
+        dump_path, flags.GetDouble("threshold"), /*dict=*/nullptr,
+        &setup->corpus, &setup->corpus_fingerprint));
+    setup->dump.dict = setup->corpus.shared_dict();
   } else {
     extract::LoadOptions load_options;
     load_options.strict = flags.GetBool("strict_load");
-    MIDAS_RETURN_IF_ERROR(
-        extract::LoadDump(dump_path, load_options, &dump, &load_stats));
-    if (load_stats.rows_quarantined > 0 && !flags.GetBool("json")) {
-      out << "quarantined " << load_stats.rows_quarantined
+    MIDAS_RETURN_IF_ERROR(extract::LoadDump(dump_path, load_options,
+                                            &setup->dump,
+                                            &setup->load_stats));
+    if (setup->load_stats.rows_quarantined > 0 && !json) {
+      out << "quarantined " << setup->load_stats.rows_quarantined
           << " malformed dump row(s)\n";
     }
     if (flags.GetBool("clean")) {
@@ -279,9 +310,9 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
            SplitSkipEmpty(flags.GetString("functional"), ',')) {
         cleaning.functional_predicates.emplace_back(name);
       }
-      auto clean_stats =
-          extract::CleanExtractions(cleaning, dump.dict.get(), &dump.facts);
-      if (!flags.GetBool("json")) {
+      auto clean_stats = extract::CleanExtractions(
+          cleaning, setup->dump.dict.get(), &setup->dump.facts);
+      if (!json) {
         out << "cleaning: " << clean_stats.input_records << " -> "
             << clean_stats.output_records << " records ("
             << clean_stats.duplicates_merged << " duplicates, "
@@ -289,66 +320,144 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
             << clean_stats.terms_normalized << " terms normalized)\n";
       }
     }
-    corpus = extract::BuildCorpus(dump, flags.GetDouble("threshold"));
+    setup->corpus =
+        extract::BuildCorpus(setup->dump, flags.GetDouble("threshold"));
   }
 
-  rdf::KnowledgeBase kb(dump.dict);
+  setup->kb = std::make_unique<rdf::KnowledgeBase>(setup->dump.dict);
   if (!flags.GetString("kb").empty()) {
-    MIDAS_RETURN_IF_ERROR(
-        LoadKbFacts(flags.GetString("kb"), &kb, dump.dict.get()));
+    MIDAS_RETURN_IF_ERROR(LoadKbFacts(flags.GetString("kb"), setup->kb.get(),
+                                      setup->dump.dict.get()));
   }
-  const bool json = flags.GetBool("json");
   if (!json) {
-    out << "corpus: " << corpus.NumFacts() << " facts over "
-        << corpus.NumSources() << " sources; KB: " << kb.size()
+    out << "corpus: " << setup->corpus.NumFacts() << " facts over "
+        << setup->corpus.NumSources() << " sources; KB: " << setup->kb->size()
         << " facts\n";
   }
 
-  core::CostModel cost{flags.GetDouble("f_p"), flags.GetDouble("f_c"),
-                       flags.GetDouble("f_d"), flags.GetDouble("f_v")};
+  setup->cost = core::CostModel{flags.GetDouble("f_p"), flags.GetDouble("f_c"),
+                                flags.GetDouble("f_d"),
+                                flags.GetDouble("f_v")};
   core::MidasOptions options;
-  options.cost_model = cost;
+  options.cost_model = setup->cost;
 
-  std::unique_ptr<core::NumericRangeIndex> ranges;
   if (flags.GetBool("ranges")) {
-    ranges = std::make_unique<core::NumericRangeIndex>(dump.dict.get(),
-                                                       corpus);
-    options.fact_table.range_index = ranges.get();
+    setup->ranges = std::make_unique<core::NumericRangeIndex>(
+        setup->dump.dict.get(), setup->corpus);
+    options.fact_table.range_index = setup->ranges.get();
     if (!json) {
-      out << "numeric-range extension: " << ranges->size()
+      out << "numeric-range extension: " << setup->ranges->size()
           << " values bucketed\n";
     }
   }
 
   // Detector selection.
-  std::unique_ptr<core::SliceDetector> detector;
-  bool hierarchy_rounds = true;
   const std::string method = flags.GetString("method");
   if (method == "midas") {
-    detector = std::make_unique<core::MidasAlg>(options);
+    setup->detector = std::make_unique<core::MidasAlg>(options);
   } else if (method == "greedy") {
-    detector = std::make_unique<baselines::GreedyDetector>(cost);
+    setup->detector = std::make_unique<baselines::GreedyDetector>(setup->cost);
   } else if (method == "aggcluster") {
     baselines::AggClusterOptions agg;
-    agg.cost_model = cost;
-    detector = std::make_unique<baselines::AggClusterDetector>(agg);
-    hierarchy_rounds = false;
+    agg.cost_model = setup->cost;
+    setup->detector = std::make_unique<baselines::AggClusterDetector>(agg);
+    setup->hierarchy_rounds = false;
   } else if (method == "naive") {
-    detector = std::make_unique<baselines::NaiveDetector>(cost);
-    hierarchy_rounds = false;
+    setup->detector = std::make_unique<baselines::NaiveDetector>(setup->cost);
+    setup->hierarchy_rounds = false;
   } else {
     return Status::InvalidArgument("unknown --method: " + method);
   }
+  return Status::OK();
+}
+
+/// The shared body of `midas discover` (external_coordinator = false; dist
+/// mode only with --workers > 0, self-forked) and `midas coordinator`
+/// (true; workers join over --listen).
+Status RunDiscoverImpl(const FlagParser& flags, std::ostream& out,
+                       bool external_coordinator) {
+  DiscoverSetup setup;
+  MIDAS_RETURN_IF_ERROR(BuildDiscoverSetup(flags, out, &setup));
+  extract::ExtractionDump& dump = setup.dump;
+  web::Corpus& corpus = setup.corpus;
+  rdf::KnowledgeBase& kb = *setup.kb;
+  const extract::LoadStats& load_stats = setup.load_stats;
+  const std::string method = flags.GetString("method");
+  const bool json = flags.GetBool("json");
 
   core::FrameworkOptions framework_options;
   framework_options.num_threads =
       static_cast<size_t>(flags.GetInt64("threads"));
-  framework_options.use_hierarchy_rounds = hierarchy_rounds;
-  framework_options.corpus_fingerprint = corpus_fingerprint;
+  framework_options.use_hierarchy_rounds = setup.hierarchy_rounds;
+  framework_options.corpus_fingerprint = setup.corpus_fingerprint;
   MIDAS_RETURN_IF_ERROR(ApplyRobustnessFlags(flags, &framework_options));
   ScopedDisarm disarm;
-  core::MidasFramework framework(detector.get(), framework_options);
+
+  // Multi-process execution (docs/DISTRIBUTED.md): plug a DistCoordinator
+  // in as the framework's shard executor. Workers must be started before
+  // framework.Run — self-forked children then inherit the loaded corpus,
+  // KB, detector, and any armed fault spec, and fork before the run's
+  // thread pool exists.
+  std::unique_ptr<dist::DistCoordinator> coordinator;
+  const int64_t workers = flags.GetInt64("workers");
+  if (external_coordinator || workers > 0) {
+    const uint64_t fingerprint =
+        core::ComputeRunFingerprint(corpus, framework_options);
+    core::ShardDetectOptions detect;
+    detect.source_deadline_ms = framework_options.source_deadline_ms;
+    detect.max_retries = framework_options.max_retries;
+    detect.retry_backoff_ms = framework_options.retry_backoff_ms;
+    detect.run_seed = framework_options.run_seed;
+
+    dist::DistOptions dist_options;
+    dist_options.fingerprint = fingerprint;
+    dist_options.worker_respawn_limit =
+        static_cast<size_t>(flags.GetInt64("worker_respawn_limit"));
+    if (external_coordinator) {
+      dist_options.listen_path = flags.GetString("listen");
+      if (dist_options.listen_path.empty()) {
+        return Status::InvalidArgument("--listen is required");
+      }
+      dist_options.min_workers =
+          static_cast<size_t>(flags.GetInt64("min_workers"));
+      dist_options.accept_timeout_ms =
+          static_cast<int>(flags.GetInt64("accept_timeout_ms"));
+    } else {
+      dist_options.num_workers = static_cast<size_t>(workers);
+      // detect is captured by VALUE: respawned workers fork from inside
+      // framework.Run, long after this block's stack frame is gone.
+      dist_options.worker_main = [&setup, detect, fingerprint](int fd) {
+        dist::WorkerConfig config;
+        config.detector = setup.detector.get();
+        config.kb = setup.kb.get();
+        config.dict = setup.dump.dict.get();
+        config.detect = detect;
+        config.fingerprint = fingerprint;
+        const Status worker_status = dist::RunWorkerLoop(fd, config);
+        if (!worker_status.ok()) {
+          MIDAS_LOG(Warning) << "dist: worker exiting on error: "
+                             << worker_status.message();
+        }
+        ::_exit(worker_status.ok() ? 0 : 1);
+      };
+    }
+    coordinator = std::make_unique<dist::DistCoordinator>(
+        setup.dump.dict.get(), dist_options);
+    MIDAS_RETURN_IF_ERROR(coordinator->Start());
+    framework_options.executor = coordinator.get();
+    if (!json) {
+      out << "dist: " << (external_coordinator ? "listening for workers on " +
+                                                     flags.GetString("listen")
+                                               : std::to_string(workers) +
+                                                     " forked worker(s)")
+          << "\n";
+      out.flush();
+    }
+  }
+
+  core::MidasFramework framework(setup.detector.get(), framework_options);
   auto result = framework.Run(corpus, kb);
+  if (coordinator != nullptr) coordinator->Shutdown();
 
   if (json) {
     JsonValue report = JsonValue::Object();
@@ -430,6 +539,88 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
     out << "saved full slice list to " << flags.GetString("out") << "\n";
   }
   return EmitMetrics(flags, out);
+}
+
+Status RunDiscover(const FlagParser& flags, std::ostream& out) {
+  return RunDiscoverImpl(flags, out, /*external_coordinator=*/false);
+}
+
+void RegisterCoordinatorFlags(FlagParser* flags) {
+  RegisterDiscoverFlags(flags);
+  flags->AddString("listen", "",
+                   "unix-socket path to accept workers on (required)");
+  flags->AddInt64("min_workers", 1,
+                  "wait for this many workers before the run starts");
+  flags->AddInt64("accept_timeout_ms", 30000,
+                  "how long to wait for min_workers");
+}
+
+Status RunCoordinator(const FlagParser& flags, std::ostream& out) {
+  return RunDiscoverImpl(flags, out, /*external_coordinator=*/true);
+}
+
+void RegisterWorkerFlags(FlagParser* flags) {
+  // A worker loads the run exactly like the coordinator, so it shares the
+  // discover flags (pass the same values on both sides; the Hello
+  // fingerprint rejects a worker whose corpus/seed/mode differ).
+  RegisterDiscoverFlags(flags);
+  flags->AddString("connect", "",
+                   "coordinator unix-socket path (required)");
+  flags->AddInt64("heartbeat_ms", 1000,
+                  "idle heartbeat interval in ms (0 = no heartbeats)");
+}
+
+Status RunWorker(const FlagParser& flags, std::ostream& out) {
+  const std::string path = flags.GetString("connect");
+  if (path.empty()) {
+    return Status::InvalidArgument("--connect is required");
+  }
+  DiscoverSetup setup;
+  MIDAS_RETURN_IF_ERROR(BuildDiscoverSetup(flags, out, &setup));
+
+  core::FrameworkOptions framework_options;
+  framework_options.use_hierarchy_rounds = setup.hierarchy_rounds;
+  framework_options.corpus_fingerprint = setup.corpus_fingerprint;
+  MIDAS_RETURN_IF_ERROR(ApplyRobustnessFlags(flags, &framework_options));
+  ScopedDisarm disarm;
+
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("--connect path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = Status::IoError("connect failed for '" + path +
+                                          "': " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  dist::WorkerConfig config;
+  config.detector = setup.detector.get();
+  config.kb = setup.kb.get();
+  config.dict = setup.dump.dict.get();
+  config.detect.source_deadline_ms = framework_options.source_deadline_ms;
+  config.detect.max_retries = framework_options.max_retries;
+  config.detect.retry_backoff_ms = framework_options.retry_backoff_ms;
+  config.detect.run_seed = framework_options.run_seed;
+  config.fingerprint =
+      core::ComputeRunFingerprint(setup.corpus, framework_options);
+  config.heartbeat_interval_ms =
+      static_cast<int>(flags.GetInt64("heartbeat_ms"));
+
+  out << "worker: connected to " << path << "\n";
+  out.flush();
+  const Status status = dist::RunWorkerLoop(fd, config);
+  if (status.ok()) out << "worker: released\n";
+  return status;
 }
 
 void RegisterExperimentFlags(FlagParser* flags) {

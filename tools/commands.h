@@ -71,6 +71,23 @@ Status RunConvert(const FlagParser& flags, std::ostream& out);
 ///   --jaccard F      equivalence threshold (default 0.95)
 Status RunEvaluate(const FlagParser& flags, std::ostream& out);
 
+/// `midas coordinator` — distributed slice discovery (docs/DISTRIBUTED.md):
+/// all `midas discover` flags, plus:
+///   --listen PATH       unix-socket path to accept workers on (required)
+///   --min_workers N     wait for this many workers before starting
+///   --accept_timeout_ms N   how long to wait for them
+/// Runs the framework with worker processes executing the shards; output
+/// and slices are bit-identical to `midas discover` with the same flags.
+Status RunCoordinator(const FlagParser& flags, std::ostream& out);
+
+/// `midas worker` — one worker process for `midas coordinator`:
+/// all `midas discover` flags (pass the coordinator's values), plus:
+///   --connect PATH      coordinator unix-socket path (required)
+///   --heartbeat_ms N    idle heartbeat interval (0 = none)
+/// Loads the same dump/KB, connects, executes WorkAssigns until the
+/// coordinator shuts it down.
+Status RunWorker(const FlagParser& flags, std::ostream& out);
+
 /// `midas serve` — the online slice-discovery daemon (docs/SERVE.md):
 ///   --corpus PATH    extraction dump, TSV or columnar (required)
 ///   --kb PATH        knowledge-base facts TSV (optional; empty KB if not)
@@ -93,6 +110,8 @@ void RegisterExperimentFlags(FlagParser* flags);
 void RegisterStatsFlags(FlagParser* flags);
 void RegisterConvertFlags(FlagParser* flags);
 void RegisterEvaluateFlags(FlagParser* flags);
+void RegisterCoordinatorFlags(FlagParser* flags);
+void RegisterWorkerFlags(FlagParser* flags);
 void RegisterServeFlags(FlagParser* flags);
 
 }  // namespace tools

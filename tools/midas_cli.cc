@@ -28,7 +28,10 @@ void PrintTopLevelUsage() {
          "  stats      dataset statistics of a dump\n"
          "  convert    convert a dump between TSV and columnar formats\n"
          "  evaluate   score a slice file against a silver standard\n"
-         "  serve      online slice-discovery daemon (HTTP, docs/SERVE.md)\n";
+         "  serve      online slice-discovery daemon (HTTP, docs/SERVE.md)\n"
+         "  coordinator  distributed discovery over worker processes "
+         "(docs/DISTRIBUTED.md)\n"
+         "  worker       one worker process for `midas coordinator`\n";
 }
 
 }  // namespace
@@ -64,6 +67,12 @@ int main(int argc, char** argv) {
   } else if (command == "serve") {
     tools::RegisterServeFlags(&flags);
     run = tools::RunServe;
+  } else if (command == "coordinator") {
+    tools::RegisterCoordinatorFlags(&flags);
+    run = tools::RunCoordinator;
+  } else if (command == "worker") {
+    tools::RegisterWorkerFlags(&flags);
+    run = tools::RunWorker;
   } else {
     std::cerr << "unknown command: " << command << "\n";
     PrintTopLevelUsage();

@@ -3,8 +3,9 @@
 # run `midas discover` on a synthetic corpus single-process, then with
 # --workers=4 (self-forked), then with a seeded worker_crash fault killing
 # workers mid-unit, then in external coordinator/worker mode over a unix
-# socket — every mode must produce a byte-identical slice list and an
-# identical JSON report (modulo wall-clock seconds).
+# socket, then over localhost TCP with one worker crashing mid-unit — every
+# completing mode must produce a byte-identical slice list and an identical
+# JSON report (modulo wall-clock seconds).
 #
 # Usage: scripts/dist_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -12,12 +13,22 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 MIDAS="$BUILD_DIR/tools/midas"
 WORK="$(mktemp -d)"
-COORD_PID=""
 
 # CI sets DIST_SMOKE_LOG_DIR to salvage logs as artifacts when the smoke
 # fails.
 cleanup() {
-  [ -n "$COORD_PID" ] && kill "$COORD_PID" 2>/dev/null
+  # Kill every background child (coordinator and workers) so a wedged
+  # external-mode run can never outlive the script and hang CI; SIGKILL the
+  # stragglers that ignore the TERM.
+  local pids
+  pids="$(jobs -p)"
+  if [ -n "$pids" ]; then
+    # shellcheck disable=SC2086
+    kill $pids 2>/dev/null || true
+    sleep 0.2
+    # shellcheck disable=SC2086
+    kill -9 $pids 2>/dev/null || true
+  fi
   if [ -n "${DIST_SMOKE_LOG_DIR:-}" ]; then
     mkdir -p "$DIST_SMOKE_LOG_DIR"
     cp "$WORK"/*.log "$WORK"/*.json "$WORK"/*.err "$DIST_SMOKE_LOG_DIR"/ 2>/dev/null || true
@@ -92,11 +103,48 @@ W2_PID=$!
 wait "$COORD_PID" \
   || { echo "error: coordinator exited non-zero" >&2
        cat "$WORK/coord.err" "$WORK/w1.log" "$WORK/w2.log" >&2; exit 1; }
-COORD_PID=""
 wait "$W1_PID" || { echo "error: worker 1 exited non-zero" >&2
                     cat "$WORK/w1.log" >&2; exit 1; }
 wait "$W2_PID" || { echo "error: worker 2 exited non-zero" >&2
                     cat "$WORK/w2.log" >&2; exit 1; }
 check_identical "external-mode" ext.tsv ext.json
+
+echo "== external coordinator + 2 workers over localhost TCP, one crashing"
+# Random high port; workers retry the connect (ConnectAddress) so launch
+# order cannot race the coordinator's bind. Worker 1 is armed to _exit(137)
+# on its first assigned unit — the coordinator must see the EOF, log the
+# loss, re-assign the unit to the surviving worker, and still heal to the
+# baseline bytes. The liveness deadline and heartbeats ride along so a
+# wedged (rather than dead) worker would also be evicted instead of
+# hanging the job.
+TCP_PORT=$(( (RANDOM % 20000) + 30000 ))
+"$MIDAS" coordinator --dump "$WORK/dump.tsv" --kb "$WORK/kb.tsv" --json \
+  --listen "127.0.0.1:$TCP_PORT" --min_workers 2 \
+  --worker_liveness_ms 10000 --out "$WORK/tcp.tsv" \
+  > "$WORK/tcp.json" 2> "$WORK/tcp_coord.err" &
+TCP_COORD_PID=$!
+"$MIDAS" worker --dump "$WORK/dump.tsv" --kb "$WORK/kb.tsv" \
+  --connect "127.0.0.1:$TCP_PORT" --heartbeat_ms 200 \
+  --fault_spec "site=worker_crash,rate=1,seed=9,max_fires=1" \
+  > "$WORK/tw1.log" 2>&1 &
+TW1_PID=$!
+"$MIDAS" worker --dump "$WORK/dump.tsv" --kb "$WORK/kb.tsv" \
+  --connect "127.0.0.1:$TCP_PORT" --heartbeat_ms 200 \
+  > "$WORK/tw2.log" 2>&1 &
+TW2_PID=$!
+wait "$TCP_COORD_PID" \
+  || { echo "error: TCP coordinator exited non-zero" >&2
+       cat "$WORK/tcp_coord.err" "$WORK/tw1.log" "$WORK/tw2.log" >&2
+       exit 1; }
+if wait "$TW1_PID"; then
+  echo "error: crashing TCP worker exited zero — fault never fired" >&2
+  cat "$WORK/tw1.log" >&2; exit 1
+fi
+wait "$TW2_PID" || { echo "error: surviving TCP worker exited non-zero" >&2
+                     cat "$WORK/tw2.log" >&2; exit 1; }
+grep -q "dist: lost" "$WORK/tcp_coord.err" \
+  || { echo "error: TCP coordinator never reported the crashed worker" >&2
+       cat "$WORK/tcp_coord.err" >&2; exit 1; }
+check_identical "tcp-external" tcp.tsv tcp.json
 
 echo "dist smoke OK"

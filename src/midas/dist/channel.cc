@@ -5,10 +5,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "midas/dist/net.h"
 #include "midas/fault/fault.h"
 
 namespace midas {
@@ -20,36 +24,33 @@ std::string ErrnoMessage(const std::string& what, const std::string& label) {
   return what + " (peer " + label + "): " + std::strerror(errno);
 }
 
-Status WriteAll(int fd, const char* data, size_t len,
-                const std::string& label) {
-  size_t written = 0;
-  while (written < len) {
-    // MSG_NOSIGNAL: a peer that died between poll and write must surface as
-    // EPIPE — a routine worker-loss signal for the coordinator — not as a
-    // process-killing SIGPIPE.
-    const ssize_t n =
-        ::send(fd, data + written, len - written, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(ErrnoMessage("write failed", label));
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::OK();
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
 
-FrameChannel::FrameChannel(int fd, std::string label)
-    : fd_(fd), label_(std::move(label)) {}
+FrameChannel::FrameChannel(int fd, std::string label, Transport transport)
+    : fd_(fd), label_(std::move(label)), transport_(transport) {
+  if (transport_ == Transport::kTcp && fd_ >= 0) {
+    // Best-effort: assignment/result frames are small request/response
+    // pairs; Nagle batching would serialize the whole protocol on RTTs.
+    (void)SetTcpNoDelay(fd_);
+  }
+}
 
 FrameChannel::~FrameChannel() { CloseFd(); }
 
 FrameChannel::FrameChannel(FrameChannel&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       label_(std::move(other.label_)),
+      transport_(other.transport_),
       frames_sent_(other.frames_sent_),
       peer_closed_(other.peer_closed_),
+      write_timeout_ms_(other.write_timeout_ms_),
+      partition_until_ms_(other.partition_until_ms_),
       decoder_(std::move(other.decoder_)) {}
 
 FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
@@ -57,8 +58,11 @@ FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
     CloseFd();
     fd_ = std::exchange(other.fd_, -1);
     label_ = std::move(other.label_);
+    transport_ = other.transport_;
     frames_sent_ = other.frames_sent_;
     peer_closed_ = other.peer_closed_;
+    write_timeout_ms_ = other.write_timeout_ms_;
+    partition_until_ms_ = other.partition_until_ms_;
     decoder_ = std::move(other.decoder_);
   }
   return *this;
@@ -79,10 +83,52 @@ Status FrameChannel::SetNonBlocking() {
   return Status::OK();
 }
 
+Status FrameChannel::WriteAll(const char* data, size_t len) {
+  const int64_t deadline = NowMs() + write_timeout_ms_;
+  size_t written = 0;
+  while (written < len) {
+    // MSG_NOSIGNAL: a peer that died between poll and write must surface as
+    // EPIPE — a routine worker-loss signal for the coordinator — not as a
+    // process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data + written, len - written, MSG_NOSIGNAL);
+    if (n >= 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Non-blocking fd with a full send buffer (TCP under a slow or
+      // stalled peer): wait for writability, bounded so a peer that never
+      // drains registers as lost instead of wedging the caller.
+      const int64_t left = deadline - NowMs();
+      if (left <= 0) {
+        return Status::IoError("write timed out after " +
+                               std::to_string(write_timeout_ms_) +
+                               " ms (peer " + label_ + ")");
+      }
+      struct pollfd pfd = {};
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      const int rc =
+          ::poll(&pfd, 1, static_cast<int>(std::min<int64_t>(left, 1000)));
+      if (rc < 0 && errno != EINTR) {
+        return Status::IoError(ErrnoMessage("poll failed", label_));
+      }
+      continue;
+    }
+    return Status::IoError(ErrnoMessage("write failed", label_));
+  }
+  return Status::OK();
+}
+
+bool FrameChannel::Partitioned() const {
+  return partition_until_ms_ != 0 && NowMs() < partition_until_ms_;
+}
+
 Status FrameChannel::SendMagic() {
   if (fd_ < 0) return Status::FailedPrecondition("channel closed");
-  return WriteAll(fd_, store::kRecordLogMagic, store::kRecordLogMagicLen,
-                  label_);
+  return WriteAll(store::kRecordLogMagic, store::kRecordLogMagicLen);
 }
 
 Status FrameChannel::WriteFrame(std::string_view payload) {
@@ -102,16 +148,38 @@ Status FrameChannel::WriteFrame(std::string_view payload) {
     // always observes either a torn frame or an EOF inside this frame.
     const uint64_t prefix = fault::FaultInjector::Global().DrawOffset(
         fault::kSiteSocketTorn, key, frame.size());
-    (void)WriteAll(fd_, frame.data(), static_cast<size_t>(prefix), label_);
+    (void)WriteAll(frame.data(), static_cast<size_t>(prefix));
     ::shutdown(fd_, SHUT_RDWR);
     return Status::IoError("injected socket_torn after " +
                            std::to_string(prefix) + "/" +
                            std::to_string(frame.size()) + " bytes to " +
                            label_);
   }
+  if (transport_ == Transport::kTcp) {
+    // The network fault sites model the wire, not the peer: the sender
+    // sees OK (its bytes left the process fine as far as it knows) and the
+    // failure-handling burden falls on liveness + reassignment, exactly as
+    // on a real network. Decisions are seeded per frame key, so a given
+    // spec delays/drops/partitions the same frames every run.
+    auto& injector = fault::FaultInjector::Global();
+    if (Partitioned()) return Status::OK();  // outage eats the frame
+    if (MIDAS_FAULT_SHOULD_CORRUPT(fault::kSiteNetPartition, key)) {
+      partition_until_ms_ =
+          NowMs() +
+          static_cast<int64_t>(injector.delay_ms(fault::kSiteNetPartition));
+      return Status::OK();
+    }
+    if (MIDAS_FAULT_SHOULD_CORRUPT(fault::kSiteNetDrop, key)) {
+      return Status::OK();  // one-direction loss: this frame never arrives
+    }
+    if (MIDAS_FAULT_SHOULD_CORRUPT(fault::kSiteNetDelay, key)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          injector.delay_ms(fault::kSiteNetDelay)));
+    }
+  }
 #endif
 
-  return WriteAll(fd_, frame.data(), frame.size(), label_);
+  return WriteAll(frame.data(), frame.size());
 }
 
 FrameChannel::Read FrameChannel::ReadAvailable(std::string* error) {
@@ -145,13 +213,21 @@ FrameChannel::Read FrameChannel::ReadAvailable(std::string* error) {
 
 FrameChannel::Read FrameChannel::PopFrame(std::string* payload,
                                           std::string* error) {
-  switch (decoder_.Pop(payload, error)) {
-    case store::RecordStreamDecoder::Next::kFrame:
-      return Read::kFrame;
-    case store::RecordStreamDecoder::Next::kCorrupt:
-      return Read::kCorrupt;
-    case store::RecordStreamDecoder::Next::kNeedMore:
-      break;
+  for (;;) {
+    switch (decoder_.Pop(payload, error)) {
+      case store::RecordStreamDecoder::Next::kFrame:
+#ifdef MIDAS_FAULT_INJECTION
+        // A partition cuts both directions: inbound frames that surface
+        // during the outage window vanish exactly like outbound ones.
+        if (transport_ == Transport::kTcp && Partitioned()) continue;
+#endif
+        return Read::kFrame;
+      case store::RecordStreamDecoder::Next::kCorrupt:
+        return Read::kCorrupt;
+      case store::RecordStreamDecoder::Next::kNeedMore:
+        break;
+    }
+    break;
   }
   if (peer_closed_) {
     if (decoder_.buffered_bytes() > 0) {

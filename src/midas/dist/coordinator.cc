@@ -1,6 +1,7 @@
 #include "midas/dist/coordinator.h"
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
@@ -13,6 +14,7 @@
 #include <utility>
 
 #include "midas/core/consolidate.h"
+#include "midas/dist/net.h"
 #include "midas/dist/wire.h"
 #include "midas/obs/obs.h"
 #include "midas/util/logging.h"
@@ -38,6 +40,22 @@ obs::Counter* ReassignsCounter() {
 }
 obs::Counter* WorkerLossesCounter() {
   static obs::Counter* c = MIDAS_OBS_COUNTER("dist.worker_losses");
+  return c;
+}
+obs::Counter* WorkersLostCounter() {
+  static obs::Counter* c = MIDAS_OBS_COUNTER("dist.workers_lost");
+  return c;
+}
+obs::Counter* ZombieResultsCounter() {
+  static obs::Counter* c = MIDAS_OBS_COUNTER("dist.zombie_results_dropped");
+  return c;
+}
+obs::Counter* SpeculativeAssignsCounter() {
+  static obs::Counter* c = MIDAS_OBS_COUNTER("dist.speculative_assigns");
+  return c;
+}
+obs::Counter* RejoinsCounter() {
+  static obs::Counter* c = MIDAS_OBS_COUNTER("dist.rejoins");
   return c;
 }
 obs::Counter* RespawnsCounter() {
@@ -74,6 +92,10 @@ DistCoordinator::DistCoordinator(const rdf::Dictionary* dict,
   (void)ResultsCounter();
   (void)ReassignsCounter();
   (void)WorkerLossesCounter();
+  (void)WorkersLostCounter();
+  (void)ZombieResultsCounter();
+  (void)SpeculativeAssignsCounter();
+  (void)RejoinsCounter();
   (void)RespawnsCounter();
   (void)HeartbeatsCounter();
   (void)UnitsFailedCounter();
@@ -113,6 +135,7 @@ Status DistCoordinator::ForkWorker() {
   worker->channel = FrameChannel(sv[0], "worker-" + std::to_string(pid));
   worker->pid = pid;
   worker->id = next_worker_id_++;
+  worker->last_heard_ms = NowMs();
   Status status = worker->channel.SetNonBlocking();
   if (status.ok()) status = worker->channel.SendMagic();
   if (!status.ok()) {
@@ -135,8 +158,9 @@ Status DistCoordinator::AcceptPending(std::string* error) {
     }
     auto worker = std::make_unique<Worker>();
     worker->id = next_worker_id_++;
-    worker->channel =
-        FrameChannel(fd, "ext-worker-" + std::to_string(worker->id));
+    worker->channel = FrameChannel(
+        fd, "ext-worker-" + std::to_string(worker->id), transport_);
+    worker->last_heard_ms = NowMs();
     Status status = worker->channel.SetNonBlocking();
     if (status.ok()) status = worker->channel.SendMagic();
     if (!status.ok()) {
@@ -174,13 +198,28 @@ void DistCoordinator::LoseWorker(size_t widx, const std::string& why) {
   ++stats_.worker_losses;
   MIDAS_OBS_ADD(WorkerLossesCounter(), 1);
   if (worker.inflight_unit >= 0) {
-    queue_.push_back(static_cast<size_t>(worker.inflight_unit));
+    const size_t unit = static_cast<size_t>(worker.inflight_unit);
+    const bool stale = worker.inflight_stale;
     worker.inflight_unit = -1;
-    ++stats_.reassigns;
-    MIDAS_OBS_ADD(ReassignsCounter(), 1);
+    worker.inflight_assignment = 0;
+    worker.inflight_stale = false;
+    if (stale) {
+      // The unit belongs to a previous round (its speculative twin already
+      // completed it); its index means nothing in this round's queue.
+    } else if (round_results_ != nullptr && (*round_results_)[unit].ran) {
+      // A speculative copy of this unit already finished; nothing to requeue.
+    } else {
+      queue_.push_back(unit);
+      ++stats_.reassigns;
+      MIDAS_OBS_ADD(ReassignsCounter(), 1);
+    }
   }
   worker.channel = FrameChannel();
   if (worker.pid > 0) {
+    // The child may still be alive (a liveness-declared loss of a stalled
+    // process): kill first so the reap below is finite. Harmless when the
+    // loss was its death in the first place.
+    ::kill(worker.pid, SIGKILL);
     ::waitpid(worker.pid, nullptr, 0);
     worker.pid = -1;
     // Keep the pool at strength so a crash matrix that kills every worker
@@ -199,22 +238,121 @@ void DistCoordinator::LoseWorker(size_t widx, const std::string& why) {
   }
 }
 
-Status DistCoordinator::Start() {
-  if (started_) return Status::FailedPrecondition("coordinator already started");
-  if (options_.num_workers > 0) {
-    if (!options_.worker_main) {
-      return Status::InvalidArgument("num_workers set without worker_main");
-    }
-    for (size_t i = 0; i < options_.num_workers; ++i) {
-      MIDAS_RETURN_IF_ERROR(ForkWorker());
-    }
-    started_ = true;
-    return Status::OK();
+void DistCoordinator::SweepLiveness() {
+  if (options_.worker_liveness_ms <= 0) return;
+  const int64_t now = NowMs();
+  // Index loop: a respawn inside LoseWorker push_backs into workers_. The
+  // replacement's last_heard is `now`, so it is not swept this pass.
+  for (size_t widx = 0; widx < workers_.size(); ++widx) {
+    const Worker& worker = *workers_[widx];
+    if (!worker.channel.valid()) continue;
+    const int64_t silent_ms = now - worker.last_heard_ms;
+    if (silent_ms < options_.worker_liveness_ms) continue;
+    // Silent past the deadline: a half-open connection, a stopped process,
+    // or a partition — none of which ever deliver an EOF.
+    ++stats_.workers_lost;
+    MIDAS_OBS_ADD(WorkersLostCounter(), 1);
+    LoseWorker(widx, "liveness deadline exceeded: no frame for " +
+                         std::to_string(silent_ms) + " ms");
   }
+}
 
+bool DistCoordinator::SendAssign(size_t widx, size_t unit, uint32_t assignment,
+                                 std::vector<core::ShardTask>* tasks) {
+  Worker* worker = workers_[widx].get();
+  const core::ShardTask& task = (*tasks)[unit];
+  WorkAssignMsg msg;
+  msg.unit = unit;
+  msg.assignment = assignment;
+  msg.consolidate = task.consolidate;
+  msg.url = task.url;
+  msg.facts = *task.facts;
+  msg.child_slices = task.child_slices;
+  const Status status = worker->channel.WriteFrame(EncodeWorkAssign(msg, *dict_));
+  if (!status.ok()) {
+    LoseWorker(widx, status.message());
+    return false;
+  }
+  worker->inflight_unit = static_cast<int64_t>(unit);
+  worker->inflight_assignment = assignment;
+  worker->assigned_at_ms = NowMs();
+  return true;
+}
+
+void DistCoordinator::SpeculateStragglers(
+    std::vector<core::ShardTask>* tasks,
+    std::vector<core::ShardTaskResult>* results) {
+  if (options_.speculative_ms <= 0 || !queue_.empty() || units_remaining_ == 0) {
+    return;
+  }
+  const int64_t now = NowMs();
+  for (size_t widx = 0; widx < workers_.size(); ++widx) {
+    Worker* idle = workers_[widx].get();
+    if (!idle->channel.valid() || !idle->hello_ok || idle->inflight_unit >= 0) {
+      continue;
+    }
+    // Oldest in-flight unit past the straggler deadline that is not done,
+    // not already duplicated, and still under its assignment budget.
+    int64_t best_unit = -1;
+    int64_t best_at = 0;
+    for (const auto& w : workers_) {
+      // inflight_stale units belong to a previous round: not stragglers here.
+      if (!w->channel.valid() || w->inflight_unit < 0 || w->inflight_stale) {
+        continue;
+      }
+      const size_t unit = static_cast<size_t>(w->inflight_unit);
+      if (now - w->assigned_at_ms < options_.speculative_ms) continue;
+      if ((*results)[unit].ran) continue;
+      if (unit_assignment_[unit] >= options_.max_unit_assignments) continue;
+      bool duplicated = false;
+      for (const auto& other : workers_) {
+        if (other.get() != w.get() && other->channel.valid() &&
+            !other->inflight_stale &&
+            other->inflight_unit == w->inflight_unit) {
+          duplicated = true;
+          break;
+        }
+      }
+      if (duplicated) continue;
+      if (best_unit < 0 || w->assigned_at_ms < best_at) {
+        best_unit = w->inflight_unit;
+        best_at = w->assigned_at_ms;
+      }
+    }
+    if (best_unit < 0) return;  // nothing eligible for any idle worker
+    const size_t unit = static_cast<size_t>(best_unit);
+    const uint32_t assignment = ++unit_assignment_[unit];
+    if (!SendAssign(widx, unit, assignment, tasks)) {
+      --unit_assignment_[unit];  // never delivered
+      continue;
+    }
+    // Counted apart from dist.assigns: speculative copies are extra
+    // deliveries of a unit someone else still owns, so folding them into
+    // assigns would break the assigns == results + reassigns books.
+    ++stats_.speculative_assigns;
+    MIDAS_OBS_ADD(SpeculativeAssignsCounter(), 1);
+    MIDAS_LOG(Info) << "dist: speculatively re-assigned straggler unit "
+                    << unit << " to " << idle->channel.label();
+  }
+}
+
+Status DistCoordinator::Listen() {
+  if (listen_fd_ >= 0) return Status::OK();
   if (options_.listen_path.empty()) {
     return Status::InvalidArgument(
         "DistOptions needs num_workers (self-fork) or listen_path (external)");
+  }
+  if (IsTcpAddress(options_.listen_path)) {
+    StatusOr<int> fd = ListenTcp(options_.listen_path, 64);
+    if (!fd.ok()) return fd.status();
+    listen_fd_ = *fd;
+    transport_ = Transport::kTcp;
+    StatusOr<uint16_t> port = BoundTcpPort(listen_fd_);
+    if (!port.ok()) return port.status();
+    listen_port_ = *port;
+    MIDAS_LOG(Info) << "dist: listening on tcp " << options_.listen_path
+                    << " (port " << listen_port_ << ")";
+    return Status::OK();
   }
   struct sockaddr_un addr = {};
   addr.sun_family = AF_UNIX;
@@ -240,6 +378,25 @@ Status DistCoordinator::Start() {
     return status;
   }
   listen_fd_ = fd;
+  transport_ = Transport::kUnix;
+  return Status::OK();
+}
+
+Status DistCoordinator::Start() {
+  if (started_) return Status::FailedPrecondition("coordinator already started");
+  if (options_.num_workers > 0) {
+    if (!options_.worker_main) {
+      return Status::InvalidArgument("num_workers set without worker_main");
+    }
+    for (size_t i = 0; i < options_.num_workers; ++i) {
+      MIDAS_RETURN_IF_ERROR(ForkWorker());
+    }
+    started_ = true;
+    accepting_midrun_ = true;
+    return Status::OK();
+  }
+
+  MIDAS_RETURN_IF_ERROR(Listen());
   started_ = true;
 
   // Wait until min_workers have completed their Hello.
@@ -249,7 +406,12 @@ Status DistCoordinator::Start() {
     for (const auto& w : workers_) {
       if (w->hello_ok) ++ready;
     }
-    if (ready >= options_.min_workers) return Status::OK();
+    if (ready >= options_.min_workers) {
+      // Hellos arriving from here on are late joins / rejoins, admitted
+      // against the respawn budget.
+      accepting_midrun_ = true;
+      return Status::OK();
+    }
     const int64_t left = deadline - NowMs();
     if (left <= 0) {
       return Status::IoError("timed out waiting for " +
@@ -275,9 +437,12 @@ void DistCoordinator::Shutdown() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-    ::unlink(options_.listen_path.c_str());
+    if (transport_ == Transport::kUnix) {
+      ::unlink(options_.listen_path.c_str());
+    }
   }
   started_ = false;
+  accepting_midrun_ = false;
 }
 
 std::vector<pid_t> DistCoordinator::worker_pids() const {
@@ -354,10 +519,28 @@ void DistCoordinator::PollOnce(std::vector<core::ShardTask>* tasks,
   }
 }
 
+void DistCoordinator::RejectWorker(size_t widx, const std::string& why) {
+  Worker& worker = *workers_[widx];
+  MIDAS_LOG(Warning) << "dist: rejecting " << worker.channel.label() << ": "
+                     << why;
+  ++stats_.rejected_workers;
+  MIDAS_OBS_ADD(RejectedWorkersCounter(), 1);
+  (void)worker.channel.WriteFrame(EncodeShutdown());
+  worker.channel = FrameChannel();
+  if (worker.pid > 0) {
+    ::waitpid(worker.pid, nullptr, 0);
+    worker.pid = -1;
+  }
+}
+
 bool DistCoordinator::DispatchFrame(size_t widx, const std::string& payload,
                                     std::vector<core::ShardTask>* tasks,
                                     std::vector<core::ShardTaskResult>* results) {
   Worker& worker = *workers_[widx];
+  // Any delivered frame proves the worker (and the path to it) alive. Raw
+  // bytes do not count: a net_partition discards frames in PopFrame, and a
+  // partitioned worker must look silent to the liveness sweep.
+  worker.last_heard_ms = NowMs();
   const StatusOr<MessageKind> kind = PeekKind(payload);
   if (!kind.ok()) {
     LoseWorker(widx, kind.status().message());
@@ -376,18 +559,26 @@ bool DistCoordinator::DispatchFrame(size_t widx, const std::string& payload,
            hello.fingerprint != options_.fingerprint)) {
         // Wrong protocol or a worker that loaded a different corpus/seed:
         // its results could not be bit-identical, so it never joins.
-        MIDAS_LOG(Warning) << "dist: rejecting " << worker.channel.label()
-                           << " (protocol " << hello.protocol
-                           << ", fingerprint mismatch)";
-        ++stats_.rejected_workers;
-        MIDAS_OBS_ADD(RejectedWorkersCounter(), 1);
-        (void)worker.channel.WriteFrame(EncodeShutdown());
-        worker.channel = FrameChannel();
-        if (worker.pid > 0) {
-          ::waitpid(worker.pid, nullptr, 0);
-          worker.pid = -1;
-        }
+        RejectWorker(widx, "protocol " + std::to_string(hello.protocol) +
+                               " / fingerprint mismatch");
         return false;
+      }
+      if (worker.pid <= 0 && accepting_midrun_) {
+        // External worker joining (or REjoining after a loss) after Start():
+        // admitted against the same budget that caps fork-mode respawns, so
+        // a flapping worker cannot grind the round forever.
+        if (respawns_used_ >= options_.worker_respawn_limit) {
+          RejectWorker(widx, "rejoin budget exhausted (worker_respawn_limit " +
+                                 std::to_string(options_.worker_respawn_limit) +
+                                 ")");
+          return false;
+        }
+        ++respawns_used_;
+        ++stats_.rejoins;
+        MIDAS_OBS_ADD(RejoinsCounter(), 1);
+        MIDAS_LOG(Info) << "dist: " << worker.channel.label()
+                        << " joined mid-run (" << respawns_used_ << "/"
+                        << options_.worker_respawn_limit << " admissions used)";
       }
       worker.hello_ok = true;
       return true;
@@ -415,13 +606,43 @@ bool DistCoordinator::DispatchFrame(size_t widx, const std::string& payload,
       }
       if (worker.inflight_unit < 0 ||
           msg.unit != static_cast<uint64_t>(worker.inflight_unit) ||
-          msg.unit >= results->size()) {
-        LoseWorker(widx, "work result for a unit it does not own");
+          msg.assignment != worker.inflight_assignment) {
+        LoseWorker(widx, "work result for a unit/assignment it does not own");
         return false;
       }
       const size_t unit = static_cast<size_t>(msg.unit);
+      const bool stale = worker.inflight_stale;
       worker.inflight_unit = -1;
+      worker.inflight_assignment = 0;
+      worker.inflight_stale = false;
+      if (stale) {
+        // Cross-round zombie: a speculative twin completed this unit in a
+        // PREVIOUS round, so the ids echo a round whose arrays are gone.
+        // Applying it against the current round's unit index would merge a
+        // stale detection into the wrong shard — drop it, and only now let
+        // the worker take this round's work.
+        ++stats_.zombie_results_dropped;
+        MIDAS_OBS_ADD(ZombieResultsCounter(), 1);
+        MIDAS_LOG(Info) << "dist: dropped stale cross-round result for old unit "
+                        << unit << " from " << worker.channel.label();
+        return true;
+      }
+      if (unit >= results->size()) {
+        // Impossible for a non-stale assignment of this round; defensive.
+        LoseWorker(widx, "work result unit out of range");
+        return false;
+      }
       core::ShardTaskResult& res = (*results)[unit];
+      if (res.ran) {
+        // Zombie: a speculative twin of this unit finished first. Detection
+        // is deterministic per unit, so first-result-wins keeps the run
+        // bit-identical; the worker itself is healthy and stays pooled.
+        ++stats_.zombie_results_dropped;
+        MIDAS_OBS_ADD(ZombieResultsCounter(), 1);
+        MIDAS_LOG(Info) << "dist: dropped zombie result for unit " << unit
+                        << " from " << worker.channel.label();
+        return true;
+      }
       {
         // Span per completed shard, so dist runs keep the "every processed
         // source has a framework.source span" invariant in this process.
@@ -455,6 +676,14 @@ void DistCoordinator::ExecuteRound(const core::ShardExecutionContext& ctx,
   unit_assignment_.assign(tasks->size(), 0);
   units_done_ = 0;
   units_remaining_ = 0;
+  round_results_ = results;
+  // A worker can enter a round still computing the PREVIOUS round's unit
+  // (its speculative twin finished that round without it). Its recorded
+  // unit/assignment now refer to dead arrays: flag them so the eventual
+  // result is dropped as a zombie instead of applied at this round's index.
+  for (auto& w : workers_) {
+    if (w->inflight_unit >= 0) w->inflight_stale = true;
+  }
   for (size_t i = 0; i < tasks->size(); ++i) {
     if ((*tasks)[i].facts == nullptr) continue;  // restored/skipped shard
     queue_.push_back(i);
@@ -480,6 +709,7 @@ void DistCoordinator::ExecuteRound(const core::ShardExecutionContext& ctx,
       while (!queue_.empty()) {
         const size_t unit = queue_.back();
         queue_.pop_back();
+        if ((*results)[unit].ran) continue;  // finished while queued
         const uint32_t assignment = ++unit_assignment_[unit];
         if (assignment > options_.max_unit_assignments) {
           FailUnit(unit,
@@ -489,31 +719,21 @@ void DistCoordinator::ExecuteRound(const core::ShardExecutionContext& ctx,
           --units_remaining_;
           continue;
         }
-        const core::ShardTask& task = (*tasks)[unit];
-        WorkAssignMsg msg;
-        msg.unit = unit;
-        msg.assignment = assignment;
-        msg.consolidate = task.consolidate;
-        msg.url = task.url;
-        msg.facts = *task.facts;
-        msg.child_slices = task.child_slices;
-        const Status status =
-            worker->channel.WriteFrame(EncodeWorkAssign(msg, *dict_));
-        if (!status.ok()) {
+        if (!SendAssign(widx, unit, assignment, tasks)) {
           // The unit was never delivered: requeue it directly, burning
           // neither an assignment nor a reassign (those count deliveries,
           // keeping assigns == results + reassigns exact).
           --unit_assignment_[unit];
           queue_.push_back(unit);
-          LoseWorker(widx, status.message());
           break;
         }
-        worker->inflight_unit = static_cast<int64_t>(unit);
         ++stats_.assigns;
         MIDAS_OBS_ADD(AssignsCounter(), 1);
         break;  // one in-flight unit per worker
       }
     }
+
+    SpeculateStragglers(tasks, results);
 
     // No one left to run the work and no one will ever join: abandon the
     // queue instead of spinning forever.
@@ -524,6 +744,7 @@ void DistCoordinator::ExecuteRound(const core::ShardExecutionContext& ctx,
       while (!queue_.empty()) {
         const size_t unit = queue_.back();
         queue_.pop_back();
+        if ((*results)[unit].ran) continue;
         FailUnit(unit, "no workers available", tasks, results);
         --units_remaining_;
       }
@@ -532,12 +753,15 @@ void DistCoordinator::ExecuteRound(const core::ShardExecutionContext& ctx,
 
     PollOnce(tasks, results, options_.poll_interval_ms);
 
+    SweepLiveness();
+
     // Drop dead worker slots once per sweep (safe: nothing holds indices
     // across this point).
     std::erase_if(workers_, [](const std::unique_ptr<Worker>& w) {
       return !w->channel.valid() && w->pid <= 0;
     });
   }
+  round_results_ = nullptr;
 }
 
 }  // namespace dist

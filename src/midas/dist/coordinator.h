@@ -24,9 +24,9 @@ namespace dist {
 /// of sharding, normalization, the checkpoint ledger, memoization, and the
 /// post-round merge, and delegates each round's prepared tasks here. The
 /// coordinator hands every task to a worker process as one WorkAssign over
-/// a unix-domain socket and maps WorkResults back — so a distributed run
-/// flows through the exact consolidate/merge/report code a single-process
-/// run does, which is what the bit-identity tests pin.
+/// a unix-domain or TCP socket and maps WorkResults back — so a distributed
+/// run flows through the exact consolidate/merge/report code a
+/// single-process run does, which is what the bit-identity tests pin.
 ///
 /// Failure contract:
 ///  - A worker that dies (EOF, ECONNRESET, torn frame, failed write) loses
@@ -34,8 +34,19 @@ namespace dist {
 ///    bumped. After max_unit_assignments losses the unit is reported
 ///    kFailed ("worker lost"), surviving = its child slices (exactly what
 ///    the in-process path yields when every detect attempt fails).
+///  - A worker that goes *silent* (no frame for worker_liveness_ms over a
+///    network that cannot deliver an EOF — a half-open TCP connection, a
+///    SIGSTOPped process, a partition) is declared lost the same way.
+///    Workers heartbeat during unit execution, so a long detection is not
+///    mistaken for death.
+///  - With liveness and speculation a unit can be in flight twice; the
+///    first WorkResult wins and any later copy is a zombie, discarded by
+///    the (unit, assignment) echo check — never merged twice.
 ///  - Self-forked workers are respawned (up to worker_respawn_limit) so a
-///    crash matrix that kills every worker still completes.
+///    crash matrix that kills every worker still completes. External
+///    workers may join or REjoin mid-round (their Hello fingerprint is
+///    validated like any other); admissions after Start() share the same
+///    respawn budget.
 ///  - Completed units are never re-run: results are applied by unit index,
 ///    and the framework checkpoints them into the ledger as usual, so a
 ///    killed-then-restarted *coordinator* resumes from the ledger without
@@ -46,9 +57,12 @@ struct DistOptions {
   size_t num_workers = 0;
   std::function<void(int fd)> worker_main;
 
-  /// External mode: accept workers on this unix-socket path until
-  /// min_workers have said Hello (within accept_timeout_ms). Workers that
-  /// connect later still join the pool mid-run.
+  /// External mode: accept workers on this address until min_workers have
+  /// said Hello (within accept_timeout_ms). Workers that connect later
+  /// still join the pool mid-run. The address grammar auto-detects the
+  /// transport: "host:port" (e.g. "127.0.0.1:7070", port 0 = ephemeral,
+  /// see DistCoordinator::listen_port) is TCP, anything else a unix-socket
+  /// path (dist::IsTcpAddress).
   std::string listen_path;
   size_t min_workers = 1;
   int accept_timeout_ms = 30'000;
@@ -61,12 +75,26 @@ struct DistOptions {
   /// Re-assignments before a unit is abandoned as kFailed.
   uint32_t max_unit_assignments = 3;
 
-  /// Self-fork mode: replacement workers forked after losses.
+  /// Self-fork mode: replacement workers forked after losses. External
+  /// mode shares the same budget for workers admitted after Start().
   size_t worker_respawn_limit = 8;
 
   /// Poll granularity of the round loop (also bounds how often heartbeats
   /// and respawns are serviced).
   int poll_interval_ms = 200;
+
+  /// Liveness deadline: a worker from which no frame (heartbeat or
+  /// otherwise) arrives for this long is declared lost and its unit
+  /// re-queued. 0 disables the deadline — losses are then only detected by
+  /// socket EOF/error, which a half-open TCP connection never delivers.
+  /// Must comfortably exceed the workers' heartbeat interval.
+  int worker_liveness_ms = 0;
+
+  /// Straggler mitigation: once the round's queue is empty, a unit still
+  /// in flight after this long is speculatively re-assigned (one extra
+  /// copy, bumped assignment id) to an idle worker; the first result wins
+  /// and the loser is discarded as a zombie. 0 disables speculation.
+  int speculative_ms = 0;
 
   /// Test hook, called after each WorkResult is applied with the total
   /// number of completed units this round. The kill-a-worker crash matrix
@@ -81,9 +109,18 @@ class DistCoordinator : public core::ShardExecutor {
   DistCoordinator(const rdf::Dictionary* dict, DistOptions options);
   ~DistCoordinator() override;
 
+  /// External mode: binds the listen socket without waiting for workers.
+  /// Idempotent; Start() calls it. Tests bind first, read listen_port(),
+  /// launch workers, then Start().
+  Status Listen();
+
   /// Forks workers (self-fork mode) or binds listen_path and waits for
   /// min_workers Hellos (external mode).
   Status Start();
+
+  /// The bound TCP port after Listen()/Start() (use with listen_path
+  /// "host:0" for an ephemeral port); 0 for unix transports.
+  uint16_t listen_port() const { return listen_port_; }
 
   /// Sends Shutdown to every live worker, closes channels, reaps children.
   /// Idempotent; the destructor calls it.
@@ -101,10 +138,14 @@ class DistCoordinator : public core::ShardExecutor {
 
   /// Mirror of the dist.* counters for direct assertions.
   struct Stats {
-    uint64_t assigns = 0;
-    uint64_t results = 0;
-    uint64_t reassigns = 0;
-    uint64_t worker_losses = 0;
+    uint64_t assigns = 0;       // queue-driven deliveries (excl. speculative)
+    uint64_t results = 0;       // applied results (zombies excluded)
+    uint64_t reassigns = 0;     // re-queues after a delivered unit's loss
+    uint64_t worker_losses = 0; // all losses (EOF, error, liveness, ...)
+    uint64_t workers_lost = 0;  // the liveness-deadline subset of losses
+    uint64_t zombie_results_dropped = 0;
+    uint64_t speculative_assigns = 0;
+    uint64_t rejoins = 0;       // external workers admitted after Start()
     uint64_t respawns = 0;
     uint64_t units_failed = 0;
     uint64_t heartbeats = 0;
@@ -118,6 +159,15 @@ class DistCoordinator : public core::ShardExecutor {
     pid_t pid = -1;  // -1: external worker
     bool hello_ok = false;
     int64_t inflight_unit = -1;  // -1: idle
+    uint32_t inflight_assignment = 0;
+    /// The in-flight unit belongs to a PREVIOUS round: its speculative twin
+    /// finished the round while this worker was still computing. Its unit/
+    /// assignment ids are meaningless against the current round's arrays,
+    /// so the eventual result is dropped as a zombie (never applied, never
+    /// requeued) and only then does the worker take new work.
+    bool inflight_stale = false;
+    int64_t assigned_at_ms = 0;
+    int64_t last_heard_ms = 0;
     size_t id = 0;
   };
 
@@ -133,9 +183,23 @@ class DistCoordinator : public core::ShardExecutor {
   bool DispatchFrame(size_t widx, const std::string& payload,
                      std::vector<core::ShardTask>* tasks,
                      std::vector<core::ShardTaskResult>* results);
+  /// Sends Shutdown and severs a worker the pool must not keep (wrong
+  /// fingerprint/protocol, admission budget exhausted).
+  void RejectWorker(size_t widx, const std::string& why);
   /// Marks a worker dead: requeues its in-flight unit, reaps the child,
   /// respawns a replacement when allowed.
   void LoseWorker(size_t widx, const std::string& why);
+  /// Declares silent workers lost once their liveness deadline passes.
+  void SweepLiveness();
+  /// Hands out one speculative copy of the oldest eligible straggler unit
+  /// per idle worker (queue must be empty).
+  void SpeculateStragglers(std::vector<core::ShardTask>* tasks,
+                           std::vector<core::ShardTaskResult>* results);
+  /// Encodes and sends `unit` to `worker` under `assignment`. On success
+  /// records the in-flight state; on failure loses the worker (without
+  /// requeueing `unit` — the caller owns that decision) and returns false.
+  bool SendAssign(size_t widx, size_t unit, uint32_t assignment,
+                  std::vector<core::ShardTask>* tasks);
   void FailUnit(size_t unit, const std::string& why,
                 std::vector<core::ShardTask>* tasks,
                 std::vector<core::ShardTaskResult>* results);
@@ -146,9 +210,12 @@ class DistCoordinator : public core::ShardExecutor {
   // push_back into the vector mid-sweep.
   std::vector<std::unique_ptr<Worker>> workers_;
   int listen_fd_ = -1;
+  Transport transport_ = Transport::kUnix;
+  uint16_t listen_port_ = 0;
   size_t next_worker_id_ = 0;
   size_t respawns_used_ = 0;
   bool started_ = false;
+  bool accepting_midrun_ = false;  // Start() completed; Hellos now rejoin
   Stats stats_;
 
   // Round-scoped state (valid only inside ExecuteRound).
@@ -156,6 +223,7 @@ class DistCoordinator : public core::ShardExecutor {
   std::vector<uint32_t> unit_assignment_;   // times each unit was handed out
   size_t units_done_ = 0;
   size_t units_remaining_ = 0;
+  std::vector<core::ShardTaskResult>* round_results_ = nullptr;
 };
 
 }  // namespace dist

@@ -1,0 +1,203 @@
+#include "midas/dist/net.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace midas {
+namespace dist {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// getaddrinfo over the split address. `passive` requests AI_PASSIVE
+/// wildcard binding for an empty/0.0.0.0 host.
+Status ResolveTcp(const std::string& address, bool passive,
+                  struct addrinfo** out) {
+  std::string host;
+  std::string port;
+  MIDAS_RETURN_IF_ERROR(SplitHostPort(address, &host, &port));
+  if (!host.empty() && host.front() == '[' && host.back() == ']') {
+    host = host.substr(1, host.size() - 2);  // [::1] -> ::1
+  }
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port.c_str(), &hints, out);
+  if (rc != 0) {
+    return Status::InvalidArgument("cannot resolve '" + address +
+                                   "': " + ::gai_strerror(rc));
+  }
+  return Status::OK();
+}
+
+bool RetryableConnectErrno(int err) {
+  return err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
+         err == ETIMEDOUT || err == ENETUNREACH || err == EHOSTUNREACH;
+}
+
+/// One blocking connect attempt over every resolved/declared address.
+/// Returns the connected fd, or -1 with errno from the last failure.
+template <typename TryOne>
+StatusOr<int> ConnectWithRetry(const std::string& address, int retry_ms,
+                               const TryOne& try_one) {
+  const int64_t deadline = NowMs() + retry_ms;
+  for (;;) {
+    const int fd = try_one();
+    if (fd >= 0) return fd;
+    if (!RetryableConnectErrno(errno) || NowMs() >= deadline) {
+      return ErrnoStatus("connect failed for '" + address + "'");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace
+
+bool IsTcpAddress(std::string_view address) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string_view::npos || colon + 1 >= address.size()) {
+    return false;
+  }
+  // A path component anywhere makes it a unix path, ':' or not.
+  if (address.find('/') != std::string_view::npos) return false;
+  for (const char c : address.substr(colon + 1)) {
+    if (c < '0' || c > '9') return false;
+  }
+  return colon > 0;
+}
+
+Status SplitHostPort(std::string_view address, std::string* host,
+                     std::string* port) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return Status::InvalidArgument("expected host:port, got '" +
+                                   std::string(address) + "'");
+  }
+  host->assign(address.substr(0, colon));
+  port->assign(address.substr(colon + 1));
+  return Status::OK();
+}
+
+StatusOr<int> ListenTcp(const std::string& address, int backlog) {
+  struct addrinfo* info = nullptr;
+  MIDAS_RETURN_IF_ERROR(ResolveTcp(address, /*passive=*/true, &info));
+  Status last = Status::IoError("no addresses resolved for '" + address + "'");
+  for (struct addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family,
+                            ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                            ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket failed");
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      last = ErrnoStatus("bind/listen failed for '" + address + "'");
+      ::close(fd);
+      continue;
+    }
+    ::freeaddrinfo(info);
+    return fd;
+  }
+  ::freeaddrinfo(info);
+  return last;
+}
+
+StatusOr<int> ConnectTcp(const std::string& address, int retry_ms) {
+  struct addrinfo* info = nullptr;
+  MIDAS_RETURN_IF_ERROR(ResolveTcp(address, /*passive=*/false, &info));
+  StatusOr<int> fd = ConnectWithRetry(address, retry_ms, [info] {
+    for (struct addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                              ai->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) return fd;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+    }
+    return -1;
+  });
+  ::freeaddrinfo(info);
+  if (fd.ok()) MIDAS_RETURN_IF_ERROR(SetTcpNoDelay(*fd));
+  return fd;
+}
+
+StatusOr<int> ConnectUnix(const std::string& path, int retry_ms) {
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix-socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  return ConnectWithRetry(path, retry_ms, [&addr] {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  });
+}
+
+StatusOr<int> ConnectAddress(const std::string& address, int retry_ms) {
+  return IsTcpAddress(address) ? ConnectTcp(address, retry_ms)
+                               : ConnectUnix(address, retry_ms);
+}
+
+StatusOr<uint16_t> BoundTcpPort(int fd) {
+  struct sockaddr_storage ss = {};
+  socklen_t len = sizeof(ss);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&ss), &len) != 0) {
+    return ErrnoStatus("getsockname failed");
+  }
+  if (ss.ss_family == AF_INET) {
+    return static_cast<uint16_t>(
+        ntohs(reinterpret_cast<struct sockaddr_in*>(&ss)->sin_port));
+  }
+  if (ss.ss_family == AF_INET6) {
+    return static_cast<uint16_t>(
+        ntohs(reinterpret_cast<struct sockaddr_in6*>(&ss)->sin6_port));
+  }
+  return Status::InvalidArgument("not a TCP socket");
+}
+
+Status SetTcpNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY) failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace dist
+}  // namespace midas

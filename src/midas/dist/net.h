@@ -1,0 +1,58 @@
+#ifndef MIDAS_DIST_NET_H_
+#define MIDAS_DIST_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "midas/util/status.h"
+
+namespace midas {
+namespace dist {
+
+/// Address helpers shared by the coordinator, the worker CLI, and the
+/// tests. A dist endpoint address is either a unix-socket path or a TCP
+/// `host:port` pair; the two are auto-detected by grammar:
+///
+///   address := tcp | unix
+///   tcp     := host ':' port          host has no '/', port is all digits
+///   unix    := anything else          (paths may contain ':' only if they
+///                                      also contain '/')
+///
+/// "127.0.0.1:7070", "localhost:0", "[::1]:7070" are TCP;
+/// "/tmp/midas.sock" and "./x:y.sock" are unix paths.
+bool IsTcpAddress(std::string_view address);
+
+/// Splits "host:port" at the LAST ':' (IPv6 literals keep their brackets,
+/// which getaddrinfo strips). InvalidArgument when either half is empty.
+Status SplitHostPort(std::string_view address, std::string* host,
+                     std::string* port);
+
+/// Binds and listens on a TCP `host:port` (port 0 = ephemeral; recover the
+/// bound port with BoundTcpPort). The fd comes back non-blocking with
+/// SO_REUSEADDR set. Returns the listening fd.
+StatusOr<int> ListenTcp(const std::string& address, int backlog);
+
+/// Blocking connect to a TCP `host:port`. `retry_ms` > 0 keeps retrying
+/// refused/unreachable connects for that long (a worker racing the
+/// coordinator's bind). TCP_NODELAY is set on the connected fd — dist
+/// frames are latency-sensitive request/response pairs, not bulk streams.
+StatusOr<int> ConnectTcp(const std::string& address, int retry_ms);
+
+/// Blocking connect to a unix-socket path, with the same retry contract.
+StatusOr<int> ConnectUnix(const std::string& path, int retry_ms);
+
+/// Connects to either address form, dispatching on IsTcpAddress.
+StatusOr<int> ConnectAddress(const std::string& address, int retry_ms);
+
+/// The local port a (listening or connected) TCP fd is bound to.
+StatusOr<uint16_t> BoundTcpPort(int fd);
+
+/// Sets TCP_NODELAY; a no-op Status::OK on non-TCP fds is NOT guaranteed —
+/// call only on TCP sockets.
+Status SetTcpNoDelay(int fd);
+
+}  // namespace dist
+}  // namespace midas
+
+#endif  // MIDAS_DIST_NET_H_

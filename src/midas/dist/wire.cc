@@ -197,6 +197,7 @@ std::string EncodeWorkResult(const WorkResultMsg& msg,
   std::string payload;
   payload.push_back(static_cast<char>(MessageKind::kWorkResult));
   AppendU64(&payload, msg.unit);
+  AppendU32(&payload, msg.assignment);
   AppendU32(&payload, static_cast<uint32_t>(msg.status));
   AppendU32(&payload, msg.attempts);
   AppendStr(&payload, msg.error);
@@ -210,8 +211,8 @@ Status DecodeWorkResult(std::string_view payload, const rdf::Dictionary& dict,
   *out = WorkResultMsg();
   uint32_t status = 0;
   if (!ReadKindByte(&cur, MessageKind::kWorkResult) || !cur.ReadU64(&out->unit) ||
-      !cur.ReadU32(&status) || !cur.ReadU32(&out->attempts) ||
-      !cur.ReadStr(&out->error)) {
+      !cur.ReadU32(&out->assignment) || !cur.ReadU32(&status) ||
+      !cur.ReadU32(&out->attempts) || !cur.ReadStr(&out->error)) {
     return CorruptMsg("work_result header");
   }
   if (status > static_cast<uint32_t>(core::SourceStatus::kCancelled)) {

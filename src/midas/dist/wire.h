@@ -28,8 +28,8 @@ namespace dist {
 ///   Hello      := 'h' protocol:u32 fingerprint:u64       (worker → coord)
 ///   WorkAssign := 'a' unit:u64 assignment:u32 consolidate:u8 url:str
 ///                 nfacts:u32 (s p o)* child_blob:str     (coord → worker)
-///   WorkResult := 'r' unit:u64 status:u32 attempts:u32 error:str
-///                 slice_blob:str                         (worker → coord)
+///   WorkResult := 'r' unit:u64 assignment:u32 status:u32 attempts:u32
+///                 error:str slice_blob:str               (worker → coord)
 ///   Heartbeat  := 'b' units_completed:u64                (worker → coord)
 ///   Shutdown   := 'q'                                    (coord → worker)
 ///
@@ -43,8 +43,12 @@ namespace dist {
 /// rejects a worker that loaded a different corpus, seed, or pipeline mode
 /// instead of merging results that cannot be bit-identical.
 
-/// Current protocol version, carried in Hello.
-inline constexpr uint32_t kDistProtocolVersion = 1;
+/// Current protocol version, carried in Hello. v2 added
+/// WorkResult.assignment: with liveness-driven requeues and speculative
+/// re-assignment, a unit can legitimately be in flight on two workers at
+/// once, and the coordinator needs the assignment id echoed back to tell a
+/// live result from a zombie one.
+inline constexpr uint32_t kDistProtocolVersion = 2;
 
 enum class MessageKind : uint8_t {
   kHello = 'h',
@@ -77,6 +81,10 @@ struct WorkAssignMsg {
 
 struct WorkResultMsg {
   uint64_t unit = 0;
+  /// Echo of WorkAssignMsg::assignment — the coordinator's zombie check: a
+  /// result whose (unit, assignment) no longer matches what this worker
+  /// holds is discarded, never merged twice.
+  uint32_t assignment = 1;
   core::SourceStatus status = core::SourceStatus::kCancelled;
   uint32_t attempts = 0;
   std::string error;

@@ -2,7 +2,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -31,7 +35,7 @@ Status RunWorkerLoop(int fd, const WorkerConfig& config) {
     ::close(fd);
     return Status::InvalidArgument("WorkerConfig missing detector/kb/dict");
   }
-  FrameChannel channel(fd, "coordinator");
+  FrameChannel channel(fd, "coordinator", config.transport);
   MIDAS_RETURN_IF_ERROR(channel.SendMagic());
   HelloMsg hello;
   hello.fingerprint = config.fingerprint;
@@ -51,12 +55,20 @@ Status RunWorkerLoop(int fd, const WorkerConfig& config) {
         continue;
       }
       case FrameChannel::Read::kEof:
-        // Coordinator went away (or released us): a clean exit.
-        return Status::OK();
+        // The coordinator always releases workers with an explicit Shutdown
+        // frame; a bare EOF means it died (crash, SIGKILL, network death).
+        // Surface that as an error so the CLI exits nonzero and whatever
+        // supervises this worker restarts or alerts instead of treating an
+        // orphaned worker as a finished one.
+        MIDAS_LOG(Warning)
+            << "dist: coordinator lost (channel closed without Shutdown)";
+        return Status::IoError("coordinator lost: channel closed without Shutdown");
       case FrameChannel::Read::kCorrupt:
         return Status::Corruption("worker channel corrupt: " + error);
       case FrameChannel::Read::kError:
-        return Status::IoError("worker channel error: " + error);
+        // ECONNRESET and friends: the coordinator (or the path to it) died.
+        MIDAS_LOG(Warning) << "dist: coordinator lost (" << error << ")";
+        return Status::IoError("coordinator lost: " + error);
       case FrameChannel::Read::kNeedMore:
         continue;  // not produced by WaitForFrame; defensive
       case FrameChannel::Read::kFrame:
@@ -95,11 +107,46 @@ Status RunWorkerLoop(int fd, const WorkerConfig& config) {
         input.seeds.push_back(cs.properties);
       }
     }
+
+    // Keep heartbeating while the detector runs: a unit can legitimately
+    // take longer than the coordinator's liveness deadline, and silence
+    // during execution would read as death. The beater is joined before the
+    // channel is touched again below, so channel use stays single-threaded
+    // (writes ordered by the join, not a lock).
+    std::thread beater;
+    std::mutex beat_mu;
+    std::condition_variable beat_cv;
+    bool beat_done = false;
+    if (config.heartbeat_interval_ms > 0) {
+      beater = std::thread([&] {
+        std::unique_lock<std::mutex> lock(beat_mu);
+        while (!beat_cv.wait_for(
+            lock, std::chrono::milliseconds(config.heartbeat_interval_ms),
+            [&] { return beat_done; })) {
+          HeartbeatMsg beat;
+          beat.units_completed = units_completed;
+          lock.unlock();
+          // Failures here mean the coordinator is gone; the result write
+          // below will hit the same error and surface it.
+          (void)channel.WriteFrame(EncodeHeartbeat(beat));
+          lock.lock();
+        }
+      });
+    }
     core::ShardDetectResult detected = core::DetectShardWithRetry(
         *config.detector, *config.kb, &input, config.detect);
+    if (beater.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(beat_mu);
+        beat_done = true;
+      }
+      beat_cv.notify_all();
+      beater.join();
+    }
 
     WorkResultMsg result;
     result.unit = assign.unit;
+    result.assignment = assign.assignment;
     result.status = detected.status;
     result.attempts = static_cast<uint32_t>(detected.attempts);
     result.error = std::move(detected.error);

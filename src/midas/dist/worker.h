@@ -5,6 +5,7 @@
 
 #include "midas/core/framework.h"
 #include "midas/core/slice_detector.h"
+#include "midas/dist/channel.h"
 #include "midas/rdf/dictionary.h"
 #include "midas/rdf/knowledge_base.h"
 #include "midas/util/status.h"
@@ -25,12 +26,19 @@ struct WorkerConfig {
   core::ShardDetectOptions detect;
   /// Announced in Hello; core::ComputeRunFingerprint of the loaded run.
   uint64_t fingerprint = 0;
-  /// Heartbeat cadence while idle (ms); 0 disables heartbeats.
+  /// Heartbeat cadence (ms), both while idle and *during* unit execution
+  /// (a background thread beats while the detector runs, so a coordinator
+  /// liveness deadline shorter than a long detection does not declare a
+  /// healthy worker dead). 0 disables heartbeats; keep it well under the
+  /// coordinator's --worker_liveness_ms.
   int heartbeat_interval_ms = 1000;
+  /// Transport of `fd`: kTcp connections get TCP_NODELAY and are the
+  /// net_delay/net_drop/net_partition injection surface (channel.h).
+  Transport transport = Transport::kUnix;
 };
 
-/// Runs the worker side of the dist protocol on `fd` (a connected unix
-/// socket; ownership is taken) until Shutdown or EOF. Every WorkAssign runs
+/// Runs the worker side of the dist protocol on `fd` (a connected unix or
+/// TCP socket; ownership is taken) until Shutdown. Every WorkAssign runs
 /// through core::DetectShardWithRetry — the same per-shard path the
 /// in-process executor uses, which is what pins worker results bit-identical
 /// to a single-process run.
@@ -39,8 +47,11 @@ struct WorkerConfig {
 /// the process mid-unit, modeling a machine loss for the crash matrix; the
 /// re-assigned attempt carries a different key, so it completes.
 ///
-/// Returns OK on a clean Shutdown/EOF; an error Status on a torn or
-/// corrupt channel.
+/// Returns OK only on an explicit Shutdown frame. EOF or a connection
+/// error without Shutdown means the coordinator died (the coordinator
+/// always releases workers with Shutdown first): that is an IoError, so
+/// the CLI exits nonzero and a supervisor restarts/alerts instead of
+/// treating a headless worker as finished.
 Status RunWorkerLoop(int fd, const WorkerConfig& config);
 
 }  // namespace dist

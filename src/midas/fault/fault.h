@@ -47,6 +47,9 @@ inline constexpr char kSiteServeAccept[] = "serve_accept";   // drop new conns
 inline constexpr char kSiteServeRead[] = "serve_read";       // torn socket read
 inline constexpr char kSiteWorkerCrash[] = "worker_crash";   // dist worker _exit
 inline constexpr char kSiteSocketTorn[] = "socket_torn";     // dist frame torn mid-write
+inline constexpr char kSiteNetDelay[] = "net_delay";         // dist TCP frame delayed
+inline constexpr char kSiteNetDrop[] = "net_drop";           // dist TCP frame dropped (one way)
+inline constexpr char kSiteNetPartition[] = "net_partition"; // dist TCP both-way outage, timed
 
 /// One armed injection site.
 struct SiteSpec {

@@ -1,0 +1,434 @@
+// Socket-level tests of the TCP dist transport (ISSUE 9): the host:port
+// address grammar, ephemeral-port listen/connect, framed messages over a
+// real localhost TCP pair with torn reads at every byte split, EAGAIN
+// short-write handling under a tiny send buffer, the bounded write
+// timeout against a peer that never drains, and the seeded net_delay /
+// net_drop / net_partition fault sites (which must stay inert on unix
+// transports).
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "midas/dist/channel.h"
+#include "midas/dist/net.h"
+#include "midas/fault/fault.h"
+#include "midas/store/record_log.h"
+
+namespace midas {
+namespace dist {
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Listens on an ephemeral localhost port, connects, and accepts: a real
+/// TCP pair. `a` is the accepted (server) end, `b` the connected (client)
+/// end; both blocking until a test opts into non-blocking itself.
+void MakeTcpPair(int* a, int* b) {
+  const StatusOr<int> listen_fd = ListenTcp("127.0.0.1:0", 8);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status().ToString();
+  const StatusOr<uint16_t> port = BoundTcpPort(*listen_fd);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  const StatusOr<int> client =
+      ConnectTcp("127.0.0.1:" + std::to_string(*port), 2000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // ListenTcp fds are non-blocking; poll for the pending connection.
+  struct pollfd pfd = {};
+  pfd.fd = *listen_fd;
+  pfd.events = POLLIN;
+  ASSERT_GT(::poll(&pfd, 1, 2000), 0);
+  const int accepted = ::accept(*listen_fd, nullptr, nullptr);
+  ASSERT_GE(accepted, 0);
+  ::close(*listen_fd);
+  *a = accepted;
+  *b = *client;
+}
+
+void WriteRaw(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    ASSERT_GT(n, 0);
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Drains everything currently available plus the stream's end state. Unlike
+/// the socketpair variant in frame_channel_test.cc, loopback TCP delivers
+/// bytes (and the FIN) asynchronously, so an empty-but-open socket returns
+/// with *end = kNeedMore and the caller polls before retrying.
+std::vector<std::string> DrainToEnd(FrameChannel* rx,
+                                    FrameChannel::Read* end) {
+  std::vector<std::string> payloads;
+  std::string error;
+  const FrameChannel::Read read = rx->ReadAvailable(&error);
+  if (read == FrameChannel::Read::kError) {
+    *end = read;
+    return payloads;
+  }
+  for (;;) {
+    std::string payload;
+    const FrameChannel::Read popped = rx->PopFrame(&payload, &error);
+    if (popped == FrameChannel::Read::kFrame) {
+      payloads.push_back(std::move(payload));
+      continue;
+    }
+    *end = popped;  // kNeedMore, kEof, or kCorrupt
+    return payloads;
+  }
+}
+
+TEST(TcpChannelTest, AddressGrammarAutoDetectsTransport) {
+  EXPECT_TRUE(IsTcpAddress("127.0.0.1:7070"));
+  EXPECT_TRUE(IsTcpAddress("localhost:0"));
+  EXPECT_TRUE(IsTcpAddress("[::1]:7070"));
+  EXPECT_TRUE(IsTcpAddress("example.com:65535"));
+  EXPECT_FALSE(IsTcpAddress("/tmp/midas.sock"));
+  EXPECT_FALSE(IsTcpAddress("./funky:name.sock"));   // ':' but has '/'
+  EXPECT_FALSE(IsTcpAddress("relative.sock"));       // no ':'
+  EXPECT_FALSE(IsTcpAddress("host:"));               // empty port
+  EXPECT_FALSE(IsTcpAddress(":7070"));               // empty host
+  EXPECT_FALSE(IsTcpAddress("host:70x"));            // non-digit port
+  EXPECT_FALSE(IsTcpAddress(""));
+
+  std::string host, port;
+  ASSERT_TRUE(SplitHostPort("[::1]:7070", &host, &port).ok());
+  EXPECT_EQ(host, "[::1]");
+  EXPECT_EQ(port, "7070");
+  ASSERT_TRUE(SplitHostPort("127.0.0.1:0", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, "0");
+  EXPECT_FALSE(SplitHostPort("nocolon", &host, &port).ok());
+}
+
+TEST(TcpChannelTest, EphemeralListenConnectRoundtrip) {
+  int a = -1, b = -1;
+  MakeTcpPair(&a, &b);
+  FrameChannel server(a, "server", Transport::kTcp);
+  FrameChannel client(b, "client", Transport::kTcp);
+  EXPECT_EQ(server.transport(), Transport::kTcp);
+
+  // The FrameChannel ctor sets TCP_NODELAY on TCP transports.
+  int nodelay = 0;
+  socklen_t len = sizeof(nodelay);
+  ASSERT_EQ(::getsockopt(server.fd(), IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                         &len),
+            0);
+  EXPECT_NE(nodelay, 0);
+
+  ASSERT_TRUE(server.SendMagic().ok());
+  ASSERT_TRUE(client.SendMagic().ok());
+  ASSERT_TRUE(server.WriteFrame("assign").ok());
+  ASSERT_TRUE(client.WriteFrame(std::string(100000, 'r')).ok());
+
+  std::string payload, error;
+  ASSERT_EQ(client.WaitForFrame(2000, &payload, &error),
+            FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, "assign");
+  ASSERT_EQ(server.WaitForFrame(2000, &payload, &error),
+            FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, std::string(100000, 'r'));
+}
+
+TEST(TcpChannelTest, ConnectRefusedFailsAfterRetryDeadline) {
+  // Grab a port and close the listener so the connect is refused.
+  const StatusOr<int> listen_fd = ListenTcp("127.0.0.1:0", 1);
+  ASSERT_TRUE(listen_fd.ok());
+  const StatusOr<uint16_t> port = BoundTcpPort(*listen_fd);
+  ASSERT_TRUE(port.ok());
+  ::close(*listen_fd);
+  const StatusOr<int> fd =
+      ConnectTcp("127.0.0.1:" + std::to_string(*port), 150);
+  EXPECT_FALSE(fd.ok());
+}
+
+// TCP is a byte stream with arbitrary segmentation: every split of the
+// stream into two raw sends must decode to exactly the same frames.
+TEST(TcpChannelTest, EveryByteSplitPointDecodesIdentically) {
+  const std::string p1 = "first frame payload";
+  const std::string p2 = std::string(300, 'z') + "tail";
+  std::string bytes(store::kRecordLogMagic, store::kRecordLogMagicLen);
+  bytes += store::EncodeRecordFrame(p1);
+  bytes += store::EncodeRecordFrame(p2);
+
+  for (size_t split = 0; split <= bytes.size(); ++split) {
+    int a = -1, b = -1;
+    MakeTcpPair(&a, &b);
+    const int tx = b;
+    FrameChannel rx(a, "rx", Transport::kTcp);
+    ASSERT_TRUE(rx.SetNonBlocking().ok());
+    WriteRaw(tx, bytes.substr(0, split));
+
+    // First half: whatever is complete so far, never an error. Loopback
+    // delivery is asynchronous, so poll until the prefix is readable.
+    std::string error;
+    std::vector<std::string> got;
+    struct pollfd pfd = {};
+    pfd.fd = rx.fd();
+    pfd.events = POLLIN;
+    if (split > 0) ASSERT_GT(::poll(&pfd, 1, 2000), 0) << "split " << split;
+    const FrameChannel::Read first = rx.ReadAvailable(&error);
+    ASSERT_NE(first, FrameChannel::Read::kError) << "split " << split;
+    for (;;) {
+      std::string payload;
+      const FrameChannel::Read popped = rx.PopFrame(&payload, &error);
+      if (popped != FrameChannel::Read::kFrame) {
+        ASSERT_EQ(popped, FrameChannel::Read::kNeedMore)
+            << "split " << split << ": " << error;
+        break;
+      }
+      got.push_back(std::move(payload));
+    }
+
+    WriteRaw(tx, bytes.substr(split));
+    ::close(tx);
+    FrameChannel::Read end = FrameChannel::Read::kNeedMore;
+    // DrainToEnd assumes data is available; wait for the rest + EOF.
+    for (;;) {
+      std::vector<std::string> more = DrainToEnd(&rx, &end);
+      for (std::string& payload : more) got.push_back(std::move(payload));
+      if (end != FrameChannel::Read::kNeedMore) break;
+      ASSERT_GT(::poll(&pfd, 1, 2000), 0) << "split " << split;
+    }
+    EXPECT_EQ(end, FrameChannel::Read::kEof) << "split " << split;
+    ASSERT_EQ(got.size(), 2u) << "split " << split;
+    EXPECT_EQ(got[0], p1);
+    EXPECT_EQ(got[1], p2);
+  }
+}
+
+// A peer that dies mid-frame over TCP leaves a torn tail: corruption, not a
+// clean EOF.
+TEST(TcpChannelTest, TornFrameAtEofIsCorruptOverTcp) {
+  std::string bytes(store::kRecordLogMagic, store::kRecordLogMagicLen);
+  bytes += store::EncodeRecordFrame("complete");
+  const size_t boundary = bytes.size();
+  bytes += store::EncodeRecordFrame("torn away");
+
+  for (size_t cut = boundary + 1; cut < bytes.size(); ++cut) {
+    int a = -1, b = -1;
+    MakeTcpPair(&a, &b);
+    const int tx = b;
+    FrameChannel rx(a, "rx", Transport::kTcp);
+    ASSERT_TRUE(rx.SetNonBlocking().ok());
+    WriteRaw(tx, bytes.substr(0, cut));
+    ::close(tx);
+    struct pollfd pfd = {};
+    pfd.fd = rx.fd();
+    pfd.events = POLLIN;
+    FrameChannel::Read end = FrameChannel::Read::kNeedMore;
+    std::vector<std::string> got;
+    for (;;) {
+      std::vector<std::string> more = DrainToEnd(&rx, &end);
+      for (std::string& payload : more) got.push_back(std::move(payload));
+      if (end != FrameChannel::Read::kNeedMore) break;
+      ASSERT_GT(::poll(&pfd, 1, 2000), 0) << "cut " << cut;
+    }
+    ASSERT_EQ(got.size(), 1u) << "cut " << cut;
+    EXPECT_EQ(got[0], "complete");
+    EXPECT_EQ(end, FrameChannel::Read::kCorrupt) << "cut " << cut;
+  }
+}
+
+// A non-blocking sender with a tiny send buffer hits EAGAIN mid-frame; the
+// channel must poll for writability and finish the short write, delivering
+// the frame intact once the (slow) reader drains.
+TEST(TcpChannelTest, ShortWritesUnderTinySendBufferDeliverIntact) {
+  int a = -1, b = -1;
+  MakeTcpPair(&a, &b);
+  // A tiny send buffer forces send(2) to take the frame in short slices
+  // and hit EAGAIN whenever in-flight data outruns the sleeping reader.
+  // (The receive side keeps its default size: shrinking SO_RCVBUF after
+  // the window was already advertised wedges loopback delivery outright.)
+  const int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(b, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf)),
+            0);
+  FrameChannel tx(b, "tx", Transport::kTcp);
+  FrameChannel rx(a, "rx", Transport::kTcp);
+  ASSERT_TRUE(tx.SetNonBlocking().ok());
+  const std::string big(4 * 1024 * 1024, 'q');
+
+  std::thread reader([&] {
+    std::string payload, error;
+    // The reader starts late on purpose: the writer must block in its
+    // EAGAIN/POLLOUT loop until bytes drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_EQ(rx.WaitForFrame(30000, &payload, &error),
+              FrameChannel::Read::kFrame)
+        << error;
+    EXPECT_EQ(payload, big);
+  });
+  ASSERT_TRUE(tx.SendMagic().ok());
+  const Status write_status = tx.WriteFrame(big);
+  EXPECT_TRUE(write_status.ok()) << write_status.ToString();
+  reader.join();
+}
+
+// A peer that never drains must bound the writer: the write times out with
+// an IoError instead of wedging the coordinator forever.
+TEST(TcpChannelTest, WriteTimesOutWhenPeerNeverDrains) {
+  int a = -1, b = -1;
+  MakeTcpPair(&a, &b);
+  const int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(b, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf)),
+            0);
+  FrameChannel tx(b, "tx", Transport::kTcp);
+  ASSERT_TRUE(tx.SetNonBlocking().ok());
+  tx.set_write_timeout_ms(200);
+  ASSERT_TRUE(tx.SendMagic().ok());
+
+  const int64_t before = NowMs();
+  const Status status = tx.WriteFrame(std::string(16 * 1024 * 1024, 'w'));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("timed out"), std::string::npos)
+      << status.ToString();
+  EXPECT_GE(NowMs() - before, 200);
+  ::close(a);
+}
+
+#ifdef MIDAS_FAULT_INJECTION
+
+TEST(TcpChannelTest, NetDropEatsFrameWhileWriterSeesOk) {
+  int a = -1, b = -1;
+  MakeTcpPair(&a, &b);
+  FrameChannel tx(b, "tx", Transport::kTcp);
+  FrameChannel rx(a, "rx", Transport::kTcp);
+  ASSERT_TRUE(tx.SendMagic().ok());
+  {
+    fault::ScopedFaultSpec armed("site=net_drop,rate=1,seed=7,max_fires=1");
+    // The network ate it: the sender cannot tell and must see OK.
+    ASSERT_TRUE(tx.WriteFrame("vanishes").ok());
+    EXPECT_EQ(fault::FaultInjector::Global().fires(fault::kSiteNetDrop), 1u);
+  }
+  ASSERT_TRUE(tx.WriteFrame("arrives").ok());
+
+  std::string payload, error;
+  ASSERT_EQ(rx.WaitForFrame(2000, &payload, &error),
+            FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, "arrives");  // the dropped frame never shows up
+}
+
+TEST(TcpChannelTest, NetDelayDelaysButDelivers) {
+  int a = -1, b = -1;
+  MakeTcpPair(&a, &b);
+  FrameChannel tx(b, "tx", Transport::kTcp);
+  FrameChannel rx(a, "rx", Transport::kTcp);
+  ASSERT_TRUE(tx.SendMagic().ok());
+  fault::ScopedFaultSpec armed("site=net_delay,rate=1,seed=7,delay_ms=120");
+  const int64_t before = NowMs();
+  ASSERT_TRUE(tx.WriteFrame("slow but sure").ok());
+  EXPECT_GE(NowMs() - before, 120);
+  std::string payload, error;
+  ASSERT_EQ(rx.WaitForFrame(2000, &payload, &error),
+            FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, "slow but sure");
+}
+
+// net_partition is a timed both-way outage on the afflicted channel:
+// outbound frames are swallowed while it lasts, inbound frames that
+// surface during it are discarded, and traffic resumes once it expires.
+TEST(TcpChannelTest, NetPartitionIsTimedAndBothWays) {
+  int a = -1, b = -1;
+  MakeTcpPair(&a, &b);
+  FrameChannel part(b, "partitioned", Transport::kTcp);
+  FrameChannel peer(a, "peer", Transport::kTcp);
+  ASSERT_TRUE(part.SendMagic().ok());
+  ASSERT_TRUE(peer.SendMagic().ok());
+
+  {
+    fault::ScopedFaultSpec armed(
+        "site=net_partition,rate=1,seed=5,delay_ms=400,max_fires=1");
+    ASSERT_TRUE(part.WriteFrame("eaten by outage").ok());  // starts it
+  }
+  ASSERT_TRUE(part.WriteFrame("also eaten").ok());  // still inside it
+
+  // Inbound during the outage: the peer's frame reaches the socket but the
+  // partitioned channel discards it.
+  ASSERT_TRUE(peer.WriteFrame("lost inbound").ok());
+  std::string payload, error;
+  EXPECT_EQ(part.WaitForFrame(150, &payload, &error),
+            FrameChannel::Read::kTimeout);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  ASSERT_TRUE(part.WriteFrame("after the outage").ok());
+  ASSERT_TRUE(peer.WriteFrame("inbound after").ok());
+  ASSERT_EQ(peer.WaitForFrame(2000, &payload, &error),
+            FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, "after the outage");
+  ASSERT_EQ(part.WaitForFrame(2000, &payload, &error),
+            FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, "inbound after");
+}
+
+// The net_* sites model the network; a unix socketpair has none, so an
+// armed spec must not perturb unix channels (the in-process fork mode's
+// transport) at all.
+TEST(TcpChannelTest, NetSitesAreInertOnUnixTransport) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FrameChannel tx(fds[1], "tx");  // default Transport::kUnix
+  FrameChannel rx(fds[0], "rx");
+  EXPECT_EQ(tx.transport(), Transport::kUnix);
+  ASSERT_TRUE(tx.SendMagic().ok());
+  fault::ScopedFaultSpec armed(
+      "site=net_drop,rate=1,seed=1;site=net_partition,rate=1,seed=1");
+  ASSERT_TRUE(tx.WriteFrame("unmolested").ok());
+  EXPECT_EQ(fault::FaultInjector::Global().fires(fault::kSiteNetDrop), 0u);
+  EXPECT_EQ(fault::FaultInjector::Global().fires(fault::kSiteNetPartition),
+            0u);
+  std::string payload, error;
+  ASSERT_EQ(rx.WaitForFrame(2000, &payload, &error),
+            FrameChannel::Read::kFrame);
+  EXPECT_EQ(payload, "unmolested");
+}
+
+// Seeded determinism: the same spec over the same frame sequence drops the
+// same frames, run after run — what makes net-fault runs replayable.
+TEST(TcpChannelTest, NetDropDecisionsAreSeededAndReplayable) {
+  std::vector<std::vector<size_t>> dropped_per_run;
+  for (int run = 0; run < 2; ++run) {
+    int a = -1, b = -1;
+    MakeTcpPair(&a, &b);
+    FrameChannel tx(b, "tx", Transport::kTcp);
+    FrameChannel rx(a, "rx", Transport::kTcp);
+    ASSERT_TRUE(tx.SendMagic().ok());
+    fault::ScopedFaultSpec armed("site=net_drop,rate=0.4,seed=23");
+    for (size_t i = 0; i < 32; ++i) {
+      ASSERT_TRUE(tx.WriteFrame("frame-" + std::to_string(i)).ok());
+    }
+    // Collect what survived; the complement was dropped.
+    std::vector<size_t> dropped;
+    std::vector<bool> seen(32, false);
+    std::string payload, error;
+    while (rx.WaitForFrame(200, &payload, &error) ==
+           FrameChannel::Read::kFrame) {
+      seen[static_cast<size_t>(std::stoi(payload.substr(6)))] = true;
+    }
+    for (size_t i = 0; i < 32; ++i) {
+      if (!seen[i]) dropped.push_back(i);
+    }
+    EXPECT_FALSE(dropped.empty());
+    EXPECT_LT(dropped.size(), 32u);
+    dropped_per_run.push_back(std::move(dropped));
+  }
+  EXPECT_EQ(dropped_per_run[0], dropped_per_run[1]);
+}
+
+#endif  // MIDAS_FAULT_INJECTION
+
+}  // namespace
+}  // namespace dist
+}  // namespace midas

@@ -76,6 +76,7 @@ class WireCodecTest : public ::testing::Test {
   WorkResultMsg MakeResult() const {
     WorkResultMsg msg;
     msg.unit = 7;
+    msg.assignment = 2;
     msg.status = core::SourceStatus::kPartial;
     msg.attempts = 3;
     msg.error = "deadline after level 2";
@@ -120,7 +121,7 @@ class WireCodecTest : public ::testing::Test {
   }
 
   static std::string DescribeResult(const WorkResultMsg& m) {
-    return std::to_string(m.unit) + "|" +
+    return std::to_string(m.unit) + "|" + std::to_string(m.assignment) + "|" +
            std::to_string(static_cast<int>(m.status)) + "|" +
            std::to_string(m.attempts) + "|" + m.error + "#" +
            DescribeSlices(m.slices);

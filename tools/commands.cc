@@ -15,6 +15,7 @@
 #include "midas/baselines/naive.h"
 #include "midas/core/midas.h"
 #include "midas/dist/coordinator.h"
+#include "midas/dist/net.h"
 #include "midas/dist/worker.h"
 #include "midas/eval/experiment.h"
 #include "midas/eval/metrics.h"
@@ -254,7 +255,16 @@ void RegisterDiscoverFlags(FlagParser* flags) {
                   "bit-identical either way; docs/DISTRIBUTED.md)");
   flags->AddInt64("worker_respawn_limit", 8,
                   "total replacement workers the coordinator may fork after "
-                  "crashes before lost units are abandoned");
+                  "crashes before lost units are abandoned (also the budget "
+                  "for external workers joining after the run starts)");
+  flags->AddInt64("worker_liveness_ms", 0,
+                  "declare a worker lost after this many ms of silence and "
+                  "re-queue its unit (0 = EOF-only loss detection; set well "
+                  "above the workers' --heartbeat_ms)");
+  flags->AddInt64("speculative_ms", 0,
+                  "once the round queue drains, speculatively re-assign a "
+                  "unit still in flight after this many ms to an idle "
+                  "worker; first result wins (0 = off)");
   RegisterRobustnessFlags(flags);
   RegisterMetricsFlags(flags);
 }
@@ -413,6 +423,10 @@ Status RunDiscoverImpl(const FlagParser& flags, std::ostream& out,
     dist_options.fingerprint = fingerprint;
     dist_options.worker_respawn_limit =
         static_cast<size_t>(flags.GetInt64("worker_respawn_limit"));
+    dist_options.worker_liveness_ms =
+        static_cast<int>(flags.GetInt64("worker_liveness_ms"));
+    dist_options.speculative_ms =
+        static_cast<int>(flags.GetInt64("speculative_ms"));
     if (external_coordinator) {
       dist_options.listen_path = flags.GetString("listen");
       if (dist_options.listen_path.empty()) {
@@ -443,14 +457,24 @@ Status RunDiscoverImpl(const FlagParser& flags, std::ostream& out,
     }
     coordinator = std::make_unique<dist::DistCoordinator>(
         setup.dump.dict.get(), dist_options);
+    if (external_coordinator) {
+      // Bind before Start() blocks on Hellos, so the resolved address (and
+      // an ephemeral TCP port) is printed while workers can still be
+      // launched against it.
+      MIDAS_RETURN_IF_ERROR(coordinator->Listen());
+      if (!json) {
+        out << "dist: listening for workers on " << flags.GetString("listen");
+        if (coordinator->listen_port() != 0) {
+          out << " (port " << coordinator->listen_port() << ")";
+        }
+        out << "\n";
+        out.flush();
+      }
+    }
     MIDAS_RETURN_IF_ERROR(coordinator->Start());
     framework_options.executor = coordinator.get();
-    if (!json) {
-      out << "dist: " << (external_coordinator ? "listening for workers on " +
-                                                     flags.GetString("listen")
-                                               : std::to_string(workers) +
-                                                     " forked worker(s)")
-          << "\n";
+    if (!external_coordinator && !json) {
+      out << "dist: " << workers << " forked worker(s)\n";
       out.flush();
     }
   }
@@ -548,7 +572,9 @@ Status RunDiscover(const FlagParser& flags, std::ostream& out) {
 void RegisterCoordinatorFlags(FlagParser* flags) {
   RegisterDiscoverFlags(flags);
   flags->AddString("listen", "",
-                   "unix-socket path to accept workers on (required)");
+                   "address to accept workers on (required): host:port "
+                   "(TCP, e.g. 127.0.0.1:7070 or [::1]:0; port 0 = "
+                   "ephemeral, printed) or a unix-socket path");
   flags->AddInt64("min_workers", 1,
                   "wait for this many workers before the run starts");
   flags->AddInt64("accept_timeout_ms", 30000,
@@ -565,9 +591,15 @@ void RegisterWorkerFlags(FlagParser* flags) {
   // fingerprint rejects a worker whose corpus/seed/mode differ).
   RegisterDiscoverFlags(flags);
   flags->AddString("connect", "",
-                   "coordinator unix-socket path (required)");
+                   "coordinator address (required): host:port (TCP) or a "
+                   "unix-socket path");
+  flags->AddInt64("connect_timeout_ms", 10000,
+                  "keep retrying the connect for this long (covers the "
+                  "window before the coordinator binds)");
   flags->AddInt64("heartbeat_ms", 1000,
-                  "idle heartbeat interval in ms (0 = no heartbeats)");
+                  "heartbeat interval in ms, while idle and during unit "
+                  "execution (0 = no heartbeats; keep well under the "
+                  "coordinator's --worker_liveness_ms)");
 }
 
 Status RunWorker(const FlagParser& flags, std::ostream& out) {
@@ -584,24 +616,13 @@ Status RunWorker(const FlagParser& flags, std::ostream& out) {
   MIDAS_RETURN_IF_ERROR(ApplyRobustnessFlags(flags, &framework_options));
   ScopedDisarm disarm;
 
-  struct sockaddr_un addr = {};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("--connect path too long: " + path);
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IoError(std::string("socket failed: ") +
-                           std::strerror(errno));
-  }
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const Status status = Status::IoError("connect failed for '" + path +
-                                          "': " + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
+  // TCP host:port or unix path, dispatched on the address grammar; retries
+  // ECONNREFUSED/ENOENT until the deadline so worker start order does not
+  // race the coordinator's bind.
+  const StatusOr<int> connected = dist::ConnectAddress(
+      path, static_cast<int>(flags.GetInt64("connect_timeout_ms")));
+  if (!connected.ok()) return connected.status();
+  const int fd = *connected;
 
   dist::WorkerConfig config;
   config.detector = setup.detector.get();
@@ -615,6 +636,8 @@ Status RunWorker(const FlagParser& flags, std::ostream& out) {
       core::ComputeRunFingerprint(setup.corpus, framework_options);
   config.heartbeat_interval_ms =
       static_cast<int>(flags.GetInt64("heartbeat_ms"));
+  config.transport = dist::IsTcpAddress(path) ? dist::Transport::kTcp
+                                              : dist::Transport::kUnix;
 
   out << "worker: connected to " << path << "\n";
   out.flush();

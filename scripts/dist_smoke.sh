@@ -147,4 +147,95 @@ grep -q "dist: lost" "$WORK/tcp_coord.err" \
        cat "$WORK/tcp_coord.err" >&2; exit 1; }
 check_identical "tcp-external" tcp.tsv tcp.json
 
+echo "== shared-dump corpus: generate + convert --reindex (~1M facts)"
+# Dense pages (~170 facts each) so an inline page assignment carries large
+# fact payloads while its by-reference equivalent is one fixed-size frame —
+# the shape the >=50x bytes-per-assignment assertion below measures.
+"$MIDAS" generate --dataset slim-nell --num_sources 290 \
+  --entities_per_page 64 --seed 13 \
+  --dump "$WORK/big.tsv" --kb "$WORK/big_kb.tsv" > /dev/null
+"$MIDAS" convert --in "$WORK/big.tsv" --out "$WORK/big.col" --to columnar \
+  --reindex > "$WORK/convert.log"
+grep -q "source-range index: present" "$WORK/convert.log" \
+  || { echo "error: converted dump carries no source-range index" >&2
+       cat "$WORK/convert.log" >&2; exit 1; }
+
+echo "== single-process baseline on the shared columnar dump"
+"$MIDAS" discover --dump "$WORK/big.col" --kb "$WORK/big_kb.tsv" --json \
+  --out "$WORK/big_base.tsv" > "$WORK/big_base.json"
+
+echo "== self-forked --workers=2 off the shared dump (by-reference)"
+"$MIDAS" discover --dump "$WORK/big.col" --kb "$WORK/big_kb.tsv" --json \
+  --workers 2 --out "$WORK/big_ref.tsv" > "$WORK/big_ref.json" \
+  2> "$WORK/big_ref.err"
+diff "$WORK/big_base.tsv" "$WORK/big_ref.tsv" \
+  || { echo "error: by-reference slices differ from single-process" >&2
+       exit 1; }
+diff <(strip_seconds "$WORK/big_base.json") \
+     <(strip_seconds "$WORK/big_ref.json") \
+  || { echo "error: by-reference JSON differs from single-process" >&2
+       exit 1; }
+
+# Last (cumulative) round-complete line -> "bytes_per_assign assigns
+# ref_assigns". The coordinator emits one line per hierarchy round with
+# process-wide totals, so the final line covers the whole run.
+per_assign() {
+  awk '/dist: round complete/ {
+         for (i = 1; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
+       }
+       END { printf "%d %d %d\n", v["bytes_sent"] / v["assigns"],
+             v["assigns"], v["ref_assigns"] }' "$1"
+}
+read -r _ big_assigns big_refs < <(per_assign "$WORK/big_ref.err")
+[ "$big_refs" -gt 0 ] && [ "$big_refs" -eq "$big_assigns" ] \
+  || { echo "error: shared-dump run sent $big_refs/$big_assigns assignments by reference" >&2
+       exit 1; }
+
+echo "== by-reference vs inline assignment bytes over TCP"
+# Flat source-level units (--method naive): no hierarchy child payloads, so
+# coordinator->worker bytes are almost entirely the assignments themselves
+# and the per-assignment comparison is clean.
+run_bytes_leg() {
+  local by_ref="$1" prefix="$2"
+  local port=$(( (RANDOM % 20000) + 30000 ))
+  "$MIDAS" coordinator --dump "$WORK/big.col" --kb "$WORK/big_kb.tsv" --json \
+    --method naive --by_ref="$by_ref" --listen "127.0.0.1:$port" \
+    --min_workers 2 --out "$WORK/$prefix.tsv" \
+    > "$WORK/$prefix.json" 2> "$WORK/$prefix.err" &
+  local coord=$!
+  "$MIDAS" worker --dump "$WORK/big.col" --kb "$WORK/big_kb.tsv" \
+    --method naive --connect "127.0.0.1:$port" \
+    > "$WORK/${prefix}_w1.log" 2>&1 &
+  local w1=$!
+  "$MIDAS" worker --dump "$WORK/big.col" --kb "$WORK/big_kb.tsv" \
+    --method naive --connect "127.0.0.1:$port" \
+    > "$WORK/${prefix}_w2.log" 2>&1 &
+  local w2=$!
+  wait "$coord" \
+    || { echo "error: $prefix coordinator exited non-zero" >&2
+         cat "$WORK/$prefix.err" "$WORK/${prefix}_w1.log" \
+             "$WORK/${prefix}_w2.log" >&2; exit 1; }
+  wait "$w1" || { echo "error: $prefix worker 1 exited non-zero" >&2
+                  cat "$WORK/${prefix}_w1.log" >&2; exit 1; }
+  wait "$w2" || { echo "error: $prefix worker 2 exited non-zero" >&2
+                  cat "$WORK/${prefix}_w2.log" >&2; exit 1; }
+}
+run_bytes_leg true nref
+run_bytes_leg false ninl
+diff "$WORK/nref.tsv" "$WORK/ninl.tsv" \
+  || { echo "error: by-reference and inline TCP legs disagree" >&2; exit 1; }
+read -r ref_bpa ref_assigns ref_refs < <(per_assign "$WORK/nref.err")
+read -r inl_bpa inl_assigns inl_refs < <(per_assign "$WORK/ninl.err")
+[ "$ref_refs" -eq "$ref_assigns" ] && [ "$ref_refs" -gt 0 ] \
+  || { echo "error: ref leg sent $ref_refs/$ref_assigns by reference" >&2
+       exit 1; }
+[ "$inl_refs" -eq 0 ] \
+  || { echo "error: inline leg unexpectedly sent $inl_refs by-reference assignments" >&2
+       exit 1; }
+ratio=$(( inl_bpa / ref_bpa ))
+echo "assignment bytes/unit: inline=$inl_bpa by-ref=$ref_bpa (${ratio}x)"
+[ "$ratio" -ge 50 ] \
+  || { echo "error: by-reference shrink ${ratio}x below the required 50x" >&2
+       exit 1; }
+
 echo "dist smoke OK"

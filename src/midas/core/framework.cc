@@ -99,6 +99,10 @@ struct Shard {
   std::vector<size_t> run_begins;
   /// Slices exported by children rounds (tentative results).
   std::vector<DiscoveredSlice> child_slices;
+  /// Indices into the run corpus's sources() whose facts landed in this
+  /// subtree; bubbles up with `facts` so ShardTask::source_ids can name
+  /// the shard by reference to the corpus artifact.
+  std::vector<uint32_t> source_ids;
 };
 
 /// Sorts + dedupes `shard->facts` in place: sorts the direct prefix, then
@@ -620,6 +624,8 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
             tasks[i].url = sources[i].url;
             tasks[i].facts = &sources[i].facts;
             tasks[i].want_raw = options_.memo != nullptr;
+            tasks[i].source_ids.push_back(static_cast<uint32_t>(i));
+            tasks[i].normalized = false;
           },
           run_cancelled);
       std::vector<ShardTaskResult> task_results(sources.size());
@@ -668,15 +674,20 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
   // Current frontier of shards, keyed by URL.
   std::unordered_map<std::string, Shard> frontier;
   size_t max_depth = 0;
-  for (const auto& source : corpus.sources()) {
-    Shard& shard = frontier[source.url];
-    if (shard.url.empty()) {
-      shard.url = source.url;
-      shard.depth = web::UrlDepth(source.url);
+  {
+    const auto& corpus_sources = corpus.sources();
+    for (size_t si = 0; si < corpus_sources.size(); ++si) {
+      const auto& source = corpus_sources[si];
+      Shard& shard = frontier[source.url];
+      if (shard.url.empty()) {
+        shard.url = source.url;
+        shard.depth = web::UrlDepth(source.url);
+      }
+      shard.facts.insert(shard.facts.end(), source.facts.begin(),
+                         source.facts.end());
+      shard.source_ids.push_back(static_cast<uint32_t>(si));
+      max_depth = std::max(max_depth, shard.depth);
     }
-    shard.facts.insert(shard.facts.end(), source.facts.begin(),
-                       source.facts.end());
-    max_depth = std::max(max_depth, shard.depth);
   }
 
   std::vector<DiscoveredSlice> final_slices;
@@ -806,6 +817,10 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
             task.child_slices = std::move(shard.child_slices);
             task.consolidate = true;
             task.want_raw = options_.memo != nullptr;
+            // Copied, not moved: the shard's ids still bubble to the parent
+            // in the fold below.
+            task.source_ids = shard.source_ids;
+            task.normalized = true;
           },
           run_cancelled);
       std::vector<ShardTaskResult> task_results(round.size());
@@ -888,6 +903,9 @@ FrameworkResult MidasFramework::Run(const web::Corpus& corpus,
       parent.run_begins.push_back(parent.facts.size());
       parent.facts.insert(parent.facts.end(), shard.facts.begin(),
                           shard.facts.end());
+      parent.source_ids.insert(parent.source_ids.end(),
+                               shard.source_ids.begin(),
+                               shard.source_ids.end());
       parent.child_slices.reserve(parent.child_slices.size() +
                                   surviving[i].size());
       for (auto& s : surviving[i]) {

@@ -201,6 +201,16 @@ struct ShardTask {
   /// only ships survivors) leave has_raw false and the framework simply
   /// skips memoizing that shard.
   bool want_raw = false;
+  /// Indices into the run corpus's sources() whose facts make up this
+  /// shard's subtree. An executor that also holds the corpus artifact can
+  /// name the shard by these instead of shipping `facts` — `facts` equals
+  /// the union of the named sources' fact lists, deduplicated, and sorted
+  /// iff `normalized`. Empty = provenance unknown; use `facts`.
+  std::vector<uint32_t> source_ids;
+  /// True iff `facts` is sorted + deduplicated (the NormalizeShardFacts
+  /// contract, hierarchy rounds). False in ablation mode, where `facts` is
+  /// one source's record-order fact list.
+  bool normalized = false;
 };
 
 /// Executor-side outcome of one ShardTask.

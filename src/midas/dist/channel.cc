@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -14,6 +15,7 @@
 
 #include "midas/dist/net.h"
 #include "midas/fault/fault.h"
+#include "midas/obs/obs.h"
 
 namespace midas {
 namespace dist {
@@ -22,6 +24,32 @@ namespace {
 
 std::string ErrnoMessage(const std::string& what, const std::string& label) {
   return what + " (peer " + label + "): " + std::strerror(errno);
+}
+
+// Process-wide transport totals, relaxed: counted from whichever thread
+// touches a channel (the worker's heartbeat thread writes concurrently with
+// nothing, but the accessors may race a write — totals, not a protocol).
+// Mirrored into dist.* counters so /metricz shows them without new plumbing.
+std::atomic<uint64_t> g_bytes_sent{0};
+std::atomic<uint64_t> g_bytes_received{0};
+
+obs::Counter* BytesSentCounter() {
+  static obs::Counter* c = MIDAS_OBS_COUNTER("dist.bytes_sent");
+  return c;
+}
+obs::Counter* BytesReceivedCounter() {
+  static obs::Counter* c = MIDAS_OBS_COUNTER("dist.bytes_received");
+  return c;
+}
+
+void CountSent(size_t n) {
+  g_bytes_sent.fetch_add(n, std::memory_order_relaxed);
+  MIDAS_OBS_ADD(BytesSentCounter(), n);
+}
+
+void CountReceived(size_t n) {
+  g_bytes_received.fetch_add(n, std::memory_order_relaxed);
+  MIDAS_OBS_ADD(BytesReceivedCounter(), n);
 }
 
 int64_t NowMs() {
@@ -93,6 +121,7 @@ Status FrameChannel::WriteAll(const char* data, size_t len) {
     const ssize_t n =
         ::send(fd_, data + written, len - written, MSG_NOSIGNAL);
     if (n >= 0) {
+      CountSent(static_cast<size_t>(n));
       written += static_cast<size_t>(n);
       continue;
     }
@@ -192,6 +221,7 @@ FrameChannel::Read FrameChannel::ReadAvailable(std::string* error) {
   for (;;) {
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n > 0) {
+      CountReceived(static_cast<size_t>(n));
       decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
       got_bytes = true;
       continue;
@@ -263,6 +293,7 @@ FrameChannel::Read FrameChannel::WaitForFrame(int timeout_ms,
     char buf[16 * 1024];
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n > 0) {
+      CountReceived(static_cast<size_t>(n));
       decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
       continue;
     }
@@ -274,6 +305,14 @@ FrameChannel::Read FrameChannel::WaitForFrame(int timeout_ms,
     *error = ErrnoMessage("read failed", label_);
     return Read::kError;
   }
+}
+
+uint64_t FrameChannel::TotalBytesSent() {
+  return g_bytes_sent.load(std::memory_order_relaxed);
+}
+
+uint64_t FrameChannel::TotalBytesReceived() {
+  return g_bytes_received.load(std::memory_order_relaxed);
 }
 
 }  // namespace dist

@@ -106,6 +106,15 @@ class FrameChannel {
   /// to `timeout_ms` (-1 = forever), reads, and returns the next frame.
   Read WaitForFrame(int timeout_ms, std::string* payload, std::string* error);
 
+  /// Process-wide transport byte totals across every FrameChannel: bytes
+  /// handed to the socket (magic + framing included; an injected torn write
+  /// counts the prefix that actually left) and bytes read off it. Also
+  /// exported as the dist.bytes_sent / dist.bytes_received counters. The
+  /// coordinator's per-round log derives bytes-per-assignment from these —
+  /// the number the by-reference dispatch exists to shrink.
+  static uint64_t TotalBytesSent();
+  static uint64_t TotalBytesReceived();
+
  private:
   void CloseFd();
   Status WriteAll(const char* data, size_t len);

@@ -74,6 +74,10 @@ obs::Counter* RejectedWorkersCounter() {
   static obs::Counter* c = MIDAS_OBS_COUNTER("dist.rejected_workers");
   return c;
 }
+obs::Counter* RefAssignsCounter() {
+  static obs::Counter* c = MIDAS_OBS_COUNTER("dist.ref_assigns");
+  return c;
+}
 
 int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -100,6 +104,7 @@ DistCoordinator::DistCoordinator(const rdf::Dictionary* dict,
   (void)HeartbeatsCounter();
   (void)UnitsFailedCounter();
   (void)RejectedWorkersCounter();
+  (void)RefAssignsCounter();
 }
 
 DistCoordinator::~DistCoordinator() { Shutdown(); }
@@ -261,17 +266,57 @@ bool DistCoordinator::SendAssign(size_t widx, size_t unit, uint32_t assignment,
                                  std::vector<core::ShardTask>* tasks) {
   Worker* worker = workers_[widx].get();
   const core::ShardTask& task = (*tasks)[unit];
-  WorkAssignMsg msg;
-  msg.unit = unit;
-  msg.assignment = assignment;
-  msg.consolidate = task.consolidate;
-  msg.url = task.url;
-  msg.facts = *task.facts;
-  msg.child_slices = task.child_slices;
-  const Status status = worker->channel.WriteFrame(EncodeWorkAssign(msg, *dict_));
+  // By-reference gate, decided per delivery: the run has a catalog, THIS
+  // worker declared the matching dump, and the catalog can name every
+  // source of the shard. Anything else ships the inline fallback — a
+  // re-assignment of the same unit may legitimately go inline to one
+  // worker and by reference to another.
+  bool by_ref = options_.corpus_hash != 0 &&
+                options_.source_ranges != nullptr &&
+                worker->corpus_hash == options_.corpus_hash &&
+                !task.source_ids.empty();
+  std::string frame;
+  if (by_ref) {
+    WorkAssignRefMsg ref;
+    ref.unit = unit;
+    ref.assignment = assignment;
+    ref.consolidate = task.consolidate;
+    ref.normalized = task.normalized;
+    ref.url = task.url;
+    ref.corpus_hash = options_.corpus_hash;
+    ref.threshold = options_.ref_threshold;
+    for (const uint32_t sid : task.source_ids) {
+      if (sid >= options_.source_ranges->size() ||
+          (*options_.source_ranges)[sid].empty()) {
+        by_ref = false;
+        break;
+      }
+      const auto& runs = (*options_.source_ranges)[sid];
+      ref.ranges.insert(ref.ranges.end(), runs.begin(), runs.end());
+    }
+    if (by_ref) {
+      ref.child_slices = task.child_slices;
+      frame = EncodeWorkAssignRef(ref, *dict_);
+    }
+  }
+  if (!by_ref) {
+    WorkAssignMsg msg;
+    msg.unit = unit;
+    msg.assignment = assignment;
+    msg.consolidate = task.consolidate;
+    msg.url = task.url;
+    msg.facts = *task.facts;
+    msg.child_slices = task.child_slices;
+    frame = EncodeWorkAssign(msg, *dict_);
+  }
+  const Status status = worker->channel.WriteFrame(frame);
   if (!status.ok()) {
     LoseWorker(widx, status.message());
     return false;
+  }
+  if (by_ref) {
+    ++stats_.ref_assigns;
+    MIDAS_OBS_ADD(RefAssignsCounter(), 1);
   }
   worker->inflight_unit = static_cast<int64_t>(unit);
   worker->inflight_assignment = assignment;
@@ -563,6 +608,7 @@ bool DistCoordinator::DispatchFrame(size_t widx, const std::string& payload,
                                " / fingerprint mismatch");
         return false;
       }
+      worker.corpus_hash = hello.corpus_hash;
       if (worker.pid <= 0 && accepting_midrun_) {
         // External worker joining (or REjoining after a loss) after Start():
         // admitted against the same budget that caps fork-mode respawns, so
@@ -662,6 +708,7 @@ bool DistCoordinator::DispatchFrame(size_t widx, const std::string& payload,
       return true;
     }
     case MessageKind::kWorkAssign:
+    case MessageKind::kWorkAssignRef:
     case MessageKind::kShutdown:
       LoseWorker(widx, "unexpected coordinator-bound message kind");
       return false;
@@ -761,6 +808,15 @@ void DistCoordinator::ExecuteRound(const core::ShardExecutionContext& ctx,
       return !w->channel.valid() && w->pid <= 0;
     });
   }
+  // One greppable line per round: dist_smoke.sh divides bytes_sent by
+  // assigns to pin the by-reference per-unit shrink, and operators get the
+  // inline-vs-ref mix without scraping /metricz.
+  MIDAS_LOG(Info) << "dist: round complete units_done=" << units_done_
+                  << " assigns=" << stats_.assigns
+                  << " ref_assigns=" << stats_.ref_assigns
+                  << " speculative=" << stats_.speculative_assigns
+                  << " bytes_sent=" << FrameChannel::TotalBytesSent()
+                  << " bytes_received=" << FrameChannel::TotalBytesReceived();
   round_results_ = nullptr;
 }
 

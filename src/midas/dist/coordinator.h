@@ -12,6 +12,7 @@
 #include "midas/core/framework.h"
 #include "midas/dist/channel.h"
 #include "midas/rdf/dictionary.h"
+#include "midas/store/columnar.h"
 #include "midas/util/status.h"
 
 namespace midas {
@@ -71,6 +72,23 @@ struct DistOptions {
   /// a worker announcing a different fingerprint is rejected — it loaded a
   /// different corpus/seed and its results could not be bit-identical.
   uint64_t fingerprint = 0;
+
+  /// By-reference dispatch (protocol v3). When corpus_hash is nonzero AND
+  /// source_ranges is set, a worker whose Hello declared the same columnar
+  /// content hash receives WorkAssignRef frames — record ranges of the
+  /// shared dump instead of inline fact terms, O(sources) bytes per unit
+  /// instead of O(facts). Workers that declared a different or zero hash
+  /// fall back to inline WorkAssign per worker, so mixed fleets keep
+  /// working; a shard the catalog cannot name (empty source_ids, a source
+  /// with no ranges) also falls back. 0 disables by-reference dispatch.
+  uint64_t corpus_hash = 0;
+  /// Confidence threshold the run's corpus was loaded with; carried in
+  /// every WorkAssignRef so workers re-apply it when materializing ranges.
+  double ref_threshold = 0.0;
+  /// Per corpus-source record ranges (extract::BuildSourceRangeCatalog),
+  /// indexed by corpus source index. Null disables by-reference dispatch.
+  /// Must outlive the coordinator.
+  const std::vector<std::vector<store::RecordRange>>* source_ranges = nullptr;
 
   /// Re-assignments before a unit is abandoned as kFailed.
   uint32_t max_unit_assignments = 3;
@@ -150,6 +168,9 @@ class DistCoordinator : public core::ShardExecutor {
     uint64_t units_failed = 0;
     uint64_t heartbeats = 0;
     uint64_t rejected_workers = 0;
+    /// Deliveries that went out as WorkAssignRef (a subset of assigns +
+    /// speculative_assigns; the remainder shipped inline facts).
+    uint64_t ref_assigns = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -158,6 +179,9 @@ class DistCoordinator : public core::ShardExecutor {
     FrameChannel channel;
     pid_t pid = -1;  // -1: external worker
     bool hello_ok = false;
+    /// Columnar dump hash the worker declared in Hello (0 = none): the
+    /// per-worker gate for by-reference assignment.
+    uint64_t corpus_hash = 0;
     int64_t inflight_unit = -1;  // -1: idle
     uint32_t inflight_assignment = 0;
     /// The in-flight unit belongs to a PREVIOUS round: its speculative twin

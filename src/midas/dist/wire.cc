@@ -1,5 +1,6 @@
 #include "midas/dist/wire.h"
 
+#include <bit>
 #include <optional>
 
 #include "midas/store/checkpoint.h"
@@ -106,6 +107,8 @@ StatusOr<MessageKind> PeekKind(std::string_view payload) {
       return MessageKind::kHello;
     case 'a':
       return MessageKind::kWorkAssign;
+    case 'A':
+      return MessageKind::kWorkAssignRef;
     case 'r':
       return MessageKind::kWorkResult;
     case 'b':
@@ -122,15 +125,25 @@ std::string EncodeHello(const HelloMsg& msg) {
   payload.push_back(static_cast<char>(MessageKind::kHello));
   AppendU32(&payload, msg.protocol);
   AppendU64(&payload, msg.fingerprint);
+  // corpus_hash joined the message in v3; a sender claiming an older
+  // protocol must stay byte-compatible with it.
+  if (msg.protocol >= 3) AppendU64(&payload, msg.corpus_hash);
   return payload;
 }
 
 Status DecodeHello(std::string_view payload, HelloMsg* out) {
   Cursor cur(payload);
-  if (!ReadKindByte(&cur, MessageKind::kHello) || !cur.ReadU32(&out->protocol) ||
-      !cur.ReadU64(&out->fingerprint) || !cur.AtEnd()) {
+  *out = HelloMsg();
+  if (!ReadKindByte(&cur, MessageKind::kHello) ||
+      !cur.ReadU32(&out->protocol) || !cur.ReadU64(&out->fingerprint)) {
     return CorruptMsg("hello");
   }
+  // Decode by the sender's declared version so a protocol mismatch is
+  // rejected by the handshake check, not mistaken for corrupt bytes.
+  if (out->protocol >= 3 && !cur.ReadU64(&out->corpus_hash)) {
+    return CorruptMsg("hello corpus hash");
+  }
+  if (!cur.AtEnd()) return CorruptMsg("hello");
   return Status::OK();
 }
 
@@ -187,6 +200,72 @@ Status DecodeWorkAssign(std::string_view payload, const rdf::Dictionary& dict,
   std::string blob;
   if (!cur.ReadStr(&blob) || !cur.AtEnd()) {
     return CorruptMsg("work_assign slice blob");
+  }
+  MIDAS_RETURN_IF_ERROR(store::DecodeSliceList(blob, dict, &out->child_slices));
+  return Status::OK();
+}
+
+std::string EncodeWorkAssignRef(const WorkAssignRefMsg& msg,
+                                const rdf::Dictionary& dict) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageKind::kWorkAssignRef));
+  AppendU64(&payload, msg.unit);
+  AppendU32(&payload, msg.assignment);
+  payload.push_back(msg.consolidate ? '\1' : '\0');
+  payload.push_back(msg.normalized ? '\1' : '\0');
+  AppendStr(&payload, msg.url);
+  AppendU64(&payload, msg.corpus_hash);
+  AppendU64(&payload, std::bit_cast<uint64_t>(msg.threshold));
+  AppendU32(&payload, static_cast<uint32_t>(msg.ranges.size()));
+  for (const store::RecordRange& range : msg.ranges) {
+    AppendU64(&payload, range.first);
+    AppendU64(&payload, range.last);
+  }
+  AppendStr(&payload, store::EncodeSliceList(msg.child_slices, dict));
+  return payload;
+}
+
+Status DecodeWorkAssignRef(std::string_view payload,
+                           const rdf::Dictionary& dict,
+                           WorkAssignRefMsg* out) {
+  Cursor cur(payload);
+  *out = WorkAssignRefMsg();
+  char consolidate = 0;
+  char normalized = 0;
+  if (!ReadKindByte(&cur, MessageKind::kWorkAssignRef) ||
+      !cur.ReadU64(&out->unit) || !cur.ReadU32(&out->assignment) ||
+      !cur.ReadByte(&consolidate) || !cur.ReadByte(&normalized) ||
+      !cur.ReadStr(&out->url)) {
+    return CorruptMsg("work_assign_ref header");
+  }
+  if ((consolidate != '\0' && consolidate != '\1') ||
+      (normalized != '\0' && normalized != '\1')) {
+    return CorruptMsg("work_assign_ref flags");
+  }
+  out->consolidate = consolidate == '\1';
+  out->normalized = normalized == '\1';
+  uint64_t threshold_bits = 0;
+  if (!cur.ReadU64(&out->corpus_hash) || !cur.ReadU64(&threshold_bits)) {
+    return CorruptMsg("work_assign_ref corpus hash");
+  }
+  out->threshold = std::bit_cast<double>(threshold_bits);
+  uint32_t nranges = 0;
+  // Each serialized range is two u64s: 16 bytes.
+  if (!cur.ReadU32(&nranges) || !PlausibleCount(cur, nranges, 16)) {
+    return CorruptMsg("work_assign_ref range count");
+  }
+  out->ranges.resize(nranges);
+  for (store::RecordRange& range : out->ranges) {
+    if (!cur.ReadU64(&range.first) || !cur.ReadU64(&range.last)) {
+      return CorruptMsg("work_assign_ref range");
+    }
+    if (range.first > range.last) {
+      return CorruptMsg("work_assign_ref range inverted");
+    }
+  }
+  std::string blob;
+  if (!cur.ReadStr(&blob) || !cur.AtEnd()) {
+    return CorruptMsg("work_assign_ref slice blob");
   }
   MIDAS_RETURN_IF_ERROR(store::DecodeSliceList(blob, dict, &out->child_slices));
   return Status::OK();

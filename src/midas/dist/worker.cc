@@ -13,6 +13,7 @@
 #include "midas/core/consolidate.h"
 #include "midas/dist/channel.h"
 #include "midas/dist/wire.h"
+#include "midas/extract/columnar_io.h"
 #include "midas/fault/fault.h"
 #include "midas/obs/obs.h"
 #include "midas/util/logging.h"
@@ -39,7 +40,13 @@ Status RunWorkerLoop(int fd, const WorkerConfig& config) {
   MIDAS_RETURN_IF_ERROR(channel.SendMagic());
   HelloMsg hello;
   hello.fingerprint = config.fingerprint;
+  if (config.corpus_reader != nullptr) {
+    hello.corpus_hash = config.corpus_reader->content_fingerprint();
+  }
   MIDAS_RETURN_IF_ERROR(channel.WriteFrame(EncodeHello(hello)));
+  const std::vector<rdf::TermId> kIdentityRemap;
+  const std::vector<rdf::TermId>& corpus_remap =
+      config.corpus_remap != nullptr ? *config.corpus_remap : kIdentityRemap;
 
   uint64_t units_completed = 0;
   const int timeout_ms =
@@ -78,12 +85,36 @@ Status RunWorkerLoop(int fd, const WorkerConfig& config) {
     const StatusOr<MessageKind> kind = PeekKind(payload);
     if (!kind.ok()) return kind.status();
     if (*kind == MessageKind::kShutdown) return Status::OK();
-    if (*kind != MessageKind::kWorkAssign) {
+    if (*kind != MessageKind::kWorkAssign &&
+        *kind != MessageKind::kWorkAssignRef) {
       return Status::Corruption("unexpected worker-bound message kind");
     }
 
     WorkAssignMsg assign;
-    MIDAS_RETURN_IF_ERROR(DecodeWorkAssign(payload, *config.dict, &assign));
+    if (*kind == MessageKind::kWorkAssignRef) {
+      WorkAssignRefMsg ref;
+      MIDAS_RETURN_IF_ERROR(DecodeWorkAssignRef(payload, *config.dict, &ref));
+      // A by-reference assignment is only executable against the exact
+      // dump the worker declared in Hello: a different or absent hash is a
+      // stale/misrouted assignment, and silently executing it would merge
+      // results from different record bytes.
+      if (config.corpus_reader == nullptr ||
+          ref.corpus_hash != config.corpus_reader->content_fingerprint()) {
+        return Status::Corruption(
+            "by-reference assignment names a corpus this worker does not "
+            "hold");
+      }
+      assign.unit = ref.unit;
+      assign.assignment = ref.assignment;
+      assign.consolidate = ref.consolidate;
+      assign.url = std::move(ref.url);
+      assign.child_slices = std::move(ref.child_slices);
+      MIDAS_RETURN_IF_ERROR(extract::CollectColumnarFacts(
+          *config.corpus_reader, corpus_remap, ref.threshold, ref.ranges,
+          ref.normalized, &assign.facts));
+    } else {
+      MIDAS_RETURN_IF_ERROR(DecodeWorkAssign(payload, *config.dict, &assign));
+    }
 
     // Machine-loss injection point: keyed by (url, assignment) so the
     // crash matrix can kill exactly the first execution of a unit and let

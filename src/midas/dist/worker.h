@@ -2,12 +2,14 @@
 #define MIDAS_DIST_WORKER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "midas/core/framework.h"
 #include "midas/core/slice_detector.h"
 #include "midas/dist/channel.h"
 #include "midas/rdf/dictionary.h"
 #include "midas/rdf/knowledge_base.h"
+#include "midas/store/columnar.h"
 #include "midas/util/status.h"
 
 namespace midas {
@@ -35,6 +37,19 @@ struct WorkerConfig {
   /// Transport of `fd`: kTcp connections get TCP_NODELAY and are the
   /// net_delay/net_drop/net_partition injection surface (channel.h).
   Transport transport = Transport::kUnix;
+  /// Open columnar dump for by-reference assignments (protocol v3). When
+  /// set, Hello announces its content hash and the worker accepts
+  /// WorkAssignRef frames, rebuilding each shard's facts from record
+  /// ranges via extract::CollectColumnarFacts instead of decoding inline
+  /// terms. Null = inline assignments only (the coordinator sees hash 0 in
+  /// Hello and falls back per-worker — mixed fleets keep working). The
+  /// reader must outlive the loop; its dictionary sections must already be
+  /// verified and adopted/interned into `dict` (see corpus_remap).
+  const store::ColumnarReader* corpus_reader = nullptr;
+  /// File-code -> TermId remap for corpus_reader against `dict` (from
+  /// extract::LoadColumnarTerms / LoadColumnarCorpusFromReader); null or
+  /// empty = identity (fresh-adopted dictionary).
+  const std::vector<rdf::TermId>* corpus_remap = nullptr;
 };
 
 /// Runs the worker side of the dist protocol on `fd` (a connected unix or

@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "midas/extract/dump_io.h"
 #include "midas/extract/extraction.h"
 #include "midas/rdf/dictionary.h"
+#include "midas/rdf/triple.h"
+#include "midas/store/columnar.h"
 #include "midas/util/status.h"
 #include "midas/web/web_source.h"
 
@@ -49,6 +52,93 @@ Status LoadColumnarDump(const std::string& path, ExtractionDump* dump,
 Status LoadColumnarCorpus(const std::string& path, double threshold,
                           std::shared_ptr<rdf::Dictionary> dict,
                           web::Corpus* corpus, uint64_t* fingerprint);
+
+/// Knobs shared by the reader-based corpus loaders below.
+struct ColumnarLoadOptions {
+  /// Facts with confidence > threshold survive (BuildCorpus's predicate).
+  double threshold = 0.0;
+  /// Seeds the corpus dictionary; null means a fresh one, in which case the
+  /// file's code arrays are adopted verbatim as TermIds — every process
+  /// that fresh-loads the same file agrees on ids, which is what makes
+  /// by-reference shard dispatch possible.
+  std::shared_ptr<rdf::Dictionary> dict;
+  /// Worker threads for the full load (LoadColumnarCorpusFromReader). 0/1 =
+  /// serial. >1 decodes source runs in parallel on a ThreadPool and merges
+  /// deterministically — bit-identical to the serial path. Files without
+  /// source-contiguous records fall back to the serial path. Subset loads
+  /// ignore this (they only touch a sliver of the file).
+  size_t num_threads = 1;
+};
+
+/// LoadColumnarCorpus over an already-open reader. Honors a lazily-verified
+/// reader: section CRCs and record-code bounds are settled here (memoized,
+/// parallelized across threads when num_threads > 1) before any payload is
+/// trusted. `remap_out`, when non-null, receives the file-code -> TermId
+/// remap (empty = identity) for later CollectColumnarFacts calls against
+/// the same reader and dictionary.
+Status LoadColumnarCorpusFromReader(store::ColumnarReader* reader,
+                                    const ColumnarLoadOptions& options,
+                                    web::Corpus* corpus,
+                                    std::vector<rdf::TermId>* remap_out);
+
+/// Materializes only the sources of `url_codes` (file url-dictionary codes,
+/// any order, duplicates ignored): record columns are touched only inside
+/// the selected codes' index runs and terms are interned on first use, so
+/// I/O, dedup, and dictionary cost all scale with the subset, not the
+/// file. With a lazily-verified reader no whole-section checksum is paid
+/// at all: the dictionary offset tables were validated structurally at
+/// open, and the touched records get bounds checks (see
+/// ColumnarReadOptions::lazy_verify for the contract). Requires the
+/// source-range index (InvalidArgument otherwise — `midas convert
+/// --reindex` adds one). Seeded with the file's full dictionary
+/// (`options.dict`), the resulting corpus is bit-identical to loading the
+/// whole file and keeping the selected codes' facts, up to source indices
+/// (selected sources appear in record order); with a fresh dictionary the
+/// TermIds land in first-use order instead (same term strings). Codes
+/// whose URLs normalize equal share a source either way; select canon
+/// groups together (BuildSourceRangeCatalog does) to match a filtered full
+/// load exactly.
+Status LoadColumnarCorpusSubset(store::ColumnarReader* reader,
+                                const std::vector<uint32_t>& url_codes,
+                                const ColumnarLoadOptions& options,
+                                web::Corpus* corpus);
+
+/// Adopts/interns the file's term dictionary into `dict` and returns the
+/// file-code -> TermId remap (empty = identity; see ColumnarLoadOptions::
+/// dict). Verifies the terms section first on a lazy reader. This is the
+/// dictionary half of a corpus load, exposed for workers that execute
+/// by-reference shards without materializing any corpus.
+Status LoadColumnarTerms(store::ColumnarReader* reader, rdf::Dictionary* dict,
+                         std::vector<rdf::TermId>* remap_out);
+
+/// Rebuilds a shard's fact vector from record ranges of a columnar file —
+/// the worker side of WorkAssignRef. Ranges are processed in ascending
+/// record order with exact global (subject, predicate, object) dedup;
+/// survivors (confidence > threshold, remapped through `remap` unless
+/// empty) are appended in record order, then sorted iff `sorted`. With
+/// `sorted` this equals the framework's NormalizeShardFacts over the union
+/// of the ranges' per-source fact lists; without it, it equals one
+/// source's corpus fact list (per-source dedup in record order). Ranges
+/// are validated against num_records and their codes bounds-checked, so a
+/// hostile assignment fails cleanly instead of reading out of bounds.
+Status CollectColumnarFacts(const store::ColumnarReader& reader,
+                            const std::vector<rdf::TermId>& remap,
+                            double threshold,
+                            const std::vector<store::RecordRange>& ranges,
+                            bool sorted, std::vector<rdf::Triple>* out);
+
+/// Per corpus-source record ranges, indexed like corpus.sources().
+using SourceRangeCatalog = std::vector<std::vector<store::RecordRange>>;
+
+/// Maps every source of `corpus` (previously loaded from `reader`'s file)
+/// to its record ranges via the source-range index — the coordinator side
+/// of WorkAssignRef. A source whose URL several file codes normalize to
+/// gets all their runs, in record order. Requires the index; fails if a
+/// corpus source has no records in the file (the corpus was not loaded
+/// from it).
+Status BuildSourceRangeCatalog(store::ColumnarReader* reader,
+                               const web::Corpus& corpus,
+                               SourceRangeCatalog* out);
 
 }  // namespace extract
 }  // namespace midas

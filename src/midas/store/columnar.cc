@@ -5,6 +5,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <cstddef>
@@ -47,6 +49,21 @@ struct Footer {
 static_assert(sizeof(Footer) == 216);
 static_assert(offsetof(Footer, footer_crc) == 200);
 
+// The index region stores ColumnarSourceRun structs verbatim.
+static_assert(sizeof(ColumnarSourceRun) == 24);
+static_assert(offsetof(ColumnarSourceRun, first) == 8);
+static_assert(offsetof(ColumnarSourceRun, last) == 16);
+
+/// Header of the optional source-range index region (between the last
+/// section and the footer): count, CRC-32 of the entry bytes, reserved
+/// zero padding to 8 alignment. The entries follow immediately.
+struct IndexRegionHeader {
+  uint64_t count = 0;
+  uint32_t entries_crc = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(IndexRegionHeader) == 16);
+
 constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
 
@@ -69,6 +86,10 @@ struct OutStream {
   uint32_t crc = 0;
   uint64_t fnv = kFnvOffset;
   bool failed = false;
+  /// Cleared while writing hash-exempt bytes (the source-range index
+  /// region), so the content hash identifies the record content and an
+  /// indexed file fingerprints identically to an unindexed one.
+  bool hashing = true;
 
   void Write(const void* p, size_t len) {
     if (failed || len == 0) return;
@@ -77,7 +98,7 @@ struct OutStream {
       return;
     }
     crc = Crc32(p, len, crc);
-    fnv = Fnv1a64Chain(p, len, fnv);
+    if (hashing) fnv = Fnv1a64Chain(p, len, fnv);
     offset += len;
   }
 
@@ -120,6 +141,25 @@ void ColumnarWriter::RemoveSpills() {
 void ColumnarWriter::AddRecord(uint32_t url_code, uint32_t subject,
                                uint32_t predicate, uint32_t object,
                                double confidence) {
+  // Source-run tracking for the index: the stream stays "grouped" while
+  // each record either extends the current run or opens run k with url
+  // code k (first-appearance code assignment over a grouped stream). Any
+  // other pattern — a code reappearing after another, or codes out of
+  // appearance order — drops the index, never errors.
+  if (grouped_) {
+    if (runs_.empty() || runs_.back().url_code != url_code) {
+      if (url_code == runs_.size()) {
+        runs_.push_back(
+            ColumnarSourceRun{url_code, 0, num_records_, num_records_ + 1});
+      } else {
+        grouped_ = false;
+        runs_.clear();
+        runs_.shrink_to_fit();
+      }
+    } else {
+      runs_.back().last = num_records_ + 1;
+    }
+  }
   conf_buf_.push_back(confidence);
   code_buf_[0].push_back(url_code);
   code_buf_[1].push_back(subject);
@@ -219,10 +259,20 @@ Status ColumnarWriter::Finish(size_t num_terms, const DictFn& term,
     return status;
   };
 
-  // Header: magic + zero pad to 16 bytes.
+  // Header: magic, flags byte, zero pad to 16 bytes. The content hash
+  // chains over the CANONICAL header (flags zeroed): the index flag must
+  // not perturb the fingerprint, which identifies record content only.
+  const bool write_index = grouped_ && num_records_ > 0;
   char header[kColumnarHeaderSize] = {};
   std::memcpy(header, kColumnarMagic, sizeof(kColumnarMagic));
+  out.fnv = Fnv1a64Chain(header, sizeof(header), out.fnv);
+  if (write_index) {
+    header[kColumnarFlagsOffset] =
+        static_cast<char>(kColumnarFlagSourceIndex);
+  }
+  out.hashing = false;
   out.Write(header, sizeof(header));
+  out.hashing = true;
 
   Footer footer;
   footer.num_records = num_records_;
@@ -291,6 +341,20 @@ Status ColumnarWriter::Finish(size_t num_terms, const DictFn& term,
   }
   out.Pad();
 
+  // Optional source-range index region: header + entries, excluded from
+  // the content hash (its own CRC covers the entries; the geometry checks
+  // cover the region header). The region is 8-aligned by construction.
+  if (write_index) {
+    IndexRegionHeader index_header;
+    index_header.count = runs_.size();
+    index_header.entries_crc =
+        Crc32(runs_.data(), runs_.size() * sizeof(ColumnarSourceRun));
+    out.hashing = false;
+    out.Write(&index_header, sizeof(index_header));
+    out.Write(runs_.data(), runs_.size() * sizeof(ColumnarSourceRun));
+    out.hashing = true;
+  }
+
   footer.content_hash = out.fnv;
   std::memcpy(footer.magic, kColumnarMagic, sizeof(kColumnarMagic));
   footer.footer_crc = Crc32(&footer, offsetof(Footer, footer_crc));
@@ -340,12 +404,21 @@ Status ColumnarWriter::Finish(size_t num_terms, const DictFn& term,
   }
   RemoveSpills();
   content_fingerprint_ = footer.content_hash;
+  wrote_source_index_ = write_index;
   return Status::OK();
 }
 
 void ColumnarReader::Swap(ColumnarReader* other) {
   std::swap(base_, other->base_);
   std::swap(map_size_, other->map_size_);
+  std::swap(path_, other->path_);
+  std::swap(section_offset_, other->section_offset_);
+  std::swap(section_size_, other->section_size_);
+  std::swap(section_crc_, other->section_crc_);
+  std::swap(section_verified_, other->section_verified_);
+  std::swap(codes_verified_, other->codes_verified_);
+  std::swap(index_runs_, other->index_runs_);
+  std::swap(num_index_runs_, other->num_index_runs_);
   std::swap(num_records_, other->num_records_);
   std::swap(num_terms_, other->num_terms_);
   std::swap(num_urls_, other->num_urls_);
@@ -367,12 +440,21 @@ void ColumnarReader::Close() {
   }
   base_ = nullptr;
   map_size_ = 0;
+  path_.clear();
   num_records_ = num_terms_ = num_urls_ = 0;
   content_fingerprint_ = 0;
   term_offsets_ = url_offsets_ = nullptr;
   terms_blob_ = urls_blob_ = nullptr;
   confidences_ = nullptr;
   url_codes_ = subjects_ = predicates_ = objects_ = nullptr;
+  for (size_t s = 0; s < kColumnarNumSections; ++s) {
+    section_offset_[s] = section_size_[s] = 0;
+    section_crc_[s] = 0;
+    section_verified_[s] = 0;
+  }
+  codes_verified_ = 0;
+  index_runs_ = nullptr;
+  num_index_runs_ = 0;
 }
 
 Status ColumnarReader::Open(const std::string& path,
@@ -401,6 +483,7 @@ Status ColumnarReader::Open(const std::string& path,
   }
   base_ = static_cast<const char*>(map);
   map_size_ = file_size;
+  path_ = path;
 
   auto corrupt = [&](const std::string& msg) {
     Close();
@@ -409,6 +492,17 @@ Status ColumnarReader::Open(const std::string& path,
 
   if (std::memcmp(base_, kColumnarMagic, sizeof(kColumnarMagic)) != 0) {
     return corrupt("bad header magic");
+  }
+  // Header flags byte + reserved tail. Unknown flag bits and nonzero
+  // reserved bytes are rejected so every header byte stays semantic (the
+  // bit-flip fuzz relies on that).
+  const auto flags =
+      static_cast<unsigned char>(base_[kColumnarFlagsOffset]);
+  if ((flags & ~kColumnarFlagSourceIndex) != 0) {
+    return corrupt("unknown header flag bits");
+  }
+  for (size_t i = kColumnarFlagsOffset + 1; i < kColumnarHeaderSize; ++i) {
+    if (base_[i] != 0) return corrupt("nonzero reserved header byte");
   }
   Footer footer;
   std::memcpy(&footer, base_ + file_size - sizeof(Footer), sizeof(Footer));
@@ -433,8 +527,55 @@ Status ColumnarReader::Open(const std::string& path,
         info.size > body_end || info.offset > body_end - info.size) {
       return corrupt("section " + std::to_string(s) + " out of bounds");
     }
+    section_offset_[s] = info.offset;
+    section_size_[s] = info.size;
+    section_crc_[s] = info.crc;
     prev_end = info.offset + info.size;
   }
+
+  // Between the last section and the footer sits either alignment padding
+  // (< 8 bytes) or the source-range index region, as announced by the
+  // header flag — either way the geometry is exact, so clearing the flag
+  // on an indexed file (or setting it on a plain one) is corruption.
+  const uint64_t index_offset = (prev_end + 7) & ~uint64_t{7};
+  if ((flags & kColumnarFlagSourceIndex) != 0) {
+    if (body_end < index_offset ||
+        body_end - index_offset < sizeof(IndexRegionHeader)) {
+      return corrupt("source index region out of bounds");
+    }
+    IndexRegionHeader index_header;
+    std::memcpy(&index_header, base_ + index_offset, sizeof(index_header));
+    if (index_header.reserved != 0) {
+      return corrupt("nonzero reserved bytes in source index header");
+    }
+    const uint64_t entry_bytes =
+        body_end - index_offset - sizeof(IndexRegionHeader);
+    if (index_header.count > entry_bytes / sizeof(ColumnarSourceRun) ||
+        index_header.count * sizeof(ColumnarSourceRun) != entry_bytes) {
+      return corrupt("source index count does not match region size");
+    }
+    const char* entries = base_ + index_offset + sizeof(IndexRegionHeader);
+    if (Crc32(entries, entry_bytes) != index_header.entries_crc) {
+      return corrupt("source index CRC mismatch");
+    }
+    const auto* runs = reinterpret_cast<const ColumnarSourceRun*>(entries);
+    uint64_t prev_last = 0;
+    for (uint64_t i = 0; i < index_header.count; ++i) {
+      const ColumnarSourceRun& run = runs[i];
+      if (run.reserved != 0 || run.url_code >= footer.num_urls ||
+          (i > 0 && run.url_code <= runs[i - 1].url_code) ||
+          run.first >= run.last || run.last > footer.num_records ||
+          run.first < prev_last) {
+        return corrupt("malformed source index run " + std::to_string(i));
+      }
+      prev_last = run.last;
+    }
+    index_runs_ = runs;
+    num_index_runs_ = index_header.count;
+  } else if (index_offset != body_end) {
+    return corrupt("unaccounted bytes between sections and footer");
+  }
+
   const uint64_t n = footer.num_records;
   for (size_t col = 0; col < 5; ++col) {
     if (footer.sections[kSectionConfidence + col].size !=
@@ -483,30 +624,74 @@ Status ColumnarReader::Open(const std::string& path,
   objects_ = reinterpret_cast<const uint32_t*>(
       base_ + footer.sections[kSectionObject].offset);
 
-  if (options.verify_checksums) {
-    for (size_t s = 0; s < kColumnarNumSections; ++s) {
-      const SectionInfo& info = footer.sections[s];
-      if (Crc32(base_ + info.offset, info.size) != info.crc) {
-        return corrupt("section " + std::to_string(s) + " CRC mismatch");
-      }
-    }
-    // Range-check every record code: accessors index straight into the
-    // dictionaries, so an out-of-range code in an unchecked file would be
-    // an out-of-bounds read downstream.
-    const auto terms32 = static_cast<uint32_t>(footer.num_terms);
-    const auto urls32 = static_cast<uint32_t>(footer.num_urls);
-    for (uint64_t i = 0; i < n; ++i) {
-      if (url_codes_[i] >= urls32 || subjects_[i] >= terms32 ||
-          predicates_[i] >= terms32 || objects_[i] >= terms32) {
-        return corrupt("record code out of dictionary range");
-      }
-    }
-  }
-
   num_records_ = footer.num_records;
   num_terms_ = footer.num_terms;
   num_urls_ = footer.num_urls;
   content_fingerprint_ = footer.content_hash;
+
+  if (options.verify_checksums && !options.lazy_verify) {
+    Status status = VerifyAllSections();
+    // Range-check every record code: accessors index straight into the
+    // dictionaries, so an out-of-range code in an unchecked file would be
+    // an out-of-bounds read downstream.
+    if (status.ok()) status = VerifyAllRecordCodes();
+    if (!status.ok()) {
+      Close();
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+const ColumnarSourceRun* ColumnarReader::FindSourceRun(
+    uint32_t url_code) const {
+  const ColumnarSourceRun* end = index_runs_ + num_index_runs_;
+  const ColumnarSourceRun* it = std::lower_bound(
+      index_runs_, end, url_code,
+      [](const ColumnarSourceRun& run, uint32_t code) {
+        return run.url_code < code;
+      });
+  return (it != end && it->url_code == url_code) ? it : nullptr;
+}
+
+Status ColumnarReader::VerifySection(size_t section) {
+  std::atomic_ref<unsigned char> verified(section_verified_[section]);
+  if (verified.load(std::memory_order_acquire) != 0) return Status::OK();
+  if (Crc32(base_ + section_offset_[section], section_size_[section]) !=
+      section_crc_[section]) {
+    return Status::Corruption(path_ + ": section " + std::to_string(section) +
+                              " CRC mismatch");
+  }
+  verified.store(1, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ColumnarReader::VerifyAllSections() {
+  for (size_t s = 0; s < kColumnarNumSections; ++s) {
+    MIDAS_RETURN_IF_ERROR(VerifySection(s));
+  }
+  return Status::OK();
+}
+
+Status ColumnarReader::VerifyRecordCodes(uint64_t first,
+                                         uint64_t last) const {
+  const auto terms32 = static_cast<uint32_t>(num_terms_);
+  const auto urls32 = static_cast<uint32_t>(num_urls_);
+  for (uint64_t i = first; i < last; ++i) {
+    if (url_codes_[i] >= urls32 || subjects_[i] >= terms32 ||
+        predicates_[i] >= terms32 || objects_[i] >= terms32) {
+      return Status::Corruption(path_ + ": record code out of dictionary "
+                                        "range");
+    }
+  }
+  return Status::OK();
+}
+
+Status ColumnarReader::VerifyAllRecordCodes() {
+  std::atomic_ref<unsigned char> verified(codes_verified_);
+  if (verified.load(std::memory_order_acquire) != 0) return Status::OK();
+  MIDAS_RETURN_IF_ERROR(VerifyRecordCodes(0, num_records_));
+  verified.store(1, std::memory_order_release);
   return Status::OK();
 }
 

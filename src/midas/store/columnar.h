@@ -33,6 +33,16 @@ inline constexpr char kColumnarMagic[] = "MIDASCOL1";  // 9 chars + NUL
 inline constexpr size_t kColumnarHeaderSize = 16;
 inline constexpr size_t kColumnarNumSections = 7;
 
+/// Header byte 10 is a flags byte (zero in files written before the flag
+/// existed). Readers reject unknown bits; the magic comparison covers only
+/// the first 10 bytes, so flagged files still sniff as MIDASCOL1.
+inline constexpr size_t kColumnarFlagsOffset = 10;
+/// The file carries the optional source-range index region between the
+/// last section and the footer (see docs/FORMATS.md). The region is
+/// excluded from the footer content hash — and so is this flag bit — so an
+/// indexed and an unindexed copy of the same records share a fingerprint.
+inline constexpr unsigned char kColumnarFlagSourceIndex = 1;
+
 /// Section indices, in file order.
 enum ColumnarSection : size_t {
   kSectionTerms = 0,     // dictionary for subject/predicate/object terms
@@ -42,6 +52,31 @@ enum ColumnarSection : size_t {
   kSectionSubject = 4,     // u32[num_records]
   kSectionPredicate = 5,   // u32[num_records]
   kSectionObject = 6,      // u32[num_records]
+};
+
+/// One entry of the source-range index: all records of `url_code` occupy
+/// [first, last) in the record columns. Entries are stored sorted by
+/// url_code AND by position (our writers assign url codes in
+/// first-appearance order over a source-grouped stream, so the two orders
+/// coincide); runs are non-empty and non-overlapping. The on-disk entry is
+/// this struct verbatim (24 bytes, little-endian).
+struct ColumnarSourceRun {
+  uint32_t url_code = 0;
+  uint32_t reserved = 0;
+  uint64_t first = 0;  // first record of the run
+  uint64_t last = 0;   // one past the last record of the run
+};
+
+/// Half-open record interval [first, last) in a columnar file's record
+/// columns — the unit of by-reference work: source-range catalogs and
+/// WorkAssignRef frames are lists of these.
+struct RecordRange {
+  uint64_t first = 0;
+  uint64_t last = 0;
+
+  bool operator==(const RecordRange& other) const {
+    return first == other.first && last == other.last;
+  }
 };
 
 /// Streaming writer. Records are appended one at a time; bounded in-memory
@@ -81,8 +116,17 @@ class ColumnarWriter {
                 const std::vector<std::string>& urls);
 
   /// The content hash written into the footer; valid after a successful
-  /// Finish. Checkpoint fingerprints bind to this.
+  /// Finish. Checkpoint fingerprints bind to this. The hash excludes the
+  /// source-range index region and the header flag bit that announces it,
+  /// so it identifies the record content, not the presence of the index.
   uint64_t content_fingerprint() const { return content_fingerprint_; }
+
+  /// True after a successful Finish iff the file carries the source-range
+  /// index region. The writer emits it automatically when the record
+  /// stream was source-grouped with url codes assigned in first-appearance
+  /// order (the layout every writer in this repo produces); an interleaved
+  /// stream gets no index, never an error.
+  bool wrote_source_index() const { return wrote_source_index_; }
 
  private:
   struct ColumnBuffers;
@@ -96,6 +140,11 @@ class ColumnarWriter {
   uint32_t max_url_code_ = 0;
   uint64_t content_fingerprint_ = 0;
   bool finished_ = false;
+  bool wrote_source_index_ = false;
+  /// Source-run tracking for the index: stays true while every record's
+  /// url code either extends the current run or opens run k with code k.
+  bool grouped_ = true;
+  std::vector<ColumnarSourceRun> runs_;
   Status spill_status_;  // sticky: first spill write error
   std::vector<double> conf_buf_;
   std::vector<uint32_t> code_buf_[4];  // url, subject, predicate, object
@@ -110,6 +159,15 @@ struct ColumnarReadOptions {
   /// verified; the reader hands out raw pointers, so a corrupt unverified
   /// file can crash downstream code.
   bool verify_checksums = true;
+  /// Defer the verify_checksums work instead of skipping or front-loading
+  /// it: Open validates structure only (magics, footer CRC, section table,
+  /// dictionary offsets, index geometry + CRC) and the caller settles each
+  /// section with VerifySection / VerifyAllSections before trusting its
+  /// payload, and bounds-checks the codes it actually touches with
+  /// VerifyRecordCodes. This is what makes a subset load pay checksum cost
+  /// proportional to the bytes it reads, not the file size. Ignored when
+  /// verify_checksums is false.
+  bool lazy_verify = false;
 };
 
 /// mmap-backed zero-copy reader. Open() maps the whole file read-only and
@@ -162,15 +220,52 @@ class ColumnarReader {
   const uint32_t* predicates() const { return predicates_; }
   const uint32_t* objects() const { return objects_; }
 
+  /// Source-range index accessors. The index is optional (old files and
+  /// interleaved dumps lack it); when present its geometry, CRC, and run
+  /// invariants were validated at Open regardless of verify options.
+  bool has_source_index() const { return index_runs_ != nullptr; }
+  uint64_t num_source_runs() const { return num_index_runs_; }
+  /// All runs, sorted by url_code and by position. Pointer into the
+  /// mapping; null without an index.
+  const ColumnarSourceRun* source_runs() const { return index_runs_; }
+  /// Binary-searches the index for `url_code`; null if absent (no index,
+  /// or the code has no records).
+  const ColumnarSourceRun* FindSourceRun(uint32_t url_code) const;
+
+  /// Lazy verification (see ColumnarReadOptions::lazy_verify). Verifies
+  /// one section's CRC, memoized and thread-safe: concurrent callers may
+  /// both compute the CRC but settle on the same answer, and a section is
+  /// never re-hashed after a success. Failures are not memoized (every
+  /// call re-reports the Corruption).
+  Status VerifySection(size_t section);
+  Status VerifyAllSections();
+  /// Bounds-checks the url/subject/predicate/object codes of records
+  /// [first, last) against the dictionary sizes — the per-range substitute
+  /// for the full-file code scan of an eager open. Not memoized.
+  Status VerifyRecordCodes(uint64_t first, uint64_t last) const;
+  /// VerifyRecordCodes over the whole file, memoized like VerifySection (an
+  /// eager open settles it; a lazy full load pays it once).
+  Status VerifyAllRecordCodes();
+
  private:
   void Swap(ColumnarReader* other);
 
   const char* base_ = nullptr;  // mmap base; null when closed
   size_t map_size_ = 0;
+  std::string path_;  // for error messages after Open
   uint64_t num_records_ = 0;
   uint64_t num_terms_ = 0;
   uint64_t num_urls_ = 0;
   uint64_t content_fingerprint_ = 0;
+  uint64_t section_offset_[kColumnarNumSections] = {};
+  uint64_t section_size_[kColumnarNumSections] = {};
+  uint32_t section_crc_[kColumnarNumSections] = {};
+  /// 1 once the section's CRC verified; accessed via std::atomic_ref.
+  unsigned char section_verified_[kColumnarNumSections] = {};
+  /// 1 once every record code bounds-checked; accessed via std::atomic_ref.
+  unsigned char codes_verified_ = 0;
+  const ColumnarSourceRun* index_runs_ = nullptr;
+  uint64_t num_index_runs_ = 0;
   const uint64_t* term_offsets_ = nullptr;
   const char* terms_blob_ = nullptr;
   const uint64_t* url_offsets_ = nullptr;

@@ -120,6 +120,37 @@ class WireCodecTest : public ::testing::Test {
     return out + "#" + DescribeSlices(m.child_slices);
   }
 
+  WorkAssignRefMsg MakeRef() const {
+    WorkAssignRefMsg msg;
+    msg.unit = 11;
+    msg.assignment = 3;
+    msg.consolidate = true;
+    msg.normalized = true;
+    msg.url = "http://a.com";
+    msg.corpus_hash = 0x1122334455667788ULL;
+    // A threshold whose decimal rendering would lose bits: the codec must
+    // carry the exact IEEE-754 pattern.
+    msg.threshold = 0.1 + 0.2;
+    msg.ranges = {{0, 17}, {17, 17}, {40, 1000000007}};
+    msg.child_slices = {MakeSlice(2.5), MakeSlice(-1.0e-300)};
+    return msg;
+  }
+
+  static std::string DescribeRef(const WorkAssignRefMsg& m) {
+    uint64_t threshold_bits = 0;
+    std::memcpy(&threshold_bits, &m.threshold, sizeof(threshold_bits));
+    std::string out = std::to_string(m.unit) + "|" +
+                      std::to_string(m.assignment) + "|" +
+                      std::to_string(m.consolidate) + "|" +
+                      std::to_string(m.normalized) + "|" + m.url + "|" +
+                      std::to_string(m.corpus_hash) + "|" +
+                      std::to_string(threshold_bits);
+    for (const auto& r : m.ranges) {
+      out += "|r" + std::to_string(r.first) + "," + std::to_string(r.last);
+    }
+    return out + "#" + DescribeSlices(m.child_slices);
+  }
+
   static std::string DescribeResult(const WorkResultMsg& m) {
     return std::to_string(m.unit) + "|" + std::to_string(m.assignment) + "|" +
            std::to_string(static_cast<int>(m.status)) + "|" +
@@ -173,6 +204,109 @@ TEST_F(WireCodecTest, HeartbeatAndShutdownRoundtrip) {
   const std::string quit = EncodeShutdown();
   EXPECT_EQ(*PeekKind(quit), MessageKind::kShutdown);
   EXPECT_TRUE(DecodeShutdown(quit).ok());
+}
+
+TEST_F(WireCodecTest, HelloCarriesCorpusHashSinceV3) {
+  HelloMsg in;
+  in.fingerprint = 0xfeedfacef00dULL;
+  in.corpus_hash = 0xabcdef0123456789ULL;
+  const std::string v3 = EncodeHello(in);
+  HelloMsg out;
+  ASSERT_TRUE(DecodeHello(v3, &out).ok());
+  EXPECT_EQ(out.corpus_hash, in.corpus_hash);
+
+  // A v2 sender's Hello has no corpus_hash field; it must decode (the
+  // handshake rejects the version, not the bytes) with corpus_hash 0.
+  HelloMsg v2_in = in;
+  v2_in.protocol = 2;
+  const std::string v2 = EncodeHello(v2_in);
+  EXPECT_EQ(v2.size() + 8, v3.size());
+  HelloMsg v2_out;
+  ASSERT_TRUE(DecodeHello(v2, &v2_out).ok());
+  EXPECT_EQ(v2_out.protocol, 2u);
+  EXPECT_EQ(v2_out.fingerprint, in.fingerprint);
+  EXPECT_EQ(v2_out.corpus_hash, 0u);
+}
+
+TEST_F(WireCodecTest, WorkAssignRefRoundtrip) {
+  const WorkAssignRefMsg in = MakeRef();
+  const std::string payload = EncodeWorkAssignRef(in, dict_);
+  EXPECT_EQ(*PeekKind(payload), MessageKind::kWorkAssignRef);
+  WorkAssignRefMsg out;
+  ASSERT_TRUE(DecodeWorkAssignRef(payload, dict_, &out).ok());
+  EXPECT_EQ(DescribeRef(out), DescribeRef(in));
+
+  // Empty ranges and all-false flags are valid on the wire (the coordinator
+  // never sends them, but the codec is total over its struct).
+  WorkAssignRefMsg bare;
+  bare.url = "http://b.com";
+  const std::string bare_payload = EncodeWorkAssignRef(bare, dict_);
+  WorkAssignRefMsg bare_out;
+  ASSERT_TRUE(DecodeWorkAssignRef(bare_payload, dict_, &bare_out).ok());
+  EXPECT_EQ(DescribeRef(bare_out), DescribeRef(bare));
+}
+
+TEST_F(WireCodecTest, WorkAssignRefTruncationAtEveryByteOffsetFails) {
+  const std::string payload = EncodeWorkAssignRef(MakeRef(), dict_);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    WorkAssignRefMsg out;
+    EXPECT_FALSE(DecodeWorkAssignRef(payload.substr(0, len), dict_, &out).ok())
+        << "WorkAssignRef truncated to " << len << " of " << payload.size();
+  }
+  WorkAssignRefMsg out;
+  EXPECT_FALSE(DecodeWorkAssignRef(payload + "x", dict_, &out).ok());
+}
+
+TEST_F(WireCodecTest, WorkAssignRefSingleBitFlipsNeverDecodeEqual) {
+  const WorkAssignRefMsg in = MakeRef();
+  const std::string payload = EncodeWorkAssignRef(in, dict_);
+  const std::string digest = DescribeRef(in);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = payload;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      WorkAssignRefMsg out;
+      if (DecodeWorkAssignRef(flipped, dict_, &out).ok()) {
+        EXPECT_NE(DescribeRef(out), digest)
+            << "flip byte " << i << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST_F(WireCodecTest, WorkAssignRefImplausibleRangeCountFailsFast) {
+  // kind 'A', unit, assignment, flags, url, corpus hash, threshold, then a
+  // range count claiming gigabytes with no range bytes behind it.
+  std::string payload(1, 'A');
+  AppendU64(&payload, 1);
+  AppendU32(&payload, 1);
+  payload.push_back(1);
+  payload.push_back(1);
+  AppendStr(&payload, "http://a.com");
+  AppendU64(&payload, 0x1111);
+  AppendU64(&payload, 0);
+  AppendU32(&payload, 0x20000000u);
+  WorkAssignRefMsg out;
+  EXPECT_FALSE(DecodeWorkAssignRef(payload, dict_, &out).ok());
+  EXPECT_TRUE(out.ranges.empty());
+}
+
+TEST_F(WireCodecTest, WorkAssignRefRejectsInvertedRangeAndBadFlags) {
+  WorkAssignRefMsg in = MakeRef();
+  in.ranges = {{100, 7}};  // inverted: first > last
+  const std::string inverted = EncodeWorkAssignRef(in, dict_);
+  WorkAssignRefMsg out;
+  EXPECT_FALSE(DecodeWorkAssignRef(inverted, dict_, &out).ok());
+
+  // Byte layout: kind(1) + unit(8) + assignment(4), then consolidate and
+  // normalized flag bytes — any value but 0/1 is corruption.
+  std::string payload = EncodeWorkAssignRef(MakeRef(), dict_);
+  std::string bad = payload;
+  bad[13] = 2;
+  EXPECT_FALSE(DecodeWorkAssignRef(bad, dict_, &out).ok());
+  bad = payload;
+  bad[14] = static_cast<char>(0xff);
+  EXPECT_FALSE(DecodeWorkAssignRef(bad, dict_, &out).ok());
 }
 
 TEST_F(WireCodecTest, PeekKindRejectsEmptyAndUnknown) {

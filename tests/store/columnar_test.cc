@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -244,6 +245,166 @@ TEST_F(ColumnarTest, UnverifiedOpenSkipsSectionChecksOnly) {
 TEST_F(ColumnarTest, MissingFileIsNotFound) {
   ColumnarReader reader;
   EXPECT_EQ(reader.Open(path_).code(), StatusCode::kNotFound);
+}
+
+// A grouped record stream (every url's records contiguous, codes in
+// first-appearance order) gets the source-range index; the runs must name
+// the exact record intervals.
+TEST_F(ColumnarTest, GroupedFileCarriesSourceIndex) {
+  ColumnarWriter writer(path_);
+  const uint32_t url_of_record[] = {0, 0, 0, 1, 2, 2};
+  for (uint32_t url : url_of_record) writer.AddRecord(url, 0, 1, 2, 0.5);
+  ASSERT_TRUE(writer.Finish(MakeTerms(3), MakeUrls(3)).ok());
+  EXPECT_TRUE(writer.wrote_source_index());
+
+  ColumnarReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  ASSERT_TRUE(reader.has_source_index());
+  ASSERT_EQ(reader.num_source_runs(), 3u);
+  const ColumnarSourceRun* runs = reader.source_runs();
+  EXPECT_EQ(runs[0].url_code, 0u);
+  EXPECT_EQ(runs[0].first, 0u);
+  EXPECT_EQ(runs[0].last, 3u);
+  EXPECT_EQ(runs[1].url_code, 1u);
+  EXPECT_EQ(runs[1].first, 3u);
+  EXPECT_EQ(runs[1].last, 4u);
+  EXPECT_EQ(runs[2].url_code, 2u);
+  EXPECT_EQ(runs[2].first, 4u);
+  EXPECT_EQ(runs[2].last, 6u);
+  ASSERT_NE(reader.FindSourceRun(1), nullptr);
+  EXPECT_EQ(reader.FindSourceRun(1)->first, 3u);
+  EXPECT_EQ(reader.FindSourceRun(7), nullptr);
+}
+
+TEST_F(ColumnarTest, InterleavedFileHasNoIndex) {
+  ColumnarWriter writer(path_);
+  for (uint32_t url : {0u, 1u, 0u}) writer.AddRecord(url, 0, 0, 0, 0.5);
+  ASSERT_TRUE(writer.Finish(MakeTerms(1), MakeUrls(2)).ok());
+  EXPECT_FALSE(writer.wrote_source_index());
+  ColumnarReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  EXPECT_FALSE(reader.has_source_index());
+  EXPECT_EQ(reader.FindSourceRun(0), nullptr);
+}
+
+// The index region and its announcing flag bit are excluded from the
+// content hash: surgically stripping them yields a byte-valid legacy file
+// with the SAME fingerprint — which is what lets a worker without an index
+// still match the coordinator's corpus hash.
+TEST_F(ColumnarTest, StrippedIndexReadsAsLegacyFileWithSameFingerprint) {
+  ColumnarWriter writer(path_);
+  for (uint32_t url : {0u, 0u, 1u, 1u, 2u}) {
+    writer.AddRecord(url, url, 0, 1, 0.25 * url + 0.1);
+  }
+  ASSERT_TRUE(writer.Finish(MakeTerms(3), MakeUrls(3)).ok());
+  ColumnarReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  ASSERT_TRUE(reader.has_source_index());
+  const uint64_t fingerprint = reader.content_fingerprint();
+  const size_t index_bytes = 16 + 24 * reader.num_source_runs();
+  reader.Close();
+
+  std::string bytes = ReadFileBytes(path_);
+  const size_t body_end = bytes.size() - 216;  // footer is fixed-size
+  bytes.erase(body_end - index_bytes, index_bytes);
+  bytes[10] = 0;  // clear the source-index flag
+  WriteFileBytes(path_, bytes);
+
+  ASSERT_TRUE(reader.Open(path_).ok());
+  EXPECT_FALSE(reader.has_source_index());
+  EXPECT_EQ(reader.content_fingerprint(), fingerprint);
+  EXPECT_EQ(reader.num_records(), 5u);
+}
+
+// Every byte of the index region (and the flag byte announcing it) is
+// semantic: any single-byte flip must be rejected at Open.
+TEST_F(ColumnarTest, IndexRegionBitFlipsRejected) {
+  ColumnarWriter writer(path_);
+  for (uint32_t url : {0u, 0u, 1u, 2u, 2u, 2u}) {
+    writer.AddRecord(url, 0, 1, 2, 0.5);
+  }
+  ASSERT_TRUE(writer.Finish(MakeTerms(3), MakeUrls(3)).ok());
+  ColumnarReader probe;
+  ASSERT_TRUE(probe.Open(path_).ok());
+  const size_t index_bytes = 16 + 24 * probe.num_source_runs();
+  probe.Close();
+
+  const std::string bytes = ReadFileBytes(path_);
+  const size_t index_start = bytes.size() - 216 - index_bytes;
+  for (size_t pos : {size_t{10}}) {  // the flag byte
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 1);
+    WriteFileBytes(path_, corrupt);
+    ColumnarReader reader;
+    EXPECT_FALSE(reader.Open(path_).ok()) << "flag byte flip accepted";
+  }
+  for (size_t pos = index_start; pos < index_start + index_bytes; ++pos) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    WriteFileBytes(path_, corrupt);
+    ColumnarReader reader;
+    EXPECT_FALSE(reader.Open(path_).ok())
+        << "index byte flip at " << pos << " accepted";
+  }
+}
+
+// lazy_verify defers the per-section CRC work to VerifySection: a corrupt
+// interior section opens fine, its verification fails, untouched sections
+// verify clean, and a second call on a verified section is memoized.
+TEST_F(ColumnarTest, LazyVerifyDefersSectionChecks) {
+  WriteFile(MakeRecords(64, 11, 4, 8), MakeTerms(11), MakeUrls(4));
+  const std::string bytes = ReadFileBytes(path_);
+  // Eager open pins down where the confidence section lives: corrupt one
+  // byte in the middle of the file, which the truncation geometry checks
+  // cannot see.
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x20;
+  WriteFileBytes(path_, corrupt);
+
+  ColumnarReadOptions lazy;
+  lazy.lazy_verify = true;
+  ColumnarReader reader;
+  ASSERT_TRUE(reader.Open(path_, lazy).ok());
+  // The flipped byte sits in one of the five record columns; at least one
+  // section must fail, and the dictionaries (early in the file) are clean.
+  EXPECT_TRUE(reader.VerifySection(kSectionTerms).ok());
+  EXPECT_TRUE(reader.VerifySection(kSectionTerms).ok());  // memoized
+  Status all = reader.VerifyAllSections();
+  EXPECT_EQ(all.code(), StatusCode::kCorruption);
+  reader.Close();
+
+  // The pristine file passes the full lazy sweep and the code scan.
+  WriteFileBytes(path_, bytes);
+  ASSERT_TRUE(reader.Open(path_, lazy).ok());
+  EXPECT_TRUE(reader.VerifyAllSections().ok());
+  EXPECT_TRUE(reader.VerifyRecordCodes(0, reader.num_records()).ok());
+}
+
+// VerifyRecordCodes is the per-range replacement for the eager full-file
+// code scan: an out-of-range code is caught by the range containing it and
+// invisible to disjoint ranges.
+TEST_F(ColumnarTest, VerifyRecordCodesIsRangeScoped) {
+  ColumnarWriter writer(path_);
+  for (uint32_t url : {0u, 0u, 1u, 1u}) writer.AddRecord(url, 0, 1, 2, 0.5);
+  ASSERT_TRUE(writer.Finish(MakeTerms(3), MakeUrls(2)).ok());
+  std::string bytes = ReadFileBytes(path_);
+
+  // Overwrite record 3's subject code with an out-of-range value. The
+  // subject column's last entry sits before the predicate + object columns
+  // (4 bytes x 4 records each), the index region (16B header + 2 runs),
+  // and the 216-byte footer.
+  const size_t index_bytes = 16 + 24 * 2;
+  const size_t subj3_off = bytes.size() - 216 - index_bytes - 2 * 4 * 4 - 4;
+  const uint32_t big = 0xfffffff0u;
+  std::memcpy(bytes.data() + subj3_off, &big, sizeof(big));
+  WriteFileBytes(path_, bytes);
+
+  ColumnarReadOptions lazy;
+  lazy.lazy_verify = true;
+  ColumnarReader reader;
+  ASSERT_TRUE(reader.Open(path_, lazy).ok());
+  EXPECT_TRUE(reader.VerifyRecordCodes(0, 3).ok());
+  EXPECT_EQ(reader.VerifyRecordCodes(3, 4).code(), StatusCode::kCorruption);
 }
 
 #ifdef MIDAS_FAULT_INJECTION

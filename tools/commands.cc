@@ -4,11 +4,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
 #include <memory>
 #include <ostream>
+#include <unordered_map>
 
 #include "midas/baselines/agg_cluster.h"
 #include "midas/baselines/greedy.h"
@@ -28,6 +30,7 @@
 #include "midas/rdf/ntriples.h"
 #include "midas/serve/discovery_service.h"
 #include "midas/serve/http_server.h"
+#include "midas/store/columnar.h"
 #include "midas/synth/corpus_generator.h"
 #include "midas/synth/dataset_stats.h"
 #include "midas/util/json.h"
@@ -161,6 +164,11 @@ void RegisterGenerateFlags(FlagParser* flags) {
                    "reverb|nell|kv|slim-reverb|slim-nell");
   flags->AddDouble("scale", 0.5, "scale factor for full datasets");
   flags->AddInt64("num_sources", 100, "sources for slim datasets");
+  flags->AddInt64("pages_per_section", 0,
+                  "override mean pages per section (0 = dataset default); "
+                  "shapes source density for smoke corpora");
+  flags->AddInt64("entities_per_page", 0,
+                  "override mean entities per page (0 = dataset default)");
   flags->AddInt64("seed", 11, "generator seed");
   flags->AddString("dump", "", "output extraction dump TSV (required)");
   flags->AddString("kb", "", "output KB facts TSV (optional)");
@@ -193,6 +201,14 @@ Status RunGenerate(const FlagParser& flags, std::ostream& out) {
     return Status::InvalidArgument("unknown --dataset: " + dataset);
   }
   params.seed = seed;
+  if (flags.GetInt64("pages_per_section") > 0) {
+    params.pages_per_section =
+        static_cast<size_t>(flags.GetInt64("pages_per_section"));
+  }
+  if (flags.GetInt64("entities_per_page") > 0) {
+    params.entities_per_page =
+        static_cast<size_t>(flags.GetInt64("entities_per_page"));
+  }
 
   auto data = synth::GenerateCorpus(params);
 
@@ -265,6 +281,16 @@ void RegisterDiscoverFlags(FlagParser* flags) {
                   "once the round queue drains, speculatively re-assign a "
                   "unit still in flight after this many ms to an idle "
                   "worker; first result wins (0 = off)");
+  flags->AddInt64("load_threads", 1,
+                  "threads for the columnar corpus load (0/1 = serial; "
+                  "bit-identical either way; needs a source-grouped "
+                  "columnar dump)");
+  flags->AddBool("by_ref", true,
+                 "dist mode: assign shards by reference (record ranges of "
+                 "the shared columnar dump) to workers that hold the same "
+                 "dump; workers without it, or non-columnar/non-indexed "
+                 "dumps, fall back to inline facts automatically "
+                 "(docs/DISTRIBUTED.md)");
   RegisterRobustnessFlags(flags);
   RegisterMetricsFlags(flags);
 }
@@ -284,6 +310,13 @@ struct DiscoverSetup {
   std::unique_ptr<core::NumericRangeIndex> ranges;
   std::unique_ptr<core::SliceDetector> detector;
   bool hierarchy_rounds = true;
+  /// Columnar fast path only: the open dump (kept mapped for by-reference
+  /// dist assignment — self-forked workers inherit the mapping), the
+  /// file-code -> TermId remap (empty = identity), and the per-source
+  /// record-range catalog (empty when the file has no source index).
+  std::unique_ptr<store::ColumnarReader> reader;
+  std::vector<rdf::TermId> remap;
+  extract::SourceRangeCatalog source_ranges;
 };
 
 Status BuildDiscoverSetup(const FlagParser& flags, std::ostream& out,
@@ -299,11 +332,24 @@ Status BuildDiscoverSetup(const FlagParser& flags, std::ostream& out,
     // from the mmap'd code arrays — no per-row materialization, and the
     // file's content hash binds the checkpoint fingerprint. --clean needs
     // row-level facts, so it takes the generic path below (LoadDump
-    // auto-detects the format there too).
-    MIDAS_RETURN_IF_ERROR(extract::LoadColumnarCorpus(
-        dump_path, flags.GetDouble("threshold"), /*dict=*/nullptr,
-        &setup->corpus, &setup->corpus_fingerprint));
+    // auto-detects the format there too). The reader stays open in `setup`
+    // so dist runs can assign shards by reference to it.
+    setup->reader = std::make_unique<store::ColumnarReader>();
+    store::ColumnarReadOptions read_options;
+    read_options.lazy_verify = true;
+    MIDAS_RETURN_IF_ERROR(setup->reader->Open(dump_path, read_options));
+    extract::ColumnarLoadOptions load_options;
+    load_options.threshold = flags.GetDouble("threshold");
+    load_options.num_threads =
+        static_cast<size_t>(flags.GetInt64("load_threads"));
+    MIDAS_RETURN_IF_ERROR(extract::LoadColumnarCorpusFromReader(
+        setup->reader.get(), load_options, &setup->corpus, &setup->remap));
+    setup->corpus_fingerprint = setup->reader->content_fingerprint();
     setup->dump.dict = setup->corpus.shared_dict();
+    if (setup->reader->has_source_index()) {
+      MIDAS_RETURN_IF_ERROR(extract::BuildSourceRangeCatalog(
+          setup->reader.get(), setup->corpus, &setup->source_ranges));
+    }
   } else {
     extract::LoadOptions load_options;
     load_options.strict = flags.GetBool("strict_load");
@@ -421,6 +467,17 @@ Status RunDiscoverImpl(const FlagParser& flags, std::ostream& out,
 
     dist::DistOptions dist_options;
     dist_options.fingerprint = fingerprint;
+    // By-reference dispatch: only when the corpus came off a columnar dump
+    // whose source index could name every source. The per-worker Hello hash
+    // still gates each delivery, so a mixed fleet (some workers without the
+    // dump) works off the same options.
+    const bool by_ref = flags.GetBool("by_ref") && setup.reader != nullptr &&
+                        !setup.source_ranges.empty();
+    if (by_ref) {
+      dist_options.corpus_hash = setup.reader->content_fingerprint();
+      dist_options.ref_threshold = flags.GetDouble("threshold");
+      dist_options.source_ranges = &setup.source_ranges;
+    }
     dist_options.worker_respawn_limit =
         static_cast<size_t>(flags.GetInt64("worker_respawn_limit"));
     dist_options.worker_liveness_ms =
@@ -440,13 +497,21 @@ Status RunDiscoverImpl(const FlagParser& flags, std::ostream& out,
       dist_options.num_workers = static_cast<size_t>(workers);
       // detect is captured by VALUE: respawned workers fork from inside
       // framework.Run, long after this block's stack frame is gone.
-      dist_options.worker_main = [&setup, detect, fingerprint](int fd) {
+      dist_options.worker_main = [&setup, detect, fingerprint,
+                                  by_ref](int fd) {
         dist::WorkerConfig config;
         config.detector = setup.detector.get();
         config.kb = setup.kb.get();
         config.dict = setup.dump.dict.get();
         config.detect = detect;
         config.fingerprint = fingerprint;
+        if (by_ref) {
+          // Forked children inherit the coordinator's mmap of the dump —
+          // announcing its hash lets the coordinator skip shipping inline
+          // facts to them.
+          config.corpus_reader = setup.reader.get();
+          config.corpus_remap = &setup.remap;
+        }
         const Status worker_status = dist::RunWorkerLoop(fd, config);
         if (!worker_status.ok()) {
           MIDAS_LOG(Warning) << "dist: worker exiting on error: "
@@ -634,6 +699,13 @@ Status RunWorker(const FlagParser& flags, std::ostream& out) {
   config.detect.run_seed = framework_options.run_seed;
   config.fingerprint =
       core::ComputeRunFingerprint(setup.corpus, framework_options);
+  if (flags.GetBool("by_ref") && setup.reader != nullptr) {
+    // Announce the local columnar dump so a coordinator holding the same
+    // file assigns shards by reference (record ranges) instead of inline
+    // facts; a coordinator without it simply ignores the hash.
+    config.corpus_reader = setup.reader.get();
+    config.corpus_remap = &setup.remap;
+  }
   config.heartbeat_interval_ms =
       static_cast<int>(flags.GetInt64("heartbeat_ms"));
   config.transport = dist::IsTcpAddress(path) ? dist::Transport::kTcp
@@ -804,6 +876,11 @@ void RegisterConvertFlags(FlagParser* flags) {
   flags->AddString("to", "auto",
                    "output format: columnar|tsv|auto (auto converts to the "
                    "opposite of the detected input format)");
+  flags->AddBool("reindex", false,
+                 "with columnar output: stable-group records by source "
+                 "first, so the file carries the source-range index "
+                 "(enables subset loads and by-reference dist assignment; "
+                 "docs/FORMATS.md)");
 }
 
 Status RunConvert(const FlagParser& flags, std::ostream& out) {
@@ -818,10 +895,31 @@ Status RunConvert(const FlagParser& flags, std::ostream& out) {
   if (to != "tsv" && to != "columnar") {
     return Status::InvalidArgument("unknown --to: " + to);
   }
+  const bool reindex = flags.GetBool("reindex");
+  if (reindex && to != "columnar") {
+    return Status::InvalidArgument("--reindex requires columnar output");
+  }
   extract::ExtractionDump dump;
   extract::LoadStats load_stats;
   MIDAS_RETURN_IF_ERROR(
       extract::LoadDump(in_path, extract::LoadOptions{}, &dump, &load_stats));
+  if (reindex) {
+    // Stable-group records by URL in first-appearance order: each source's
+    // records become one contiguous run (per-source record order intact, so
+    // corpora built from the file are unchanged), which is the layout the
+    // columnar writer emits the source-range index for.
+    std::unordered_map<std::string_view, uint32_t> first_seen;
+    for (const extract::ExtractedFact& fact : dump.facts) {
+      first_seen.try_emplace(fact.url,
+                             static_cast<uint32_t>(first_seen.size()));
+    }
+    std::stable_sort(dump.facts.begin(), dump.facts.end(),
+                     [&first_seen](const extract::ExtractedFact& a,
+                                   const extract::ExtractedFact& b) {
+                       return first_seen.find(a.url)->second <
+                              first_seen.find(b.url)->second;
+                     });
+  }
   if (to == "columnar") {
     MIDAS_RETURN_IF_ERROR(extract::SaveColumnarDump(out_path, dump));
   } else {
@@ -830,6 +928,20 @@ Status RunConvert(const FlagParser& flags, std::ostream& out) {
   out << "converted " << dump.facts.size() << " records: " << in_path << " ("
       << (in_columnar ? "columnar" : "tsv") << ") -> " << out_path << " ("
       << to << ")\n";
+  if (to == "columnar") {
+    // Reopen to report whether the writer emitted the index (it does so
+    // whenever the stream was source-grouped, --reindex or not).
+    store::ColumnarReader reader;
+    store::ColumnarReadOptions read_options;
+    read_options.lazy_verify = true;
+    MIDAS_RETURN_IF_ERROR(reader.Open(out_path, read_options));
+    out << "source-range index: "
+        << (reader.has_source_index() ? "present" : "absent") << " ("
+        << reader.num_source_runs() << " runs)\n";
+    if (reindex && !reader.has_source_index()) {
+      return Status::Internal("reindexed output carries no source index");
+    }
+  }
   return Status::OK();
 }
 
